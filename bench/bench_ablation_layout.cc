@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ablation: broadcast-friendly layouts (paper Fig. 11). Reproduces
+ * the worked example (3x6 matrix, window of 3: lookup table 18 -> 3)
+ * and sweeps realistic tile shapes, reporting lookup-table spans and
+ * the resulting broadcast cost under the analytical cost table, plus
+ * the planner decisions for reduction mapping and DMA coalescing.
+ */
+
+#include <cstdio>
+
+#include "apusim/apu.hh"
+#include "common/table.hh"
+#include "core/layout.hh"
+#include "core/planner.hh"
+#include "model/sg_model.hh"
+
+using namespace cisram;
+using namespace cisram::core;
+
+int
+main()
+{
+    std::printf("== Ablation: layouts and planners ==\n");
+
+    std::printf("\n-- Fig. 11 worked example: 3x6 matrix, "
+                "window 3 --\n");
+    std::vector<size_t> shape = {3, 6};
+    BroadcastSweep sweep{0, 3};
+    Layout rm = Layout::rowMajor(shape);
+    Layout bf = broadcastFriendly(shape, 0);
+    std::printf("row-major %s: per-step span %zu, shared table "
+                "%zu (paper: 18)\n",
+                rm.str().c_str(), maxLookupSpan(rm, sweep),
+                sharedLookupSpan(rm, sweep));
+    std::printf("broadcast-friendly %s: per-step span %zu "
+                "(paper: 3)\n",
+                bf.str().c_str(), maxLookupSpan(bf, sweep));
+
+    std::printf("\n-- Lookup spans and broadcast cost for BMM "
+                "tiles --\n");
+    model::CostTable t;
+    AsciiTable spans({"tile (rows x K)", "window", "row-major span",
+                      "bf span", "row-major cost (cyc)",
+                      "bf cost (cyc)"});
+    struct
+    {
+        size_t rows, k;
+    } tiles[] = {{32, 64}, {32, 256}, {8, 1024}, {64, 16}};
+    for (auto cfg : tiles) {
+        std::vector<size_t> sh = {cfg.rows, cfg.k};
+        BroadcastSweep sw{0, cfg.rows};
+        size_t span_rm =
+            maxLookupSpan(Layout::rowMajor(sh), sw);
+        size_t span_bf =
+            maxLookupSpan(broadcastFriendly(sh, 0), sw);
+        spans.addRow(
+            {std::to_string(cfg.rows) + " x " +
+                 std::to_string(cfg.k),
+             std::to_string(cfg.rows), std::to_string(span_rm),
+             std::to_string(span_bf),
+             formatDouble(broadcastCost(t, span_rm, cfg.k), 0),
+             formatDouble(broadcastCost(t, span_bf, cfg.k), 0)});
+    }
+    spans.print();
+
+    std::printf("\n-- Reduction-mapping planner (cycles per "
+                "result) --\n");
+    apu::ApuDevice dev;
+    model::SubgroupReductionModel sg;
+    sg.calibrate(dev.core(0));
+    AsciiTable red({"reduction length", "spatial", "temporal",
+                    "winner", "advantage"});
+    for (size_t r : {8u, 64u, 512u, 4096u, 32768u}) {
+        ReductionPlan plan = planReduction(t, sg, r);
+        red.addRow({std::to_string(r),
+                    formatDouble(plan.spatialPerResult, 1),
+                    formatDouble(plan.temporalPerResult, 2),
+                    plan.best == ReductionMapping::Temporal
+                        ? "temporal" : "spatial",
+                    formatDouble(plan.speedup(), 1) + "x"});
+    }
+    red.print();
+
+    std::printf("\n-- DMA-coalescing planner --\n");
+    AsciiTable co({"chunk bytes", "reuse count", "naive (cyc)",
+                   "coalesced (cyc)", "decision"});
+    struct
+    {
+        double chunk;
+        size_t reuse;
+    } cases[] = {{2048, 64}, {2048, 4}, {65536, 1}, {512, 1024}};
+    for (auto c : cases) {
+        CoalescePlan plan = planDmaCoalescing(t, c.chunk, c.reuse);
+        co.addRow({formatDouble(c.chunk, 0),
+                   std::to_string(c.reuse),
+                   formatDouble(plan.naiveCycles, 0),
+                   formatDouble(plan.coalescedCycles, 0),
+                   plan.coalesce ? "coalesce" : "stream"});
+    }
+    co.print();
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation (extension): top-k selection strategy and scoring
+ * precision. Compares the iterative associative-max extraction
+ * against threshold counting across k, and int16 vs native GSI-float
+ * scoring for the 200 GB retrieval.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "kernels/rag.hh"
+#include "kernels/topk.hh"
+
+using namespace cisram;
+using namespace cisram::baseline;
+using namespace cisram::gvml;
+using namespace cisram::kernels;
+
+namespace {
+
+double
+topkCycles(bool threshold, size_t k)
+{
+    apu::ApuDevice dev;
+    dev.core(0).setMode(apu::ExecMode::TimingOnly);
+    Gvml g(dev.core(0));
+    dev.core(0).stats().reset();
+    if (threshold)
+        (void)topKThreshold(g, Vr(0), k, Vr(1), Vr(2), Vr(3));
+    else
+        (void)topKIterative(g, Vr(0), k);
+    return dev.core(0).stats().cycles();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Ablation: top-k strategy (cycles per 32K-score "
+                "VR) ==\n");
+    AsciiTable table({"k", "iterative max-extract",
+                      "threshold counting", "winner"});
+    for (size_t k : {1u, 2u, 5u, 8u, 16u, 32u, 64u}) {
+        double it = topkCycles(false, k);
+        double th = topkCycles(true, k);
+        table.addRow({std::to_string(k), formatDouble(it, 0),
+                      formatDouble(th, 0),
+                      it < th ? "iterative" : "threshold"});
+    }
+    table.print();
+    std::printf("The threshold search costs ~16 count_m probes "
+                "regardless of k; iterative extraction pays per "
+                "winner. The paper's top-5 sits on the iterative "
+                "side of the crossover.\n");
+
+    std::printf("\n== Ablation: scoring precision (200 GB "
+                "retrieval) ==\n");
+    const auto &spec = ragCorpora()[2];
+    auto q = genQuery(spec.dim, 1);
+    AsciiTable prec({"scoring", "calc distance (ms)",
+                     "retrieval total (ms)", "exactness"});
+    {
+        apu::ApuDevice dev;
+        dev.core(0).setMode(apu::ExecMode::TimingOnly);
+        dram::DramSystem hbm(dram::hbm2eConfig());
+        RagRetriever r(dev, hbm, spec, 5);
+        auto res = r.retrieve(q, RagVariant::AllOpts, 1);
+        prec.addRow({"int16 (exact)",
+                     formatDouble(res.stages.calcDistance * 1e3, 1),
+                     formatDouble(res.stages.total() * 1e3, 1),
+                     "exact ENNS"});
+    }
+    {
+        apu::ApuDevice dev;
+        dev.core(0).setMode(apu::ExecMode::TimingOnly);
+        dram::DramSystem hbm(dram::hbm2eConfig());
+        RagRetriever r(dev, hbm, spec, 5);
+        auto res = r.retrieveGf16(q, 1);
+        prec.addRow({"gf16 (native float)",
+                     formatDouble(res.stages.calcDistance * 1e3, 1),
+                     formatDouble(res.stages.total() * 1e3, 1),
+                     "9-bit mantissa rounding"});
+    }
+    prec.print();
+    std::printf("mul_gf16 (77 cycles) undercuts mul_s16 (201), so "
+                "the device's custom float format buys distance "
+                "time at a small, quantified accuracy cost.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Paper Eq. 1: the subgroup-reduction cost model. Profiles
+ * add_subgrp_s16 on the simulator over a grid of (group, subgroup)
+ * sizes, fits the eight (alpha_i, beta_i) coefficients by least
+ * squares, and reports per-point prediction error -- the calibration
+ * procedure the framework prescribes for a new device.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "apusim/apu.hh"
+#include "common/table.hh"
+#include "gvml/gvml.hh"
+#include "model/sg_model.hh"
+
+using namespace cisram;
+using namespace cisram::model;
+
+int
+main()
+{
+    std::printf("== Eq. 1: T_sg_add(r, s) calibration ==\n");
+    apu::ApuDevice dev;
+
+    SubgroupReductionModel sg;
+    auto samples = SubgroupReductionModel::profile(dev.core(0));
+    sg.fit(samples);
+
+    std::printf("fitted coefficients (p_i = alpha_i*log2 r + "
+                "beta_i):\n");
+    for (unsigned i = 0; i < 4; ++i)
+        std::printf("  p%u: alpha = %9.4f  beta = %9.4f\n", i,
+                    sg.alpha(i), sg.beta(i));
+    std::printf("mean absolute fit error: %.2f%% over %zu samples\n\n",
+                sg.fitError() * 100.0, samples.size());
+
+    AsciiTable table({"group r", "subgroup s", "measured",
+                      "predicted", "error %"});
+    gvml::Gvml g(dev.core(0));
+    dev.core(0).setMode(apu::ExecMode::TimingOnly);
+    // Off-grid evaluation points (the profile grid steps r by 4x).
+    struct
+    {
+        size_t r, s;
+    } points[] = {{32, 1},    {128, 2},   {512, 8},
+                  {2048, 64}, {8192, 1},  {8192, 2048},
+                  {32768, 4}, {32768, 8192}};
+    for (auto p : points) {
+        dev.core(0).stats().reset();
+        g.addSubgrpS16(gvml::Vr(0), gvml::Vr(1), p.r, p.s);
+        double meas = dev.core(0).stats().cycles();
+        double pred = sg.predict(p.r, p.s);
+        table.addRow({std::to_string(p.r), std::to_string(p.s),
+                      formatDouble(meas, 0), formatDouble(pred, 0),
+                      formatDouble((pred - meas) / meas * 100.0, 2)});
+    }
+    table.print();
+
+    std::printf("\nNon-linear growth with subgroup size (the "
+                "intra-VR penalty the paper highlights):\n");
+    for (size_t s : {1u, 16u, 256u, 4096u}) {
+        std::printf("  T(32768, %5zu) = %7.0f cycles\n", s,
+                    sg.predict(32768, s));
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Paper Fig. 13 + Table 6: Phoenix suite latency across optimization
+ * levels, normalized against the calibrated single-thread Xeon
+ * baseline, with the aggregate speedup statistics the paper reports.
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "kernels/phoenix_apu.hh"
+
+using namespace cisram;
+using namespace cisram::baseline;
+using namespace cisram::kernels;
+
+int
+main()
+{
+    apu::ApuDevice dev;
+    XeonTimingModel cpu;
+
+    std::printf("== Table 6: Phoenix suite statistics ==\n");
+    AsciiTable t6({"Application", "Input", "CPU instructions",
+                   "APU vector commands"});
+    for (const auto &spec : phoenixSpecs()) {
+        auto st = runPhoenixApuTimed(dev, spec.app,
+                                     PhoenixVariant::AllOpts);
+        char instr[32];
+        std::snprintf(instr, sizeof(instr), "%.1f billion",
+                      spec.cpuInstructions / 1e9);
+        char uops[32];
+        std::snprintf(uops, sizeof(uops), "%.2f million",
+                      st.uops * 4.0 / 1e6); // all four cores
+        t6.addRow({spec.name, spec.inputSize, instr, uops});
+    }
+    t6.print();
+
+    std::printf("\n== Fig. 13: latency vs single-thread CPU "
+                "(normalized; lower is better) ==\n");
+    AsciiTable t13({"Application", "CPU 1T", "CPU 16T", "APU base",
+                    "APU opt1", "APU opt2", "APU opt3",
+                    "APU all opts"});
+    std::vector<double> s1, smt;
+    for (const auto &spec : phoenixSpecs()) {
+        double cpu1 = cpu.phoenixMs(spec.app, false);
+        double cpu16 = cpu.phoenixMs(spec.app, true);
+        std::vector<std::string> row = {
+            spec.name, "1.000",
+            formatDouble(cpu16 / cpu1, 3)};
+        double all_ms = 0;
+        for (auto v : {PhoenixVariant::Baseline, PhoenixVariant::Opt1,
+                       PhoenixVariant::Opt2, PhoenixVariant::Opt3,
+                       PhoenixVariant::AllOpts}) {
+            double ms =
+                runPhoenixApuTimed(dev, spec.app, v).ms(dev.spec());
+            row.push_back(formatDouble(ms / cpu1, 3));
+            if (v == PhoenixVariant::AllOpts)
+                all_ms = ms;
+        }
+        t13.addRow(row);
+        s1.push_back(cpu1 / all_ms);
+        smt.push_back(cpu16 / all_ms);
+    }
+    t13.print();
+
+    std::printf("\nAPU all-opts speedups vs 1T CPU : mean %.1fx, "
+                "geomean %.1fx, peak %.1fx\n",
+                mean(s1), geomean(s1), maxOf(s1));
+    std::printf("  (paper: mean 41.8x, geomean 14.4x, peak 128.3x)\n");
+    std::printf("APU all-opts speedups vs 16T CPU: mean %.1fx, "
+                "geomean %.1fx, max %.1fx\n",
+                mean(smt), geomean(smt), maxOf(smt));
+    std::printf("  (paper: mean 12.5x, geomean 2.6x, max 68.1x)\n");
+    return 0;
+}

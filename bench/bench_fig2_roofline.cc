@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Paper Fig. 2: roofline of matrix-multiplication kernels on the
+ * APU. The compute roof is the profiled binary-MAC peak, the memory
+ * roof is the device DDR bandwidth; the kernels move toward the
+ * compute roof as the data optimizations raise operational
+ * intensity.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/bmm_model.hh"
+#include "dramsim/dram_sim.hh"
+#include "kernels/bmm.hh"
+#include "model/roofline.hh"
+#include "model/sg_model.hh"
+
+using namespace cisram;
+using namespace cisram::core;
+using namespace cisram::kernels;
+
+int
+main()
+{
+    std::printf("== Fig. 2: matmul kernels on the roofline ==\n");
+    model::CostTable t;
+    dram::DramSystem ddr(dram::ddr4DeviceConfig());
+    double mem_bw = ddr.config().peakBandwidth();
+
+    model::Roofline roof =
+        model::Roofline::binaryMacRoofline(t, mem_bw);
+    std::printf("compute roof: %.2f Tops (binary MAC), memory "
+                "roof: %.1f GB/s, ridge OI: %.0f op/B\n\n",
+                roof.peakOpsPerSec() / 1e12, mem_bw / 1e9,
+                roof.ridge());
+
+    apu::ApuDevice calib_dev;
+    model::SubgroupReductionModel sg;
+    sg.calibrate(calib_dev.core(0));
+    BmmAnalyticalModel analytical(t, sg);
+
+    const BmmShape shape{1024, 1024, 1024};
+    double ops = static_cast<double>(shape.m) * shape.n *
+        shape.kWords() * 2.0 * 16.0;
+
+    AsciiTable table({"kernel", "OI (op/B)", "achieved (Gops)",
+                      "attainable (Gops)", "% of attainable"});
+    for (auto v : {BmmVariant::Baseline, BmmVariant::Opt1,
+                   BmmVariant::Opt1Opt2, BmmVariant::Opt1Opt3,
+                   BmmVariant::AllOpts}) {
+        apu::ApuDevice dev;
+        dev.core(0).setMode(apu::ExecMode::TimingOnly);
+        auto r = runBmmApu(dev, shape, v, nullptr);
+        double secs = r.cycles.total() / t.clockHz;
+        double achieved = ops / secs;
+        double oi = analytical.operationalIntensity(shape, v);
+        double attain = roof.attainable(oi);
+        table.addRow({bmmVariantName(v), formatDouble(oi, 1),
+                      formatDouble(achieved / 1e9, 1),
+                      formatDouble(attain / 1e9, 1),
+                      formatDouble(achieved / attain * 100.0, 1)});
+    }
+    table.print();
+
+    std::printf("\nRoofline curve (OI -> attainable Gops):\n");
+    for (double oi : {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0}) {
+        std::printf("  OI %7.0f : %9.1f Gops%s\n", oi,
+                    roof.attainable(oi) / 1e9,
+                    oi >= roof.ridge() ? "  (compute bound)" : "");
+    }
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: host
+ * throughput of functional GVML operations, the bit-processor
+ * micro-op engine, and DRAM-trace processing. These measure the
+ * reproduction's own performance (simulation rate), not the modeled
+ * device.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apusim/apu.hh"
+#include "dramsim/dram_sim.hh"
+#include "gvml/gvml.hh"
+#include "gvml/microcode.hh"
+#include "common/rng.hh"
+#include "kernels/bmm.hh"
+#include "kernels/sort.hh"
+
+using namespace cisram;
+using namespace cisram::gvml;
+
+namespace {
+
+void
+BM_GvmlAddU16(benchmark::State &state)
+{
+    apu::ApuDevice dev;
+    Gvml g(dev.core(0));
+    for (auto _ : state)
+        g.addU16(Vr(0), Vr(1), Vr(2));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(g.length()));
+}
+BENCHMARK(BM_GvmlAddU16);
+
+void
+BM_GvmlMulS16(benchmark::State &state)
+{
+    apu::ApuDevice dev;
+    Gvml g(dev.core(0));
+    for (auto _ : state)
+        g.mulS16(Vr(0), Vr(1), Vr(2));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(g.length()));
+}
+BENCHMARK(BM_GvmlMulS16);
+
+void
+BM_GvmlSubgroupReduce(benchmark::State &state)
+{
+    apu::ApuDevice dev;
+    Gvml g(dev.core(0));
+    size_t grp = static_cast<size_t>(state.range(0));
+    for (auto _ : state)
+        g.addSubgrpS16(Vr(0), Vr(1), grp, 1);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(g.length()));
+}
+BENCHMARK(BM_GvmlSubgroupReduce)->Arg(64)->Arg(1024)->Arg(32768);
+
+void
+BM_BitonicSort(benchmark::State &state)
+{
+    apu::ApuDevice dev;
+    Gvml g(dev.core(0));
+    Rng rng(1);
+    for (auto _ : state) {
+        state.PauseTiming();
+        for (auto &v : g.data(Vr(0)))
+            v = rng.nextU16();
+        state.ResumeTiming();
+        kernels::bitonicSortU16(g, Vr(0), false, Vr(1),
+                                kernels::SortScratch::standard());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(g.length()));
+}
+BENCHMARK(BM_BitonicSort)->Unit(benchmark::kMillisecond);
+
+void
+BM_MicrocodeAdd(benchmark::State &state)
+{
+    apu::ApuDevice dev;
+    auto &vrs = dev.core(0).vr();
+    auto &bp = dev.core(0).bitproc();
+    Rng rng(2);
+    for (auto &v : vrs[0])
+        v = rng.nextU16();
+    for (auto &v : vrs[1])
+        v = rng.nextU16();
+    for (auto _ : state)
+        mcAddU16(bp, 2, 0, 1, 5, 6, 7);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(vrs.length()));
+}
+BENCHMARK(BM_MicrocodeAdd)->Unit(benchmark::kMillisecond);
+
+void
+BM_DramStream(benchmark::State &state)
+{
+    dram::DramSystem sys(dram::hbm2eConfig());
+    uint64_t bytes = 16ull << 20;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sys.streamReadSeconds(0, bytes));
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_DramStream)->Unit(benchmark::kMillisecond);
+
+void
+BM_TimingOnlyBmmAllOpts(benchmark::State &state)
+{
+    for (auto _ : state) {
+        apu::ApuDevice dev;
+        dev.core(0).setMode(apu::ExecMode::TimingOnly);
+        auto r = kernels::runBmmApu(dev, {1024, 1024, 1024},
+                                    core::BmmVariant::AllOpts,
+                                    nullptr);
+        benchmark::DoNotOptimize(r.cycles.total());
+    }
+}
+BENCHMARK(BM_TimingOnlyBmmAllOpts)->Unit(benchmark::kMillisecond);
+
+} // namespace

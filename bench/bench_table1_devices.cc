@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Paper Table 1: comparison of the GSI APU against an Intel Xeon
+ * 8280, an NVIDIA A100, and a Graphcore IPU. The APU column derives
+ * from the simulated device's configuration; the others are the
+ * published specifications the paper cites.
+ */
+
+#include <cstdio>
+
+#include "apusim/apu_spec.hh"
+#include "common/table.hh"
+#include "model/cost_table.hh"
+#include "model/roofline.hh"
+
+using namespace cisram;
+
+int
+main()
+{
+    std::printf("== Table 1: device comparison ==\n");
+
+    const apu::ApuSpec &spec = apu::defaultSpec();
+    model::CostTable t;
+
+    // Derived APU figures from the simulated device.
+    double lanes = static_cast<double>(spec.vrLength) * spec.numCores;
+    double clock_mhz = spec.clockHz / 1e6;
+    // Peak 8-bit add throughput: an add_u16 retires one 16-bit add
+    // per lane per 12 cycles; 8-bit packing doubles it.
+    double tops_8b_add = 2.0 * lanes * spec.clockHz / t.addU16 / 1e12;
+    // On-chip bandwidth: every lane reads two u16 operands and
+    // writes one per add_u16.
+    double onchip_tbs = 3.0 * 2.0 * lanes * spec.clockHz / t.addU16 /
+        1e12;
+    double l1_mb = static_cast<double>(spec.numVmrs) *
+        spec.vrBytes() * spec.numCores / 1e6 +
+        static_cast<double>(spec.numVrs) * spec.vrBytes() *
+            spec.numCores / 1e6;
+
+    AsciiTable table({"", "GSI APU (simulated)", "Xeon 8280",
+                      "NVIDIA A100", "Graphcore IPU"});
+    table.addRow({"Compute units",
+                  std::to_string(spec.vrLength * spec.numCores * 16) +
+                      " x 1 bit",
+                  "28x2x512 bits", "104x4096 bits", "1216x64 bits"});
+    table.addRow({"Process", "28 nm", "14 nm", "7 nm", "7 nm"});
+    table.addRow({"Clock", formatDouble(clock_mhz, 0) + " MHz",
+                  "2.7 GHz", "1.4 GHz", "1.6 GHz"});
+    table.addRow({"Peak 8-bit OPs",
+                  formatDouble(tops_8b_add, 1) + " TOPS (derived)",
+                  "10 TOPS", "75 TOPS", "16 TOPS"});
+    table.addRow({"On-chip memory",
+                  formatDouble(l1_mb, 1) + " MB L1", "38.5MB L3",
+                  "40MB L2", "300MB L1"});
+    table.addRow({"On-chip bandwidth",
+                  formatDouble(onchip_tbs, 0) + " TB/s (derived)",
+                  "1 TB/s", "7 TB/s", "16 TB/s"});
+    table.addRow({"TDP", "60 W", "205 W", "400 W", "150 W"});
+    table.print();
+
+    std::printf("\nPaper reference row for the APU: 2M x 1-bit, "
+                "28 nm, 500 MHz, 25 TOPS, 12MB L1, 26 TB/s, 60 W.\n");
+    return 0;
+}

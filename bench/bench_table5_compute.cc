@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Paper Table 5: computation operation latencies on the simulated
+ * device versus the analytical framework's constants.
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "apusim/apu.hh"
+#include "common/table.hh"
+#include "gvml/gvml.hh"
+#include "model/cost_table.hh"
+
+using namespace cisram;
+using namespace cisram::gvml;
+
+int
+main()
+{
+    std::printf("== Table 5: computation latencies (cycles) ==\n");
+    apu::ApuDevice dev;
+    auto &core = dev.core(0);
+    core.setMode(apu::ExecMode::TimingOnly);
+    Gvml g(core);
+    model::CostTable t;
+
+    AsciiTable table({"Operation", "Description", "Analytical",
+                      "Simulator", "Paper"});
+
+    auto row = [&](const char *name, const char *desc,
+                   double analytical,
+                   const std::function<void(Gvml &)> &fn,
+                   int paper) {
+        core.stats().reset();
+        fn(g);
+        table.addRow({name, desc, formatDouble(analytical, 0),
+                      formatDouble(core.stats().cycles(), 0),
+                      std::to_string(paper)});
+    };
+
+    const Vr d{0}, a{1}, b{2};
+    row("and_16", "16-bit bit-wise and", t.and16,
+        [&](Gvml &g) { g.and16(d, a, b); }, 12);
+    row("or_16", "16-bit bit-wise or", t.or16,
+        [&](Gvml &g) { g.or16(d, a, b); }, 8);
+    row("not_16", "16-bit bit-wise not", t.not16,
+        [&](Gvml &g) { g.not16(d, a); }, 10);
+    row("xor_16", "16-bit bit-wise xor", t.xor16,
+        [&](Gvml &g) { g.xor16(d, a, b); }, 12);
+    row("ashift", "int16 arithmetic shift", t.ashift,
+        [&](Gvml &g) { g.ashImm16(d, a, -2); }, 15);
+    row("add_u16", "uint16 addition", t.addU16,
+        [&](Gvml &g) { g.addU16(d, a, b); }, 12);
+    row("add_s16", "int16 addition", t.addS16,
+        [&](Gvml &g) { g.addS16(d, a, b); }, 13);
+    row("sub_u16", "uint16 subtraction", t.subU16,
+        [&](Gvml &g) { g.subU16(d, a, b); }, 15);
+    row("sub_s16", "int16 subtraction", t.subS16,
+        [&](Gvml &g) { g.subS16(d, a, b); }, 16);
+    row("popcnt_16", "population count", t.popcnt16,
+        [&](Gvml &g) { g.popcnt16(d, a); }, 23);
+    row("mul_u16", "uint16 multiplication", t.mulU16,
+        [&](Gvml &g) { g.mulU16(d, a, b); }, 115);
+    row("mul_s16", "int16 multiplication", t.mulS16,
+        [&](Gvml &g) { g.mulS16(d, a, b); }, 201);
+    row("mul_f16", "float16 multiplication", t.mulF16,
+        [&](Gvml &g) { g.mulF16(d, a, b); }, 77);
+    row("div_u16", "uint16 division", t.divU16,
+        [&](Gvml &g) { g.divU16(d, a, b); }, 664);
+    row("div_s16", "int16 division", t.divS16,
+        [&](Gvml &g) { g.divS16(d, a, b); }, 739);
+    row("eq_16", "element-wise equal", t.eq16,
+        [&](Gvml &g) { g.eq16(d, a, b); }, 13);
+    row("gt_u16", "greater than", t.gtU16,
+        [&](Gvml &g) { g.gtU16(d, a, b); }, 13);
+    row("lt_u16", "less than", t.ltU16,
+        [&](Gvml &g) { g.ltU16(d, a, b); }, 13);
+    row("lt_gf16", "gsi float16 less than", t.ltGf16,
+        [&](Gvml &g) { g.ltGf16(d, a, b); }, 45);
+    row("ge_u16", "greater or equal", t.geU16,
+        [&](Gvml &g) { g.geU16(d, a, b); }, 13);
+    row("le_u16", "less or equal", t.leU16,
+        [&](Gvml &g) { g.leU16(d, a, b); }, 13);
+    row("recip_u16", "uint16 reciprocal", t.recipU16,
+        [&](Gvml &g) { g.recipU16(d, a); }, 735);
+    row("exp_f16", "float16 exponential", t.expF16,
+        [&](Gvml &g) { g.expF16(d, a); }, 40295);
+    row("sin_fx", "fixed-point sine", t.sinFx,
+        [&](Gvml &g) { g.sinFx(d, a); }, 761);
+    row("cos_fx", "fixed-point cosine", t.cosFx,
+        [&](Gvml &g) { g.cosFx(d, a); }, 761);
+    row("count_m", "count marked entries", t.countM,
+        [&](Gvml &g) { (void)g.countM(a); }, 239);
+
+    table.print();
+    std::printf("\nadd_subgrp_s16 follows Eq. 1; see "
+                "bench_eq1_sgadd_model.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Paper Table 7: analytical-framework validation. The simulator
+ * measures each optimized Phoenix kernel; the framework predicts it
+ * from the cost-table fits plus the calibrated Eq. 1 model.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/table.hh"
+#include "kernels/phoenix_model.hh"
+
+using namespace cisram;
+using namespace cisram::baseline;
+using namespace cisram::kernels;
+
+int
+main()
+{
+    std::printf("== Table 7: measured vs analytical framework ==\n");
+    apu::ApuDevice dev;
+    model::SubgroupReductionModel sg;
+    sg.calibrate(dev.core(0));
+    model::LatencyEstimator est;
+    est.setSgModel(sg);
+
+    AsciiTable table({"Application", "Meas. latency (ms)",
+                      "Predicted (ms)", "Error", "Paper error"});
+    const char *paper_err[] = {"+0.32%", "+2.3%", "-4.5%", "-6.2%",
+                               "-0.49%", "+1.8%", "-3.1%"};
+    double err_sum = 0, err_max = 0;
+    size_t i = 0;
+    for (const auto &spec : phoenixSpecs()) {
+        double meas_ms = runPhoenixApuTimed(dev, spec.app,
+                                            PhoenixVariant::AllOpts)
+                             .ms(dev.spec());
+        double pred_ms = predictPhoenixCycles(est, spec.app) /
+            dev.spec().clockHz * 1e3;
+        double err = (pred_ms - meas_ms) / meas_ms;
+        err_sum += std::fabs(err);
+        err_max = std::max(err_max, std::fabs(err));
+        char errbuf[16];
+        std::snprintf(errbuf, sizeof(errbuf), "%+.2f%%",
+                      err * 100.0);
+        table.addRow({spec.name, formatDouble(meas_ms, 1),
+                      formatDouble(pred_ms, 1), errbuf,
+                      paper_err[i]});
+        ++i;
+    }
+    table.print();
+
+    double n = static_cast<double>(phoenixSpecs().size());
+    std::printf("\naverage accuracy: %.1f%% (paper: 97.3%%), max "
+                "error: %.1f%% (paper: 6.2%%)\n",
+                (1.0 - err_sum / n) * 100.0, err_max * 100.0);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Paper Table 8: compute-in-SRAM retrieval latency breakdown across
+ * corpus sizes, without and with the optimizations. The embedding
+ * load reflects the simulated HBM2e; everything else is APU cycle
+ * accounting.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "kernels/rag.hh"
+
+using namespace cisram;
+using namespace cisram::baseline;
+using namespace cisram::kernels;
+
+namespace {
+
+RagRunResult
+run(const RagCorpusSpec &spec, RagVariant v)
+{
+    apu::ApuDevice dev;
+    dev.core(0).setMode(apu::ExecMode::TimingOnly);
+    dram::DramSystem hbm(dram::hbm2eConfig());
+    RagRetriever retriever(dev, hbm, spec, 5);
+    auto q = genQuery(spec.dim, 1);
+    return retriever.retrieve(q, v, 1);
+}
+
+std::string
+us(double seconds)
+{
+    return formatDouble(seconds * 1e6, 0) + " us";
+}
+
+std::string
+ms(double seconds)
+{
+    return formatDouble(seconds * 1e3, 2) + " ms";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Table 8: retrieval latency breakdown ==\n\n");
+    for (bool optimized : {false, true}) {
+        std::printf("-- compute-in-SRAM %s --\n",
+                    optimized ? "all opts" : "no opt");
+        AsciiTable table({"Stage", "10GB", "50GB", "200GB"});
+        RagRunResult rs[3];
+        int i = 0;
+        for (const auto &spec : ragCorpora())
+            rs[i++] = run(spec, optimized ? RagVariant::AllOpts
+                                          : RagVariant::NoOpt);
+        table.addRow({"Load Embedding*",
+                      ms(rs[0].stages.loadEmbedding),
+                      ms(rs[1].stages.loadEmbedding),
+                      ms(rs[2].stages.loadEmbedding)});
+        table.addRow({"Load Query", us(rs[0].stages.loadQuery),
+                      us(rs[1].stages.loadQuery),
+                      us(rs[2].stages.loadQuery)});
+        table.addRow({"Calc Distance",
+                      ms(rs[0].stages.calcDistance),
+                      ms(rs[1].stages.calcDistance),
+                      ms(rs[2].stages.calcDistance)});
+        table.addRow({"Top-K Aggregation",
+                      us(rs[0].stages.topkAggregation),
+                      us(rs[1].stages.topkAggregation),
+                      us(rs[2].stages.topkAggregation)});
+        table.addRow({"Return Top-K", us(rs[0].stages.returnTopk),
+                      us(rs[1].stages.returnTopk),
+                      us(rs[2].stages.returnTopk)});
+        table.addSeparator();
+        table.addRow({"Total", ms(rs[0].stages.total()),
+                      ms(rs[1].stages.total()),
+                      ms(rs[2].stages.total())});
+        table.print();
+        std::printf("\n");
+    }
+    std::printf("* simulated HBM2e timing (Ramulator-lite), as in "
+                "the paper.\n");
+    std::printf("Paper totals: no-opt 21.8 / 129.5 / 539.2 ms; all "
+                "opts 3.9 / 20.6 / 84.2 ms.\n");
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The Phoenix suite end to end at demo scale: every application runs
+ * functionally on the simulated APU, its result is checked against
+ * the CPU reference, and the paper-scale latency and CPU comparison
+ * are reported (Section 5.2).
+ */
+
+#include <cstdio>
+
+#include "baseline/phoenix_cpu.hh"
+#include "kernels/phoenix_apu.hh"
+
+using namespace cisram;
+using namespace cisram::baseline;
+using namespace cisram::kernels;
+
+namespace {
+
+bool
+runOne(PhoenixApp app)
+{
+    apu::ApuDevice dev;
+    PhoenixStats st;
+    bool ok = false;
+    switch (app) {
+      case PhoenixApp::Histogram: {
+        auto in = genHistogramInput(300000, 1);
+        ok = histogramApu(dev, &in, in.pixels.size(),
+                          PhoenixVariant::AllOpts, st) ==
+            histogramSeq(in);
+        break;
+      }
+      case PhoenixApp::LinearRegression: {
+        auto in = genLinRegInput(200000, 2);
+        ok = linRegApu(dev, &in, in.points.size(),
+                       PhoenixVariant::AllOpts, st) == linRegSeq(in);
+        break;
+      }
+      case PhoenixApp::MatrixMultiply: {
+        auto a = genMatrix(64, 256, 3, 5);
+        auto b = genMatrix(256, 64, 4, 5);
+        auto got = matmulApu(dev, &a, &b, 64, 64, 256,
+                             PhoenixVariant::AllOpts, st);
+        auto ref = matmulSeq(a, b, 64, 64, 256);
+        ok = got.size() == ref.size();
+        for (size_t i = 0; ok && i < ref.size(); ++i)
+            ok = got[i] == ref[i];
+        break;
+      }
+      case PhoenixApp::Kmeans: {
+        auto in = genKmeansInput(8192, 8, 16, 5);
+        ok = kmeansApu(dev, &in, in.numPoints, in.dim, in.k, 8,
+                       PhoenixVariant::AllOpts, st) ==
+            kmeansSeq(in, 8).assignment;
+        break;
+      }
+      case PhoenixApp::ReverseIndex: {
+        auto in = genRevIndexInput(1024, 16, 4000, 6);
+        std::vector<uint16_t> stream;
+        for (const auto &doc : in.docLinks)
+            for (uint32_t link : doc)
+                stream.push_back(static_cast<uint16_t>(link));
+        auto got = reverseIndexApu(dev, &stream, stream.size(), 16,
+                                   PhoenixVariant::AllOpts, st);
+        auto ref = reverseIndexSeq(in);
+        ok = got.size() == ref.size();
+        for (auto it = ref.begin(); ok && it != ref.end(); ++it)
+            ok = got.count(it->first) &&
+                got.at(it->first) == it->second;
+        break;
+      }
+      case PhoenixApp::StringMatch: {
+        auto in = genStringMatchInput(150000, 7);
+        ok = stringMatchApu(dev, &in, in.words.size() * 16.0,
+                            PhoenixVariant::AllOpts, st) ==
+            stringMatchSeq(in);
+        break;
+      }
+      case PhoenixApp::WordCount: {
+        auto in = genWordCountInput(80000, 8);
+        auto ids = tokenizeWords(in.words);
+        auto got = wordCountApu(dev, &ids, ids.size(),
+                                PhoenixVariant::AllOpts, st);
+        auto ref = wordCountSeq(in, got.size());
+        ok = got.size() == ref.size();
+        for (size_t i = 0; ok && i < ref.size(); ++i)
+            ok = "w" + std::to_string(got[i].first) == ref[i].word &&
+                got[i].second == ref[i].count;
+        break;
+      }
+    }
+    return ok;
+}
+
+} // namespace
+
+int
+main()
+{
+    XeonTimingModel cpu;
+    apu::ApuDevice timing_dev;
+
+    std::printf("%-18s %-14s %12s %12s %9s\n", "application",
+                "functional", "APU (ms)", "CPU 16T (ms)", "speedup");
+    bool all_ok = true;
+    for (const auto &spec : phoenixSpecs()) {
+        bool ok = runOne(spec.app);
+        all_ok = all_ok && ok;
+        double apu_ms = runPhoenixApuTimed(timing_dev, spec.app,
+                                           PhoenixVariant::AllOpts)
+                            .ms(timing_dev.spec());
+        double cpu_ms = cpu.phoenixMs(spec.app, true);
+        std::printf("%-18s %-14s %12.1f %12.1f %8.2fx\n", spec.name,
+                    ok ? "PASS" : "FAIL", apu_ms, cpu_ms,
+                    cpu_ms / apu_ms);
+    }
+    std::printf("\n%s\n",
+                all_ok ? "all applications verified against their "
+                         "CPU references"
+                       : "FAILURES detected");
+    return all_ok ? 0 : 1;
+}

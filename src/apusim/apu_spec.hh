@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Architectural constants of the simulated GSI APU (Leda-E).
+ *
+ * Values follow the paper (Section 2, Table 1): a four-core device at
+ * 500 MHz; each core is a 32768-element, 16-bit vector engine with 24
+ * computation-enabled vector registers striped over 16 physical banks
+ * and 48 background vector memory registers (VMRs) forming L1.
+ */
+
+#ifndef CISRAM_APUSIM_APU_SPEC_HH
+#define CISRAM_APUSIM_APU_SPEC_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace cisram::apu {
+
+struct ApuSpec
+{
+    /** Device clock in Hz (500 MHz). */
+    double clockHz = 500.0e6;
+
+    /** APU cores per device. */
+    unsigned numCores = 4;
+
+    /** Elements per vector register. */
+    size_t vrLength = 32768;
+
+    /** Computation-enabled vector registers per core. */
+    unsigned numVrs = 24;
+
+    /** Physical SRAM banks per core. */
+    unsigned numBanks = 16;
+
+    /** Elements per bank (vrLength / numBanks). */
+    size_t bankElems = 2048;
+
+    /** Bit-slices per bank (== element width in bits). */
+    unsigned numSlices = 16;
+
+    /** L1 background registers (VMRs) per core. */
+    unsigned numVmrs = 48;
+
+    /** L2 scratchpad bytes (one full 32K x 16-bit vector). */
+    size_t l2Bytes = 64 * 1024;
+
+    /** L3 control-processor cache bytes. */
+    size_t l3Bytes = 1024 * 1024;
+
+    /** Device DRAM (L4) bytes. */
+    uint64_t l4Bytes = 16ull * 1024 * 1024 * 1024;
+
+    /** DMA transfer granularity in bytes. */
+    size_t dmaChunkBytes = 512;
+
+    /** Parallel DMA engines per core. */
+    unsigned dmaEnginesPerCore = 2;
+
+    /** Bytes of one full vector register. */
+    size_t vrBytes() const { return vrLength * 2; }
+
+    /** Seconds per cycle. */
+    double secondsPerCycle() const { return 1.0 / clockHz; }
+};
+
+/** Default device specification (the paper's Leda-E). */
+const ApuSpec &defaultSpec();
+
+} // namespace cisram::apu
+
+#endif // CISRAM_APUSIM_APU_SPEC_HH

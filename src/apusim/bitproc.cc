@@ -1,0 +1,225 @@
+#include "apusim/bitproc.hh"
+
+namespace cisram::apu {
+
+BitProcArray::BitProcArray(VrFile &vrs)
+    : vrs(vrs), gvlState(vrs.length())
+{
+    for (auto &plane : rlState)
+        plane = BitVector(vrs.length());
+    for (auto &bank : ghlState)
+        bank.fill(false);
+}
+
+const BitVector &
+BitProcArray::rlPlane(unsigned slice) const
+{
+    cisram_assert(slice < 16);
+    return rlState[slice];
+}
+
+bool
+BitProcArray::ghlBit(unsigned bank, unsigned slice) const
+{
+    cisram_assert(bank < vrs.numBanks() && slice < 16);
+    return ghlState[bank][slice];
+}
+
+BitVector
+BitProcArray::maskBankEdges(BitVector plane, bool shifted_up) const
+{
+    // After shifting the whole plane by one column, the bit that
+    // entered each bank from the neighbouring bank must be cleared:
+    // the east/west wires do not cross bank boundaries.
+    size_t step = vrs.bankElems();
+    for (size_t edge = 0; edge < plane.size(); edge += step) {
+        size_t pos = shifted_up ? edge : edge + step - 1;
+        plane.set(pos, false);
+    }
+    return plane;
+}
+
+BitVector
+BitProcArray::resolveLatch(unsigned slice, LatchSrc src) const
+{
+    switch (src) {
+      case LatchSrc::RL:
+        return rlState[slice];
+      case LatchSrc::GVL:
+        return gvlState;
+      case LatchSrc::GHL: {
+        // Broadcast each bank's horizontal latch to its columns.
+        BitVector out(vrs.length());
+        size_t step = vrs.bankElems();
+        for (unsigned b = 0; b < vrs.numBanks(); ++b) {
+            if (!ghlState[b][slice])
+                continue;
+            for (size_t i = 0; i < step; ++i)
+                out.set(b * step + i, true);
+        }
+        return out;
+      }
+      case LatchSrc::RL_N:
+        return slice + 1 < 16 ? rlState[slice + 1]
+                              : BitVector(vrs.length());
+      case LatchSrc::RL_S:
+        return slice > 0 ? rlState[slice - 1]
+                         : BitVector(vrs.length());
+      case LatchSrc::RL_E:
+        // East neighbour: column index + 1 within the bank, so the
+        // value seen at column i comes from i + 1.
+        return maskBankEdges(rlState[slice].shiftedDown(1), false);
+      case LatchSrc::RL_W:
+        return maskBankEdges(rlState[slice].shiftedUp(1), true);
+    }
+    cisram_panic("unknown latch source");
+}
+
+void
+BitProcArray::rlFromVr(uint16_t slice_mask, unsigned vrs0)
+{
+    ++uops;
+    for (unsigned s = 0; s < 16; ++s)
+        if ((slice_mask >> s) & 1)
+            rlState[s] = vrs.slicePlane(vrs0, s);
+}
+
+void
+BitProcArray::rlFromVrAndVr(uint16_t slice_mask, unsigned vrs0,
+                            unsigned vrs1)
+{
+    ++uops;
+    for (unsigned s = 0; s < 16; ++s) {
+        if ((slice_mask >> s) & 1) {
+            rlState[s] = vrs.slicePlane(vrs0, s);
+            rlState[s] &= vrs.slicePlane(vrs1, s);
+        }
+    }
+}
+
+void
+BitProcArray::rlFromLatch(uint16_t slice_mask, LatchSrc src)
+{
+    ++uops;
+    std::array<BitVector, 16> next;
+    for (unsigned s = 0; s < 16; ++s)
+        if ((slice_mask >> s) & 1)
+            next[s] = resolveLatch(s, src);
+    for (unsigned s = 0; s < 16; ++s)
+        if ((slice_mask >> s) & 1)
+            rlState[s] = std::move(next[s]);
+}
+
+void
+BitProcArray::rlFromVrOpLatch(uint16_t slice_mask, unsigned vrs0,
+                              BoolOp op, LatchSrc src)
+{
+    ++uops;
+    std::array<BitVector, 16> next;
+    for (unsigned s = 0; s < 16; ++s) {
+        if ((slice_mask >> s) & 1) {
+            next[s] = vrs.slicePlane(vrs0, s);
+            apply(next[s], op, resolveLatch(s, src));
+        }
+    }
+    for (unsigned s = 0; s < 16; ++s)
+        if ((slice_mask >> s) & 1)
+            rlState[s] = std::move(next[s]);
+}
+
+void
+BitProcArray::rlOpVr(uint16_t slice_mask, BoolOp op, unsigned vrs0)
+{
+    ++uops;
+    for (unsigned s = 0; s < 16; ++s)
+        if ((slice_mask >> s) & 1)
+            apply(rlState[s], op, vrs.slicePlane(vrs0, s));
+}
+
+void
+BitProcArray::rlOpLatch(uint16_t slice_mask, BoolOp op, LatchSrc src)
+{
+    ++uops;
+    std::array<BitVector, 16> operands;
+    for (unsigned s = 0; s < 16; ++s)
+        if ((slice_mask >> s) & 1)
+            operands[s] = resolveLatch(s, src);
+    for (unsigned s = 0; s < 16; ++s)
+        if ((slice_mask >> s) & 1)
+            apply(rlState[s], op, operands[s]);
+}
+
+void
+BitProcArray::rlOpVrOpLatch(uint16_t slice_mask, BoolOp op,
+                            unsigned vrs0, BoolOp op2, LatchSrc src)
+{
+    ++uops;
+    std::array<BitVector, 16> operands;
+    for (unsigned s = 0; s < 16; ++s) {
+        if ((slice_mask >> s) & 1) {
+            operands[s] = vrs.slicePlane(vrs0, s);
+            apply(operands[s], op2, resolveLatch(s, src));
+        }
+    }
+    for (unsigned s = 0; s < 16; ++s)
+        if ((slice_mask >> s) & 1)
+            apply(rlState[s], op, operands[s]);
+}
+
+void
+BitProcArray::writeVrFromRl(uint16_t slice_mask, unsigned vrs0,
+                            bool negate)
+{
+    ++uops;
+    for (unsigned s = 0; s < 16; ++s) {
+        if ((slice_mask >> s) & 1) {
+            if (negate) {
+                BitVector plane = rlState[s];
+                plane.invert();
+                vrs.setSlicePlane(vrs0, s, plane);
+            } else {
+                vrs.setSlicePlane(vrs0, s, rlState[s]);
+            }
+        }
+    }
+}
+
+void
+BitProcArray::rlFromImmediate(uint16_t slice_mask, bool value)
+{
+    ++uops;
+    for (unsigned s = 0; s < 16; ++s)
+        if ((slice_mask >> s) & 1)
+            rlState[s].fill(value);
+}
+
+void
+BitProcArray::loadGhlFromRl(uint16_t slice_mask)
+{
+    ++uops;
+    size_t step = vrs.bankElems();
+    for (unsigned s = 0; s < 16; ++s) {
+        if (!((slice_mask >> s) & 1))
+            continue;
+        for (unsigned b = 0; b < vrs.numBanks(); ++b) {
+            bool any = false;
+            for (size_t i = 0; i < step && !any; ++i)
+                any = rlState[s].get(b * step + i);
+            ghlState[b][s] = any;
+        }
+    }
+}
+
+void
+BitProcArray::loadGvlFromRl(uint16_t slice_mask)
+{
+    ++uops;
+    // AND across the participating slices, per column.
+    BitVector acc(vrs.length(), true);
+    for (unsigned s = 0; s < 16; ++s)
+        if ((slice_mask >> s) & 1)
+            acc &= rlState[s];
+    gvlState = std::move(acc);
+}
+
+} // namespace cisram::apu

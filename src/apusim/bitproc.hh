@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Bit-processor array micro-operation engine.
+ *
+ * Implements the microarchitectural state and operations of the
+ * paper's Table 2: the per-column read latch (RL), the global
+ * horizontal latches (GHL, one per bank row, OR-combining), the global
+ * vertical latches (GVL, one per column, AND-combining), neighbour
+ * reads (RL_N / RL_S across bit-slices, RL_E / RL_W across columns of
+ * the same bank), and VR reads/writes through the read/write bit
+ * lines. A 16-bit slice mask selects which bit-slices participate in
+ * an operation.
+ *
+ * GVML operations execute at word level for speed; this engine exists
+ * so microcode-level programs (e.g. the bit-serial adder in
+ * src/gvml/microcode.cc) can be expressed and validated against the
+ * word-level semantics, mirroring how APU programmers can build their
+ * own vector abstractions from microcode (Section 2.2.2).
+ */
+
+#ifndef CISRAM_APUSIM_BITPROC_HH
+#define CISRAM_APUSIM_BITPROC_HH
+
+#include <array>
+#include <cstdint>
+
+#include "apusim/vr_file.hh"
+#include "common/bitutils.hh"
+
+namespace cisram::apu {
+
+/** Boolean combination performed by the read logic. */
+enum class BoolOp { And, Or, Xor };
+
+/** Sources the read logic can combine with the read bit-line. */
+enum class LatchSrc
+{
+    RL,   ///< the column's own read latch
+    GHL,  ///< global horizontal latch of the column's bank row
+    GVL,  ///< global vertical latch of the column
+    RL_N, ///< read latch of the bit-slice above (higher slice index)
+    RL_S, ///< read latch of the bit-slice below (lower slice index)
+    RL_E, ///< read latch of the next column within the bank
+    RL_W  ///< read latch of the previous column within the bank
+};
+
+class BitProcArray
+{
+  public:
+    /** All 16 slices participate. */
+    static constexpr uint16_t fullMask = 0xffff;
+
+    BitProcArray(VrFile &vrs);
+
+    /** Number of micro-operations issued (for Table 6 statistics). */
+    uint64_t uopCount() const { return uops; }
+
+    // --- Table 2 operations -------------------------------------
+
+    /** RL = VR[vrs0]. */
+    void rlFromVr(uint16_t slice_mask, unsigned vrs0);
+
+    /** RL = VR[vrs0] & VR[vrs1] (read-wire AND of two rows). */
+    void rlFromVrAndVr(uint16_t slice_mask, unsigned vrs0,
+                       unsigned vrs1);
+
+    /** RL = L for a source latch L. */
+    void rlFromLatch(uint16_t slice_mask, LatchSrc src);
+
+    /** RL = VR[vrs0] op L. */
+    void rlFromVrOpLatch(uint16_t slice_mask, unsigned vrs0, BoolOp op,
+                         LatchSrc src);
+
+    /** RL op= VR[vrs0]. */
+    void rlOpVr(uint16_t slice_mask, BoolOp op, unsigned vrs0);
+
+    /** RL op= L. */
+    void rlOpLatch(uint16_t slice_mask, BoolOp op, LatchSrc src);
+
+    /** RL op= (VR[vrs0] op2 L). */
+    void rlOpVrOpLatch(uint16_t slice_mask, BoolOp op, unsigned vrs0,
+                       BoolOp op2, LatchSrc src);
+
+    /** VR[vrs0] = RL via the write bit-line (or its negation). */
+    void writeVrFromRl(uint16_t slice_mask, unsigned vrs0,
+                       bool negate = false);
+
+    /** Broadcast a per-slice constant into RL (CP-driven seed). */
+    void rlFromImmediate(uint16_t slice_mask, bool value);
+
+    /**
+     * Latch the OR over each bank row of RL into GHL.
+     * Afterwards LatchSrc::GHL reads that value back, broadcast to
+     * every column of the bank.
+     */
+    void loadGhlFromRl(uint16_t slice_mask);
+
+    /**
+     * Latch the AND across participating slices of RL into GVL
+     * (one bit per column).
+     */
+    void loadGvlFromRl(uint16_t slice_mask);
+
+    // --- State inspection (tests) --------------------------------
+
+    const BitVector &rlPlane(unsigned slice) const;
+    bool ghlBit(unsigned bank, unsigned slice) const;
+    const BitVector &gvl() const { return gvlState; }
+
+  private:
+    /** Resolve a latch source for `slice` into a full-width plane. */
+    BitVector resolveLatch(unsigned slice, LatchSrc src) const;
+
+    static void
+    apply(BitVector &dst, BoolOp op, const BitVector &src)
+    {
+        switch (op) {
+          case BoolOp::And:
+            dst &= src;
+            break;
+          case BoolOp::Or:
+            dst |= src;
+            break;
+          case BoolOp::Xor:
+            dst ^= src;
+            break;
+        }
+    }
+
+    /** Zero the bits that crossed a bank boundary after a shift. */
+    BitVector maskBankEdges(BitVector plane, bool shifted_up) const;
+
+    VrFile &vrs;
+    std::array<BitVector, 16> rlState;
+    std::array<std::array<bool, 16>, 16> ghlState; // [bank][slice]
+    BitVector gvlState;
+    uint64_t uops = 0;
+};
+
+} // namespace cisram::apu
+
+#endif // CISRAM_APUSIM_BITPROC_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Cycle accounting with tagged regions and repeat scopes.
+ *
+ * Every timed event in the simulator flows through a CycleStats
+ * instance. Two mechanisms support the paper's evaluation methodology:
+ *
+ *  - Tags attribute cycles to breakdown categories (the stages of
+ *    Fig. 12 and Table 8: load LHS/RHS, VR ops, store, top-k, ...).
+ *  - Repeat scopes multiply charged cycles by a tile multiplicity so
+ *    that paper-scale workloads (1.5 GB inputs, 200 GB corpora) can be
+ *    timed by executing one representative tile functionally and
+ *    accounting for the rest, which is exact on this architecture
+ *    because op latency is data-independent.
+ */
+
+#ifndef CISRAM_APUSIM_CYCLE_STATS_HH
+#define CISRAM_APUSIM_CYCLE_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cisram::apu {
+
+class CycleStats
+{
+  public:
+    /** Charge `cycles`, scaled by active repeat scopes. */
+    void
+    charge(uint64_t cycles)
+    {
+        double scaled = static_cast<double>(cycles) * repeatFactor;
+        total_ += scaled;
+        if (!tagStack.empty())
+            tagged_[tagStack.back()] += scaled;
+    }
+
+    /** Count one microcode instruction (scaled by repeat scopes). */
+    void countUop(double n = 1.0) { uops_ += n * repeatFactor; }
+
+    /** Total cycles charged so far. */
+    double cycles() const { return total_; }
+
+    /** Total microcode instructions issued. */
+    double uops() const { return uops_; }
+
+    /** Cycles attributed to `tag` (0 if never used). */
+    double
+    taggedCycles(const std::string &tag) const
+    {
+        auto it = tagged_.find(tag);
+        return it == tagged_.end() ? 0.0 : it->second;
+    }
+
+    /** All tags with charged cycles. */
+    const std::map<std::string, double> &breakdown() const
+    {
+        return tagged_;
+    }
+
+    /** Reset all counters (tag/repeat scopes must be closed). */
+    void
+    reset()
+    {
+        total_ = 0.0;
+        uops_ = 0.0;
+        tagged_.clear();
+    }
+
+    void
+    pushTag(std::string tag)
+    {
+        tagStack.push_back(std::move(tag));
+    }
+
+    void popTag() { tagStack.pop_back(); }
+
+    void
+    pushRepeat(double n)
+    {
+        repeatStack.push_back(n);
+        repeatFactor *= n;
+    }
+
+    void
+    popRepeat()
+    {
+        repeatFactor /= repeatStack.back();
+        repeatStack.pop_back();
+    }
+
+    /** Current aggregate repeat multiplier. */
+    double repeat() const { return repeatFactor; }
+
+  private:
+    double total_ = 0.0;
+    double uops_ = 0.0;
+    std::map<std::string, double> tagged_;
+    std::vector<std::string> tagStack;
+    std::vector<double> repeatStack;
+    double repeatFactor = 1.0;
+};
+
+/** RAII tag scope: cycles charged inside accrue to `tag`. */
+class ScopedTag
+{
+  public:
+    ScopedTag(CycleStats &stats, std::string tag) : stats_(stats)
+    {
+        stats_.pushTag(std::move(tag));
+    }
+
+    ~ScopedTag() { stats_.popTag(); }
+
+    ScopedTag(const ScopedTag &) = delete;
+    ScopedTag &operator=(const ScopedTag &) = delete;
+
+  private:
+    CycleStats &stats_;
+};
+
+/** RAII repeat scope: cycles charged inside are multiplied by n. */
+class ScopedRepeat
+{
+  public:
+    ScopedRepeat(CycleStats &stats, double n) : stats_(stats)
+    {
+        stats_.pushRepeat(n);
+    }
+
+    ~ScopedRepeat() { stats_.popRepeat(); }
+
+    ScopedRepeat(const ScopedRepeat &) = delete;
+    ScopedRepeat &operator=(const ScopedRepeat &) = delete;
+
+  private:
+    CycleStats &stats_;
+};
+
+} // namespace cisram::apu
+
+#endif // CISRAM_APUSIM_CYCLE_STATS_HH

@@ -1,0 +1,58 @@
+#include "apusim/memory.hh"
+
+#include <algorithm>
+
+namespace cisram::apu {
+
+uint8_t *
+DeviceDram::pageFor(uint64_t addr, bool create) const
+{
+    uint64_t page = addr / pageBytes;
+    auto it = pages.find(page);
+    if (it != pages.end())
+        return it->second.get();
+    if (!create)
+        return nullptr;
+    auto mem = std::make_unique<uint8_t[]>(pageBytes);
+    std::fill_n(mem.get(), pageBytes, 0);
+    uint8_t *raw = mem.get();
+    pages.emplace(page, std::move(mem));
+    return raw;
+}
+
+void
+DeviceDram::read(uint64_t addr, void *dst, size_t n) const
+{
+    cisram_assert(addr + n <= capacity_, "DRAM read OOB at ", addr);
+    uint8_t *out = static_cast<uint8_t *>(dst);
+    while (n > 0) {
+        uint64_t off = addr % pageBytes;
+        size_t chunk = std::min<size_t>(n, pageBytes - off);
+        const uint8_t *page = pageFor(addr, false);
+        if (page)
+            std::memcpy(out, page + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        addr += chunk;
+        out += chunk;
+        n -= chunk;
+    }
+}
+
+void
+DeviceDram::write(uint64_t addr, const void *src, size_t n)
+{
+    cisram_assert(addr + n <= capacity_, "DRAM write OOB at ", addr);
+    const uint8_t *in = static_cast<const uint8_t *>(src);
+    while (n > 0) {
+        uint64_t off = addr % pageBytes;
+        size_t chunk = std::min<size_t>(n, pageBytes - off);
+        uint8_t *page = pageFor(addr, true);
+        std::memcpy(page + off, in, chunk);
+        addr += chunk;
+        in += chunk;
+        n -= chunk;
+    }
+}
+
+} // namespace cisram::apu

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The APU's four-level memory hierarchy (paper Fig. 3).
+ *
+ * L4: 16 GB device DRAM shared by the four cores (sparse, paged
+ *     backing store so paper-scale footprints don't require resident
+ *     host memory).
+ * L3: 1 MB control-processor cache; holds lookup tables.
+ * L2: 64 KB scratchpad; DMA staging buffer for one full vector.
+ * L1: 48 vector memory registers (VMRs) of one full vector each.
+ */
+
+#ifndef CISRAM_APUSIM_MEMORY_HH
+#define CISRAM_APUSIM_MEMORY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "apusim/apu_spec.hh"
+#include "common/logging.hh"
+
+namespace cisram::apu {
+
+/**
+ * Sparse byte-addressable device DRAM.
+ *
+ * Pages are allocated on first write; reads of untouched pages return
+ * zero. Addresses are device addresses (offsets into the 16 GB space).
+ */
+class DeviceDram
+{
+  public:
+    explicit DeviceDram(uint64_t capacity) : capacity_(capacity) {}
+
+    uint64_t capacity() const { return capacity_; }
+
+    /** Copy `n` bytes from the device address space into `dst`. */
+    void read(uint64_t addr, void *dst, size_t n) const;
+
+    /** Copy `n` bytes from `src` into the device address space. */
+    void write(uint64_t addr, const void *src, size_t n);
+
+    uint16_t
+    readU16(uint64_t addr) const
+    {
+        uint16_t v;
+        read(addr, &v, 2);
+        return v;
+    }
+
+    void
+    writeU16(uint64_t addr, uint16_t v)
+    {
+        write(addr, &v, 2);
+    }
+
+    /** Number of resident pages (for tests / footprint checks). */
+    size_t residentPages() const { return pages.size(); }
+
+    static constexpr size_t pageBytes = 64 * 1024;
+
+  private:
+    uint8_t *pageFor(uint64_t addr, bool create) const;
+
+    uint64_t capacity_;
+    mutable std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>>
+        pages;
+};
+
+/** Simple linear allocator over the device DRAM address space. */
+class DramAllocator
+{
+  public:
+    explicit DramAllocator(uint64_t capacity) : capacity_(capacity) {}
+
+    /** Allocate `n` bytes aligned to `align` (power of two). */
+    uint64_t
+    alloc(uint64_t n, uint64_t align = 512)
+    {
+        uint64_t base = (cursor + align - 1) & ~(align - 1);
+        cisram_assert(base + n <= capacity_, "device DRAM exhausted");
+        cursor = base + n;
+        return base;
+    }
+
+    void reset() { cursor = 0; }
+
+    uint64_t used() const { return cursor; }
+
+  private:
+    uint64_t capacity_;
+    uint64_t cursor = 0;
+};
+
+/** Flat on-chip SRAM buffer (used for both L2 and L3). */
+class SramBuffer
+{
+  public:
+    explicit SramBuffer(size_t bytes) : data(bytes, 0) {}
+
+    size_t size() const { return data.size(); }
+
+    void
+    read(size_t addr, void *dst, size_t n) const
+    {
+        cisram_assert(addr + n <= data.size(), "SRAM read OOB");
+        std::memcpy(dst, data.data() + addr, n);
+    }
+
+    void
+    write(size_t addr, const void *src, size_t n)
+    {
+        cisram_assert(addr + n <= data.size(), "SRAM write OOB");
+        std::memcpy(data.data() + addr, src, n);
+    }
+
+    uint16_t
+    readU16(size_t addr) const
+    {
+        uint16_t v;
+        read(addr, &v, 2);
+        return v;
+    }
+
+    void
+    writeU16(size_t addr, uint16_t v)
+    {
+        write(addr, &v, 2);
+    }
+
+    uint8_t *raw() { return data.data(); }
+    const uint8_t *raw() const { return data.data(); }
+
+  private:
+    std::vector<uint8_t> data;
+};
+
+/**
+ * L1: the bank of vector memory registers backing the compute VRs.
+ *
+ * Transfers to/from L1 happen only at full-vector granularity
+ * (Section 2.1.2), which the VMR interface enforces.
+ */
+class VmrFile
+{
+  public:
+    VmrFile(unsigned num_vmrs, size_t vr_length)
+        : vrLength(vr_length),
+          slots(num_vmrs, std::vector<uint16_t>(vr_length, 0))
+    {}
+
+    unsigned numVmrs() const
+    {
+        return static_cast<unsigned>(slots.size());
+    }
+
+    size_t length() const { return vrLength; }
+
+    std::vector<uint16_t> &
+    slot(unsigned i)
+    {
+        cisram_assert(i < slots.size(), "VMR index OOB: ", i);
+        return slots[i];
+    }
+
+    const std::vector<uint16_t> &
+    slot(unsigned i) const
+    {
+        cisram_assert(i < slots.size(), "VMR index OOB: ", i);
+        return slots[i];
+    }
+
+  private:
+    size_t vrLength;
+    std::vector<std::vector<uint16_t>> slots;
+};
+
+} // namespace cisram::apu
+
+#endif // CISRAM_APUSIM_MEMORY_HH

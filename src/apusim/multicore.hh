@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Four-core execution helper.
+ *
+ * The device's cores are independent engines sharing only L4; a
+ * data-parallel kernel shards its tiles across them and the
+ * wall-clock latency is the slowest core's. This helper runs a shard
+ * functor on every core (serially -- the simulator is
+ * single-threaded by design) and reports per-core and critical-path
+ * cycles, validating the tiles/numCores accounting the timed kernels
+ * use.
+ */
+
+#ifndef CISRAM_APUSIM_MULTICORE_HH
+#define CISRAM_APUSIM_MULTICORE_HH
+
+#include <vector>
+
+#include "apusim/apu.hh"
+
+namespace cisram::apu {
+
+struct MultiCoreResult
+{
+    /** Critical path: the slowest core's cycles. */
+    double maxCycles = 0;
+
+    /** Sum across cores (total work). */
+    double totalCycles = 0;
+
+    std::vector<double> perCore;
+
+    /** Load balance: max / mean (1.0 = perfectly balanced). */
+    double
+    imbalance() const
+    {
+        if (perCore.empty() || totalCycles == 0)
+            return 1.0;
+        return maxCycles * static_cast<double>(perCore.size()) /
+            totalCycles;
+    }
+};
+
+/**
+ * Run `fn(core, core_idx, num_cores)` on every core of the device.
+ * The functor is responsible for processing its 1/num_cores share.
+ */
+template <typename Fn>
+MultiCoreResult
+runOnAllCores(ApuDevice &dev, Fn fn)
+{
+    MultiCoreResult r;
+    for (unsigned c = 0; c < dev.numCores(); ++c) {
+        ApuCore &core = dev.core(c);
+        double before = core.stats().cycles();
+        fn(core, c, dev.numCores());
+        double cycles = core.stats().cycles() - before;
+        r.perCore.push_back(cycles);
+        r.totalCycles += cycles;
+        r.maxCycles = std::max(r.maxCycles, cycles);
+    }
+    return r;
+}
+
+/** Contiguous shard [begin, end) of `total` items for one core. */
+struct Shard
+{
+    size_t begin;
+    size_t end;
+};
+
+inline Shard
+shardOf(size_t total, unsigned core_idx, unsigned num_cores)
+{
+    size_t stride = (total + num_cores - 1) / num_cores;
+    size_t begin = std::min(total, core_idx * stride);
+    size_t end = std::min(total, begin + stride);
+    return {begin, end};
+}
+
+} // namespace cisram::apu
+
+#endif // CISRAM_APUSIM_MULTICORE_HH

@@ -1,0 +1,34 @@
+#include "apusim/vr_file.hh"
+
+namespace cisram::apu {
+
+BitVector
+VrFile::slicePlane(unsigned vr, unsigned slice) const
+{
+    cisram_assert(slice < 16, "bit-slice index OOB");
+    const auto &reg = (*this)[vr];
+    BitVector plane(length_);
+    for (size_t i = 0; i < length_; ++i) {
+        if ((reg[i] >> slice) & 1u)
+            plane.set(i, true);
+    }
+    return plane;
+}
+
+void
+VrFile::setSlicePlane(unsigned vr, unsigned slice,
+                      const BitVector &plane)
+{
+    cisram_assert(slice < 16, "bit-slice index OOB");
+    cisram_assert(plane.size() == length_, "plane length mismatch");
+    auto &reg = (*this)[vr];
+    uint16_t mask = static_cast<uint16_t>(1u << slice);
+    for (size_t i = 0; i < length_; ++i) {
+        if (plane.get(i))
+            reg[i] |= mask;
+        else
+            reg[i] &= static_cast<uint16_t>(~mask);
+    }
+}
+
+} // namespace cisram::apu

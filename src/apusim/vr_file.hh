@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The per-core vector register file.
+ *
+ * 24 computation-enabled vector registers of 32768 x 16-bit elements,
+ * physically striped across 16 banks of 2048 elements (paper Fig. 4).
+ * Word-level storage is the primary representation; the bit-slice
+ * engine extracts and inserts bit planes on demand.
+ */
+
+#ifndef CISRAM_APUSIM_VR_FILE_HH
+#define CISRAM_APUSIM_VR_FILE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace cisram::apu {
+
+class VrFile
+{
+  public:
+    VrFile(unsigned num_vrs, size_t vr_length, unsigned num_banks)
+        : length_(vr_length), numBanks_(num_banks),
+          bankElems_(vr_length / num_banks),
+          regs(num_vrs, std::vector<uint16_t>(vr_length, 0))
+    {
+        cisram_assert(vr_length % num_banks == 0);
+    }
+
+    unsigned numVrs() const { return static_cast<unsigned>(regs.size()); }
+    size_t length() const { return length_; }
+    unsigned numBanks() const { return numBanks_; }
+    size_t bankElems() const { return bankElems_; }
+
+    std::vector<uint16_t> &
+    operator[](unsigned vr)
+    {
+        cisram_assert(vr < regs.size(), "VR index OOB: ", vr);
+        return regs[vr];
+    }
+
+    const std::vector<uint16_t> &
+    operator[](unsigned vr) const
+    {
+        cisram_assert(vr < regs.size(), "VR index OOB: ", vr);
+        return regs[vr];
+    }
+
+    /** Bank that element `i` resides in. */
+    unsigned
+    bankOf(size_t i) const
+    {
+        return static_cast<unsigned>(i / bankElems_);
+    }
+
+    /** Extract bit plane `slice` of register `vr`. */
+    BitVector slicePlane(unsigned vr, unsigned slice) const;
+
+    /** Overwrite bit plane `slice` of register `vr`. */
+    void setSlicePlane(unsigned vr, unsigned slice,
+                       const BitVector &plane);
+
+  private:
+    size_t length_;
+    unsigned numBanks_;
+    size_t bankElems_;
+    std::vector<std::vector<uint16_t>> regs;
+};
+
+} // namespace cisram::apu
+
+#endif // CISRAM_APUSIM_VR_FILE_HH

@@ -1,0 +1,183 @@
+#include "baseline/faisslite.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace cisram::baseline {
+
+namespace {
+
+/** Heap ordering: keep the k *best*; worst-of-the-best at the top. */
+bool
+worseThan(const Hit &a, const Hit &b)
+{
+    if (a.score != b.score)
+        return a.score < b.score;
+    return a.id > b.id; // larger id is worse on ties
+}
+
+/** Push into a bounded max-k heap. */
+void
+heapPush(std::vector<Hit> &heap, size_t k, Hit h)
+{
+    auto cmp = [](const Hit &a, const Hit &b) {
+        return !worseThan(a, b); // min-heap on "goodness"
+    };
+    if (heap.size() < k) {
+        heap.push_back(h);
+        std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (worseThan(heap.front(), h)) {
+        std::pop_heap(heap.begin(), heap.end(), cmp);
+        heap.back() = h;
+        std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+}
+
+/** Sort hits best-first with deterministic tie-breaking. */
+void
+finalize(std::vector<Hit> &hits)
+{
+    std::sort(hits.begin(), hits.end(), [](const Hit &a, const Hit &b) {
+        return worseThan(b, a);
+    });
+}
+
+/** Merge per-thread heaps into one top-k list. */
+std::vector<Hit>
+mergeHeaps(std::vector<std::vector<Hit>> &parts, size_t k)
+{
+    std::vector<Hit> all;
+    for (auto &p : parts)
+        all.insert(all.end(), p.begin(), p.end());
+    finalize(all);
+    if (all.size() > k)
+        all.resize(k);
+    return all;
+}
+
+} // namespace
+
+void
+IndexFlat::add(const float *vecs, size_t n)
+{
+    data.insert(data.end(), vecs, vecs + n * dim_);
+    count += n;
+}
+
+float
+IndexFlat::score(const float *query, size_t id) const
+{
+    cisram_assert(id < count, "vector id OOB");
+    const float *v = data.data() + id * dim_;
+    if (metric_ == Metric::InnerProduct) {
+        float s = 0.0f;
+        for (size_t d = 0; d < dim_; ++d)
+            s += query[d] * v[d];
+        return s;
+    }
+    float s = 0.0f;
+    for (size_t d = 0; d < dim_; ++d) {
+        float diff = query[d] - v[d];
+        s += diff * diff;
+    }
+    return -s; // higher is better, uniformly
+}
+
+void
+IndexFlat::scanRange(const float *query, size_t k, size_t lo,
+                     size_t hi, std::vector<Hit> &heap) const
+{
+    for (size_t id = lo; id < hi; ++id)
+        heapPush(heap, k, {score(query, id), id});
+}
+
+std::vector<Hit>
+IndexFlat::search(const float *query, size_t k,
+                  unsigned threads) const
+{
+    k = std::min(k, count);
+    if (k == 0)
+        return {};
+    if (threads <= 1) {
+        std::vector<Hit> heap;
+        heap.reserve(k + 1);
+        scanRange(query, k, 0, count, heap);
+        finalize(heap);
+        return heap;
+    }
+    unsigned nt = std::min<unsigned>(
+        threads, static_cast<unsigned>(std::max<size_t>(1, count)));
+    std::vector<std::vector<Hit>> parts(nt);
+    std::vector<std::thread> workers;
+    size_t stride = (count + nt - 1) / nt;
+    for (unsigned t = 0; t < nt; ++t) {
+        size_t lo = t * stride;
+        size_t hi = std::min(count, lo + stride);
+        workers.emplace_back([&, t, lo, hi] {
+            parts[t].reserve(k + 1);
+            scanRange(query, k, lo, hi, parts[t]);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    return mergeHeaps(parts, k);
+}
+
+void
+IndexFlatI16::add(const int16_t *vecs, size_t n)
+{
+    data.insert(data.end(), vecs, vecs + n * dim_);
+    count += n;
+}
+
+int64_t
+IndexFlatI16::dot(const int16_t *query, size_t id) const
+{
+    cisram_assert(id < count, "vector id OOB");
+    const int16_t *v = data.data() + id * dim_;
+    int64_t s = 0;
+    for (size_t d = 0; d < dim_; ++d)
+        s += static_cast<int32_t>(query[d]) * v[d];
+    return s;
+}
+
+std::vector<Hit>
+IndexFlatI16::search(const int16_t *query, size_t k,
+                     unsigned threads) const
+{
+    k = std::min(k, count);
+    if (k == 0)
+        return {};
+    auto scan = [&](size_t lo, size_t hi, std::vector<Hit> &heap) {
+        for (size_t id = lo; id < hi; ++id) {
+            heapPush(heap, k,
+                     {static_cast<float>(dot(query, id)), id});
+        }
+    };
+    if (threads <= 1) {
+        std::vector<Hit> heap;
+        heap.reserve(k + 1);
+        scan(0, count, heap);
+        finalize(heap);
+        return heap;
+    }
+    unsigned nt = std::min<unsigned>(
+        threads, static_cast<unsigned>(std::max<size_t>(1, count)));
+    std::vector<std::vector<Hit>> parts(nt);
+    std::vector<std::thread> workers;
+    size_t stride = (count + nt - 1) / nt;
+    for (unsigned t = 0; t < nt; ++t) {
+        size_t lo = t * stride;
+        size_t hi = std::min(count, lo + stride);
+        workers.emplace_back(
+            [&, t, lo, hi] { scan(lo, hi, parts[t]); });
+    }
+    for (auto &w : workers)
+        w.join();
+    return mergeHeaps(parts, k);
+}
+
+} // namespace cisram::baseline

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * FAISS-lite: exact nearest-neighbour search on the CPU.
+ *
+ * The paper's CPU baseline runs FAISS IndexFlat exact inner-product
+ * search with AVX512 and OpenMP (Section 5.3.2). This module
+ * reimplements that functionality: a flat index over dense vectors
+ * with exact top-k inner-product (and L2) search, single-threaded or
+ * partitioned across std::thread workers with per-thread heaps and a
+ * final merge. It serves as the golden reference for the APU
+ * retrieval kernels and as the functional CPU baseline.
+ */
+
+#ifndef CISRAM_BASELINE_FAISSLITE_HH
+#define CISRAM_BASELINE_FAISSLITE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cisram::baseline {
+
+/** One search hit. */
+struct Hit
+{
+    float score;
+    size_t id;
+
+    bool
+    operator==(const Hit &o) const
+    {
+        return score == o.score && id == o.id;
+    }
+};
+
+/** Similarity metric. */
+enum class Metric { InnerProduct, L2 };
+
+/**
+ * Flat (brute-force, exact) index over dense float vectors.
+ *
+ * Deterministic tie-breaking: equal scores order by ascending id.
+ */
+class IndexFlat
+{
+  public:
+    IndexFlat(size_t dim, Metric metric = Metric::InnerProduct)
+        : dim_(dim), metric_(metric)
+    {}
+
+    size_t dim() const { return dim_; }
+    size_t size() const { return count; }
+    Metric metric() const { return metric_; }
+
+    /** Append `n` vectors (row-major, n x dim). */
+    void add(const float *vecs, size_t n);
+
+    /** Exact top-k for one query; k is clamped to size(). */
+    std::vector<Hit> search(const float *query, size_t k,
+                            unsigned threads = 1) const;
+
+    /** Raw score of one stored vector against a query. */
+    float score(const float *query, size_t id) const;
+
+  private:
+    /** Scan ids [lo, hi) into a caller-provided heap vector. */
+    void scanRange(const float *query, size_t k, size_t lo, size_t hi,
+                   std::vector<Hit> &heap) const;
+
+    size_t dim_;
+    Metric metric_;
+    size_t count = 0;
+    std::vector<float> data;
+};
+
+/**
+ * Flat index over int16 embeddings (the APU's native format),
+ * scoring in int32 and reporting float scores. Used to cross-check
+ * the APU retrieval kernel bit-for-bit.
+ */
+class IndexFlatI16
+{
+  public:
+    explicit IndexFlatI16(size_t dim) : dim_(dim) {}
+
+    size_t dim() const { return dim_; }
+    size_t size() const { return count; }
+
+    void add(const int16_t *vecs, size_t n);
+
+    /** Exact top-k by int32 inner product; ties by ascending id. */
+    std::vector<Hit> search(const int16_t *query, size_t k,
+                            unsigned threads = 1) const;
+
+    /** int32 inner product of a stored vector against a query. */
+    int64_t dot(const int16_t *query, size_t id) const;
+
+    const std::vector<int16_t> &raw() const { return data; }
+
+  private:
+    size_t dim_;
+    size_t count = 0;
+    std::vector<int16_t> data;
+};
+
+} // namespace cisram::baseline
+
+#endif // CISRAM_BASELINE_FAISSLITE_HH

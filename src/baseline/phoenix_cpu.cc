@@ -1,0 +1,502 @@
+#include <atomic>
+#include "baseline/phoenix_cpu.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cisram::baseline {
+
+namespace {
+
+/** Run fn(t, lo, hi) over `threads` contiguous shards of [0, n). */
+template <typename Fn>
+void
+shard(size_t n, unsigned threads, Fn fn)
+{
+    if (threads <= 1 || n == 0) {
+        fn(0u, size_t(0), n);
+        return;
+    }
+    unsigned nt = std::min<unsigned>(threads,
+                                     static_cast<unsigned>(
+                                         std::max<size_t>(1, n)));
+    size_t stride = (n + nt - 1) / nt;
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < nt; ++t) {
+        size_t lo = t * stride;
+        size_t hi = std::min(n, lo + stride);
+        workers.emplace_back([=] { fn(t, lo, hi); });
+    }
+    for (auto &w : workers)
+        w.join();
+}
+
+/** Deterministic word list: "wNNN" drawn from a Zipf-ish pool. */
+std::vector<std::string>
+genWords(size_t bytes, uint64_t seed, size_t pool)
+{
+    Rng rng(seed);
+    std::vector<std::string> words;
+    size_t used = 0;
+    while (used < bytes) {
+        // Zipf-ish: square the uniform draw to bias toward low ids.
+        double u = rng.nextDouble();
+        size_t id = static_cast<size_t>(u * u * static_cast<double>(
+                                                    pool));
+        std::string w = "w" + std::to_string(id);
+        used += w.size() + 1;
+        words.push_back(std::move(w));
+    }
+    return words;
+}
+
+} // namespace
+
+// ---- Histogram -------------------------------------------------
+
+HistogramInput
+genHistogramInput(size_t bytes, uint64_t seed)
+{
+    Rng rng(seed);
+    HistogramInput in;
+    in.pixels.resize(bytes - bytes % 3);
+    for (auto &p : in.pixels)
+        p = static_cast<uint8_t>(rng.next());
+    return in;
+}
+
+HistogramResult
+histogramSeq(const HistogramInput &in)
+{
+    HistogramResult out;
+    for (size_t i = 0; i + 2 < in.pixels.size(); i += 3) {
+        ++out.r[in.pixels[i]];
+        ++out.g[in.pixels[i + 1]];
+        ++out.b[in.pixels[i + 2]];
+    }
+    return out;
+}
+
+HistogramResult
+histogramPar(const HistogramInput &in, unsigned threads)
+{
+    size_t npix = in.pixels.size() / 3;
+    std::vector<HistogramResult> parts(std::max(1u, threads));
+    shard(npix, threads, [&](unsigned t, size_t lo, size_t hi) {
+        auto &part = parts[t];
+        for (size_t p = lo; p < hi; ++p) {
+            ++part.r[in.pixels[3 * p]];
+            ++part.g[in.pixels[3 * p + 1]];
+            ++part.b[in.pixels[3 * p + 2]];
+        }
+    });
+    HistogramResult out;
+    for (const auto &part : parts) {
+        for (int v = 0; v < 256; ++v) {
+            out.r[v] += part.r[v];
+            out.g[v] += part.g[v];
+            out.b[v] += part.b[v];
+        }
+    }
+    return out;
+}
+
+// ---- Linear regression -----------------------------------------
+
+LinRegInput
+genLinRegInput(size_t bytes, uint64_t seed)
+{
+    Rng rng(seed);
+    LinRegInput in;
+    in.points.resize(bytes - bytes % 2);
+    // y correlated with x so the fit is non-degenerate.
+    for (size_t i = 0; i + 1 < in.points.size(); i += 2) {
+        uint8_t x = static_cast<uint8_t>(rng.next());
+        uint8_t noise = static_cast<uint8_t>(rng.nextBelow(64));
+        in.points[i] = x;
+        in.points[i + 1] = static_cast<uint8_t>(x / 2 + noise);
+    }
+    return in;
+}
+
+namespace {
+
+LinRegResult
+finishLinReg(uint64_t n, uint64_t sx, uint64_t sy, uint64_t sxx,
+             uint64_t syy, uint64_t sxy)
+{
+    LinRegResult out{n, sx, sy, sxx, syy, sxy, 0.0, 0.0};
+    double dn = static_cast<double>(n);
+    double denom = dn * static_cast<double>(sxx) -
+        static_cast<double>(sx) * static_cast<double>(sx);
+    if (denom != 0.0) {
+        out.b = (dn * static_cast<double>(sxy) -
+                 static_cast<double>(sx) * static_cast<double>(sy)) /
+            denom;
+        out.a = (static_cast<double>(sy) -
+                 out.b * static_cast<double>(sx)) /
+            dn;
+    }
+    return out;
+}
+
+} // namespace
+
+LinRegResult
+linRegSeq(const LinRegInput &in)
+{
+    uint64_t n = in.points.size() / 2;
+    uint64_t sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t x = in.points[2 * i];
+        uint64_t y = in.points[2 * i + 1];
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        syy += y * y;
+        sxy += x * y;
+    }
+    return finishLinReg(n, sx, sy, sxx, syy, sxy);
+}
+
+LinRegResult
+linRegPar(const LinRegInput &in, unsigned threads)
+{
+    size_t n = in.points.size() / 2;
+    struct Sums
+    {
+        uint64_t sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    };
+    std::vector<Sums> parts(std::max(1u, threads));
+    shard(n, threads, [&](unsigned t, size_t lo, size_t hi) {
+        auto &p = parts[t];
+        for (size_t i = lo; i < hi; ++i) {
+            uint64_t x = in.points[2 * i];
+            uint64_t y = in.points[2 * i + 1];
+            p.sx += x;
+            p.sy += y;
+            p.sxx += x * x;
+            p.syy += y * y;
+            p.sxy += x * y;
+        }
+    });
+    Sums total;
+    for (const auto &p : parts) {
+        total.sx += p.sx;
+        total.sy += p.sy;
+        total.sxx += p.sxx;
+        total.syy += p.syy;
+        total.sxy += p.sxy;
+    }
+    return finishLinReg(n, total.sx, total.sy, total.sxx, total.syy,
+                        total.sxy);
+}
+
+// ---- Matrix multiply -------------------------------------------
+
+std::vector<int16_t>
+genMatrix(size_t rows, size_t cols, uint64_t seed, int16_t max_abs)
+{
+    Rng rng(seed);
+    std::vector<int16_t> m(rows * cols);
+    for (auto &v : m) {
+        v = static_cast<int16_t>(
+            static_cast<int64_t>(rng.nextBelow(2 * max_abs + 1)) -
+            max_abs);
+    }
+    return m;
+}
+
+std::vector<int32_t>
+matmulSeq(const std::vector<int16_t> &a, const std::vector<int16_t> &b,
+          size_t m, size_t n, size_t k)
+{
+    cisram_assert(a.size() == m * k && b.size() == k * n,
+                  "matmul shape mismatch");
+    std::vector<int32_t> c(m * n, 0);
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t kk = 0; kk < k; ++kk) {
+            int32_t av = a[i * k + kk];
+            if (av == 0)
+                continue;
+            for (size_t j = 0; j < n; ++j)
+                c[i * n + j] += av * b[kk * n + j];
+        }
+    }
+    return c;
+}
+
+std::vector<int32_t>
+matmulPar(const std::vector<int16_t> &a, const std::vector<int16_t> &b,
+          size_t m, size_t n, size_t k, unsigned threads)
+{
+    cisram_assert(a.size() == m * k && b.size() == k * n,
+                  "matmul shape mismatch");
+    std::vector<int32_t> c(m * n, 0);
+    shard(m, threads, [&](unsigned, size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+            for (size_t kk = 0; kk < k; ++kk) {
+                int32_t av = a[i * k + kk];
+                if (av == 0)
+                    continue;
+                for (size_t j = 0; j < n; ++j)
+                    c[i * n + j] += av * b[kk * n + j];
+            }
+        }
+    });
+    return c;
+}
+
+// ---- K-means ----------------------------------------------------
+
+KmeansInput
+genKmeansInput(size_t num_points, size_t dim, size_t k,
+               uint64_t seed)
+{
+    Rng rng(seed);
+    KmeansInput in{num_points, dim, k, {}};
+    in.points.resize(num_points * dim);
+    // Clustered blobs so Lloyd iterations converge meaningfully.
+    // Coordinate ranges are sized so squared distances over up to 8
+    // dimensions stay within u16 (max diff 88 -> 8 * 88^2 = 61952),
+    // letting the APU kernel compute distances natively.
+    std::vector<int32_t> centers(k * dim);
+    for (auto &c : centers)
+        c = static_cast<int32_t>(rng.nextBelow(73)) - 36;
+    for (size_t p = 0; p < num_points; ++p) {
+        size_t c = rng.nextBelow(k);
+        for (size_t d = 0; d < dim; ++d) {
+            int32_t v = centers[c * dim + d] +
+                static_cast<int32_t>(rng.nextBelow(17)) - 8;
+            in.points[p * dim + d] = static_cast<int16_t>(
+                std::clamp<int32_t>(v, -32768, 32767));
+        }
+    }
+    return in;
+}
+
+namespace {
+
+KmeansResult
+kmeansImpl(const KmeansInput &in, unsigned max_iters,
+           unsigned threads)
+{
+    KmeansResult out;
+    out.assignment.assign(in.numPoints, 0);
+    out.centroids.assign(in.k * in.dim, 0.0);
+    // Deterministic init: first k points.
+    for (size_t c = 0; c < in.k; ++c)
+        for (size_t d = 0; d < in.dim; ++d)
+            out.centroids[c * in.dim + d] = in.points[c * in.dim + d];
+
+    out.iterations = 0;
+    for (unsigned iter = 0; iter < max_iters; ++iter) {
+        ++out.iterations;
+        std::atomic<bool> changed{false};
+        shard(in.numPoints, threads,
+              [&](unsigned, size_t lo, size_t hi) {
+                  for (size_t p = lo; p < hi; ++p) {
+                      double best = 0;
+                      uint32_t best_c = 0;
+                      for (size_t c = 0; c < in.k; ++c) {
+                          double dist = 0;
+                          for (size_t d = 0; d < in.dim; ++d) {
+                              double diff =
+                                  in.points[p * in.dim + d] -
+                                  out.centroids[c * in.dim + d];
+                              dist += diff * diff;
+                          }
+                          if (c == 0 || dist < best) {
+                              best = dist;
+                              best_c = static_cast<uint32_t>(c);
+                          }
+                      }
+                      if (out.assignment[p] != best_c) {
+                          out.assignment[p] = best_c;
+                          changed.store(true,
+                                        std::memory_order_relaxed);
+                      }
+                  }
+              });
+        // Recompute centroids (sequential: k*dim is small).
+        std::vector<double> sums(in.k * in.dim, 0.0);
+        std::vector<size_t> counts(in.k, 0);
+        for (size_t p = 0; p < in.numPoints; ++p) {
+            size_t c = out.assignment[p];
+            ++counts[c];
+            for (size_t d = 0; d < in.dim; ++d)
+                sums[c * in.dim + d] += in.points[p * in.dim + d];
+        }
+        for (size_t c = 0; c < in.k; ++c) {
+            if (counts[c] == 0)
+                continue;
+            // Centroids round to integers (fixed-point Lloyd), so
+            // integer-arithmetic implementations (the APU kernel)
+            // iterate identically.
+            for (size_t d = 0; d < in.dim; ++d)
+                out.centroids[c * in.dim + d] = std::round(
+                    sums[c * in.dim + d] /
+                    static_cast<double>(counts[c]));
+        }
+        if (!changed.load())
+            break;
+    }
+    return out;
+}
+
+} // namespace
+
+KmeansResult
+kmeansSeq(const KmeansInput &in, unsigned max_iters)
+{
+    return kmeansImpl(in, max_iters, 1);
+}
+
+KmeansResult
+kmeansPar(const KmeansInput &in, unsigned max_iters, unsigned threads)
+{
+    return kmeansImpl(in, max_iters, threads);
+}
+
+// ---- Reverse index ----------------------------------------------
+
+RevIndexInput
+genRevIndexInput(size_t num_docs, size_t links_per_doc,
+                 uint32_t num_links, uint64_t seed)
+{
+    Rng rng(seed);
+    RevIndexInput in;
+    in.numLinks = num_links;
+    in.docLinks.resize(num_docs);
+    for (auto &doc : in.docLinks) {
+        doc.resize(links_per_doc);
+        for (auto &l : doc)
+            l = static_cast<uint32_t>(rng.nextBelow(num_links));
+    }
+    return in;
+}
+
+RevIndexResult
+reverseIndexSeq(const RevIndexInput &in)
+{
+    RevIndexResult out;
+    for (uint32_t doc = 0; doc < in.docLinks.size(); ++doc) {
+        for (uint32_t link : in.docLinks[doc]) {
+            auto &lst = out[link];
+            // Each (link, doc) pair appears once.
+            if (lst.empty() || lst.back() != doc)
+                lst.push_back(doc);
+        }
+    }
+    return out;
+}
+
+// ---- String match -----------------------------------------------
+
+StringMatchInput
+genStringMatchInput(size_t bytes, uint64_t seed)
+{
+    StringMatchInput in;
+    in.words = genWords(bytes, seed, 50000);
+    in.keys = {"w3", "w17", "w123", "w4096"};
+    return in;
+}
+
+StringMatchResult
+stringMatchSeq(const StringMatchInput &in)
+{
+    StringMatchResult counts(in.keys.size(), 0);
+    for (const auto &w : in.words)
+        for (size_t k = 0; k < in.keys.size(); ++k)
+            if (w == in.keys[k])
+                ++counts[k];
+    return counts;
+}
+
+StringMatchResult
+stringMatchPar(const StringMatchInput &in, unsigned threads)
+{
+    std::vector<StringMatchResult> parts(
+        std::max(1u, threads), StringMatchResult(in.keys.size(), 0));
+    shard(in.words.size(), threads,
+          [&](unsigned t, size_t lo, size_t hi) {
+              for (size_t i = lo; i < hi; ++i)
+                  for (size_t k = 0; k < in.keys.size(); ++k)
+                      if (in.words[i] == in.keys[k])
+                          ++parts[t][k];
+          });
+    StringMatchResult out(in.keys.size(), 0);
+    for (const auto &p : parts)
+        for (size_t k = 0; k < out.size(); ++k)
+            out[k] += p[k];
+    return out;
+}
+
+// ---- Word count --------------------------------------------------
+
+WordCountInput
+genWordCountInput(size_t bytes, uint64_t seed)
+{
+    return {genWords(bytes, seed, 5000)};
+}
+
+namespace {
+
+std::vector<WordCountEntry>
+topN(const std::unordered_map<std::string, uint64_t> &counts,
+     size_t top_n)
+{
+    std::vector<WordCountEntry> all;
+    all.reserve(counts.size());
+    for (const auto &[w, c] : counts)
+        all.push_back({w, c});
+    std::sort(all.begin(), all.end(),
+              [](const WordCountEntry &a, const WordCountEntry &b) {
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  // Shortlex tie-break: numeric order for the
+                  // generators' "w<id>" tokens.
+                  if (a.word.size() != b.word.size())
+                      return a.word.size() < b.word.size();
+                  return a.word < b.word;
+              });
+    if (all.size() > top_n)
+        all.resize(top_n);
+    return all;
+}
+
+} // namespace
+
+std::vector<WordCountEntry>
+wordCountSeq(const WordCountInput &in, size_t top_n)
+{
+    std::unordered_map<std::string, uint64_t> counts;
+    for (const auto &w : in.words)
+        ++counts[w];
+    return topN(counts, top_n);
+}
+
+std::vector<WordCountEntry>
+wordCountPar(const WordCountInput &in, size_t top_n,
+             unsigned threads)
+{
+    std::vector<std::unordered_map<std::string, uint64_t>> parts(
+        std::max(1u, threads));
+    shard(in.words.size(), threads,
+          [&](unsigned t, size_t lo, size_t hi) {
+              for (size_t i = lo; i < hi; ++i)
+                  ++parts[t][in.words[i]];
+          });
+    std::unordered_map<std::string, uint64_t> counts;
+    for (const auto &p : parts)
+        for (const auto &[w, c] : p)
+            counts[w] += c;
+    return topN(counts, top_n);
+}
+
+} // namespace cisram::baseline

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * CPU implementations of the Phoenix benchmark suite (paper
+ * Section 5.2, Table 6): histogram, linear regression, matrix
+ * multiply, k-means, reverse index, string match, and word count.
+ *
+ * Each application provides a sequential implementation and, where
+ * the original suite parallelizes, a std::thread MapReduce-style
+ * implementation. These are functional golden references for the APU
+ * kernels; latency comparisons against the paper's Xeon use the
+ * calibrated timing models in baseline/timing_models.hh (this
+ * container's CPU is not a Xeon Gold 6230R).
+ */
+
+#ifndef CISRAM_BASELINE_PHOENIX_CPU_HH
+#define CISRAM_BASELINE_PHOENIX_CPU_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cisram::baseline {
+
+// ---------------------------------------------------------------
+// Histogram: per-channel 256-bin histograms of an RGB bitmap.
+// ---------------------------------------------------------------
+
+struct HistogramInput
+{
+    std::vector<uint8_t> pixels; ///< RGB triplets, size % 3 == 0
+};
+
+struct HistogramResult
+{
+    std::array<uint32_t, 256> r{}, g{}, b{};
+
+    bool
+    operator==(const HistogramResult &o) const
+    {
+        return r == o.r && g == o.g && b == o.b;
+    }
+};
+
+HistogramInput genHistogramInput(size_t bytes, uint64_t seed);
+HistogramResult histogramSeq(const HistogramInput &in);
+HistogramResult histogramPar(const HistogramInput &in,
+                             unsigned threads);
+
+// ---------------------------------------------------------------
+// Linear regression: least-squares line over (x, y) byte pairs.
+// ---------------------------------------------------------------
+
+struct LinRegInput
+{
+    std::vector<uint8_t> points; ///< interleaved x,y; size % 2 == 0
+};
+
+struct LinRegResult
+{
+    uint64_t n, sx, sy, sxx, syy, sxy;
+    double a, b; ///< y ~= a + b x
+
+    bool
+    operator==(const LinRegResult &o) const
+    {
+        return n == o.n && sx == o.sx && sy == o.sy && sxx == o.sxx &&
+            syy == o.syy && sxy == o.sxy;
+    }
+};
+
+LinRegInput genLinRegInput(size_t bytes, uint64_t seed);
+LinRegResult linRegSeq(const LinRegInput &in);
+LinRegResult linRegPar(const LinRegInput &in, unsigned threads);
+
+// ---------------------------------------------------------------
+// Matrix multiply: dense int16 x int16 -> int32, row-major.
+// ---------------------------------------------------------------
+
+std::vector<int32_t> matmulSeq(const std::vector<int16_t> &a,
+                               const std::vector<int16_t> &b,
+                               size_t m, size_t n, size_t k);
+std::vector<int32_t> matmulPar(const std::vector<int16_t> &a,
+                               const std::vector<int16_t> &b,
+                               size_t m, size_t n, size_t k,
+                               unsigned threads);
+std::vector<int16_t> genMatrix(size_t rows, size_t cols,
+                               uint64_t seed, int16_t max_abs = 64);
+
+// ---------------------------------------------------------------
+// K-means over int16 points with Lloyd iterations.
+// ---------------------------------------------------------------
+
+struct KmeansInput
+{
+    size_t numPoints;
+    size_t dim;
+    size_t k;
+    std::vector<int16_t> points; ///< numPoints x dim
+};
+
+struct KmeansResult
+{
+    std::vector<double> centroids; ///< k x dim
+    std::vector<uint32_t> assignment;
+    unsigned iterations;
+};
+
+KmeansInput genKmeansInput(size_t num_points, size_t dim, size_t k,
+                           uint64_t seed);
+KmeansResult kmeansSeq(const KmeansInput &in, unsigned max_iters);
+KmeansResult kmeansPar(const KmeansInput &in, unsigned max_iters,
+                       unsigned threads);
+
+// ---------------------------------------------------------------
+// Reverse index: documents reference links; build link -> docs.
+// ---------------------------------------------------------------
+
+struct RevIndexInput
+{
+    std::vector<std::vector<uint32_t>> docLinks;
+    uint32_t numLinks;
+};
+
+using RevIndexResult = std::map<uint32_t, std::vector<uint32_t>>;
+
+RevIndexInput genRevIndexInput(size_t num_docs,
+                               size_t links_per_doc,
+                               uint32_t num_links, uint64_t seed);
+RevIndexResult reverseIndexSeq(const RevIndexInput &in);
+
+// ---------------------------------------------------------------
+// String match: count occurrences of each key among the words of a
+// corpus (Phoenix matches hashed keys word by word).
+// ---------------------------------------------------------------
+
+struct StringMatchInput
+{
+    std::vector<std::string> words;
+    std::vector<std::string> keys;
+};
+
+using StringMatchResult = std::vector<uint64_t>; // per-key counts
+
+StringMatchInput genStringMatchInput(size_t bytes, uint64_t seed);
+StringMatchResult stringMatchSeq(const StringMatchInput &in);
+StringMatchResult stringMatchPar(const StringMatchInput &in,
+                                 unsigned threads);
+
+// ---------------------------------------------------------------
+// Word count: frequency of every word; top-N by count.
+// ---------------------------------------------------------------
+
+struct WordCountInput
+{
+    std::vector<std::string> words;
+};
+
+struct WordCountEntry
+{
+    std::string word;
+    uint64_t count;
+
+    bool
+    operator==(const WordCountEntry &o) const
+    {
+        return word == o.word && count == o.count;
+    }
+};
+
+WordCountInput genWordCountInput(size_t bytes, uint64_t seed);
+std::vector<WordCountEntry> wordCountSeq(const WordCountInput &in,
+                                         size_t top_n);
+std::vector<WordCountEntry> wordCountPar(const WordCountInput &in,
+                                         size_t top_n,
+                                         unsigned threads);
+
+} // namespace cisram::baseline
+
+#endif // CISRAM_BASELINE_PHOENIX_CPU_HH

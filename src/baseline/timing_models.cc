@@ -1,0 +1,87 @@
+#include "baseline/timing_models.hh"
+
+#include "common/logging.hh"
+
+namespace cisram::baseline {
+
+const char *
+phoenixAppName(PhoenixApp app)
+{
+    return phoenixSpec(app).name;
+}
+
+const std::vector<PhoenixAppSpec> &
+phoenixSpecs()
+{
+    // cpu1tMs / cpu16tMs calibration: chosen so that, against the
+    // paper's measured APU latencies (Table 7), the reported
+    // aggregate speedups of Fig. 13 are reproduced:
+    //   vs 1T : mean 41.8x, geomean 14.4x, peak 128.3x
+    //   vs 16T: mean 12.5x, geomean 2.6x,  max 68.1x
+    // and the win/loss pattern matches Section 5.2.1 (the APU beats
+    // the 16-thread CPU on linear regression, k-means, string match
+    // and word count; loses on histogram, matmul, reverse index).
+    static const std::vector<PhoenixAppSpec> specs = {
+        {PhoenixApp::Histogram, "histogram", "1.5GB", 1.5e9, 4.8e9,
+         3289.6, 740.2},
+        {PhoenixApp::LinearRegression, "linear_regression", "512MB",
+         512.0e6, 3.8e9, 10891.4, 1153.8},
+        {PhoenixApp::MatrixMultiply, "matrix_multiply", "1024x1024",
+         2.0 * 1024 * 1024 * 2, 22.6e9, 5392.6, 337.0},
+        {PhoenixApp::Kmeans, "kmeans", "128k", 128.0e3 * 2 * 2,
+         0.4e9, 36.8, 5.8},
+        {PhoenixApp::ReverseIndex, "reverse_index", "100MB", 100.0e6,
+         4.8e9, 436.8, 91.0},
+        {PhoenixApp::StringMatch, "string_match", "512MB", 512.0e6,
+         101.8e9, 11662.5, 6190.3},
+        {PhoenixApp::WordCount, "word_count", "10MB", 10.0e6, 0.7e9,
+         19.5, 5.0},
+    };
+    return specs;
+}
+
+const PhoenixAppSpec &
+phoenixSpec(PhoenixApp app)
+{
+    for (const auto &s : phoenixSpecs())
+        if (s.app == app)
+            return s;
+    cisram_panic("unknown Phoenix app");
+}
+
+double
+XeonTimingModel::phoenixMs(PhoenixApp app, bool multithread,
+                           double input_bytes) const
+{
+    const auto &s = phoenixSpec(app);
+    double base = multithread ? s.cpu16tMs : s.cpu1tMs;
+    return base * (input_bytes / s.inputBytes);
+}
+
+double
+XeonTimingModel::ennsRetrievalMs(double bytes) const
+{
+    // Piecewise-linear calibration through the paper-derived points;
+    // linear extrapolation beyond the last segment.
+    struct Point
+    {
+        double bytes, ms;
+    };
+    static const Point pts[] = {
+        {0.0, 0.0},
+        {120.0e6, 24.6},
+        {600.0e6, 98.9},
+        {2400.0e6, 555.7},
+    };
+    constexpr size_t n = sizeof(pts) / sizeof(pts[0]);
+    for (size_t i = 1; i < n; ++i) {
+        if (bytes <= pts[i].bytes || i == n - 1) {
+            double t = (bytes - pts[i - 1].bytes) /
+                (pts[i].bytes - pts[i - 1].bytes);
+            return pts[i - 1].ms + t * (pts[i].ms - pts[i - 1].ms);
+        }
+    }
+    cisram_panic("unreachable");
+}
+
+} // namespace cisram::baseline

@@ -1,0 +1,60 @@
+#include "baseline/workloads.hh"
+
+namespace cisram::baseline {
+
+const std::vector<RagCorpusSpec> &
+ragCorpora()
+{
+    static const std::vector<RagCorpusSpec> corpora = {
+        {"10GB", 10.0e9, 163000, 368},
+        {"50GB", 50.0e9, 819000, 368},
+        {"200GB", 200.0e9, 3300000, 368},
+    };
+    return corpora;
+}
+
+namespace {
+
+/** SplitMix64 finalizer: a high-quality stateless mixer. */
+uint64_t
+mix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+int16_t
+embeddingValue(uint64_t chunk, uint64_t d, uint64_t seed)
+{
+    uint64_t h = mix(seed ^ mix(chunk * 0x100000001b3ull + d));
+    return static_cast<int16_t>(static_cast<int64_t>(h % 15) - 7);
+}
+
+std::vector<int16_t>
+genEmbeddings(const RagCorpusSpec &spec, uint64_t first,
+              uint64_t count, uint64_t seed)
+{
+    std::vector<int16_t> out(count * spec.dim);
+    for (uint64_t c = 0; c < count; ++c)
+        for (uint64_t d = 0; d < spec.dim; ++d)
+            out[c * spec.dim + d] =
+                embeddingValue(first + c, d, seed);
+    return out;
+}
+
+std::vector<int16_t>
+genQuery(size_t dim, uint64_t seed)
+{
+    std::vector<int16_t> q(dim);
+    for (size_t d = 0; d < dim; ++d) {
+        uint64_t h = mix(seed * 0x9e3779b97f4a7c15ull + d);
+        q[d] = static_cast<int16_t>(static_cast<int64_t>(h % 15) - 7);
+    }
+    return q;
+}
+
+} // namespace cisram::baseline

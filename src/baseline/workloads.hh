@@ -1,0 +1,57 @@
+/**
+ * @file
+ * RAG workload generation (paper Section 5.3.1).
+ *
+ * The paper retrieves over 10 / 50 / 200 GB corpora chunked into
+ * 16,384-token segments: 163 K / 819 K / 3.3 M chunks with 120 MB /
+ * 600 MB / 2.4 GB of embeddings, i.e. 368-dimensional 16-bit
+ * embeddings. Since ENNS latency depends only on embedding geometry,
+ * we generate deterministic synthetic embeddings; values are
+ * quantized to [-7, 7] (4-bit-scale quantization) so that a
+ * 368-element inner product fits in the APU's native int16.
+ *
+ * Generation is stateless (hash of chunk, dim, seed), so any subset
+ * of a paper-scale corpus can be materialized without storing it.
+ */
+
+#ifndef CISRAM_BASELINE_WORKLOADS_HH
+#define CISRAM_BASELINE_WORKLOADS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cisram::baseline {
+
+/** One evaluated corpus configuration. */
+struct RagCorpusSpec
+{
+    const char *label;    ///< "10GB" etc.
+    double corpusBytes;   ///< raw text corpus size
+    size_t numChunks;     ///< 16,384-token segments
+    size_t dim;           ///< embedding dimensionality
+
+    double
+    embeddingBytes() const
+    {
+        return static_cast<double>(numChunks) * dim * 2.0;
+    }
+};
+
+/** The paper's three corpus sizes. */
+const std::vector<RagCorpusSpec> &ragCorpora();
+
+/** Deterministic embedding element in [-7, 7]. */
+int16_t embeddingValue(uint64_t chunk, uint64_t d, uint64_t seed);
+
+/** Materialize embeddings for chunks [first, first+count). */
+std::vector<int16_t> genEmbeddings(const RagCorpusSpec &spec,
+                                   uint64_t first, uint64_t count,
+                                   uint64_t seed);
+
+/** Deterministic query vector in [-7, 7]. */
+std::vector<int16_t> genQuery(size_t dim, uint64_t seed);
+
+} // namespace cisram::baseline
+
+#endif // CISRAM_BASELINE_WORKLOADS_HH

@@ -1,0 +1,47 @@
+#include "common/bitutils.hh"
+
+namespace cisram {
+
+BitVector
+BitVector::shiftedUp(size_t k) const
+{
+    BitVector out(numBits);
+    if (k >= numBits)
+        return out;
+    size_t word_shift = k / 64;
+    size_t bit_shift = k % 64;
+    for (size_t i = words.size(); i-- > 0;) {
+        uint64_t v = 0;
+        if (i >= word_shift) {
+            v = words[i - word_shift] << bit_shift;
+            if (bit_shift != 0 && i > word_shift)
+                v |= words[i - word_shift - 1] >> (64 - bit_shift);
+        }
+        out.words[i] = v;
+    }
+    out.trimTail();
+    return out;
+}
+
+BitVector
+BitVector::shiftedDown(size_t k) const
+{
+    BitVector out(numBits);
+    if (k >= numBits)
+        return out;
+    size_t word_shift = k / 64;
+    size_t bit_shift = k % 64;
+    for (size_t i = 0; i < words.size(); ++i) {
+        uint64_t v = 0;
+        if (i + word_shift < words.size()) {
+            v = words[i + word_shift] >> bit_shift;
+            if (bit_shift != 0 && i + word_shift + 1 < words.size())
+                v |= words[i + word_shift + 1] << (64 - bit_shift);
+        }
+        out.words[i] = v;
+    }
+    out.trimTail();
+    return out;
+}
+
+} // namespace cisram

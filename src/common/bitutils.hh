@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Bit-manipulation helpers and a dense bit vector.
+ *
+ * The bit-slice simulator in src/apusim represents one bit position of
+ * 32768 vector elements as a BitVector; micro-operations on the read
+ * latch / global lines become word-wide boolean operations here.
+ */
+
+#ifndef CISRAM_COMMON_BITUTILS_HH
+#define CISRAM_COMMON_BITUTILS_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace cisram {
+
+/** True if x is a power of two (and non-zero). */
+constexpr bool
+isPow2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor of log base 2; log2Floor(0) is undefined (asserts). */
+inline unsigned
+log2Floor(uint64_t x)
+{
+    cisram_assert(x != 0);
+    return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/** Ceiling of log base 2; log2Ceil(1) == 0. */
+inline unsigned
+log2Ceil(uint64_t x)
+{
+    cisram_assert(x != 0);
+    return x == 1 ? 0 : log2Floor(x - 1) + 1;
+}
+
+/** Round x up to the next multiple of align (align must be pow2). */
+constexpr uint64_t
+roundUpPow2(uint64_t x, uint64_t align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+/** Ceiling division. */
+constexpr uint64_t
+divCeil(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Extract bit `pos` of a 16-bit word. */
+constexpr bool
+bit16(uint16_t v, unsigned pos)
+{
+    return (v >> pos) & 1u;
+}
+
+/**
+ * Dense fixed-length bit vector backed by 64-bit words.
+ *
+ * Supports the boolean operations the APU bit processors perform on
+ * read latches and global lines. Length is fixed at construction.
+ */
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** Construct with `n` bits, all initialized to `value`. */
+    explicit BitVector(size_t n, bool value = false)
+        : numBits(n), words((n + 63) / 64, value ? ~0ull : 0ull)
+    {
+        trimTail();
+    }
+
+    size_t size() const { return numBits; }
+    size_t numWords() const { return words.size(); }
+
+    bool
+    get(size_t i) const
+    {
+        cisram_assert(i < numBits);
+        return (words[i / 64] >> (i % 64)) & 1ull;
+    }
+
+    void
+    set(size_t i, bool v)
+    {
+        cisram_assert(i < numBits);
+        uint64_t mask = 1ull << (i % 64);
+        if (v)
+            words[i / 64] |= mask;
+        else
+            words[i / 64] &= ~mask;
+    }
+
+    /** Set all bits to `v`. */
+    void
+    fill(bool v)
+    {
+        for (auto &w : words)
+            w = v ? ~0ull : 0ull;
+        trimTail();
+    }
+
+    /** Count of set bits. */
+    size_t
+    popcount() const
+    {
+        size_t n = 0;
+        for (auto w : words)
+            n += static_cast<size_t>(std::popcount(w));
+        return n;
+    }
+
+    /** True if any bit is set. */
+    bool
+    any() const
+    {
+        for (auto w : words)
+            if (w)
+                return true;
+        return false;
+    }
+
+    /** True if every bit is set. */
+    bool
+    all() const
+    {
+        BitVector tmp(numBits, true);
+        for (size_t i = 0; i < words.size(); ++i)
+            if (words[i] != tmp.words[i])
+                return false;
+        return true;
+    }
+
+    /** Index of the first set bit, or size() if none. */
+    size_t
+    firstSet() const
+    {
+        for (size_t i = 0; i < words.size(); ++i) {
+            if (words[i]) {
+                return i * 64 +
+                    static_cast<size_t>(std::countr_zero(words[i]));
+            }
+        }
+        return numBits;
+    }
+
+    /** Raw word access for fast word-parallel operations. */
+    uint64_t word(size_t i) const { return words[i]; }
+    void
+    setWord(size_t i, uint64_t v)
+    {
+        words[i] = v;
+        if (i == words.size() - 1)
+            trimTail();
+    }
+
+    BitVector &
+    operator&=(const BitVector &o)
+    {
+        checkSameSize(o);
+        for (size_t i = 0; i < words.size(); ++i)
+            words[i] &= o.words[i];
+        return *this;
+    }
+
+    BitVector &
+    operator|=(const BitVector &o)
+    {
+        checkSameSize(o);
+        for (size_t i = 0; i < words.size(); ++i)
+            words[i] |= o.words[i];
+        return *this;
+    }
+
+    BitVector &
+    operator^=(const BitVector &o)
+    {
+        checkSameSize(o);
+        for (size_t i = 0; i < words.size(); ++i)
+            words[i] ^= o.words[i];
+        return *this;
+    }
+
+    /** In-place bitwise complement. */
+    void
+    invert()
+    {
+        for (auto &w : words)
+            w = ~w;
+        trimTail();
+    }
+
+    friend BitVector
+    operator&(BitVector a, const BitVector &b)
+    {
+        a &= b;
+        return a;
+    }
+
+    friend BitVector
+    operator|(BitVector a, const BitVector &b)
+    {
+        a |= b;
+        return a;
+    }
+
+    friend BitVector
+    operator^(BitVector a, const BitVector &b)
+    {
+        a ^= b;
+        return a;
+    }
+
+    bool
+    operator==(const BitVector &o) const
+    {
+        return numBits == o.numBits && words == o.words;
+    }
+
+    /**
+     * Shift bits toward higher indices (logical shift left across the
+     * vector) by `k`, filling vacated low positions with zero.
+     */
+    BitVector shiftedUp(size_t k) const;
+
+    /** Shift bits toward lower indices by `k`, zero-filling the tail. */
+    BitVector shiftedDown(size_t k) const;
+
+  private:
+    void
+    checkSameSize(const BitVector &o) const
+    {
+        cisram_assert(numBits == o.numBits, "BitVector size mismatch");
+    }
+
+    /** Clear the unused bits of the last word. */
+    void
+    trimTail()
+    {
+        if (numBits % 64 != 0 && !words.empty())
+            words.back() &= (1ull << (numBits % 64)) - 1;
+    }
+
+    size_t numBits = 0;
+    std::vector<uint64_t> words;
+};
+
+} // namespace cisram
+
+#endif // CISRAM_COMMON_BITUTILS_HH

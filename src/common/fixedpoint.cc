@@ -1,0 +1,90 @@
+#include "common/fixedpoint.hh"
+
+#include <cmath>
+
+namespace cisram {
+
+namespace {
+
+/**
+ * Quarter-wave sine table, 256 entries + endpoint, Q1.15.
+ *
+ * A table-plus-interpolation implementation mirrors how GVML realizes
+ * trigonometric functions on the device (lookup against L3 plus
+ * element-wise fixup), and keeps the functional result deterministic.
+ */
+struct QuarterWaveTable
+{
+    int32_t entries[257];
+
+    QuarterWaveTable()
+    {
+        for (int i = 0; i <= 256; ++i) {
+            double angle = (static_cast<double>(i) / 256.0) * M_PI / 2.0;
+            entries[i] =
+                static_cast<int32_t>(std::lround(std::sin(angle) * 32767.0));
+        }
+    }
+};
+
+const QuarterWaveTable quarterWave;
+
+/** Sine over the first quadrant with linear interpolation. */
+int32_t
+quarterSin(uint32_t idx14)
+{
+    // idx14 is a position within the closed quadrant [0, 0x4000].
+    if (idx14 >= 0x4000)
+        return quarterWave.entries[256];
+    uint32_t hi = idx14 >> 6;         // table index, 0..255
+    uint32_t lo = idx14 & 0x3f;       // interpolation fraction, 6 bits
+    int32_t a = quarterWave.entries[hi];
+    int32_t b = quarterWave.entries[hi + 1];
+    return a + (((b - a) * static_cast<int32_t>(lo)) >> 6);
+}
+
+} // namespace
+
+int16_t
+sinFx(uint16_t phase)
+{
+    uint32_t quadrant = phase >> 14;
+    uint32_t idx = phase & 0x3fff;
+    int32_t v;
+    switch (quadrant) {
+      case 0:
+        v = quarterSin(idx);
+        break;
+      case 1:
+        v = quarterSin(0x4000 - idx);
+        break;
+      case 2:
+        v = -quarterSin(idx);
+        break;
+      default:
+        v = -quarterSin(0x4000 - idx);
+        break;
+    }
+    if (v > 32767)
+        v = 32767;
+    if (v < -32768)
+        v = -32768;
+    return static_cast<int16_t>(v);
+}
+
+int16_t
+cosFx(uint16_t phase)
+{
+    return sinFx(static_cast<uint16_t>(phase + 0x4000));
+}
+
+uint16_t
+radiansToPhase(double radians)
+{
+    double turns = radians / (2.0 * M_PI);
+    turns -= std::floor(turns);
+    return static_cast<uint16_t>(
+        std::lround(turns * 65536.0)) /* wraps mod 2^16 naturally */;
+}
+
+} // namespace cisram

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fixed-point helpers for the APU's sin_fx / cos_fx operations.
+ *
+ * The GVML fixed-point trigonometric functions operate on Q1.15
+ * phase inputs (one full turn == 2^16 counts, i.e. the uint16 phase
+ * wraps naturally) and produce Q1.15 outputs in [-1, 1).
+ */
+
+#ifndef CISRAM_COMMON_FIXEDPOINT_HH
+#define CISRAM_COMMON_FIXEDPOINT_HH
+
+#include <cstdint>
+
+namespace cisram {
+
+/**
+ * Sine of a binary angle.
+ *
+ * @param phase Angle where 0x0000 == 0 rad and 0x10000 == 2*pi rad.
+ * @return sin(angle) in Q1.15 (32767 ~= +1.0, -32768 == -1.0).
+ */
+int16_t sinFx(uint16_t phase);
+
+/** Cosine of a binary angle; same conventions as sinFx(). */
+int16_t cosFx(uint16_t phase);
+
+/** Convert Q1.15 to double (for tests and reference checks). */
+constexpr double
+q15ToDouble(int16_t v)
+{
+    return static_cast<double>(v) / 32768.0;
+}
+
+/** Convert a radian angle to the binary phase convention. */
+uint16_t radiansToPhase(double radians);
+
+} // namespace cisram
+
+#endif // CISRAM_COMMON_FIXEDPOINT_HH

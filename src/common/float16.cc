@@ -1,0 +1,101 @@
+#include "common/float16.hh"
+
+#include <bit>
+#include <cmath>
+
+namespace cisram {
+
+Float16
+Float16::fromFloat(float v)
+{
+    uint32_t f = std::bit_cast<uint32_t>(v);
+    uint32_t sign = (f >> 16) & 0x8000u;
+    int32_t exp = static_cast<int32_t>((f >> 23) & 0xff) - 127;
+    uint32_t frac = f & 0x7fffffu;
+
+    uint16_t out;
+    if (exp == 128) {
+        // Inf or NaN. Preserve NaN-ness with a quiet mantissa bit.
+        out = static_cast<uint16_t>(
+            sign | 0x7c00 | (frac ? (0x0200 | (frac >> 13)) : 0));
+    } else if (exp > 15) {
+        // Overflow to infinity.
+        out = static_cast<uint16_t>(sign | 0x7c00);
+    } else if (exp >= -14) {
+        // Normal range. Round the mantissa to 10 bits, nearest-even;
+        // a mantissa carry-out correctly bumps the exponent field.
+        uint32_t mant = frac >> 13;
+        uint32_t rem = frac & 0x1fff;
+        if (rem > 0x1000 || (rem == 0x1000 && (mant & 1)))
+            ++mant;
+        uint32_t biased = static_cast<uint32_t>(exp + 15);
+        out = static_cast<uint16_t>(sign | ((biased << 10) + mant));
+    } else if (exp >= -25) {
+        // Subnormal half: encoding k such that |v| ~= k * 2^-24,
+        // i.e. k = (2^23 + frac) * 2^(exp+1), rounded nearest-even.
+        // A round-up from k = 0x3ff yields the smallest normal, whose
+        // encoding is still (sign | 0x400), so no special case needed.
+        uint32_t full = 0x800000u | frac;
+        uint32_t shift = static_cast<uint32_t>(-1 - exp);
+        uint32_t keep = full >> shift;
+        uint32_t rem = full & ((1u << shift) - 1);
+        uint32_t half = 1u << (shift - 1);
+        if (rem > half || (rem == half && (keep & 1)))
+            ++keep;
+        out = static_cast<uint16_t>(sign | keep);
+    } else {
+        // Underflow to signed zero.
+        out = static_cast<uint16_t>(sign);
+    }
+    return fromBits(out);
+}
+
+float
+Float16::toFloat() const
+{
+    uint32_t sign = static_cast<uint32_t>(bits_ & 0x8000) << 16;
+    uint32_t exp = (bits_ >> 10) & 0x1f;
+    uint32_t frac = bits_ & 0x3ff;
+
+    uint32_t out;
+    if (exp == 0x1f) {
+        out = sign | 0x7f800000u | (frac << 13);
+    } else if (exp == 0) {
+        if (frac == 0) {
+            out = sign;
+        } else {
+            // Normalize a subnormal.
+            int shift = 0;
+            while (!(frac & 0x400)) {
+                frac <<= 1;
+                ++shift;
+            }
+            frac &= 0x3ff;
+            uint32_t e = static_cast<uint32_t>(127 - 14 - shift);
+            out = sign | (e << 23) | (frac << 13);
+        }
+    } else {
+        out = sign | ((exp - 15 + 127) << 23) | (frac << 13);
+    }
+    return std::bit_cast<float>(out);
+}
+
+bool
+Float16::isNan() const
+{
+    return ((bits_ >> 10) & 0x1f) == 0x1f && (bits_ & 0x3ff) != 0;
+}
+
+bool
+Float16::isInf() const
+{
+    return ((bits_ >> 10) & 0x1f) == 0x1f && (bits_ & 0x3ff) == 0;
+}
+
+bool
+Float16::isZero() const
+{
+    return (bits_ & 0x7fff) == 0;
+}
+
+} // namespace cisram

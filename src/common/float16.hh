@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Software IEEE 754 binary16 (half precision).
+ *
+ * The APU natively operates on 16-bit IEEE floating point; the
+ * functional simulator needs bit-exact conversions and arithmetic that
+ * rounds to half precision after every operation (round-to-nearest-
+ * even), matching a hardware FP16 datapath.
+ */
+
+#ifndef CISRAM_COMMON_FLOAT16_HH
+#define CISRAM_COMMON_FLOAT16_HH
+
+#include <cstdint>
+
+namespace cisram {
+
+/**
+ * IEEE binary16 value held as its 16-bit encoding.
+ *
+ * 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+ */
+class Float16
+{
+  public:
+    Float16() = default;
+
+    /** Reinterpret a raw 16-bit encoding. */
+    static Float16
+    fromBits(uint16_t b)
+    {
+        Float16 f;
+        f.bits_ = b;
+        return f;
+    }
+
+    /** Convert from single precision, round-to-nearest-even. */
+    static Float16 fromFloat(float v);
+
+    /** Widen to single precision (exact). */
+    float toFloat() const;
+
+    uint16_t bits() const { return bits_; }
+
+    bool isNan() const;
+    bool isInf() const;
+    bool isZero() const;
+    bool signBit() const { return (bits_ >> 15) & 1; }
+
+    /** Arithmetic: computed in float, rounded back to half. */
+    friend Float16
+    operator+(Float16 a, Float16 b)
+    {
+        return fromFloat(a.toFloat() + b.toFloat());
+    }
+
+    friend Float16
+    operator-(Float16 a, Float16 b)
+    {
+        return fromFloat(a.toFloat() - b.toFloat());
+    }
+
+    friend Float16
+    operator*(Float16 a, Float16 b)
+    {
+        return fromFloat(a.toFloat() * b.toFloat());
+    }
+
+    friend Float16
+    operator/(Float16 a, Float16 b)
+    {
+        return fromFloat(a.toFloat() / b.toFloat());
+    }
+
+    /** IEEE comparison semantics (NaN compares false). */
+    friend bool
+    operator<(Float16 a, Float16 b)
+    {
+        return a.toFloat() < b.toFloat();
+    }
+
+    friend bool
+    operator==(Float16 a, Float16 b)
+    {
+        return a.toFloat() == b.toFloat();
+    }
+
+  private:
+    uint16_t bits_ = 0;
+};
+
+} // namespace cisram
+
+#endif // CISRAM_COMMON_FLOAT16_HH

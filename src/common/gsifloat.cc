@@ -1,0 +1,101 @@
+#include "common/gsifloat.hh"
+
+#include <bit>
+
+namespace cisram {
+
+GsiFloat16
+GsiFloat16::fromFloat(float v)
+{
+    uint32_t f = std::bit_cast<uint32_t>(v);
+    uint32_t sign = (f >> 16) & 0x8000u;
+    int32_t exp = static_cast<int32_t>((f >> 23) & 0xff) - 127;
+    uint32_t frac = f & 0x7fffffu;
+
+    constexpr int drop = 23 - manBits; // 14 mantissa bits discarded
+    constexpr int emax = 63 - expBias; // largest normal exponent + 1
+
+    uint16_t out;
+    if (exp == 128) {
+        out = static_cast<uint16_t>(
+            sign | (0x3fu << manBits) |
+            (frac ? (0x100 | (frac >> drop)) : 0));
+    } else if (exp >= emax) {
+        out = static_cast<uint16_t>(sign | (0x3fu << manBits));
+    } else if (exp >= 1 - expBias) {
+        uint32_t mant = frac >> drop;
+        uint32_t rem = frac & ((1u << drop) - 1);
+        uint32_t half = 1u << (drop - 1);
+        if (rem > half || (rem == half && (mant & 1)))
+            ++mant;
+        uint32_t biased = static_cast<uint32_t>(exp + expBias);
+        out = static_cast<uint16_t>(sign | ((biased << manBits) + mant));
+    } else if (exp >= -expBias - manBits) {
+        // Subnormal: k = (2^23 + frac) * 2^(exp + expBias - 1 - drop),
+        // computed as a right shift with nearest-even rounding.
+        uint32_t full = 0x800000u | frac;
+        uint32_t shift =
+            static_cast<uint32_t>(drop + (1 - expBias) - exp);
+        if (shift >= 32) {
+            out = static_cast<uint16_t>(sign);
+        } else {
+            uint32_t keep = full >> shift;
+            uint32_t rem = full & ((1u << shift) - 1);
+            uint32_t half = 1u << (shift - 1);
+            if (rem > half || (rem == half && (keep & 1)))
+                ++keep;
+            out = static_cast<uint16_t>(sign | keep);
+        }
+    } else {
+        out = static_cast<uint16_t>(sign);
+    }
+    return fromBits(out);
+}
+
+float
+GsiFloat16::toFloat() const
+{
+    uint32_t sign = static_cast<uint32_t>(bits_ & 0x8000) << 16;
+    uint32_t exp = (bits_ >> manBits) & 0x3f;
+    uint32_t frac = bits_ & ((1u << manBits) - 1);
+
+    constexpr int widen = 23 - manBits;
+
+    uint32_t out;
+    if (exp == 0x3f) {
+        out = sign | 0x7f800000u | (frac << widen);
+    } else if (exp == 0) {
+        if (frac == 0) {
+            out = sign;
+        } else {
+            int shift = 0;
+            while (!(frac & (1u << manBits))) {
+                frac <<= 1;
+                ++shift;
+            }
+            frac &= (1u << manBits) - 1;
+            uint32_t e =
+                static_cast<uint32_t>(127 - (expBias - 1) - shift);
+            out = sign | (e << 23) | (frac << widen);
+        }
+    } else {
+        out = sign | ((exp - expBias + 127) << 23) | (frac << widen);
+    }
+    return std::bit_cast<float>(out);
+}
+
+bool
+GsiFloat16::isNan() const
+{
+    return ((bits_ >> manBits) & 0x3f) == 0x3f &&
+        (bits_ & ((1u << manBits) - 1)) != 0;
+}
+
+bool
+GsiFloat16::isInf() const
+{
+    return ((bits_ >> manBits) & 0x3f) == 0x3f &&
+        (bits_ & ((1u << manBits) - 1)) == 0;
+}
+
+} // namespace cisram

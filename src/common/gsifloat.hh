@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The custom GSI 16-bit floating-point format.
+ *
+ * The GSI APU supports a proprietary 16-bit float with a 6-bit
+ * exponent and a 9-bit mantissa (paper Section 2.1.1). The wider
+ * exponent (bias 31) trades one bit of precision for 2x the dynamic
+ * range of IEEE half, which benefits distance computations over
+ * quantized embeddings.
+ */
+
+#ifndef CISRAM_COMMON_GSIFLOAT_HH
+#define CISRAM_COMMON_GSIFLOAT_HH
+
+#include <cstdint>
+
+namespace cisram {
+
+/**
+ * GSI float16: 1 sign bit, 6 exponent bits (bias 31), 9 mantissa bits.
+ *
+ * Encoding mirrors IEEE conventions: exponent 0 holds zero and
+ * subnormals, exponent 63 holds Inf/NaN.
+ */
+class GsiFloat16
+{
+  public:
+    static constexpr int expBits = 6;
+    static constexpr int manBits = 9;
+    static constexpr int expBias = 31;
+
+    GsiFloat16() = default;
+
+    static GsiFloat16
+    fromBits(uint16_t b)
+    {
+        GsiFloat16 f;
+        f.bits_ = b;
+        return f;
+    }
+
+    /** Convert from single precision, round-to-nearest-even. */
+    static GsiFloat16 fromFloat(float v);
+
+    /** Widen to single precision (exact). */
+    float toFloat() const;
+
+    uint16_t bits() const { return bits_; }
+
+    bool isNan() const;
+    bool isInf() const;
+    bool isZero() const { return (bits_ & 0x7fff) == 0; }
+    bool signBit() const { return (bits_ >> 15) & 1; }
+
+    friend GsiFloat16
+    operator+(GsiFloat16 a, GsiFloat16 b)
+    {
+        return fromFloat(a.toFloat() + b.toFloat());
+    }
+
+    friend GsiFloat16
+    operator*(GsiFloat16 a, GsiFloat16 b)
+    {
+        return fromFloat(a.toFloat() * b.toFloat());
+    }
+
+    friend bool
+    operator<(GsiFloat16 a, GsiFloat16 b)
+    {
+        return a.toFloat() < b.toFloat();
+    }
+
+    friend bool
+    operator==(GsiFloat16 a, GsiFloat16 b)
+    {
+        return a.toFloat() == b.toFloat();
+    }
+
+  private:
+    uint16_t bits_ = 0;
+};
+
+} // namespace cisram
+
+#endif // CISRAM_COMMON_GSIFLOAT_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error-reporting and assertion utilities.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (simulator bugs), fatal() is for user errors (bad
+ * configuration or arguments), warn()/inform() are status messages.
+ */
+
+#ifndef CISRAM_COMMON_LOGGING_HH
+#define CISRAM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cisram {
+
+/** Terminate with an error message: internal invariant violated. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate with an error message: unrecoverable user error. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr; execution continues. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr; execution continues. */
+void informImpl(const std::string &msg);
+
+namespace detail {
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace cisram
+
+#define cisram_panic(...) \
+    ::cisram::panicImpl(__FILE__, __LINE__, \
+                        ::cisram::detail::concat(__VA_ARGS__))
+
+#define cisram_fatal(...) \
+    ::cisram::fatalImpl(__FILE__, __LINE__, \
+                        ::cisram::detail::concat(__VA_ARGS__))
+
+#define cisram_warn(...) \
+    ::cisram::warnImpl(::cisram::detail::concat(__VA_ARGS__))
+
+#define cisram_inform(...) \
+    ::cisram::informImpl(::cisram::detail::concat(__VA_ARGS__))
+
+/**
+ * Assertion that stays enabled in release builds. Simulator
+ * correctness depends on these invariants; the cost is negligible
+ * relative to functional simulation work.
+ */
+#define cisram_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::cisram::panicImpl(__FILE__, __LINE__, \
+                ::cisram::detail::concat("assertion failed: " #cond " ", \
+                                         ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // CISRAM_COMMON_LOGGING_HH

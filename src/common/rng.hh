@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * All synthetic workload generators use this xoshiro256** engine so
+ * that every experiment is reproducible bit-for-bit across runs and
+ * machines, independent of the standard library's distributions.
+ */
+
+#ifndef CISRAM_COMMON_RNG_HH
+#define CISRAM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace cisram {
+
+/** xoshiro256** by Blackman & Vigna; public-domain reference design. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding to spread a small seed across state.
+        uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ull;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    uint64_t
+    next()
+    {
+        uint64_t result = rotl(state[1] * 5, 7) * 9;
+        uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). */
+    uint64_t
+    nextBelow(uint64_t bound)
+    {
+        // Multiplicative range reduction (Lemire); bias is negligible
+        // for the bounds used by workload generators.
+        return static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform 16-bit value. */
+    uint16_t nextU16() { return static_cast<uint16_t>(next()); }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    nextFloat(float lo, float hi)
+    {
+        return lo + static_cast<float>(nextDouble()) * (hi - lo);
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state[4];
+};
+
+} // namespace cisram
+
+#endif // CISRAM_COMMON_RNG_HH

@@ -1,0 +1,117 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cisram {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        cisram_assert(x > 0.0, "geomean requires positive inputs");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    cisram_assert(!xs.empty());
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    cisram_assert(!xs.empty());
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+std::vector<double>
+leastSquares(const std::vector<std::vector<double>> &x,
+             const std::vector<double> &y)
+{
+    cisram_assert(!x.empty() && x.size() == y.size(),
+                  "design matrix / observation size mismatch");
+    size_t n = x.size();
+    size_t k = x[0].size();
+    cisram_assert(n >= k, "under-determined least squares system");
+
+    // Build the normal equations A = X^T X, b = X^T y.
+    std::vector<std::vector<double>> a(k, std::vector<double>(k, 0.0));
+    std::vector<double> b(k, 0.0);
+    for (size_t r = 0; r < n; ++r) {
+        cisram_assert(x[r].size() == k, "ragged design matrix");
+        for (size_t i = 0; i < k; ++i) {
+            b[i] += x[r][i] * y[r];
+            for (size_t j = 0; j < k; ++j)
+                a[i][j] += x[r][i] * x[r][j];
+        }
+    }
+
+    // Gaussian elimination with partial pivoting.
+    for (size_t col = 0; col < k; ++col) {
+        size_t pivot = col;
+        for (size_t r = col + 1; r < k; ++r)
+            if (std::fabs(a[r][col]) > std::fabs(a[pivot][col]))
+                pivot = r;
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        cisram_assert(std::fabs(a[col][col]) > 1e-12,
+                      "singular normal equations");
+        for (size_t r = col + 1; r < k; ++r) {
+            double factor = a[r][col] / a[col][col];
+            for (size_t c = col; c < k; ++c)
+                a[r][c] -= factor * a[col][c];
+            b[r] -= factor * b[col];
+        }
+    }
+    std::vector<double> beta(k, 0.0);
+    for (size_t row = k; row-- > 0;) {
+        double acc = b[row];
+        for (size_t c = row + 1; c < k; ++c)
+            acc -= a[row][c] * beta[c];
+        beta[row] = acc / a[row][row];
+    }
+    return beta;
+}
+
+double
+rSquared(const std::vector<double> &predicted,
+         const std::vector<double> &observed)
+{
+    cisram_assert(predicted.size() == observed.size() &&
+                  !observed.empty());
+    double mu = mean(observed);
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (size_t i = 0; i < observed.size(); ++i) {
+        double r = observed[i] - predicted[i];
+        double t = observed[i] - mu;
+        ss_res += r * r;
+        ss_tot += t * t;
+    }
+    if (ss_tot == 0.0)
+        return ss_res == 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+} // namespace cisram

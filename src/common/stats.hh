@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Small statistics helpers used by benches and the evaluation harness
+ * (mean, geometric mean, linear least squares for model calibration).
+ */
+
+#ifndef CISRAM_COMMON_STATS_HH
+#define CISRAM_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace cisram {
+
+/** Arithmetic mean; returns 0 for an empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; all inputs must be positive. */
+double geomean(const std::vector<double> &xs);
+
+/** Maximum value; asserts on empty input. */
+double maxOf(const std::vector<double> &xs);
+
+/** Minimum value; asserts on empty input. */
+double minOf(const std::vector<double> &xs);
+
+/**
+ * Ordinary least squares fit of y ~= X * beta.
+ *
+ * Solves the normal equations with Gaussian elimination and partial
+ * pivoting; adequate for the small, well-conditioned systems used to
+ * calibrate analytical-model coefficients (at most a handful of
+ * unknowns).
+ *
+ * @param x Row-major design matrix, rows.size() == y.size().
+ * @param y Observations.
+ * @return Coefficient vector beta.
+ */
+std::vector<double> leastSquares(const std::vector<std::vector<double>> &x,
+                                 const std::vector<double> &y);
+
+/** Coefficient of determination (R^2) of predictions vs observations. */
+double rSquared(const std::vector<double> &predicted,
+                const std::vector<double> &observed);
+
+} // namespace cisram
+
+#endif // CISRAM_COMMON_STATS_HH

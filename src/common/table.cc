@@ -1,0 +1,115 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common/logging.hh"
+
+namespace cisram {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    cisram_assert(!headers_.empty());
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> cells)
+{
+    cisram_assert(cells.size() == headers_.size(),
+                  "row has ", cells.size(), " cells, expected ",
+                  headers_.size());
+    rows_.push_back({false, std::move(cells)});
+}
+
+void
+AsciiTable::addSeparator()
+{
+    rows_.push_back({true, {}});
+}
+
+std::string
+AsciiTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (row.separator)
+            continue;
+        for (size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    auto renderLine = [&](const std::vector<std::string> &cells) {
+        std::string line = "|";
+        for (size_t c = 0; c < cells.size(); ++c) {
+            line += " " + cells[c];
+            line += std::string(widths[c] - cells[c].size(), ' ');
+            line += " |";
+        }
+        return line + "\n";
+    };
+    auto renderSep = [&]() {
+        std::string line = "+";
+        for (size_t c = 0; c < widths.size(); ++c)
+            line += std::string(widths[c] + 2, '-') + "+";
+        return line + "\n";
+    };
+
+    std::string out = renderSep() + renderLine(headers_) + renderSep();
+    for (const auto &row : rows_)
+        out += row.separator ? renderSep() : renderLine(row.cells);
+    out += renderSep();
+    return out;
+}
+
+void
+AsciiTable::print() const
+{
+    std::cout << render() << std::flush;
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+formatTime(double seconds)
+{
+    char buf[64];
+    if (seconds >= 1.0)
+        std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+    else if (seconds >= 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+    else if (seconds >= 1e-6)
+        std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+    else
+        std::snprintf(buf, sizeof(buf), "%.3f ns", seconds * 1e9);
+    return buf;
+}
+
+std::string
+formatBytes(double bytes)
+{
+    char buf[64];
+    if (bytes >= 1024.0 * 1024.0 * 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                      bytes / (1024.0 * 1024.0 * 1024.0));
+    } else if (bytes >= 1024.0 * 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f MiB",
+                      bytes / (1024.0 * 1024.0));
+    } else if (bytes >= 1024.0) {
+        std::snprintf(buf, sizeof(buf), "%.2f KiB", bytes / 1024.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+    }
+    return buf;
+}
+
+} // namespace cisram

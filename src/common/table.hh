@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark output.
+ *
+ * Every bench binary reproduces one of the paper's tables or figures;
+ * this helper prints aligned rows so the output can be compared
+ * against the paper directly (and diffed between runs).
+ */
+
+#ifndef CISRAM_COMMON_TABLE_HH
+#define CISRAM_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace cisram {
+
+/** Column-aligned ASCII table with a header row and separators. */
+class AsciiTable
+{
+  public:
+    /** @param headers Column titles; fixes the column count. */
+    explicit AsciiTable(std::vector<std::string> headers);
+
+    /** Append a data row; must match the header column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render to a string, one line per row, columns padded. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    struct Row
+    {
+        bool separator;
+        std::vector<std::string> cells;
+    };
+    std::vector<Row> rows_;
+};
+
+/** printf-style float formatting into std::string. */
+std::string formatDouble(double v, int precision = 2);
+
+/** Format a cycle count as engineering-notation time at a clock. */
+std::string formatTime(double seconds);
+
+/** Format a byte count using binary units (KiB/MiB/GiB). */
+std::string formatBytes(double bytes);
+
+} // namespace cisram
+
+#endif // CISRAM_COMMON_TABLE_HH

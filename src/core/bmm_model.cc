@@ -1,0 +1,175 @@
+#include "core/bmm_model.hh"
+
+#include <cmath>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace cisram::core {
+
+const char *
+bmmVariantName(BmmVariant v)
+{
+    switch (v) {
+      case BmmVariant::Baseline:
+        return "baseline";
+      case BmmVariant::Opt1:
+        return "opt1";
+      case BmmVariant::Opt1Opt2:
+        return "opt1+opt2";
+      case BmmVariant::Opt1Opt3:
+        return "opt1+opt3";
+      case BmmVariant::AllOpts:
+        return "all-opts";
+    }
+    return "?";
+}
+
+StageBreakdown
+BmmAnalyticalModel::predictBaseline(const BmmShape &s) const
+{
+    size_t k = s.kWords();
+    size_t l = t.vrLength;
+    cisram_assert(k > 0 && k <= l, "K out of range");
+    double dup = std::floor(static_cast<double>(l) / k);
+    double b_vrs = std::ceil(static_cast<double>(s.n) / dup);
+
+    StageBreakdown out;
+    // LHS: per row, one chunk-programmed DMA fills a VR with
+    // floor(l/K) copies, staged through L2 and loaded to the VR.
+    out.ldLhs = static_cast<double>(s.m) *
+        (t.dmaL4L2(static_cast<double>(l) * 2) + t.dmaL2L1 +
+         t.loadStore);
+
+    // RHS: column-major B fits in L1 (Eq. 4), loaded once.
+    out.ldRhs = b_vrs * t.dmaL4L1;
+
+    // Compute: per (row, B-VR) pass: load the B VR, XOR, popcount,
+    // scale, subtract, then a spatial (intra-VR) subgroup reduction
+    // over each K-sized group (Eq. 6, times M).
+    double per_pass = t.loadStore + t.xor16 + t.popcnt16 + t.ashift +
+        t.subS16 + sg.predict(k, 1);
+    out.vrOps = static_cast<double>(s.m) * b_vrs * per_pass;
+
+    // Store: results are scattered in the VR, PIO per element
+    // (Eq. 5).
+    out.store = t.pioSt(static_cast<double>(s.m) * s.n);
+    return out;
+}
+
+StageBreakdown
+BmmAnalyticalModel::predictOpt(const BmmShape &s, bool coalesce,
+                               bool bf_layout) const
+{
+    size_t k = s.kWords();
+    size_t l = t.vrLength;
+    double rpv = std::floor(static_cast<double>(l) / s.n);
+    cisram_assert(rpv >= 1, "N exceeds VR length");
+    double tiles = std::ceil(static_cast<double>(s.m) / rpv);
+
+    StageBreakdown out;
+
+    // LHS: the A tile (rpv rows x K words) is DMAed to L3 once per
+    // tile, then one lookup per k broadcasts the tile's k-th column
+    // of scalars across the VR (Eqs. 10 / 14). The lookup-table size
+    // is the broadcast window's span: rpv*K entries for the
+    // row-major layout, rpv for the broadcast-friendly one.
+    double table_entries =
+        bf_layout ? rpv : rpv * static_cast<double>(k);
+    out.ldLhs = tiles *
+        (t.dmaL4L3(rpv * static_cast<double>(k) * 2) +
+         static_cast<double>(k) * t.lookup(table_entries));
+
+    if (coalesce) {
+        // RHS: B loaded once into ceil(K*N/l) reuse VMRs (Eq. 12);
+        // per (tile, k) a subgroup copy replicates row k across the
+        // VR, which the paper accounts as VR operations.
+        double b_vrs = std::ceil(static_cast<double>(k) * s.n /
+                                 static_cast<double>(l));
+        out.ldRhs = b_vrs * t.dmaL4L1;
+        out.vrOps += tiles * static_cast<double>(k) *
+            (t.loadStore + t.cpySubgrp);
+    } else {
+        // RHS: per (tile, k), a chunk-duplicated DMA fills a VR with
+        // floor(l/N) copies of row k (Eq. 11).
+        out.ldRhs = tiles * static_cast<double>(k) *
+            (t.dmaL4L2(static_cast<double>(l) * 2) + t.dmaL2L1 +
+             t.loadStore);
+    }
+
+    // Compute: temporal reduction, one element-wise MAC per k
+    // (Eq. 7), plus per-tile setup of the broadcast index VR.
+    out.vrOps += tiles *
+        (t.createGrpIndex + t.cpyImm +
+         static_cast<double>(k) *
+             (t.xor16 + t.popcnt16 + t.ashift + t.subS16 + t.addS16));
+
+    // Store: contiguous results, one DMA per tile (Eq. 8).
+    out.store = tiles * (t.loadStore + t.dmaL1L4);
+    return out;
+}
+
+StageBreakdown
+BmmAnalyticalModel::predict(const BmmShape &s, BmmVariant v) const
+{
+    switch (v) {
+      case BmmVariant::Baseline:
+        return predictBaseline(s);
+      case BmmVariant::Opt1:
+        return predictOpt(s, false, false);
+      case BmmVariant::Opt1Opt2:
+        return predictOpt(s, true, false);
+      case BmmVariant::Opt1Opt3:
+        return predictOpt(s, false, true);
+      case BmmVariant::AllOpts:
+        return predictOpt(s, true, true);
+    }
+    cisram_panic("unknown variant");
+}
+
+double
+BmmAnalyticalModel::operationalIntensity(const BmmShape &s,
+                                         BmmVariant v) const
+{
+    double m = static_cast<double>(s.m);
+    double n = static_cast<double>(s.n);
+    double k = static_cast<double>(s.kWords());
+    double l = static_cast<double>(t.vrLength);
+    // alpha: 2 binary ops (xnor + accumulate) per bit, 16 bits/word.
+    double ops = m * n * k * 2.0 * 16.0;
+
+    double words;
+    switch (v) {
+      case BmmVariant::Baseline:
+        // Eq. 2: A duplicated floor(l/K) times.
+        words = m * k * std::floor(l / k) + k * n + m * n;
+        break;
+      case BmmVariant::Opt1:
+      case BmmVariant::Opt1Opt3:
+        // Eq. 9: B duplicated floor(l/N) times.
+        words = m * k + n * k * std::floor(l / n) + m * n;
+        break;
+      case BmmVariant::Opt1Opt2:
+      case BmmVariant::AllOpts:
+        // Eq. 13: no duplicated off-chip traffic.
+        words = m * k + n * k + m * n;
+        break;
+      default:
+        cisram_panic("unknown variant");
+    }
+    return ops / (words * 2.0);
+}
+
+double
+BmmAnalyticalModel::opsPerSecond(const BmmShape &s,
+                                 BmmVariant v) const
+{
+    double m = static_cast<double>(s.m);
+    double n = static_cast<double>(s.n);
+    double k = static_cast<double>(s.kWords());
+    double ops = m * n * k * 2.0 * 16.0;
+    double secs = t.seconds(predict(s, v).total());
+    return ops / secs;
+}
+
+} // namespace cisram::core

@@ -1,0 +1,83 @@
+#include "core/dma_plan.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace cisram::core {
+
+const char *
+transferClassName(TransferClass c)
+{
+    switch (c) {
+      case TransferClass::Contiguous:
+        return "contiguous";
+      case TransferClass::Strided:
+        return "strided";
+      case TransferClass::Duplicated:
+        return "duplicated";
+      case TransferClass::Irregular:
+        return "irregular";
+    }
+    return "?";
+}
+
+size_t
+DmaPlan::distinctChunks() const
+{
+    std::unordered_set<uint64_t> seen(chunkSrcs.begin(),
+                                      chunkSrcs.end());
+    return seen.size();
+}
+
+DmaPlan
+planFromLayout(const Layout &layout, uint64_t base,
+               uint64_t chunk_bytes)
+{
+    DmaPlan plan;
+    size_t n = layout.totalElems();
+    plan.chunkSrcs.reserve(n);
+
+    std::vector<size_t> idx(layout.rank(), 0);
+    for (size_t count = 0; count < n; ++count) {
+        int64_t off = layout.offsetOf(idx);
+        cisram_assert(off >= 0, "negative chunk offset");
+        plan.chunkSrcs.push_back(
+            base + static_cast<uint64_t>(off) * chunk_bytes);
+        for (size_t d = layout.rank(); d-- > 0;) {
+            if (++idx[d] < layout.dims()[d].size)
+                break;
+            idx[d] = 0;
+        }
+    }
+
+    // Classify: contiguous, single-stride, duplicated, irregular.
+    bool contiguous = true;
+    bool strided = true;
+    bool duplicated = plan.distinctChunks() < plan.numChunks();
+    int64_t stride = 0;
+    for (size_t i = 1; i < plan.chunkSrcs.size(); ++i) {
+        int64_t d = static_cast<int64_t>(plan.chunkSrcs[i]) -
+            static_cast<int64_t>(plan.chunkSrcs[i - 1]);
+        if (d != static_cast<int64_t>(chunk_bytes))
+            contiguous = false;
+        if (i == 1)
+            stride = d;
+        else if (d != stride)
+            strided = false;
+    }
+    if (plan.chunkSrcs.size() <= 1)
+        plan.kind = TransferClass::Contiguous;
+    else if (contiguous)
+        plan.kind = TransferClass::Contiguous;
+    else if (duplicated)
+        plan.kind = TransferClass::Duplicated;
+    else if (strided)
+        plan.kind = TransferClass::Strided;
+    else
+        plan.kind = TransferClass::Irregular;
+    return plan;
+}
+
+} // namespace cisram::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Layout-driven DMA descriptor generation.
+ *
+ * The device's DMA engines take programmed 512-byte chunk source
+ * addresses (Section 2.1.2: "contiguous, strided, and duplicated
+ * data layout transformations"). This module bridges the layout
+ * machinery to the engines: given a Graphene-style layout of chunk
+ * granules, it emits the chunk-address list a single transaction
+ * needs, and reports whether the pattern is contiguous (plain DMA),
+ * regular (strided/duplicated DMA), or irregular (PIO territory).
+ */
+
+#ifndef CISRAM_CORE_DMA_PLAN_HH
+#define CISRAM_CORE_DMA_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/layout.hh"
+
+namespace cisram::core {
+
+/** How a chunk pattern maps onto the data-movement engines. */
+enum class TransferClass
+{
+    Contiguous, ///< one linear burst
+    Strided,    ///< regular stride: chunk-programmed DMA
+    Duplicated, ///< repeated sources: chunk-programmed DMA
+    Irregular,  ///< no regular structure: PIO
+};
+
+const char *transferClassName(TransferClass c);
+
+struct DmaPlan
+{
+    TransferClass kind;
+
+    /** Chunk source addresses, in destination order. */
+    std::vector<uint64_t> chunkSrcs;
+
+    size_t
+    numChunks() const
+    {
+        return chunkSrcs.size();
+    }
+
+    /** Distinct source chunks (== numChunks unless duplicated). */
+    size_t distinctChunks() const;
+};
+
+/**
+ * Build the descriptor list for transferring the layout's elements
+ * (in logical order) where each logical element is one 512-byte
+ * chunk at `base + offset * chunk_bytes`.
+ */
+DmaPlan planFromLayout(const Layout &layout, uint64_t base,
+                       uint64_t chunk_bytes = 512);
+
+} // namespace cisram::core
+
+#endif // CISRAM_CORE_DMA_PLAN_HH

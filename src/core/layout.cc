@@ -1,0 +1,184 @@
+#include "core/layout.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cisram::core {
+
+Layout
+Layout::rowMajor(const std::vector<size_t> &shape)
+{
+    std::vector<Dim> dims(shape.size());
+    int64_t stride = 1;
+    for (size_t d = shape.size(); d-- > 0;) {
+        dims[d] = {shape[d], stride};
+        stride *= static_cast<int64_t>(shape[d]);
+    }
+    return Layout(std::move(dims));
+}
+
+Layout
+Layout::columnMajor(const std::vector<size_t> &shape)
+{
+    std::vector<Dim> dims(shape.size());
+    int64_t stride = 1;
+    for (size_t d = 0; d < shape.size(); ++d) {
+        dims[d] = {shape[d], stride};
+        stride *= static_cast<int64_t>(shape[d]);
+    }
+    return Layout(std::move(dims));
+}
+
+size_t
+Layout::totalElems() const
+{
+    size_t n = 1;
+    for (const auto &d : dims_)
+        n *= d.size;
+    return n;
+}
+
+int64_t
+Layout::offsetOf(const std::vector<size_t> &idx) const
+{
+    cisram_assert(idx.size() == dims_.size(), "index rank mismatch");
+    int64_t off = 0;
+    for (size_t d = 0; d < dims_.size(); ++d) {
+        cisram_assert(idx[d] < dims_[d].size, "index OOB in dim ", d);
+        off += static_cast<int64_t>(idx[d]) * dims_[d].stride;
+    }
+    return off;
+}
+
+Layout
+Layout::transposed(size_t d0, size_t d1) const
+{
+    cisram_assert(d0 < dims_.size() && d1 < dims_.size());
+    std::vector<Dim> dims = dims_;
+    std::swap(dims[d0], dims[d1]);
+    return Layout(std::move(dims));
+}
+
+bool
+Layout::isContiguous() const
+{
+    // Enumerate offsets; a layout is contiguous iff the sorted
+    // offsets form [0, totalElems). Layouts here are small metadata
+    // objects, so enumeration is acceptable.
+    size_t n = totalElems();
+    std::vector<int64_t> offsets;
+    offsets.reserve(n);
+    std::vector<size_t> idx(dims_.size(), 0);
+    for (size_t count = 0; count < n; ++count) {
+        offsets.push_back(offsetOf(idx));
+        for (size_t d = dims_.size(); d-- > 0;) {
+            if (++idx[d] < dims_[d].size)
+                break;
+            idx[d] = 0;
+        }
+    }
+    std::sort(offsets.begin(), offsets.end());
+    for (size_t i = 0; i < n; ++i)
+        if (offsets[i] != static_cast<int64_t>(i))
+            return false;
+    return true;
+}
+
+std::string
+Layout::str() const
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (const auto &d : dims_)
+        oss << "(" << d.size << "," << d.stride << ")";
+    oss << "]";
+    return oss.str();
+}
+
+namespace {
+
+/** Min and max storage offset of one broadcast window. */
+std::pair<int64_t, int64_t>
+windowSpan(const Layout &layout, const BroadcastSweep &sweep,
+           std::vector<size_t> base)
+{
+    int64_t lo = INT64_MAX, hi = INT64_MIN;
+    for (size_t w = 0; w < sweep.window; ++w) {
+        std::vector<size_t> idx = base;
+        idx[sweep.axis] += w;
+        int64_t off = layout.offsetOf(idx);
+        lo = std::min(lo, off);
+        hi = std::max(hi, off);
+    }
+    return {lo, hi};
+}
+
+/** Visit the base index of every step of the sweep. */
+template <typename Fn>
+void
+forEachStep(const Layout &layout, const BroadcastSweep &sweep, Fn fn)
+{
+    const auto &dims = layout.dims();
+    cisram_assert(sweep.axis < dims.size(), "sweep axis OOB");
+    cisram_assert(dims[sweep.axis].size % sweep.window == 0,
+                  "window must divide the axis");
+    std::vector<size_t> idx(dims.size(), 0);
+    size_t steps = layout.totalElems() / sweep.window;
+    for (size_t s = 0; s < steps; ++s) {
+        fn(idx);
+        // Advance: the sweep axis moves in window-sized strides,
+        // other axes roll over normally.
+        for (size_t d = dims.size(); d-- > 0;) {
+            size_t inc = (d == sweep.axis) ? sweep.window : 1;
+            idx[d] += inc;
+            if (idx[d] < dims[d].size)
+                break;
+            idx[d] = 0;
+        }
+    }
+}
+
+} // namespace
+
+size_t
+maxLookupSpan(const Layout &layout, const BroadcastSweep &sweep)
+{
+    size_t worst = 0;
+    forEachStep(layout, sweep, [&](const std::vector<size_t> &base) {
+        auto [lo, hi] = windowSpan(layout, sweep, base);
+        worst = std::max(worst, static_cast<size_t>(hi - lo + 1));
+    });
+    return worst;
+}
+
+size_t
+sharedLookupSpan(const Layout &layout, const BroadcastSweep &sweep)
+{
+    int64_t lo = INT64_MAX, hi = INT64_MIN;
+    forEachStep(layout, sweep, [&](const std::vector<size_t> &base) {
+        auto [wlo, whi] = windowSpan(layout, sweep, base);
+        lo = std::min(lo, wlo);
+        hi = std::max(hi, whi);
+    });
+    return static_cast<size_t>(hi - lo + 1);
+}
+
+Layout
+broadcastFriendly(const std::vector<size_t> &shape,
+                  size_t broadcast_axis)
+{
+    cisram_assert(shape.size() == 2, "2-D layouts only");
+    cisram_assert(broadcast_axis < 2);
+    // Make the broadcast axis innermost-contiguous: its stride is 1,
+    // the other axis strides by the broadcast extent.
+    std::vector<Dim> dims(2);
+    size_t other = 1 - broadcast_axis;
+    dims[broadcast_axis] = {shape[broadcast_axis], 1};
+    dims[other] = {shape[other],
+                   static_cast<int64_t>(shape[broadcast_axis])};
+    return Layout(std::move(dims));
+}
+
+} // namespace cisram::core

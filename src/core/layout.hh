@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Graphene-style data layouts and broadcast-window analysis.
+ *
+ * The paper expresses layouts as dimension sizes and strides
+ * (Section 4.4, citing Graphene) and shows that the lookup-table size
+ * needed to broadcast a window of scalars equals the span of that
+ * window under the layout: a row-major layout needs a table covering
+ * many rows, a broadcast-friendly layout shrinks the table to the
+ * window itself (Fig. 11: 18 -> 3).
+ */
+
+#ifndef CISRAM_CORE_LAYOUT_HH
+#define CISRAM_CORE_LAYOUT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cisram::core {
+
+/** One layout dimension: iterate `size` times with `stride`. */
+struct Dim
+{
+    size_t size;
+    int64_t stride;
+};
+
+/**
+ * An affine layout: logical index (i0, i1, ... ) maps to storage
+ * offset sum(i_d * stride_d). Dimensions are outermost-first.
+ */
+class Layout
+{
+  public:
+    Layout() = default;
+    explicit Layout(std::vector<Dim> dims) : dims_(std::move(dims)) {}
+
+    /** Row-major layout of the given logical shape. */
+    static Layout rowMajor(const std::vector<size_t> &shape);
+
+    /** Column-major layout of the given logical shape. */
+    static Layout columnMajor(const std::vector<size_t> &shape);
+
+    const std::vector<Dim> &dims() const { return dims_; }
+    size_t rank() const { return dims_.size(); }
+
+    /** Number of logical elements. */
+    size_t totalElems() const;
+
+    /** Storage offset of a logical index. */
+    int64_t offsetOf(const std::vector<size_t> &idx) const;
+
+    /** Layout with two dimensions exchanged. */
+    Layout transposed(size_t d0, size_t d1) const;
+
+    /**
+     * True if the layout enumerates a dense contiguous range
+     * [0, totalElems) (in any dimension order).
+     */
+    bool isContiguous() const;
+
+    /** Render as the paper's size/stride matrix, e.g. "[(32,64)(1,1)]". */
+    std::string str() const;
+
+  private:
+    std::vector<Dim> dims_;
+};
+
+/**
+ * Broadcast-window analysis: a sweep broadcasts, at each outer step,
+ * a window of `window` consecutive logical elements along `axis`.
+ * The lookup table backing one step must be a contiguous chunk
+ * covering the window's storage span.
+ */
+struct BroadcastSweep
+{
+    size_t axis;   ///< logical axis the window runs along
+    size_t window; ///< scalars broadcast per step
+};
+
+/** Largest per-step lookup-table span (entries) over all steps. */
+size_t maxLookupSpan(const Layout &layout, const BroadcastSweep &sweep);
+
+/**
+ * Span of one shared lookup table serving every step of the sweep
+ * (table base fixed at the smallest offset touched).
+ */
+size_t sharedLookupSpan(const Layout &layout,
+                        const BroadcastSweep &sweep);
+
+/**
+ * The broadcast-friendly transformation: reorder a 2-D layout so the
+ * broadcast axis becomes innermost-contiguous, shrinking the
+ * per-step lookup span to exactly the window size (Fig. 11(b)).
+ */
+Layout broadcastFriendly(const std::vector<size_t> &shape,
+                         size_t broadcast_axis);
+
+} // namespace cisram::core
+
+#endif // CISRAM_CORE_LAYOUT_HH

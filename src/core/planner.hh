@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Optimization planners: cost-driven selection of the three key
+ * optimizations (paper Section 4) for arbitrary kernels.
+ *
+ *  - Reduction mapping: spatial (intra-VR subgroup reduction +
+ *    scattered PIO output) vs temporal (element-wise accumulation +
+ *    contiguous DMA output).
+ *  - DMA coalescing: repeated duplicated transfers vs one transfer
+ *    into a reuse VR plus subgroup copies.
+ *  - Broadcast layout: lookup cost under a given window span
+ *    (combined with core/layout.hh span analysis).
+ */
+
+#ifndef CISRAM_CORE_PLANNER_HH
+#define CISRAM_CORE_PLANNER_HH
+
+#include <cstddef>
+
+#include "common/logging.hh"
+#include "model/cost_table.hh"
+#include "model/sg_model.hh"
+
+namespace cisram::core {
+
+enum class ReductionMapping { Spatial, Temporal };
+
+/**
+ * Cost comparison of the two reduction mappings, normalized per
+ * produced result so kernels with different tilings can compare.
+ */
+struct ReductionPlan
+{
+    /** Cycles per result: sg_add(r,1)/(l/r) + one PIO store. */
+    double spatialPerResult;
+
+    /** Cycles per result: r element-wise adds and one DMA, over l. */
+    double temporalPerResult;
+
+    ReductionMapping best;
+
+    double
+    speedup() const
+    {
+        return best == ReductionMapping::Temporal
+            ? spatialPerResult / temporalPerResult
+            : temporalPerResult / spatialPerResult;
+    }
+};
+
+/**
+ * Plan a length-r reduction (r must be a power of two <= l).
+ *
+ * Spatial: one VR holds l/r independent reductions; each pass costs
+ * one hierarchical subgroup add and the l/r results come back
+ * scattered, each needing a PIO store.
+ *
+ * Temporal: l independent accumulators are updated element-wise for
+ * r steps; the l contiguous results leave via one full-VR DMA.
+ */
+inline ReductionPlan
+planReduction(const model::CostTable &t,
+              const model::SubgroupReductionModel &sg, size_t r)
+{
+    cisram_assert(r >= 2 && r <= t.vrLength,
+                  "reduction length out of range");
+    double l = static_cast<double>(t.vrLength);
+    double rd = static_cast<double>(r);
+
+    double spatial = sg.predict(r, 1) / (l / rd) + t.pioStPerElem;
+    double temporal = (rd * t.addS16 + t.dmaL1L4) / l;
+
+    ReductionPlan plan;
+    plan.spatialPerResult = spatial;
+    plan.temporalPerResult = temporal;
+    plan.best = temporal <= spatial ? ReductionMapping::Temporal
+                                    : ReductionMapping::Spatial;
+    return plan;
+}
+
+/** Cost comparison for loading one reused data chunk many times. */
+struct CoalescePlan
+{
+    /** Cycles for `reuse` separate duplicated DMA transfers. */
+    double naiveCycles;
+
+    /** Cycles for one bulk load plus `reuse` subgroup copies. */
+    double coalescedCycles;
+
+    bool coalesce;
+
+    double
+    speedup() const
+    {
+        return coalesce ? naiveCycles / coalescedCycles
+                        : coalescedCycles / naiveCycles;
+    }
+};
+
+/**
+ * Plan the movement of a chunk of `chunk_bytes` that must appear,
+ * duplicated across a full VR, in `reuse` successive iterations
+ * (Eq. 11 vs Eq. 12).
+ */
+inline CoalescePlan
+planDmaCoalescing(const model::CostTable &t, double chunk_bytes,
+                  size_t reuse)
+{
+    double vr_bytes = static_cast<double>(t.vrLength) * 2.0;
+    double naive = static_cast<double>(reuse) *
+        (t.dmaL4L2(vr_bytes) + t.dmaL2L1 + t.loadStore);
+    double bulk_loads = chunk_bytes * static_cast<double>(reuse) /
+        vr_bytes;
+    if (bulk_loads < 1.0)
+        bulk_loads = 1.0;
+    double coalesced = bulk_loads * t.dmaL4L1 +
+        static_cast<double>(reuse) * (t.loadStore + t.cpySubgrp);
+
+    CoalescePlan plan;
+    plan.naiveCycles = naive;
+    plan.coalescedCycles = coalesced;
+    plan.coalesce = coalesced <= naive;
+    return plan;
+}
+
+/** Lookup cost of `steps` broadcasts against a table of `span`. */
+inline double
+broadcastCost(const model::CostTable &t, size_t span, size_t steps)
+{
+    return static_cast<double>(steps) *
+        t.lookup(static_cast<double>(span));
+}
+
+} // namespace cisram::core
+
+#endif // CISRAM_CORE_PLANNER_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * DRAM device configurations for the off-chip memory simulator.
+ *
+ * The paper models the shared off-chip memory with a simulated HBM2e
+ * (16 GB, 2 ranks, 8 channels, 1.6 GHz, 380-420 GB/s peak) using
+ * Ramulator 2 and DRAMPower 5.0 (Section 5.3.1). This module defines
+ * equivalent configurations for our bank-state-machine simulator:
+ * HBM2e for the RAG experiments and a DDR4 profile matching the
+ * device's native 23.8 GB/s DRAM.
+ */
+
+#ifndef CISRAM_DRAMSIM_DRAM_CONFIG_HH
+#define CISRAM_DRAMSIM_DRAM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cisram::dram {
+
+/** Row-buffer management policy. */
+enum class PagePolicy
+{
+    Open,   ///< rows stay open; streams amortize activates
+    Closed, ///< auto-precharge after every column access
+};
+
+/**
+ * Timing and geometry of one DRAM configuration. All timing values
+ * are in memory-controller clock cycles; the data bus is DDR (two
+ * transfers per cycle).
+ */
+struct DramConfig
+{
+    std::string name;
+
+    PagePolicy pagePolicy = PagePolicy::Open;
+
+    // Geometry.
+    unsigned channels;
+    unsigned ranksPerChannel;
+    unsigned banksPerRank;
+    uint64_t rowBytes;       ///< row-buffer size per bank
+    unsigned busBits;        ///< data bus width per channel
+    unsigned burstLength;    ///< transfers per column access (BL)
+
+    // Clocking.
+    double clockHz;          ///< controller/bus clock (DDR: x2 data)
+
+    // Core timing parameters (cycles).
+    unsigned tRCD;           ///< ACT -> RD/WR
+    unsigned tRP;            ///< PRE -> ACT
+    unsigned tCL;            ///< RD -> first data
+    unsigned tRAS;           ///< ACT -> PRE minimum
+    unsigned tCCD;           ///< column-to-column (same bank group)
+    unsigned tRRD;           ///< ACT -> ACT (different banks)
+    unsigned tWR;            ///< write recovery
+    unsigned tRFC;           ///< refresh cycle time
+    unsigned tREFI;          ///< refresh interval
+
+    /** Bytes delivered by one column access (burst). */
+    uint64_t
+    burstBytes() const
+    {
+        return static_cast<uint64_t>(busBits) / 8 * burstLength;
+    }
+
+    /** Peak bandwidth in bytes per second across all channels. */
+    double
+    peakBandwidth() const
+    {
+        // DDR: two transfers per clock.
+        return static_cast<double>(busBits) / 8 * 2.0 * clockHz *
+            channels;
+    }
+
+    /** tRC: full row cycle. */
+    unsigned tRC() const { return tRAS + tRP; }
+};
+
+/**
+ * HBM2e, 16 GB, 8 channels, 2 ranks (pseudo-channels folded into
+ * ranks), 1.6 GHz. Peak bandwidth: 128 bit / 8 * 2 * 1.6e9 * 8 =
+ * 409.6 GB/s, inside the paper's 380-420 GB/s window.
+ */
+DramConfig hbm2eConfig();
+
+/** Device DDR4: single 64-bit channel at 1.49 GHz ~= 23.8 GB/s peak. */
+DramConfig ddr4DeviceConfig();
+
+/**
+ * Per-operation energy for the power model (DRAMPower-style
+ * abstraction, folded from IDD measurements into pJ per event).
+ */
+struct DramEnergyConfig
+{
+    double actPrePj;        ///< one ACT+PRE pair, per bank
+    double rdBurstPj;       ///< one read burst on the bus
+    double wrBurstPj;       ///< one write burst on the bus
+    double refreshPj;       ///< one refresh command (all banks)
+    double backgroundWatts; ///< static/background power, whole stack
+};
+
+/** HBM2e energy profile (~3.9 pJ/bit at the core, plus background). */
+DramEnergyConfig hbm2eEnergyConfig();
+
+/** DDR4 energy profile (~15 pJ/bit end-to-end). */
+DramEnergyConfig ddr4EnergyConfig();
+
+} // namespace cisram::dram
+
+#endif // CISRAM_DRAMSIM_DRAM_CONFIG_HH

@@ -1,0 +1,284 @@
+#include "dramsim/dram_sim.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cisram::dram {
+
+DramConfig
+hbm2eConfig()
+{
+    DramConfig c;
+    c.name = "HBM2e-16GB";
+    c.channels = 8;
+    c.ranksPerChannel = 2;
+    c.banksPerRank = 16;
+    c.rowBytes = 1024;
+    c.busBits = 128;
+    c.burstLength = 4;
+    c.clockHz = 1.6e9;
+    c.tRCD = 23;
+    c.tRP = 23;
+    c.tCL = 23;
+    c.tRAS = 52;
+    c.tCCD = 2;
+    c.tRRD = 6;
+    c.tWR = 26;
+    c.tRFC = 416;
+    c.tREFI = 6240;
+    return c;
+}
+
+DramConfig
+ddr4DeviceConfig()
+{
+    DramConfig c;
+    c.name = "DDR4-device";
+    c.channels = 1;
+    c.ranksPerChannel = 1;
+    c.banksPerRank = 16;
+    c.rowBytes = 8192;
+    c.busBits = 64;
+    c.burstLength = 8;
+    c.clockHz = 1.49e9; // 23.8 GB/s peak, matching the device DDR
+    c.tRCD = 22;
+    c.tRP = 22;
+    c.tCL = 22;
+    c.tRAS = 52;
+    c.tCCD = 4;
+    c.tRRD = 8;
+    c.tWR = 24;
+    c.tRFC = 560;
+    c.tREFI = 11648;
+    return c;
+}
+
+DramEnergyConfig
+hbm2eEnergyConfig()
+{
+    // ~0.9 nJ per ACT/PRE pair, ~3.9 pJ/bit core access: a 64-byte
+    // burst moves 512 bits -> ~2 nJ including I/O.
+    return {900.0, 2000.0, 2100.0, 25000.0, 1.2};
+}
+
+DramEnergyConfig
+ddr4EnergyConfig()
+{
+    // DDR4 end-to-end ~15 pJ/bit: 64-byte burst ~= 7.7 nJ.
+    return {1500.0, 7700.0, 7900.0, 35000.0, 0.9};
+}
+
+DramChannel::DramChannel(const DramConfig &cfg)
+    : cfg(cfg), banks(cfg.ranksPerChannel * cfg.banksPerRank)
+{}
+
+void
+DramChannel::idle()
+{
+    for (auto &b : banks)
+        b = Bank{};
+    busFree = 0;
+    lastAct = 0;
+}
+
+uint64_t
+DramChannel::process(uint64_t bank_id, uint64_t row, bool write)
+{
+    cisram_assert(bank_id < banks.size(), "bank OOB");
+    Bank &b = banks[bank_id];
+    uint64_t occupancy = std::max<uint64_t>(1, cfg.burstLength / 2);
+
+    uint64_t issue;
+    if (b.openRow == static_cast<int64_t>(row)) {
+        ++stats_.rowHits;
+        issue = std::max(busFree, b.actAt + cfg.tRCD);
+    } else {
+        ++stats_.rowMisses;
+        uint64_t act_at;
+        if (b.openRow >= 0) {
+            // Precharge the open row first; respect tRAS and write
+            // recovery on the outgoing row.
+            uint64_t pre_at =
+                std::max(b.actAt + cfg.tRAS,
+                         b.lastAccess + (write ? cfg.tWR : 0));
+            act_at = pre_at + cfg.tRP;
+        } else {
+            act_at = b.lastAccess;
+        }
+        act_at = std::max(act_at, lastAct + cfg.tRRD);
+        act_at = std::max(act_at, b.actAt + cfg.tRC());
+        b.actAt = act_at;
+        lastAct = act_at;
+        b.openRow = static_cast<int64_t>(row);
+        ++stats_.activates;
+        issue = std::max(busFree, act_at + cfg.tRCD);
+    }
+
+    busFree = issue + std::max<uint64_t>(cfg.tCCD, occupancy);
+    b.lastAccess = issue;
+    if (cfg.pagePolicy == PagePolicy::Closed) {
+        // Auto-precharge: the row closes and the bank cannot
+        // re-activate before its row cycle completes.
+        b.openRow = -1;
+    }
+    if (write)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+    return issue + cfg.tCL + occupancy;
+}
+
+DramSystem::DramSystem(DramConfig cfg) : cfg(std::move(cfg)) {}
+
+namespace {
+
+/** Decomposed physical location of one burst. */
+struct Location
+{
+    unsigned channel;
+    uint64_t bank;
+    uint64_t row;
+};
+
+/**
+ * Burst-interleaved, column-low mapping: consecutive bursts rotate
+ * across channels; within a channel they fill a row, then move to
+ * the next bank, so streams pipeline activates across banks.
+ */
+Location
+mapAddress(const DramConfig &cfg, uint64_t addr)
+{
+    uint64_t burst = addr / cfg.burstBytes();
+    unsigned channel = static_cast<unsigned>(burst % cfg.channels);
+    uint64_t cb = burst / cfg.channels;
+    uint64_t bursts_per_row = cfg.rowBytes / cfg.burstBytes();
+    uint64_t total_banks =
+        static_cast<uint64_t>(cfg.ranksPerChannel) * cfg.banksPerRank;
+    uint64_t col_group = cb / bursts_per_row;
+    uint64_t bank = col_group % total_banks;
+    uint64_t row = col_group / total_banks;
+    return {channel, bank, row};
+}
+
+} // namespace
+
+double
+DramSystem::processTrace(const std::vector<Request> &reqs)
+{
+    std::vector<DramChannel> channels(cfg.channels,
+                                      DramChannel(cfg));
+    uint64_t done = 0;
+    uint64_t bytes = 0;
+    for (const auto &r : reqs) {
+        Location loc = mapAddress(cfg, r.addr);
+        done = std::max(done, channels[loc.channel].process(
+                                  loc.bank, loc.row, r.write));
+        bytes += cfg.burstBytes();
+    }
+    for (const auto &ch : channels)
+        stats_ += ch.stats();
+
+    // Refresh derating: each tREFI window loses tRFC cycles.
+    double refresh_factor =
+        1.0 + static_cast<double>(cfg.tRFC) / cfg.tREFI;
+    double cycles = static_cast<double>(done) * refresh_factor;
+    stats_.refreshes += static_cast<uint64_t>(cycles / cfg.tREFI) *
+        cfg.channels;
+
+    double seconds = cycles / cfg.clockHz;
+    lastBandwidth =
+        seconds > 0 ? static_cast<double>(bytes) / seconds : 0.0;
+    return seconds;
+}
+
+void
+DramSystem::appendRange(std::vector<Request> &reqs, uint64_t base,
+                        uint64_t bytes, bool write) const
+{
+    uint64_t bb = cfg.burstBytes();
+    uint64_t first = base / bb;
+    uint64_t last = (base + bytes + bb - 1) / bb;
+    for (uint64_t b = first; b < last; ++b)
+        reqs.push_back({b * bb, write});
+}
+
+namespace {
+
+/** Cap on the simulated portion of very long streams. */
+constexpr uint64_t streamSampleBytes = 64ull * 1024 * 1024;
+
+} // namespace
+
+double
+DramSystem::streamReadSeconds(uint64_t base, uint64_t bytes)
+{
+    if (bytes == 0)
+        return 0.0;
+    // Long streams reach bandwidth steady state quickly; simulate a
+    // large sample and scale the remainder at the sampled rate.
+    uint64_t simulated = std::min(bytes, streamSampleBytes);
+    std::vector<Request> reqs;
+    reqs.reserve(simulated / cfg.burstBytes() + 1);
+    appendRange(reqs, base, simulated, false);
+    double seconds = processTrace(reqs);
+    if (simulated < bytes) {
+        double rate = static_cast<double>(simulated) / seconds;
+        seconds += static_cast<double>(bytes - simulated) / rate;
+        lastBandwidth = static_cast<double>(bytes) / seconds;
+    }
+    return seconds;
+}
+
+double
+DramSystem::streamWriteSeconds(uint64_t base, uint64_t bytes)
+{
+    if (bytes == 0)
+        return 0.0;
+    uint64_t simulated = std::min(bytes, streamSampleBytes);
+    std::vector<Request> reqs;
+    reqs.reserve(simulated / cfg.burstBytes() + 1);
+    appendRange(reqs, base, simulated, true);
+    double seconds = processTrace(reqs);
+    if (simulated < bytes) {
+        double rate = static_cast<double>(simulated) / seconds;
+        seconds += static_cast<double>(bytes - simulated) / rate;
+        lastBandwidth = static_cast<double>(bytes) / seconds;
+    }
+    return seconds;
+}
+
+double
+DramSystem::stridedReadSeconds(uint64_t base, uint64_t chunk_bytes,
+                               uint64_t stride_bytes, uint64_t count)
+{
+    cisram_assert(stride_bytes >= chunk_bytes,
+                  "stride smaller than chunk");
+    // Cap the simulated chunk count the same way as streams.
+    uint64_t max_chunks =
+        std::max<uint64_t>(1, streamSampleBytes / chunk_bytes);
+    uint64_t simulated = std::min(count, max_chunks);
+    std::vector<Request> reqs;
+    reqs.reserve(simulated * (chunk_bytes / cfg.burstBytes() + 1));
+    for (uint64_t i = 0; i < simulated; ++i)
+        appendRange(reqs, base + i * stride_bytes, chunk_bytes,
+                    false);
+    double seconds = processTrace(reqs);
+    if (simulated < count) {
+        double per_chunk = seconds / static_cast<double>(simulated);
+        seconds += per_chunk * static_cast<double>(count - simulated);
+    }
+    return seconds;
+}
+
+double
+DramPowerModel::dynamicEnergy(const DramStats &s) const
+{
+    double pj = static_cast<double>(s.activates) * e.actPrePj +
+        static_cast<double>(s.reads) * e.rdBurstPj +
+        static_cast<double>(s.writes) * e.wrBurstPj +
+        static_cast<double>(s.refreshes) * e.refreshPj;
+    return pj * 1e-12;
+}
+
+} // namespace cisram::dram

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Bank-state-machine DRAM timing simulator ("ramulator-lite").
+ *
+ * Models per-bank row-buffer state, ACT/PRE/RD/WR timing constraints,
+ * per-channel bus occupancy, and periodic refresh derating. Requests
+ * are processed in order per channel (the FR-FCFS schedule degenerates
+ * to FCFS for the streaming and strided patterns the workloads
+ * generate, so in-order per channel is accurate for our use).
+ */
+
+#ifndef CISRAM_DRAMSIM_DRAM_SIM_HH
+#define CISRAM_DRAMSIM_DRAM_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dramsim/dram_config.hh"
+
+namespace cisram::dram {
+
+/** One burst-granularity memory request. */
+struct Request
+{
+    uint64_t addr;
+    bool write;
+};
+
+/** Aggregate counters for the power model. */
+struct DramStats
+{
+    uint64_t activates = 0;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t rowHits = 0;
+    uint64_t rowMisses = 0;
+    uint64_t refreshes = 0;
+
+    void
+    operator+=(const DramStats &o)
+    {
+        activates += o.activates;
+        reads += o.reads;
+        writes += o.writes;
+        rowHits += o.rowHits;
+        rowMisses += o.rowMisses;
+        refreshes += o.refreshes;
+    }
+};
+
+/** One channel's banks and bus. */
+class DramChannel
+{
+  public:
+    explicit DramChannel(const DramConfig &cfg);
+
+    /**
+     * Process one burst request; returns the cycle its data transfer
+     * completes. Requests must be issued in nondecreasing program
+     * order (in-order per channel).
+     */
+    uint64_t process(uint64_t bank_id, uint64_t row, bool write);
+
+    uint64_t busyUntil() const { return busFree; }
+    const DramStats &stats() const { return stats_; }
+
+    /** Close all rows and reset timing state (not counters). */
+    void idle();
+
+  private:
+    struct Bank
+    {
+        int64_t openRow = -1;
+        uint64_t actAt = 0;     ///< cycle of last ACT
+        uint64_t lastAccess = 0;///< cycle last column access issued
+    };
+
+    const DramConfig &cfg;
+    std::vector<Bank> banks;
+    uint64_t busFree = 0;
+    uint64_t lastAct = 0;
+    DramStats stats_;
+};
+
+/**
+ * A multi-channel DRAM system with burst-interleaved address mapping.
+ */
+class DramSystem
+{
+  public:
+    explicit DramSystem(DramConfig cfg);
+
+    const DramConfig &config() const { return cfg; }
+
+    /** Process an arbitrary request trace; returns elapsed seconds. */
+    double processTrace(const std::vector<Request> &reqs);
+
+    /**
+     * Convenience: time to stream-read `bytes` starting at `base`
+     * (the embedding-load pattern of the RAG experiments). Refresh
+     * derating is included.
+     */
+    double streamReadSeconds(uint64_t base, uint64_t bytes);
+
+    /** Time to stream-write `bytes`. */
+    double streamWriteSeconds(uint64_t base, uint64_t bytes);
+
+    /**
+     * Time for a strided gather of `count` chunks of `chunk_bytes`
+     * each, `stride_bytes` apart (duplicated / strided DMA layouts).
+     */
+    double stridedReadSeconds(uint64_t base, uint64_t chunk_bytes,
+                              uint64_t stride_bytes, uint64_t count);
+
+    /** Effective bandwidth of the last processTrace call, bytes/s. */
+    double lastEffectiveBandwidth() const { return lastBandwidth; }
+
+    const DramStats &stats() const { return stats_; }
+    void resetStats() { stats_ = DramStats{}; }
+
+  private:
+    /** Append the burst requests of a contiguous range. */
+    void appendRange(std::vector<Request> &reqs, uint64_t base,
+                     uint64_t bytes, bool write) const;
+
+    DramConfig cfg;
+    DramStats stats_;
+    double lastBandwidth = 0.0;
+};
+
+/**
+ * DRAMPower-lite: converts simulator counters plus elapsed time into
+ * energy per component.
+ */
+class DramPowerModel
+{
+  public:
+    DramPowerModel(DramEnergyConfig energy) : e(energy) {}
+
+    /** Dynamic energy (ACT/PRE + RD + WR + refresh) in joules. */
+    double dynamicEnergy(const DramStats &s) const;
+
+    /** Background energy over `seconds` in joules. */
+    double
+    backgroundEnergy(double seconds) const
+    {
+        return e.backgroundWatts * seconds;
+    }
+
+    /** Total energy in joules. */
+    double
+    totalEnergy(const DramStats &s, double seconds) const
+    {
+        return dynamicEnergy(s) + backgroundEnergy(seconds);
+    }
+
+  private:
+    DramEnergyConfig e;
+};
+
+} // namespace cisram::dram
+
+#endif // CISRAM_DRAMSIM_DRAM_SIM_HH

@@ -1,0 +1,28 @@
+#include "energy/energy.hh"
+
+#include "common/logging.hh"
+
+namespace cisram::energy {
+
+double
+EnergyBreakdown::share(double rail) const
+{
+    double t = totalJ();
+    return t > 0 ? 100.0 * rail / t : 0.0;
+}
+
+EnergyBreakdown
+ApuPowerModel::energy(const ApuActivity &a) const
+{
+    cisram_assert(a.computeSeconds <= a.totalSeconds + 1e-12,
+                  "compute time exceeds window");
+    EnergyBreakdown e;
+    e.staticJ = cfg.staticWatts * a.totalSeconds;
+    e.computeJ = cfg.computeActiveWatts * a.computeSeconds;
+    e.dramJ = cfg.dramPjPerBit * 8.0 * a.dramBytes * 1e-12;
+    e.cacheJ = cfg.cachePjPerByte * a.cacheBytes * 1e-12;
+    e.otherJ = cfg.otherWatts * a.totalSeconds;
+    return e;
+}
+
+} // namespace cisram::energy

@@ -1,0 +1,47 @@
+#include "gdl/gdl.hh"
+
+#include "common/logging.hh"
+
+namespace cisram::gdl {
+
+MemHandle
+GdlContext::memAllocAligned(uint64_t bytes, uint64_t align)
+{
+    return MemHandle{dev_.allocator().alloc(bytes, align)};
+}
+
+void
+GdlContext::memCpyToDev(MemHandle dst, const void *src,
+                        uint64_t bytes)
+{
+    cisram_assert(src != nullptr || bytes == 0);
+    dev_.l4().write(dst.addr, src, bytes);
+    stats_.pcieSeconds +=
+        pcieLatency + static_cast<double>(bytes) / pcieBytesPerSec;
+    stats_.bytesToDevice += bytes;
+}
+
+void
+GdlContext::memCpyFromDev(void *dst, MemHandle src, uint64_t bytes)
+{
+    cisram_assert(dst != nullptr || bytes == 0);
+    dev_.l4().read(src.addr, dst, bytes);
+    stats_.pcieSeconds +=
+        pcieLatency + static_cast<double>(bytes) / pcieBytesPerSec;
+    stats_.bytesFromDevice += bytes;
+}
+
+int
+GdlContext::runTask(const std::function<int(apu::ApuCore &)> &task)
+{
+    apu::ApuCore &core = dev_.core(0);
+    double before = core.stats().cycles();
+    int rc = task(core);
+    double cycles = core.stats().cycles() - before;
+    stats_.deviceSeconds += dev_.cyclesToSeconds(cycles);
+    stats_.invokeSeconds += taskLaunchSeconds;
+    ++stats_.tasksRun;
+    return rc;
+}
+
+} // namespace cisram::gdl

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * GDL: the host-side device library (paper Section 2.2.1).
+ *
+ * The paper's host programs manage kernel invocation, device-DRAM
+ * allocation, and host<->device transfers through GSI's GDL library
+ * (Fig. 5a: gdl_mem_alloc_aligned, gdl_mem_cpy_to_dev,
+ * gdl_run_task_timeout). This module reproduces that API surface on
+ * the simulator, including PCIe transfer timing and task-invocation
+ * overhead, so host programs read like the paper's.
+ */
+
+#ifndef CISRAM_GDL_GDL_HH
+#define CISRAM_GDL_GDL_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "apusim/apu.hh"
+
+namespace cisram::gdl {
+
+/** Opaque device-memory handle (a device address, as in GDL). */
+struct MemHandle
+{
+    uint64_t addr = 0;
+
+    MemHandle
+    offset(uint64_t bytes) const
+    {
+        return MemHandle{addr + bytes};
+    }
+};
+
+/** Host-observed timing of GDL activity. */
+struct HostStats
+{
+    double pcieSeconds = 0;   ///< host<->device copy time
+    double invokeSeconds = 0; ///< task launch/retire overhead
+    double deviceSeconds = 0; ///< device cycles during tasks
+    uint64_t bytesToDevice = 0;
+    uint64_t bytesFromDevice = 0;
+    unsigned tasksRun = 0;
+
+    double
+    totalSeconds() const
+    {
+        return pcieSeconds + invokeSeconds + deviceSeconds;
+    }
+};
+
+/**
+ * One host "calling context" bound to a device, mirroring the GDL
+ * session the paper's host code initializes.
+ */
+class GdlContext
+{
+  public:
+    explicit GdlContext(apu::ApuDevice &dev) : dev_(dev) {}
+
+    apu::ApuDevice &device() { return dev_; }
+
+    /** gdl_mem_alloc_aligned: allocate device DRAM. */
+    MemHandle memAllocAligned(uint64_t bytes, uint64_t align = 512);
+
+    /** gdl_mem_cpy_to_dev: host -> device DRAM over PCIe. */
+    void memCpyToDev(MemHandle dst, const void *src, uint64_t bytes);
+
+    /** gdl_mem_cpy_from_dev: device DRAM -> host over PCIe. */
+    void memCpyFromDev(void *dst, MemHandle src, uint64_t bytes);
+
+    /**
+     * gdl_run_task_timeout: invoke a device program on core 0. The
+     * task body receives the core; its charged cycles are folded
+     * into the host stats along with the launch overhead.
+     *
+     * @return The task's return value (0 for success by GDL
+     *         convention).
+     */
+    int runTask(const std::function<int(apu::ApuCore &)> &task);
+
+    const HostStats &stats() const { return stats_; }
+    void resetStats() { stats_ = HostStats{}; }
+
+    // Transfer/launch model parameters (PCIe 3.0 x16 effective).
+    double pcieBytesPerSec = 12.0e9;
+    double pcieLatency = 5.0e-6;
+    double taskLaunchSeconds = 30.0e-6;
+
+  private:
+    apu::ApuDevice &dev_;
+    HostStats stats_;
+};
+
+} // namespace cisram::gdl
+
+#endif // CISRAM_GDL_GDL_HH

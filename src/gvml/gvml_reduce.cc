@@ -1,0 +1,166 @@
+/**
+ * @file
+ * GVML reductions: hierarchical subgroup add, mark counting, and the
+ * associative global max/min search.
+ */
+
+#include "gvml/gvml.hh"
+
+#include "common/bitutils.hh"
+
+namespace cisram::gvml {
+
+void
+Gvml::addSubgrpS16(Vr dst, Vr src, size_t grp, size_t subgrp)
+{
+    cisram_assert(isPow2(grp) && isPow2(subgrp),
+                  "subgroup reduction requires power-of-two sizes");
+    cisram_assert(subgrp <= grp && grp <= length(),
+                  "invalid group/subgroup sizes");
+    cisram_assert(length() % grp == 0, "group must divide VR length");
+
+    if (grp == subgrp) {
+        cpy16(dst, src);
+        return;
+    }
+
+    // The device realizes this reduction with dedicated microcode:
+    // log2(grp/subgrp) shift-and-add stages whose per-stage cost
+    // grows quadratically with stage depth (wider alignment and
+    // masking at each level). The total is therefore cubic in the
+    // logarithms of the sizes, which is exactly the behaviour the
+    // analytical framework's Eq. 1 models and fits.
+    const auto &cp = core_.timing().compute;
+    const auto &ct = core_.timing().control;
+
+    std::vector<uint16_t> work;
+    if (core_.functional())
+        work = core_.vr()[src.idx];
+
+    uint64_t ls = log2Floor(subgrp == 0 ? 1 : subgrp);
+    for (size_t step = grp / 2; step >= subgrp; step /= 2) {
+        uint64_t u = log2Floor(step == 0 ? 1 : step) + 1;
+        uint64_t stage_cost = cp.sgStageBase + cp.sgStageLinear * u +
+            cp.sgStageMask * ls * ls;
+        core_.chargeVectorOp(stage_cost);
+        core_.chargeVectorOp(cp.addS16);
+        core_.chargeRaw(ct.vcuDecode); // mask re-arm between the pair
+
+        if (core_.functional()) {
+            for (size_t i = 0; i + step < work.size(); ++i) {
+                int32_t sum = static_cast<int16_t>(work[i]) +
+                              static_cast<int16_t>(work[i + step]);
+                work[i] = static_cast<uint16_t>(sum & 0xffff);
+            }
+        }
+    }
+
+    if (core_.functional())
+        core_.vr()[dst.idx] = std::move(work);
+}
+
+uint32_t
+Gvml::countM(Vr mark)
+{
+    core_.chargeVectorOp(core_.timing().compute.countM);
+    if (!core_.functional())
+        return 0;
+    const auto &m = core_.vr()[mark.idx];
+    uint32_t n = 0;
+    for (uint16_t v : m)
+        if (v)
+            ++n;
+    return n;
+}
+
+namespace {
+
+/** Cycles charged per refinement step of the associative search. */
+uint64_t
+searchStepCycles(const apu::TimingParams &t)
+{
+    // One read-AND against the candidate mark plus the wired-OR "any"
+    // test on the global horizontal lines.
+    return t.compute.and16 + t.compute.or16 + 4;
+}
+
+} // namespace
+
+Gvml::MaxResult
+Gvml::maxIndexU16(Vr src)
+{
+    const auto &t = core_.timing();
+    // 16 bit-serial refinement steps, then one serial index fetch.
+    for (int b = 0; b < 16; ++b)
+        core_.chargeVectorOp(searchStepCycles(t));
+    core_.chargeRaw(t.move.pioStorePerElem);
+
+    if (!core_.functional())
+        return {0, 0};
+
+    const auto &s = core_.vr()[src.idx];
+    std::vector<bool> cand(s.size(), true);
+    uint16_t value = 0;
+    for (int b = 15; b >= 0; --b) {
+        uint16_t probe = static_cast<uint16_t>(value | (1u << b));
+        bool any = false;
+        for (size_t i = 0; i < s.size(); ++i) {
+            if (cand[i] && (s[i] & probe) == probe) {
+                any = true;
+                break;
+            }
+        }
+        if (any) {
+            value = probe;
+            for (size_t i = 0; i < s.size(); ++i)
+                cand[i] = cand[i] && (s[i] & probe) == probe;
+        }
+    }
+    for (size_t i = 0; i < s.size(); ++i)
+        if (cand[i])
+            return {value, i};
+    cisram_panic("associative max search lost all candidates");
+}
+
+Gvml::MaxResult
+Gvml::minIndexU16(Vr src)
+{
+    const auto &t = core_.timing();
+    for (int b = 0; b < 16; ++b)
+        core_.chargeVectorOp(searchStepCycles(t));
+    core_.chargeRaw(t.move.pioStorePerElem);
+
+    if (!core_.functional())
+        return {0, 0};
+
+    // Minimum search: identical refinement on complemented bits.
+    const auto &s = core_.vr()[src.idx];
+    std::vector<bool> cand(s.size(), true);
+    uint16_t inv_value = 0;
+    for (int b = 15; b >= 0; --b) {
+        uint16_t probe = static_cast<uint16_t>(inv_value | (1u << b));
+        bool any = false;
+        for (size_t i = 0; i < s.size(); ++i) {
+            uint16_t inv = static_cast<uint16_t>(~s[i]);
+            if (cand[i] && (inv & probe) == probe) {
+                any = true;
+                break;
+            }
+        }
+        if (any) {
+            inv_value = probe;
+            for (size_t i = 0; i < s.size(); ++i) {
+                uint16_t inv = static_cast<uint16_t>(~s[i]);
+                cand[i] = cand[i] && (inv & probe) == probe;
+            }
+        }
+    }
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (cand[i]) {
+            return {static_cast<uint16_t>(~inv_value), i};
+        }
+    }
+    cisram_panic("associative min search lost all candidates");
+}
+
+} // namespace cisram::gvml

@@ -1,0 +1,164 @@
+#include "gvml/microcode.hh"
+
+namespace cisram::gvml {
+
+using apu::BitProcArray;
+using apu::BoolOp;
+using apu::LatchSrc;
+
+uint64_t
+mcAddU16(BitProcArray &bp, unsigned vr_dst, unsigned vr_a,
+         unsigned vr_b, unsigned vr_carry, unsigned vr_prop,
+         unsigned vr_gen)
+{
+    uint64_t start = bp.uopCount();
+
+    // Clear the carry chain: slice 0's carry-in is zero.
+    bp.rlFromImmediate(BitProcArray::fullMask, false);
+    bp.writeVrFromRl(BitProcArray::fullMask, vr_carry);
+
+    // Precompute propagate (a ^ b) and generate (a & b) bit-parallel:
+    // all 16 slices in one micro-op each.
+    bp.rlFromVr(BitProcArray::fullMask, vr_a);
+    bp.rlOpVr(BitProcArray::fullMask, BoolOp::Xor, vr_b);
+    bp.writeVrFromRl(BitProcArray::fullMask, vr_prop);
+    bp.rlFromVrAndVr(BitProcArray::fullMask, vr_a, vr_b);
+    bp.writeVrFromRl(BitProcArray::fullMask, vr_gen);
+
+    // Ripple the carry: for each bit i, sum_i = p_i ^ c_i and
+    // c_{i+1} = g_i | (p_i & c_i). The carry-out is computed in
+    // slice i's RL and picked up by slice i+1 through the RL_S wire.
+    for (unsigned i = 0; i < 16; ++i) {
+        uint16_t m = static_cast<uint16_t>(1u << i);
+
+        // sum bit: RL = p ^ c, write to dst.
+        bp.rlFromVr(m, vr_prop);
+        bp.rlOpVr(m, BoolOp::Xor, vr_carry);
+        bp.writeVrFromRl(m, vr_dst);
+
+        if (i == 15)
+            break;
+
+        // carry-out in slice i's RL: RL = (p & c) | g.
+        bp.rlFromVrAndVr(m, vr_prop, vr_carry);
+        bp.rlOpVr(m, BoolOp::Or, vr_gen);
+
+        // slice i+1 grabs it via the south-neighbour wire.
+        uint16_t m_next = static_cast<uint16_t>(1u << (i + 1));
+        bp.rlFromLatch(m_next, LatchSrc::RL_S);
+        bp.writeVrFromRl(m_next, vr_carry);
+    }
+
+    return bp.uopCount() - start;
+}
+
+uint64_t
+mcXor16(BitProcArray &bp, unsigned vr_dst, unsigned vr_a,
+        unsigned vr_b, unsigned vr_tmp)
+{
+    uint64_t start = bp.uopCount();
+    // a ^ b == (a | b) & ~(a & b), composed from the read logic's
+    // native AND/OR plus a negated write through WBLB.
+    bp.rlFromVrAndVr(BitProcArray::fullMask, vr_a, vr_b);
+    bp.writeVrFromRl(BitProcArray::fullMask, vr_tmp, /*negate=*/true);
+    bp.rlFromVr(BitProcArray::fullMask, vr_a);
+    bp.rlOpVr(BitProcArray::fullMask, BoolOp::Or, vr_b);
+    bp.rlOpVr(BitProcArray::fullMask, BoolOp::And, vr_tmp);
+    bp.writeVrFromRl(BitProcArray::fullMask, vr_dst);
+    return bp.uopCount() - start;
+}
+
+uint64_t
+mcAllBitsSet(BitProcArray &bp, unsigned vr_dst, unsigned vr_a)
+{
+    uint64_t start = bp.uopCount();
+    bp.rlFromVr(BitProcArray::fullMask, vr_a);
+    bp.loadGvlFromRl(BitProcArray::fullMask);
+    bp.rlFromLatch(BitProcArray::fullMask, LatchSrc::GVL);
+    bp.writeVrFromRl(BitProcArray::fullMask, vr_dst);
+    return bp.uopCount() - start;
+}
+
+uint64_t
+mcSubU16(BitProcArray &bp, unsigned vr_dst, unsigned vr_a,
+         unsigned vr_b, unsigned vr_carry, unsigned vr_prop,
+         unsigned vr_gen, unsigned vr_nb)
+{
+    uint64_t start = bp.uopCount();
+
+    // ~b through the negated write bit-line.
+    bp.rlFromVr(BitProcArray::fullMask, vr_b);
+    bp.writeVrFromRl(BitProcArray::fullMask, vr_nb, /*negate=*/true);
+
+    // a + ~b with carry-in 1: seed slice 0's carry with ones.
+    bp.rlFromImmediate(BitProcArray::fullMask, false);
+    bp.writeVrFromRl(BitProcArray::fullMask, vr_carry);
+    bp.rlFromImmediate(0x0001, true);
+    bp.writeVrFromRl(0x0001, vr_carry);
+
+    bp.rlFromVr(BitProcArray::fullMask, vr_a);
+    bp.rlOpVr(BitProcArray::fullMask, BoolOp::Xor, vr_nb);
+    bp.writeVrFromRl(BitProcArray::fullMask, vr_prop);
+    bp.rlFromVrAndVr(BitProcArray::fullMask, vr_a, vr_nb);
+    bp.writeVrFromRl(BitProcArray::fullMask, vr_gen);
+
+    for (unsigned i = 0; i < 16; ++i) {
+        uint16_t m = static_cast<uint16_t>(1u << i);
+        bp.rlFromVr(m, vr_prop);
+        bp.rlOpVr(m, BoolOp::Xor, vr_carry);
+        bp.writeVrFromRl(m, vr_dst);
+        if (i == 15)
+            break;
+        bp.rlFromVrAndVr(m, vr_prop, vr_carry);
+        bp.rlOpVr(m, BoolOp::Or, vr_gen);
+        uint16_t m_next = static_cast<uint16_t>(1u << (i + 1));
+        bp.rlFromLatch(m_next, LatchSrc::RL_S);
+        bp.writeVrFromRl(m_next, vr_carry);
+    }
+    return bp.uopCount() - start;
+}
+
+uint64_t
+mcMulU16(BitProcArray &bp, unsigned vr_dst, unsigned vr_a,
+         unsigned vr_b, unsigned vr_mask, unsigned vr_partial,
+         unsigned vr_carry, unsigned vr_prop, unsigned vr_gen)
+{
+    uint64_t start = bp.uopCount();
+
+    // dst = 0.
+    bp.rlFromImmediate(BitProcArray::fullMask, false);
+    bp.writeVrFromRl(BitProcArray::fullMask, vr_dst);
+
+    for (unsigned i = 0; i < 16; ++i) {
+        // --- mask = b's bit i, replicated across all slices -------
+        // Shift b's planes down i slices so bit i lands in slice 0,
+        // isolate it there, then propagate upward by OR-ing the
+        // south neighbour 15 times.
+        bp.rlFromVr(BitProcArray::fullMask, vr_b);
+        for (unsigned k = 0; k < i; ++k)
+            bp.rlFromLatch(BitProcArray::fullMask, LatchSrc::RL_N);
+        bp.writeVrFromRl(0x0001, vr_mask);
+        bp.rlFromImmediate(0xfffe, false);
+        bp.writeVrFromRl(0xfffe, vr_mask);
+        for (unsigned k = 0; k < 15; ++k) {
+            bp.rlFromVr(BitProcArray::fullMask, vr_mask);
+            bp.rlOpLatch(BitProcArray::fullMask, BoolOp::Or,
+                         LatchSrc::RL_S);
+            bp.writeVrFromRl(BitProcArray::fullMask, vr_mask);
+        }
+
+        // --- partial = (a << i) & mask ----------------------------
+        bp.rlFromVr(BitProcArray::fullMask, vr_a);
+        for (unsigned k = 0; k < i; ++k)
+            bp.rlFromLatch(BitProcArray::fullMask, LatchSrc::RL_S);
+        bp.rlOpVr(BitProcArray::fullMask, BoolOp::And, vr_mask);
+        bp.writeVrFromRl(BitProcArray::fullMask, vr_partial);
+
+        // --- dst += partial ----------------------------------------
+        mcAddU16(bp, vr_dst, vr_dst, vr_partial, vr_carry, vr_prop,
+                 vr_gen);
+    }
+    return bp.uopCount() - start;
+}
+
+} // namespace cisram::gvml

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Microcode-level programs on the bit-processor array.
+ *
+ * GVML itself is implemented from APU microcode instructions that
+ * operate on the microarchitectural state of Table 2; programmers can
+ * build alternative vector abstractions the same way (Section 2.2.2,
+ * citing the RISC-V vector abstraction of Golden et al.). This module
+ * provides reference microcode programs used to validate the
+ * bit-processor engine against the word-level GVML semantics.
+ */
+
+#ifndef CISRAM_GVML_MICROCODE_HH
+#define CISRAM_GVML_MICROCODE_HH
+
+#include "apusim/bitproc.hh"
+
+namespace cisram::gvml {
+
+/**
+ * Bit-serial ripple-carry addition: vr_dst = vr_a + vr_b (mod 2^16).
+ *
+ * Uses three scratch VRs for the propagate, generate, and carry
+ * chains. The carry ripples across bit-slices through the RL_S
+ * neighbour wire, demonstrating inter-slice communication.
+ *
+ * @return Number of micro-operations issued.
+ */
+uint64_t mcAddU16(apu::BitProcArray &bp, unsigned vr_dst, unsigned vr_a,
+                  unsigned vr_b, unsigned vr_carry, unsigned vr_prop,
+                  unsigned vr_gen);
+
+/**
+ * Bit-parallel XOR via the read/write logic: vr_dst = vr_a ^ vr_b.
+ * All 16 slices execute the same micro-op in one pass, showing the
+ * bit-parallel boolean mode of the array.
+ *
+ * @return Number of micro-operations issued.
+ */
+uint64_t mcXor16(apu::BitProcArray &bp, unsigned vr_dst, unsigned vr_a,
+                 unsigned vr_b, unsigned vr_tmp);
+
+/**
+ * Set vr_dst to the AND of all 16 bit planes of vr_a using the
+ * global vertical latch (one bit per column), then broadcast that
+ * bit back into every slice of vr_dst.
+ *
+ * @return Number of micro-operations issued.
+ */
+uint64_t mcAllBitsSet(apu::BitProcArray &bp, unsigned vr_dst,
+                      unsigned vr_a);
+
+/**
+ * Bit-serial subtraction: vr_dst = vr_a - vr_b (mod 2^16), computed
+ * as a + ~b + 1 with the borrow rippling through RL_S like the
+ * adder's carry.
+ *
+ * @return Number of micro-operations issued.
+ */
+uint64_t mcSubU16(apu::BitProcArray &bp, unsigned vr_dst,
+                  unsigned vr_a, unsigned vr_b, unsigned vr_carry,
+                  unsigned vr_prop, unsigned vr_gen,
+                  unsigned vr_nb);
+
+/**
+ * Bit-serial shift-and-add multiplication:
+ * vr_dst = vr_a * vr_b (low 16 bits).
+ *
+ * For each bit i of the multiplier, a mask VR is built by
+ * propagating b's i-th bit plane across all slices (neighbour-wire
+ * traversal), the partial product (a << i) & mask is formed by
+ * slice-shifting a, and the running sum accumulates through the
+ * bit-serial adder. Demonstrates why mul_u16 costs an order of
+ * magnitude more than the boolean operations (Table 5).
+ *
+ * Clobbers five scratch VRs; vr_dst must differ from vr_a / vr_b.
+ *
+ * @return Number of micro-operations issued.
+ */
+uint64_t mcMulU16(apu::BitProcArray &bp, unsigned vr_dst,
+                  unsigned vr_a, unsigned vr_b, unsigned vr_mask,
+                  unsigned vr_partial, unsigned vr_carry,
+                  unsigned vr_prop, unsigned vr_gen);
+
+} // namespace cisram::gvml
+
+#endif // CISRAM_GVML_MICROCODE_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Binary matrix multiplication on the simulated APU (paper
+ * Section 4, Fig. 12): the motivating example, implemented at every
+ * optimization level.
+ *
+ * C(M, N) = A(M, kBits) x B(kBits, N) over {-1, +1} entries
+ * bit-packed into u16 words along K: C[i][j] = kBits - 2 *
+ * sum_w popcount(A[i][w] XOR B[w][j]).
+ *
+ * Variants (core/bmm_model.hh enums):
+ *  - Baseline: inner-product mapping. Each A row is duplicated
+ *    across a VR by a chunk-programmed DMA; B columns stream in
+ *    column-major; reductions are spatial (add_subgrp_s16) and the
+ *    scattered results leave by PIO.
+ *  - Opt1: temporal SVP mapping. C tiles of floor(l/N) rows live in
+ *    the VR; A scalars broadcast by indexed lookup from L3
+ *    (row-major table); B rows are duplicated by chunked DMA per k;
+ *    contiguous results leave by DMA.
+ *  - Opt1+2: B is loaded once into reuse VMRs and broadcast per k by
+ *    subgroup copy (coalesced DMA).
+ *  - Opt1+3: the L3 A-tile uses the broadcast-friendly layout, so
+ *    each lookup reads a window-sized table.
+ *  - AllOpts: all three.
+ *
+ * In Functional mode the kernel computes real results on one core
+ * (validated against bmmReference). In TimingOnly mode it accounts
+ * the four-core parallel execution: tiles are split across cores and
+ * the reported cycles are the critical path (largest share).
+ */
+
+#ifndef CISRAM_KERNELS_BMM_HH
+#define CISRAM_KERNELS_BMM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "apusim/apu.hh"
+#include "core/bmm_model.hh"
+
+namespace cisram::kernels {
+
+/** Bit-packed operands. */
+struct BmmData
+{
+    std::vector<uint16_t> a; ///< m x kWords, row-major
+    std::vector<uint16_t> b; ///< kWords x n, row-major
+};
+
+/** Deterministic random +-1 matrices, bit-packed. */
+BmmData genBmmData(const core::BmmShape &shape, uint64_t seed);
+
+/** Scalar reference result. */
+std::vector<int16_t> bmmReference(const core::BmmShape &shape,
+                                  const BmmData &data);
+
+/** Result of one APU run. */
+struct BmmRunResult
+{
+    /** Per-stage cycles of the critical-path core. */
+    core::StageBreakdown cycles;
+
+    /** Microcode instruction estimate (Table 6 accounting). */
+    double uops = 0;
+
+    /** Functional mode only: the computed C (m x n, row-major). */
+    std::vector<int16_t> c;
+};
+
+/**
+ * Run one variant.
+ *
+ * @param data Functional mode: operands (results are computed and
+ *        returned). TimingOnly mode: may be null.
+ */
+BmmRunResult runBmmApu(apu::ApuDevice &dev,
+                       const core::BmmShape &shape,
+                       core::BmmVariant variant, const BmmData *data);
+
+} // namespace cisram::kernels
+
+#endif // CISRAM_KERNELS_BMM_HH

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The Phoenix benchmark suite on the simulated APU (paper
+ * Section 5.2, Fig. 13, Tables 6 and 7).
+ *
+ * Each application is implemented at several optimization levels:
+ *
+ *  - Baseline: naive mapping; spatial reductions, PIO for scattered
+ *    outputs, unpacked data, row-major broadcast tables.
+ *  - Opt1 (communication-aware reduction mapping): temporal
+ *    reductions and DMA for contiguous outputs.
+ *  - Opt2 (DMA coalescing): input packing (two bytes per element)
+ *    and reuse-VR duplication via subgroup copies.
+ *  - Opt3 (broadcast-friendly layout): minimal lookup windows /
+ *    CP-immediate broadcasts.
+ *  - AllOpts: all applicable optimizations.
+ *
+ * Not every optimization applies to every application, matching the
+ * paper's per-app analysis (Section 5.2.1): opt2 packing is the
+ * lever for linear regression and histogram, opt2 coalescing for
+ * matmul, opt1 for string match / word count / reverse index, opt3
+ * for k-means. Inapplicable variants fall back to the nearest
+ * applicable level, so their bars sit at the baseline as in Fig. 13.
+ *
+ * Kernels run functionally at test scale (exact against the CPU
+ * reference implementations in src/baseline) and in timing-only mode
+ * at paper scale, where tiles are split across the four cores and
+ * the reported cycles are the critical path. The paper's MapReduce
+ * split applies: the APU executes the data-parallel map/combine
+ * phase, the host the final reduce (e.g. k-means centroid updates
+ * between kernel invocations); reported cycles cover the APU kernel
+ * including device-memory data movement, as in the paper.
+ */
+
+#ifndef CISRAM_KERNELS_PHOENIX_APU_HH
+#define CISRAM_KERNELS_PHOENIX_APU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "apusim/apu.hh"
+#include "baseline/phoenix_cpu.hh"
+#include "baseline/timing_models.hh"
+
+namespace cisram::kernels {
+
+enum class PhoenixVariant { Baseline, Opt1, Opt2, Opt3, AllOpts };
+
+const char *phoenixVariantName(PhoenixVariant v);
+
+/** Cycle/uop accounting of one kernel run (critical-path core). */
+struct PhoenixStats
+{
+    double cycles = 0;
+    double uops = 0;
+
+    double
+    ms(const apu::ApuSpec &spec) const
+    {
+        return cycles / spec.clockHz * 1e3;
+    }
+};
+
+// ---- per-application kernels ------------------------------------
+// Functional mode: pass the input; the result is exact against the
+// CPU reference. Timing mode: pass nullptr and the paper-scale
+// element count via the size parameters.
+
+baseline::HistogramResult
+histogramApu(apu::ApuDevice &dev, const baseline::HistogramInput *in,
+             double input_bytes, PhoenixVariant v,
+             PhoenixStats &stats);
+
+baseline::LinRegResult
+linRegApu(apu::ApuDevice &dev, const baseline::LinRegInput *in,
+          double input_bytes, PhoenixVariant v, PhoenixStats &stats);
+
+/**
+ * Dense s16 matrix multiply (results must fit in int16; the paper's
+ * Phoenix matmul keeps its inner-product structure, which is why the
+ * application stays intra-VR bound).
+ */
+std::vector<int16_t>
+matmulApu(apu::ApuDevice &dev, const std::vector<int16_t> *a,
+          const std::vector<int16_t> *b, size_t m, size_t n, size_t k,
+          PhoenixVariant v, PhoenixStats &stats);
+
+/**
+ * K-means assignment kernel (the MapReduce map phase); centroid
+ * recomputation runs on the host between iterations.
+ * @return final assignment per point (functional mode).
+ */
+std::vector<uint32_t>
+kmeansApu(apu::ApuDevice &dev, const baseline::KmeansInput *in,
+          size_t num_points, size_t dim, size_t k,
+          unsigned iterations, PhoenixVariant v, PhoenixStats &stats);
+
+baseline::StringMatchResult
+stringMatchApu(apu::ApuDevice &dev,
+               const baseline::StringMatchInput *in,
+               double input_bytes, PhoenixVariant v,
+               PhoenixStats &stats);
+
+/** Word-id histogram via in-VR sort + compress. */
+std::vector<std::pair<uint16_t, uint64_t>>
+wordCountApu(apu::ApuDevice &dev,
+             const std::vector<uint16_t> *word_ids, double num_words,
+             PhoenixVariant v, PhoenixStats &stats);
+
+/** Reverse index over a link-id stream; doc = position / 16. */
+baseline::RevIndexResult
+reverseIndexApu(apu::ApuDevice &dev,
+                const std::vector<uint16_t> *links, double num_links,
+                size_t links_per_doc, PhoenixVariant v,
+                PhoenixStats &stats);
+
+// ---- paper-scale harness -----------------------------------------
+
+/** The Table 6 input configurations, shared by the timed harness
+ * and the analytical-framework model programs. */
+struct PhoenixPaperScale
+{
+    double histogramBytes = 1.5e9;
+    double linregBytes = 512.0e6;
+    size_t matmulDim = 1024;
+    size_t kmeansPoints = 131072;
+    size_t kmeansDim = 8;
+    size_t kmeansK = 32;
+    unsigned kmeansIters = 12;
+    double revIndexLinks = 50.0e6;
+    size_t revIndexLpd = 16;
+    double stringMatchBytes = 512.0e6;
+    double wordCountWords = 2.0e6;
+};
+
+const PhoenixPaperScale &phoenixPaperScale();
+
+/** Paper-scale (Table 6) timing-only run of one app and variant. */
+PhoenixStats runPhoenixApuTimed(apu::ApuDevice &dev,
+                                baseline::PhoenixApp app,
+                                PhoenixVariant v);
+
+/** Tokenize words to u16 ids for the APU word-count kernel. */
+std::vector<uint16_t>
+tokenizeWords(const std::vector<std::string> &words);
+
+} // namespace cisram::kernels
+
+#endif // CISRAM_KERNELS_PHOENIX_APU_HH

@@ -1,0 +1,303 @@
+#include "kernels/phoenix_model.hh"
+
+#include <cmath>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace cisram::kernels {
+
+using baseline::PhoenixApp;
+using model::LatencyEstimator;
+
+namespace {
+
+constexpr double cores = 4.0;
+
+double
+share(double tiles)
+{
+    return std::ceil(tiles / cores);
+}
+
+/** Model program for the bitonic sort composite (kernels/sort.cc). */
+void
+modelBitonicSort(LatencyEstimator &e, bool payload)
+{
+    size_t n = e.table().vrLength;
+    e.gvmlCreateGrpIndexU16();
+    e.gvmlCpyImm16();
+    for (size_t k = 2; k <= n; k <<= 1) {
+        for (size_t j = k >> 1; j > 0; j >>= 1) {
+            e.gvmlSrImm16();
+            e.gvmlAnd16();
+            if (log2Floor(k) < 16) {
+                e.gvmlSrImm16();
+                e.gvmlAnd16();
+                e.gvmlXor16();
+            } else {
+                e.gvmlCpy16();
+            }
+            e.gvmlShiftE(static_cast<double>(j));
+            e.gvmlShiftE(static_cast<double>(j));
+            e.gvmlCpy16Msk();
+            if (payload) {
+                e.gvmlShiftE(static_cast<double>(j));
+                e.gvmlShiftE(static_cast<double>(j));
+                e.gvmlCpy16Msk();
+            }
+            e.gvmlLtU16();
+            if (payload) {
+                e.gvmlEq16();
+                e.gvmlLtU16();
+                e.gvmlAnd16();
+                e.gvmlOr16();
+            }
+            e.gvmlXor16();
+            e.gvmlCpy16Msk();
+            if (payload)
+                e.gvmlCpy16Msk();
+        }
+    }
+}
+
+void
+modelHistogram(LatencyEstimator &e, const PhoenixPaperScale &s)
+{
+    double l = static_cast<double>(e.table().vrLength);
+    double tiles_per_channel =
+        std::ceil(s.histogramBytes / 3.0 / 2.0 / l);
+    e.gvmlCpyImm16();
+    e.repeat(share(3.0 * tiles_per_channel), [&] {
+        e.directDmaL4ToL1_32k();
+        e.gvmlLoad16();
+        e.gvmlAnd16();
+        e.gvmlSrImm16();
+        e.repeat(256, [&] {
+            e.gvmlCpyImm16();
+            e.gvmlEq16();
+            e.gvmlCountM();
+            e.gvmlEq16();
+            e.gvmlCountM();
+        });
+    });
+}
+
+void
+modelLinReg(LatencyEstimator &e, const PhoenixPaperScale &s)
+{
+    double l = static_cast<double>(e.table().vrLength);
+    double tiles = std::ceil(s.linregBytes / 2.0 / l);
+    e.gvmlCpyImm16();
+    e.repeat(10, [&] { e.gvmlCpyImm16(); });
+    e.repeat(share(tiles), [&] {
+        e.directDmaL4ToL1_32k();
+        e.gvmlLoad16();
+        e.gvmlAnd16();
+        e.gvmlSrImm16();
+        // sx, sy: copies; sxx, syy, sxy: multiplies.
+        e.repeat(2, [&] { e.gvmlCpy16(); });
+        e.repeat(3, [&] { e.gvmlMulU16(); });
+        e.repeat(5, [&] {
+            e.gvmlAddU16();
+            e.gvmlLtU16();
+            e.gvmlAddU16();
+        });
+    });
+    e.repeat(10, [&] {
+        e.gvmlStore16();
+        e.directDmaL1ToL4_32k();
+    });
+    e.charge(4.0 * 10 * l);
+}
+
+void
+modelMatmul(LatencyEstimator &e, const PhoenixPaperScale &s)
+{
+    double l = static_cast<double>(e.table().vrLength);
+    double dim = static_cast<double>(s.matmulDim);
+    double per_vr = l / dim; // rows or columns per VR
+    double row_groups = std::ceil(dim / per_vr);
+    double col_groups = std::ceil(dim / per_vr);
+    e.repeat(share(row_groups),
+             [&] { e.directDmaL4ToL1_32k(); });
+    e.repeat(share(dim), [&] {
+        e.gvmlLoad16();
+        e.gvmlCpySubgrp16Grp();
+        e.repeat(col_groups, [&] {
+            e.directDmaL4ToL1_32k();
+            e.gvmlLoad16();
+            e.gvmlMulS16();
+            e.gvmlAddSubgrpS16(s.matmulDim, 1);
+            e.pioSt(per_vr);
+        });
+    });
+}
+
+void
+modelKmeans(LatencyEstimator &e, const PhoenixPaperScale &s)
+{
+    double l = static_cast<double>(e.table().vrLength);
+    double tiles = std::ceil(static_cast<double>(s.kmeansPoints) / l);
+    double planes = tiles * static_cast<double>(s.kmeansDim);
+    e.gvmlCpyImm16();
+    e.repeat(share(planes), [&] { e.directDmaL4ToL1_32k(); });
+    e.repeat(s.kmeansIters, [&] {
+        e.repeat(share(tiles), [&] {
+            e.gvmlCpyImm16();
+            e.gvmlCpyImm16();
+            e.repeat(static_cast<double>(s.kmeansK), [&] {
+                e.gvmlCpyImm16();
+                e.repeat(static_cast<double>(s.kmeansDim), [&] {
+                    e.gvmlCpyImm16(); // CP-immediate broadcast
+                    e.gvmlLoad16();
+                    e.gvmlSubS16();
+                    e.gvmlLtU16();
+                    e.gvmlSubS16();
+                    e.gvmlCpy16Msk();
+                    e.gvmlMulU16();
+                    e.gvmlAddU16();
+                });
+                e.gvmlLtU16();
+                e.gvmlCpy16Msk();
+                e.gvmlCpyImm16Msk();
+            });
+            e.gvmlStore16();
+            e.directDmaL1ToL4_32k();
+        });
+    });
+}
+
+void
+modelStringMatch(LatencyEstimator &e, const PhoenixPaperScale &s)
+{
+    double l = static_cast<double>(e.table().vrLength);
+    double rec_per_tile = l / 8.0;
+    double tiles = std::ceil(s.stringMatchBytes / 16.0 /
+                             rec_per_tile);
+    // Setup: constants, head mask, four encrypted key patterns.
+    e.repeat(3, [&] { e.gvmlCpyImm16(); });
+    e.gvmlCreateGrpIndexU16();
+    e.gvmlEq16();
+    e.repeat(4, [&] {
+        e.pioLd(8);
+        e.gvmlCpySubgrp16Grp();
+        e.gvmlSlImm16();
+        e.gvmlSrImm16();
+        e.gvmlOr16();
+        e.gvmlXor16();
+    });
+    e.repeat(share(tiles), [&] {
+        e.directDmaL4ToL1_32k();
+        e.gvmlLoad16();
+        e.gvmlSlImm16();
+        e.gvmlSrImm16();
+        e.gvmlOr16();
+        e.gvmlXor16();
+        e.repeat(4, [&] {
+            e.gvmlEq16();
+            e.gvmlAddSubgrpS16(8, 1);
+            e.gvmlEq16();
+            e.gvmlAnd16();
+            e.gvmlCountM();
+        });
+    });
+}
+
+void
+modelWordCount(LatencyEstimator &e, const PhoenixPaperScale &s)
+{
+    double l = static_cast<double>(e.table().vrLength);
+    double tiles = std::ceil(s.wordCountWords / l);
+    constexpr double runs = 4096.0;
+    e.repeat(2, [&] { e.gvmlCpyImm16(); });
+    e.gvmlCreateGrpIndexU16();
+    e.gvmlEq16();
+    e.repeat(share(tiles), [&] {
+        e.directDmaL4ToL1_32k();
+        e.gvmlLoad16();
+        modelBitonicSort(e, false);
+        e.gvmlShiftE(1);
+        e.gvmlEq16();
+        e.gvmlXor16();
+        e.gvmlOr16();
+        e.gvmlCountM();
+        e.gvmlCpyFromMrk16();
+        e.gvmlCpyFromMrk16();
+        e.repeat(2, [&] {
+            e.gvmlStore16();
+            e.directDmaL1ToL2_32k();
+            e.fastDmaL2ToL4(runs * 2.0);
+        });
+        e.charge(4.0 * runs);
+    });
+}
+
+void
+modelReverseIndex(LatencyEstimator &e, const PhoenixPaperScale &s)
+{
+    double l = static_cast<double>(e.table().vrLength);
+    double tiles = std::ceil(s.revIndexLinks / l);
+    e.repeat(2, [&] { e.gvmlCpyImm16(); });
+    e.gvmlCreateGrpIndexU16();
+    e.gvmlEq16();
+    e.repeat(share(tiles), [&] {
+        e.directDmaL4ToL1_32k();
+        e.gvmlLoad16();
+        e.gvmlCpy16();
+        modelBitonicSort(e, true);
+        e.gvmlSrImm16();
+        e.gvmlShiftE(1);
+        e.gvmlEq16();
+        e.gvmlShiftE(1);
+        e.gvmlEq16();
+        e.gvmlAnd16();
+        e.gvmlXor16();
+        e.gvmlOr16();
+        e.gvmlCountM();
+        e.gvmlCpyFromMrk16();
+        e.gvmlCpyFromMrk16();
+        e.repeat(2, [&] {
+            e.gvmlStore16();
+            e.directDmaL1ToL4_32k();
+        });
+        e.charge(4.0 * l);
+    });
+}
+
+} // namespace
+
+double
+predictPhoenixCycles(LatencyEstimator &est, PhoenixApp app)
+{
+    cisram_assert(est.sgModel().fitted(),
+                  "estimator needs a calibrated Eq. 1 model");
+    const auto &s = phoenixPaperScale();
+    est.reset();
+    switch (app) {
+      case PhoenixApp::Histogram:
+        modelHistogram(est, s);
+        break;
+      case PhoenixApp::LinearRegression:
+        modelLinReg(est, s);
+        break;
+      case PhoenixApp::MatrixMultiply:
+        modelMatmul(est, s);
+        break;
+      case PhoenixApp::Kmeans:
+        modelKmeans(est, s);
+        break;
+      case PhoenixApp::ReverseIndex:
+        modelReverseIndex(est, s);
+        break;
+      case PhoenixApp::StringMatch:
+        modelStringMatch(est, s);
+        break;
+      case PhoenixApp::WordCount:
+        modelWordCount(est, s);
+        break;
+    }
+    return est.cycles();
+}
+
+} // namespace cisram::kernels

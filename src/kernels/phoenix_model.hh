@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Analytical-framework model programs for the Phoenix suite
+ * (paper Table 7).
+ *
+ * Each function transliterates the corresponding all-opts APU kernel
+ * into a LatencyEstimator program, exactly as Fig. 6 does for
+ * Histogram with the paper's Python library. The framework predicts
+ * from the analytical cost table (Tables 4/5 fits plus the
+ * calibrated Eq. 1 model); the simulator measures with its
+ * decomposed timing; Table 7 compares the two.
+ */
+
+#ifndef CISRAM_KERNELS_PHOENIX_MODEL_HH
+#define CISRAM_KERNELS_PHOENIX_MODEL_HH
+
+#include "baseline/timing_models.hh"
+#include "kernels/phoenix_apu.hh"
+#include "model/latency_estimator.hh"
+
+namespace cisram::kernels {
+
+/**
+ * Predicted critical-path-core cycles of one application's all-opts
+ * kernel at the paper's (Table 6) input scale. The estimator must
+ * carry a calibrated subgroup-reduction model.
+ */
+double predictPhoenixCycles(model::LatencyEstimator &est,
+                            baseline::PhoenixApp app);
+
+} // namespace cisram::kernels
+
+#endif // CISRAM_KERNELS_PHOENIX_MODEL_HH

@@ -1,0 +1,682 @@
+#include "kernels/rag.hh"
+
+#include <algorithm>
+
+#include "common/bitutils.hh"
+#include "common/gsifloat.hh"
+#include "common/logging.hh"
+#include "gvml/gvml.hh"
+
+namespace cisram::kernels {
+
+using apu::ApuCore;
+using apu::ApuDevice;
+using apu::ScopedRepeat;
+using baseline::Hit;
+using baseline::RagCorpusSpec;
+using gvml::Gvml;
+using gvml::Vmr;
+using gvml::Vr;
+
+const char *
+ragVariantName(RagVariant v)
+{
+    switch (v) {
+      case RagVariant::NoOpt:
+        return "no-opt";
+      case RagVariant::Opt1:
+        return "opt1";
+      case RagVariant::Opt2:
+        return "opt2";
+      case RagVariant::Opt3:
+        return "opt3";
+      case RagVariant::AllOpts:
+        return "all-opts";
+    }
+    return "?";
+}
+
+namespace {
+
+constexpr Vr vrEmb{0}, vrQ{1}, vrT{2}, vrAcc{3}, vrBias{4},
+    vrQfull{5};
+constexpr Vmr vmStage{0};
+
+/** Fixed CP/host cost of returning the top-k over the RSP FIFO. */
+constexpr double returnTopkCycles = 7000.0;
+
+/** CP merge cost per score-VR candidate set. */
+constexpr double mergeCyclesPerVr = 100.0;
+
+/**
+ * On-chip ingest handshake for one streamed 64 KiB tile: DMA chain
+ * setup plus the L2 -> L1 wide move. The stream itself runs at the
+ * simulated HBM rate (timed separately); coalesced descriptor
+ * chains (opt2) amortize the chain setup over two tiles.
+ */
+double
+ingestCycles(const apu::TimingParams &t, bool coalesce)
+{
+    double init = static_cast<double>(t.move.dmaL4L2Init);
+    if (coalesce)
+        init /= 2.0;
+    return init + t.control.dmaDescriptor + t.move.dmaL2L1;
+}
+
+/** Run a shape-invariant loop: all iterations in Functional mode,
+ * one accounted iteration times n otherwise. */
+template <typename Fn>
+void
+timedLoop(ApuCore &core, size_t n, Fn fn)
+{
+    if (n == 0)
+        return;
+    if (core.functional()) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+    } else {
+        ScopedRepeat rep(core.stats(), static_cast<double>(n));
+        fn(0);
+    }
+}
+
+/** Stage timing helper: capture cycle deltas. */
+struct StageTimer
+{
+    explicit StageTimer(ApuCore &core) : core(core) {}
+
+    double
+    lap()
+    {
+        double now = core.stats().cycles();
+        double delta = now - last;
+        last = now;
+        return delta;
+    }
+
+    ApuCore &core;
+    double last = 0.0;
+};
+
+/** Merge per-VR candidates into the global top-k. */
+std::vector<Hit>
+mergeHits(std::vector<Hit> all, size_t k)
+{
+    std::sort(all.begin(), all.end(), [](const Hit &a, const Hit &b) {
+        if (a.score != b.score)
+            return a.score > b.score;
+        return a.id < b.id;
+    });
+    if (all.size() > k)
+        all.resize(k);
+    return all;
+}
+
+/** Biased-u16 score back to a signed dot product. */
+float
+unbias(uint16_t biased)
+{
+    return static_cast<float>(
+        static_cast<int16_t>(biased ^ 0x8000));
+}
+
+/**
+ * Extract the top-k of the score VR (biased u16) with the
+ * associative max search, clearing each winner. Returns candidates
+ * with VR-local indices; charges accrue to the caller's ledger.
+ */
+std::vector<Hit>
+extractTopK(Gvml &g, ApuCore &core, Vr score, size_t k,
+            size_t valid_elems)
+{
+    std::vector<Hit> out;
+    for (size_t i = 0; i < k; ++i) {
+        auto mx = g.maxIndexU16(score);
+        core.rspSet(score.idx, core.functional() ? mx.index : 0, 0);
+        if (core.functional() && mx.index < valid_elems &&
+            mx.value != 0) {
+            out.push_back({unbias(mx.value), mx.index});
+        }
+    }
+    core.chargeRaw(mergeCyclesPerVr);
+    return out;
+}
+
+} // namespace
+
+RagRetriever::RagRetriever(ApuDevice &dev, dram::DramSystem &hbm,
+                           RagCorpusSpec corpus, size_t top_k)
+    : dev(dev), hbm(hbm), corpus_(corpus), topK(top_k)
+{
+    cisram_assert(top_k >= 1 && top_k <= 64, "unreasonable top-k");
+    cisram_assert(isPow2(dev.spec().vrLength));
+}
+
+RagRunResult
+RagRetriever::retrieve(const std::vector<int16_t> &query,
+                       RagVariant variant, uint64_t corpus_seed)
+{
+    cisram_assert(query.size() == corpus_.dim, "query dim mismatch");
+    switch (variant) {
+      case RagVariant::NoOpt:
+        return retrieveSpatial(query, false, false, corpus_seed);
+      case RagVariant::Opt2:
+        return retrieveSpatial(query, true, false, corpus_seed);
+      case RagVariant::Opt3:
+        return retrieveSpatial(query, false, true, corpus_seed);
+      case RagVariant::Opt1:
+        return retrieveTemporal(query, false, false, corpus_seed);
+      case RagVariant::AllOpts:
+        return retrieveTemporal(query, true, true, corpus_seed);
+    }
+    cisram_panic("unknown variant");
+}
+
+RagRunResult
+RagRetriever::retrieveGf16(const std::vector<int16_t> &query,
+                           uint64_t corpus_seed)
+{
+    cisram_assert(query.size() == corpus_.dim, "query dim mismatch");
+    ApuCore &core = dev.core(0);
+    Gvml g(core);
+    const auto &t = dev.timing();
+    size_t l = dev.spec().vrLength;
+    size_t dim = corpus_.dim;
+    size_t chunks = corpus_.numChunks;
+    size_t supertiles = divCeil(chunks, l);
+    bool fnl = core.functional();
+
+    RagRunResult res;
+    res.dramBytes = static_cast<double>(chunks) *
+        static_cast<double>(dim) * 2.0;
+    res.cacheBytes = 2.0 * res.dramBytes;
+    res.stages.loadEmbedding = hbm.streamReadSeconds(
+        0, static_cast<uint64_t>(res.dramBytes));
+
+    // Dimension-major gf16 planes.
+    uint64_t emb_addr = 0;
+    if (fnl) {
+        cisram_assert(chunks <= (size_t(1) << 21),
+                      "functional corpus too large");
+        emb_addr =
+            dev.allocator().alloc(supertiles * dim * l * 2, 512);
+        std::vector<uint16_t> plane(l);
+        for (size_t st = 0; st < supertiles; ++st) {
+            for (size_t d = 0; d < dim; ++d) {
+                std::fill(plane.begin(), plane.end(), 0);
+                size_t valid = std::min(l, chunks - st * l);
+                for (size_t j = 0; j < valid; ++j) {
+                    int16_t v = baseline::embeddingValue(
+                        st * l + j, d, corpus_seed);
+                    plane[j] = GsiFloat16::fromFloat(
+                                   static_cast<float>(v))
+                                   .bits();
+                }
+                dev.l4().write(emb_addr + (st * dim + d) * l * 2,
+                               plane.data(), l * 2);
+            }
+        }
+    }
+
+    core.stats().reset();
+    StageTimer timer(core);
+
+    core.dmaL4ToL3(0, 0, dim * 2); // bf query layout in L3
+    res.stages.loadQuery = dev.cyclesToSeconds(timer.lap());
+
+    const Vr vrOrd{6}, vrS1{7}, vrS2{8};
+    std::vector<Hit> candidates;
+    double topk_cycles = 0.0;
+    for (size_t st = 0; st < (fnl ? supertiles : size_t(1)); ++st) {
+        double st_factor =
+            fnl ? 1.0 : static_cast<double>(supertiles);
+        ScopedRepeat strep(core.stats(), st_factor);
+
+        g.cpyImm16(vrAcc, 0); // gf16 +0.0
+        timedLoop(core, dim, [&](size_t d) {
+            core.chargeRaw(ingestCycles(t, true));
+            if (fnl) {
+                auto &slot = core.l1().slot(vmStage.idx);
+                dev.l4().read(emb_addr + (st * dim + d) * l * 2,
+                              slot.data(), l * 2);
+            }
+            g.load16(vrEmb, vmStage);
+            g.cpyImm16(vrQ, GsiFloat16::fromFloat(
+                                static_cast<float>(query[d]))
+                                .bits());
+            g.mulGf16(vrT, vrEmb, vrQ);
+            g.addGf16(vrAcc, vrAcc, vrT);
+        });
+        g.orderGf16(vrOrd, vrAcc, vrS1, vrS2);
+
+        double before = core.stats().cycles();
+        size_t valid = fnl ? std::min(l, chunks - st * l) : l;
+        // Extract against the ordered keys; recover the gf16 score
+        // from the accumulator at the winning index.
+        for (size_t k = 0; k < topK; ++k) {
+            auto mx = g.maxIndexU16(vrOrd);
+            core.rspSet(vrOrd.idx, fnl ? mx.index : 0, 0);
+            if (fnl && mx.index < valid) {
+                uint16_t bits = core.vr()[vrAcc.idx][mx.index];
+                candidates.push_back(
+                    {GsiFloat16::fromBits(bits).toFloat(),
+                     st * l + mx.index});
+            }
+        }
+        core.chargeRaw(mergeCyclesPerVr);
+        topk_cycles += core.stats().cycles() - before;
+    }
+    double calc_total = timer.lap();
+    res.stages.calcDistance =
+        dev.cyclesToSeconds(calc_total - topk_cycles);
+    res.stages.topkAggregation = dev.cyclesToSeconds(topk_cycles);
+    res.computeSeconds = res.stages.calcDistance;
+    core.chargeRaw(returnTopkCycles);
+    res.stages.returnTopk = dev.cyclesToSeconds(timer.lap());
+
+    if (fnl)
+        res.hits = mergeHits(std::move(candidates), topK);
+    return res;
+}
+
+std::vector<RagRunResult>
+RagRetriever::retrieveBatch(
+    const std::vector<std::vector<int16_t>> &queries,
+    uint64_t corpus_seed)
+{
+    size_t batch = queries.size();
+    cisram_assert(batch >= 1 && batch <= 8,
+                  "batch size must be 1..8 (one accumulator VR per "
+                  "query)");
+    for (const auto &q : queries)
+        cisram_assert(q.size() == corpus_.dim, "query dim mismatch");
+
+    ApuCore &core = dev.core(0);
+    Gvml g(core);
+    const auto &t = dev.timing();
+    size_t l = dev.spec().vrLength;
+    size_t dim = corpus_.dim;
+    size_t chunks = corpus_.numChunks;
+    size_t supertiles = divCeil(chunks, l);
+    bool fnl = core.functional();
+
+    // Accumulators live in VRs 8..15; working registers below.
+    auto acc = [](size_t q2) {
+        return Vr(8 + static_cast<unsigned>(q2));
+    };
+
+    std::vector<RagRunResult> results(batch);
+    double shared_dram = static_cast<double>(chunks) *
+        static_cast<double>(dim) * 2.0;
+
+    // One pass over the corpus serves the whole batch.
+    dram::DramSystem &mem = hbm;
+    double load_emb = mem.streamReadSeconds(
+        0, static_cast<uint64_t>(shared_dram));
+
+    uint64_t emb_addr = 0;
+    if (fnl) {
+        cisram_assert(chunks <= (size_t(1) << 21),
+                      "functional corpus too large");
+        emb_addr =
+            dev.allocator().alloc(supertiles * dim * l * 2, 512);
+        std::vector<uint16_t> plane(l);
+        for (size_t st = 0; st < supertiles; ++st) {
+            for (size_t d = 0; d < dim; ++d) {
+                std::fill(plane.begin(), plane.end(), 0);
+                size_t valid = std::min(l, chunks - st * l);
+                for (size_t j = 0; j < valid; ++j)
+                    plane[j] = static_cast<uint16_t>(
+                        baseline::embeddingValue(st * l + j, d,
+                                                 corpus_seed));
+                dev.l4().write(emb_addr + (st * dim + d) * l * 2,
+                               plane.data(), l * 2);
+            }
+        }
+    }
+
+    core.stats().reset();
+    StageTimer timer(core);
+
+    // Queries staged into the CP's L3 (broadcast-friendly layout).
+    core.dmaL4ToL3(0, 0, batch * dim * 2);
+    g.cpyImm16(vrBias, 0x8000);
+    double load_query = dev.cyclesToSeconds(timer.lap());
+
+    std::vector<std::vector<Hit>> candidates(batch);
+    double topk_cycles = 0.0;
+    for (size_t st = 0; st < (fnl ? supertiles : size_t(1)); ++st) {
+        double st_factor =
+            fnl ? 1.0 : static_cast<double>(supertiles);
+        ScopedRepeat strep(core.stats(), st_factor);
+
+        for (size_t q2 = 0; q2 < batch; ++q2)
+            g.cpyImm16(acc(q2), 0);
+        timedLoop(core, dim, [&](size_t d) {
+            core.chargeRaw(ingestCycles(t, true));
+            if (fnl) {
+                auto &slot = core.l1().slot(vmStage.idx);
+                dev.l4().read(emb_addr + (st * dim + d) * l * 2,
+                              slot.data(), l * 2);
+            }
+            g.load16(vrEmb, vmStage);
+            for (size_t q2 = 0; q2 < batch; ++q2) {
+                g.cpyImm16(vrQ, static_cast<uint16_t>(
+                                    queries[q2][d]));
+                g.mulS16(vrT, vrEmb, vrQ);
+                g.addS16(acc(q2), acc(q2), vrT);
+            }
+        });
+
+        double before = core.stats().cycles();
+        size_t valid = fnl ? std::min(l, chunks - st * l) : l;
+        for (size_t q2 = 0; q2 < batch; ++q2) {
+            g.xor16(acc(q2), acc(q2), vrBias);
+            auto part = extractTopK(g, core, acc(q2), topK, valid);
+            for (auto &h : part)
+                h.id += st * l;
+            candidates[q2].insert(candidates[q2].end(),
+                                  part.begin(), part.end());
+        }
+        topk_cycles += core.stats().cycles() - before;
+    }
+    double calc_total = timer.lap();
+    core.chargeRaw(returnTopkCycles * static_cast<double>(batch));
+    double return_total = dev.cyclesToSeconds(timer.lap());
+
+    double b = static_cast<double>(batch);
+    for (size_t q2 = 0; q2 < batch; ++q2) {
+        auto &r = results[q2];
+        r.stages.loadEmbedding = load_emb / b;
+        r.stages.loadQuery = load_query / b;
+        r.stages.calcDistance =
+            dev.cyclesToSeconds(calc_total - topk_cycles) / b;
+        r.stages.topkAggregation =
+            dev.cyclesToSeconds(topk_cycles) / b;
+        r.stages.returnTopk = return_total / b;
+        r.computeSeconds = r.stages.calcDistance;
+        r.dramBytes = shared_dram / b;
+        r.cacheBytes = 2.0 * shared_dram / b;
+        if (fnl)
+            r.hits = mergeHits(std::move(candidates[q2]), topK);
+    }
+    return results;
+}
+
+RagRunResult
+RagRetriever::retrieveSpatial(const std::vector<int16_t> &query,
+                              bool coalesce, bool bf_query,
+                              uint64_t corpus_seed)
+{
+    ApuCore &core = dev.core(0);
+    Gvml g(core);
+    const auto &t = dev.timing();
+    size_t l = dev.spec().vrLength;
+    size_t pad = size_t(1) << log2Ceil(corpus_.dim);
+    size_t cpt = l / pad; // chunks per tile
+    size_t chunks = corpus_.numChunks;
+    size_t full_tiles = chunks / cpt;
+    size_t rem = chunks % cpt;
+    size_t score_vrs = divCeil(chunks, l);
+
+    RagRunResult res;
+    res.dramBytes =
+        static_cast<double>(chunks) * static_cast<double>(pad) * 2.0;
+    res.cacheBytes = 2.0 * res.dramBytes;
+
+    // Off-chip embedding stream, timed by the HBM simulator.
+    res.stages.loadEmbedding = hbm.streamReadSeconds(
+        0, static_cast<uint64_t>(res.dramBytes));
+
+    // Functional staging: padded chunk-major embeddings + query.
+    uint64_t emb_addr = 0, q_addr = 0;
+    bool fnl = core.functional();
+    if (fnl) {
+        cisram_assert(chunks <= (size_t(1) << 21),
+                      "functional corpus too large");
+        emb_addr = dev.allocator().alloc(
+            divCeil(chunks, cpt) * l * 2, 512);
+        std::vector<uint16_t> tile(l);
+        for (size_t tl = 0; tl < divCeil(chunks, cpt); ++tl) {
+            std::fill(tile.begin(), tile.end(), 0);
+            for (size_t c = 0; c < cpt; ++c) {
+                size_t chunk = tl * cpt + c;
+                if (chunk >= chunks)
+                    break;
+                for (size_t d = 0; d < corpus_.dim; ++d)
+                    tile[c * pad + d] = static_cast<uint16_t>(
+                        baseline::embeddingValue(chunk, d,
+                                                 corpus_seed));
+            }
+            dev.l4().write(emb_addr + tl * l * 2, tile.data(),
+                           l * 2);
+        }
+        q_addr = dev.allocator().alloc(pad * 2, 512);
+        std::vector<uint16_t> qpad(pad, 0);
+        for (size_t d = 0; d < corpus_.dim; ++d)
+            qpad[d] = static_cast<uint16_t>(query[d]);
+        dev.l4().write(q_addr, qpad.data(), pad * 2);
+    }
+
+    core.stats().reset();
+    StageTimer timer(core);
+
+    // ---- load query ------------------------------------------------
+    core.dmaL4ToL2(q_addr, 0, pad * 2);
+    core.dmaL2ToL1(vmStage.idx);
+    g.load16(vrQ, vmStage);
+    g.cpySubgrp16Grp(vrQ, vrQ, l, pad, 0);
+    g.cpyImm16(vrBias, 0x8000);
+    (void)bf_query; // no standalone effect on the spatial base
+    res.stages.loadQuery = dev.cyclesToSeconds(timer.lap());
+
+    // ---- distance calculation --------------------------------------
+    // Group-head scores are scattered in the tile VR; the RSP FIFO
+    // moves them one element at a time into the resident score VR
+    // (the fine-grained element access the paper attributes to the
+    // unoptimized mapping). When the score VR fills, its top-k is
+    // extracted in place (charged to the aggregation stage).
+    std::vector<Hit> candidates;
+    double topk_cycles = 0.0;
+    const Vr vrScore{6};
+    size_t score_fill = 0; // elements in the current score VR
+    size_t score_base = 0; // first chunk of the current score VR
+
+    auto drain_scores = [&](bool force) {
+        if (score_fill == 0 || (!force && score_fill < l))
+            return;
+        double before = core.stats().cycles();
+        auto part = extractTopK(g, core, vrScore, topK, score_fill);
+        for (auto &h : part)
+            h.id += score_base;
+        candidates.insert(candidates.end(), part.begin(),
+                          part.end());
+        // Clear the drained VR so stale scores never leak into the
+        // next fill's partial extraction.
+        g.cpyImm16(vrScore, 0);
+        topk_cycles += core.stats().cycles() - before;
+        score_base += score_fill;
+        score_fill = 0;
+    };
+
+    auto do_tile = [&](size_t tile_idx, size_t chunk_count) {
+        core.chargeRaw(ingestCycles(t, coalesce));
+        if (fnl) {
+            auto &slot = core.l1().slot(vmStage.idx);
+            dev.l4().read(emb_addr + tile_idx * l * 2, slot.data(),
+                          l * 2);
+        }
+        g.load16(vrEmb, vmStage);
+        g.mulS16(vrT, vrEmb, vrQ);
+        g.addSubgrpS16(vrT, vrT, pad, 1);
+        g.xor16(vrT, vrT, vrBias);
+        // One RSP transfer per produced score.
+        core.chargeRaw(static_cast<double>(chunk_count) *
+                       t.move.pioStorePerElem);
+        if (fnl) {
+            auto &score = core.vr()[vrScore.idx];
+            const auto &tvals = core.vr()[vrT.idx];
+            for (size_t c = 0; c < chunk_count; ++c)
+                score[(tile_idx * cpt + c) % l] = tvals[c * pad];
+        }
+    };
+
+    if (fnl) {
+        // Score VRs fill every l/cpt tiles; drain as they fill.
+        for (size_t i = 0; i < full_tiles; ++i) {
+            do_tile(i, cpt);
+            score_fill += cpt;
+            drain_scores(false);
+        }
+        if (rem) {
+            do_tile(full_tiles, rem);
+            score_fill += rem;
+        }
+        drain_scores(true);
+    } else {
+        timedLoop(core, full_tiles,
+                  [&](size_t i) { do_tile(i, cpt); });
+        if (rem)
+            do_tile(full_tiles, rem);
+        // One extraction pass per (possibly partial) score VR.
+        double before = core.stats().cycles();
+        {
+            apu::ScopedRepeat rep(core.stats(),
+                                  static_cast<double>(score_vrs));
+            extractTopK(g, core, vrScore, topK, l);
+        }
+        topk_cycles += core.stats().cycles() - before;
+    }
+
+    double calc_total = timer.lap();
+    res.stages.calcDistance =
+        dev.cyclesToSeconds(calc_total - topk_cycles);
+    res.stages.topkAggregation = dev.cyclesToSeconds(topk_cycles);
+    res.computeSeconds = res.stages.calcDistance;
+
+    // ---- return -------------------------------------------------------
+    core.chargeRaw(returnTopkCycles);
+    res.stages.returnTopk = dev.cyclesToSeconds(timer.lap());
+
+    if (fnl)
+        res.hits = mergeHits(std::move(candidates), topK);
+    return res;
+}
+
+RagRunResult
+RagRetriever::retrieveTemporal(const std::vector<int16_t> &query,
+                               bool coalesce, bool bf_query,
+                               uint64_t corpus_seed)
+{
+    ApuCore &core = dev.core(0);
+    Gvml g(core);
+    const auto &t = dev.timing();
+    size_t l = dev.spec().vrLength;
+    size_t dim = corpus_.dim;
+    size_t chunks = corpus_.numChunks;
+    size_t supertiles = divCeil(chunks, l);
+
+    RagRunResult res;
+    res.dramBytes = static_cast<double>(chunks) *
+        static_cast<double>(dim) * 2.0;
+    res.cacheBytes = 2.0 * res.dramBytes;
+    res.stages.loadEmbedding = hbm.streamReadSeconds(
+        0, static_cast<uint64_t>(res.dramBytes));
+
+    // Functional staging: dimension-major planes per super-tile.
+    uint64_t emb_addr = 0, q_addr = 0;
+    bool fnl = core.functional();
+    if (fnl) {
+        cisram_assert(chunks <= (size_t(1) << 21),
+                      "functional corpus too large");
+        emb_addr =
+            dev.allocator().alloc(supertiles * dim * l * 2, 512);
+        std::vector<uint16_t> plane(l);
+        for (size_t st = 0; st < supertiles; ++st) {
+            for (size_t d = 0; d < dim; ++d) {
+                std::fill(plane.begin(), plane.end(), 0);
+                size_t valid = std::min(l, chunks - st * l);
+                for (size_t j = 0; j < valid; ++j)
+                    plane[j] = static_cast<uint16_t>(
+                        baseline::embeddingValue(st * l + j, d,
+                                                 corpus_seed));
+                dev.l4().write(emb_addr + (st * dim + d) * l * 2,
+                               plane.data(), l * 2);
+            }
+        }
+        q_addr = dev.allocator().alloc(l * 2, 512);
+        std::vector<uint16_t> qv(l, 0);
+        for (size_t d = 0; d < dim; ++d)
+            qv[d] = static_cast<uint16_t>(query[d]);
+        dev.l4().write(q_addr, qv.data(), l * 2);
+    }
+
+    core.stats().reset();
+    StageTimer timer(core);
+
+    // ---- load query -------------------------------------------------
+    core.dmaL4ToL2(q_addr, 0, dim * 2);
+    core.dmaL2ToL1(vmStage.idx);
+    g.load16(vrQfull, vmStage);
+    if (bf_query) {
+        // Broadcast-friendly layout: the query is staged into the
+        // CP's L3 so scalars broadcast as immediates.
+        core.dmaL4ToL3(q_addr, 0, dim * 2);
+    }
+    g.cpyImm16(vrBias, 0x8000);
+    res.stages.loadQuery = dev.cyclesToSeconds(timer.lap());
+
+    // ---- distance calculation ----------------------------------------
+    std::vector<Hit> candidates;
+    double topk_cycles = 0.0;
+    for (size_t st = 0; st < (fnl ? supertiles : size_t(1)); ++st) {
+        double st_factor =
+            fnl ? 1.0 : static_cast<double>(supertiles);
+        ScopedRepeat strep(core.stats(), st_factor);
+
+        g.cpyImm16(vrAcc, 0);
+        timedLoop(core, dim, [&](size_t d) {
+            core.chargeRaw(ingestCycles(t, coalesce));
+            if (fnl) {
+                auto &slot = core.l1().slot(vmStage.idx);
+                dev.l4().read(emb_addr + (st * dim + d) * l * 2,
+                              slot.data(), l * 2);
+            }
+            g.load16(vrEmb, vmStage);
+            if (bf_query) {
+                g.cpyImm16(vrQ, static_cast<uint16_t>(query[d]));
+            } else {
+                g.cpySubgrp16Grp(vrQ, vrQfull, l, 1, d);
+            }
+            g.mulS16(vrT, vrEmb, vrQ);
+            g.addS16(vrAcc, vrAcc, vrT);
+        });
+        g.xor16(vrAcc, vrAcc, vrBias);
+
+        // Inline per-super-tile top-k (scores stay resident);
+        // cycles re-attributed to the aggregation stage below.
+        double before = core.stats().cycles();
+        size_t valid = fnl ? std::min(l, chunks - st * l) : l;
+        auto part = extractTopK(g, core, vrAcc, topK, valid);
+        for (auto &h : part)
+            h.id += st * l;
+        candidates.insert(candidates.end(), part.begin(),
+                          part.end());
+        topk_cycles += core.stats().cycles() - before;
+    }
+    double calc_total = timer.lap();
+    res.stages.calcDistance =
+        dev.cyclesToSeconds(calc_total - topk_cycles);
+    res.stages.topkAggregation = dev.cyclesToSeconds(topk_cycles);
+    res.computeSeconds = res.stages.calcDistance;
+
+    // ---- return -------------------------------------------------------
+    core.chargeRaw(returnTopkCycles);
+    res.stages.returnTopk = dev.cyclesToSeconds(timer.lap());
+
+    if (fnl)
+        res.hits = mergeHits(std::move(candidates), topK);
+    return res;
+}
+
+} // namespace cisram::kernels

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Exact nearest-neighbour RAG retrieval on the simulated APU
+ * (paper Section 5.3): the end-to-end workload behind Fig. 14,
+ * Table 8, and Fig. 15.
+ *
+ * Corpus embeddings (368-dim int16) reside in the device's off-chip
+ * memory, modeled as simulated HBM2e (src/dramsim) per the paper's
+ * methodology: the embedding-load stage is timed by the HBM
+ * simulator, everything else by the APU cycle model.
+ *
+ * Variants:
+ *  - NoOpt: spatial mapping. Chunks are padded to 512 elements for
+ *    subgroup alignment (this padding is why the unoptimized
+ *    embedding load streams more bytes: 8.2 ms vs 6.1 ms at 200 GB
+ *    in the paper), dot products reduce with add_subgrp_s16, and
+ *    the scattered per-chunk scores leave the VR by PIO.
+ *  - Opt1: communication-aware reduction mapping. Embeddings are
+ *    stored dimension-major; each VR lane accumulates one chunk's
+ *    dot product temporally, one element-wise MAC per dimension,
+ *    with the query scalar broadcast by subgroup copy.
+ *  - Opt2 (on either base): coalesced DMA descriptor chains for the
+ *    streamed planes/tiles.
+ *  - Opt3: broadcast-friendly query layout: the CP broadcasts query
+ *    scalars as immediates instead of subgroup copies.
+ *  - AllOpts: Opt1 + Opt2 + Opt3.
+ *
+ * Top-k uses the associative global-max search per score VR; the CP
+ * merges per-VR candidates.
+ */
+
+#ifndef CISRAM_KERNELS_RAG_HH
+#define CISRAM_KERNELS_RAG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "apusim/apu.hh"
+#include "baseline/faisslite.hh"
+#include "baseline/workloads.hh"
+#include "dramsim/dram_sim.hh"
+
+namespace cisram::kernels {
+
+enum class RagVariant { NoOpt, Opt1, Opt2, Opt3, AllOpts };
+
+const char *ragVariantName(RagVariant v);
+
+/** Table 8 stage latencies, in seconds. */
+struct RagStageLatency
+{
+    double loadEmbedding = 0; ///< simulated HBM stream
+    double loadQuery = 0;
+    double calcDistance = 0;
+    double topkAggregation = 0;
+    double returnTopk = 0;
+
+    double
+    total() const
+    {
+        return loadEmbedding + loadQuery + calcDistance +
+            topkAggregation + returnTopk;
+    }
+};
+
+struct RagRunResult
+{
+    RagStageLatency stages;
+
+    /** Functional mode: the exact top-k hits (score = int dot). */
+    std::vector<baseline::Hit> hits;
+
+    // Activity for the energy model (Fig. 15).
+    double computeSeconds = 0; ///< VXU-active time
+    double dramBytes = 0;      ///< off-chip bytes streamed
+    double cacheBytes = 0;     ///< bytes through L2/L1
+};
+
+class RagRetriever
+{
+  public:
+    /**
+     * @param hbm The off-chip memory model used for embedding
+     *        streaming (typically hbm2eConfig()).
+     */
+    RagRetriever(apu::ApuDevice &dev, dram::DramSystem &hbm,
+                 baseline::RagCorpusSpec corpus, size_t top_k = 5);
+
+    /**
+     * Serve one query.
+     *
+     * Functional mode (device core 0 in Functional mode): the corpus
+     * must be small enough to materialize; embeddings are generated
+     * from `corpus_seed` and real hits are returned.
+     * TimingOnly mode: stages are timed at any corpus scale.
+     */
+    RagRunResult retrieve(const std::vector<int16_t> &query,
+                          RagVariant variant, uint64_t corpus_seed);
+
+    /**
+     * Batched retrieval (throughput extension): serve up to eight
+     * queries in one pass over the corpus, amortizing the embedding
+     * stream and the per-plane ingest across the batch. Uses the
+     * fully optimized (AllOpts) mapping; one accumulator VR per
+     * query.
+     *
+     * @return Per-query results; each carries the whole batch's
+     *         stage latencies divided evenly (throughput view).
+     */
+    std::vector<RagRunResult>
+    retrieveBatch(const std::vector<std::vector<int16_t>> &queries,
+                  uint64_t corpus_seed);
+
+    /**
+     * GSI-float-scored retrieval (extension): embeddings and query
+     * are converted to the device's native gf16 (1s/6e/9m) format
+     * and distances accumulate with mul_gf16/add_gf16, whose 77-
+     * cycle latency undercuts mul_s16's 201 (Table 5). Scores rank
+     * through the order-preserving bias transform; hits report the
+     * gf16 dot products. Uses the AllOpts mapping.
+     */
+    RagRunResult retrieveGf16(const std::vector<int16_t> &query,
+                              uint64_t corpus_seed);
+
+    const baseline::RagCorpusSpec &corpus() const { return corpus_; }
+
+  private:
+    struct StageCycles;
+
+    RagRunResult retrieveSpatial(const std::vector<int16_t> &query,
+                                 bool coalesce, bool bf_query,
+                                 uint64_t corpus_seed);
+    RagRunResult retrieveTemporal(const std::vector<int16_t> &query,
+                                  bool coalesce, bool bf_query,
+                                  uint64_t corpus_seed);
+
+    apu::ApuDevice &dev;
+    dram::DramSystem &hbm;
+    baseline::RagCorpusSpec corpus_;
+    size_t topK;
+};
+
+} // namespace cisram::kernels
+
+#endif // CISRAM_KERNELS_RAG_HH

@@ -1,0 +1,119 @@
+#include "kernels/rag_model.hh"
+
+#include <cmath>
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace cisram::kernels {
+
+using baseline::RagCorpusSpec;
+using model::LatencyEstimator;
+
+namespace {
+
+/** The kernel's fixed CP costs (kernels/rag.cc). */
+constexpr double returnTopkCycles = 7000.0;
+constexpr double mergeCyclesPerVr = 100.0;
+
+/** Per-tile ingest handshake as the framework models it. */
+double
+ingest(const model::CostTable &t, bool coalesce)
+{
+    double init = t.dmaL4L2Init;
+    if (coalesce)
+        init /= 2.0;
+    return init + 14.0 + t.dmaL2L1;
+}
+
+/** One per-score-VR top-k extraction pass. */
+void
+modelTopk(LatencyEstimator &e, size_t top_k)
+{
+    e.repeat(static_cast<double>(top_k), [&] {
+        e.gvmlMaxIndexU16();
+        e.pioLd(1); // RSP clear of the winner
+    });
+    e.charge(mergeCyclesPerVr);
+}
+
+} // namespace
+
+double
+predictRagCycles(LatencyEstimator &e, const RagCorpusSpec &corpus,
+                 RagVariant variant, size_t top_k)
+{
+    const auto &t = e.table();
+    double l = static_cast<double>(t.vrLength);
+    double chunks = static_cast<double>(corpus.numChunks);
+    double dim = static_cast<double>(corpus.dim);
+    e.reset();
+
+    if (variant == RagVariant::NoOpt) {
+        double pad = static_cast<double>(
+            size_t(1) << log2Ceil(corpus.dim));
+        double cpt = l / pad;
+        double tiles = std::ceil(chunks / cpt);
+        double score_vrs = std::ceil(chunks / l);
+
+        // Load query.
+        e.fastDmaL4ToL2(pad * 2);
+        e.directDmaL2ToL1_32k();
+        e.gvmlLoad16();
+        e.gvmlCpySubgrp16Grp();
+        e.gvmlCpyImm16();
+
+        // Distance per tile.
+        e.repeat(tiles, [&] {
+            e.charge(ingest(t, false));
+            e.gvmlLoad16();
+            e.gvmlMulS16();
+            e.gvmlAddSubgrpS16(static_cast<size_t>(pad), 1);
+            e.gvmlXor16();
+            e.pioSt(cpt); // RSP drain of the group-head scores
+        });
+
+        // Top-k per score VR plus the post-drain clear.
+        e.repeat(score_vrs, [&] {
+            modelTopk(e, top_k);
+            e.gvmlCpyImm16();
+        });
+        e.charge(returnTopkCycles);
+        return e.cycles();
+    }
+
+    cisram_assert(variant == RagVariant::Opt1 ||
+                      variant == RagVariant::AllOpts,
+                  "unsupported variant for the RAG model");
+    bool bf = variant == RagVariant::AllOpts;
+    bool coalesce = variant == RagVariant::AllOpts;
+    double supertiles = std::ceil(chunks / l);
+
+    // Load query (the broadcast-friendly layout stages into L3).
+    e.fastDmaL4ToL2(dim * 2);
+    e.directDmaL2ToL1_32k();
+    e.gvmlLoad16();
+    if (bf)
+        e.dmaL4ToL3(dim * 2);
+    e.gvmlCpyImm16();
+
+    e.repeat(supertiles, [&] {
+        e.gvmlCpyImm16();
+        e.repeat(dim, [&] {
+            e.charge(ingest(t, coalesce));
+            e.gvmlLoad16();
+            if (bf)
+                e.gvmlCpyImm16();
+            else
+                e.gvmlCpySubgrp16Grp();
+            e.gvmlMulS16();
+            e.gvmlAddS16();
+        });
+        e.gvmlXor16();
+        modelTopk(e, top_k);
+    });
+    e.charge(returnTopkCycles);
+    return e.cycles();
+}
+
+} // namespace cisram::kernels

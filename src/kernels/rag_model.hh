@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Analytical-framework model of the RAG retrieval kernel — the
+ * framework-validation methodology of Table 7 extended to the
+ * paper's headline workload. Predicts the on-device stages (query
+ * load, distance computation, top-k, return); the embedding-load
+ * stage belongs to the off-chip HBM model, exactly as Table 8
+ * separates it.
+ */
+
+#ifndef CISRAM_KERNELS_RAG_MODEL_HH
+#define CISRAM_KERNELS_RAG_MODEL_HH
+
+#include "baseline/workloads.hh"
+#include "kernels/rag.hh"
+#include "model/latency_estimator.hh"
+
+namespace cisram::kernels {
+
+/**
+ * Predicted on-device cycles (everything but the HBM embedding
+ * stream) of one retrieval at the given corpus scale. Supported
+ * variants: NoOpt, Opt1, AllOpts.
+ */
+double predictRagCycles(model::LatencyEstimator &est,
+                        const baseline::RagCorpusSpec &corpus,
+                        RagVariant variant, size_t top_k = 5);
+
+} // namespace cisram::kernels
+
+#endif // CISRAM_KERNELS_RAG_MODEL_HH

@@ -1,0 +1,72 @@
+#include "kernels/sort.hh"
+
+#include "common/bitutils.hh"
+#include "common/logging.hh"
+
+namespace cisram::kernels {
+
+using gvml::Gvml;
+using gvml::Vr;
+
+void
+bitonicSortU16(Gvml &g, Vr key, bool has_payload, Vr payload,
+               const SortScratch &s)
+{
+    size_t n = g.length();
+    cisram_assert(isPow2(n), "bitonic sort needs pow2 length");
+
+    // Persistent per-sort state: element indices and an all-ones
+    // mask bit for the bit tests (n <= 65536 so indices fit u16).
+    g.createIndexU16(s.idx);
+    g.cpyImm16(s.one, 1);
+
+    for (size_t k = 2; k <= n; k <<= 1) {
+        unsigned lg_k = log2Floor(k);
+        for (size_t j = k >> 1; j > 0; j >>= 1) {
+            unsigned lg_j = log2Floor(j);
+
+            // maskJ = (i & j) != 0 : the element is the upper of
+            // its exchange pair.
+            g.srImm16(s.maskJ, s.idx, lg_j);
+            g.and16(s.maskJ, s.maskJ, s.one);
+            // choice = maskJ ^ ((i & k) != 0): 1 -> keep max.
+            // For k == n the k-bit of every index is 0.
+            if (lg_k < 16) {
+                g.srImm16(s.choice, s.idx, lg_k);
+                g.and16(s.choice, s.choice, s.one);
+                g.xor16(s.choice, s.choice, s.maskJ);
+            } else {
+                g.cpy16(s.choice, s.maskJ);
+            }
+
+            // Partner key: key[i + j] for lower elements, key[i - j]
+            // for upper ones.
+            g.shiftE(s.partnerKey, key,
+                     static_cast<int64_t>(j));
+            g.shiftE(s.t1, key, -static_cast<int64_t>(j));
+            g.cpy16Msk(s.partnerKey, s.t1, s.maskJ);
+            if (has_payload) {
+                g.shiftE(s.partnerPay, payload,
+                         static_cast<int64_t>(j));
+                g.shiftE(s.t1, payload, -static_cast<int64_t>(j));
+                g.cpy16Msk(s.partnerPay, s.t1, s.maskJ);
+            }
+
+            // take = (partner <_lex self) ^ choice.
+            g.ltU16(s.t1, s.partnerKey, key);
+            if (has_payload) {
+                g.eq16(s.t2, s.partnerKey, key);
+                g.ltU16(s.maskJ, s.partnerPay, payload);
+                g.and16(s.t2, s.t2, s.maskJ);
+                g.or16(s.t1, s.t1, s.t2);
+            }
+            g.xor16(s.t1, s.t1, s.choice);
+
+            g.cpy16Msk(key, s.partnerKey, s.t1);
+            if (has_payload)
+                g.cpy16Msk(payload, s.partnerPay, s.t1);
+        }
+    }
+}
+
+} // namespace cisram::kernels

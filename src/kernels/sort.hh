@@ -1,0 +1,55 @@
+/**
+ * @file
+ * In-VR bitonic sort composites.
+ *
+ * The sort-and-compress idiom underlies the APU implementations of
+ * word count and reverse index: a bitonic network whose exchanges are
+ * realized with intra-VR shifts (cheap intra-bank path for distances
+ * that are multiples of 4, Table 4) and masked min/max selection.
+ * Cycle costs accrue naturally through the GVML component operations.
+ */
+
+#ifndef CISRAM_KERNELS_SORT_HH
+#define CISRAM_KERNELS_SORT_HH
+
+#include "gvml/gvml.hh"
+
+namespace cisram::kernels {
+
+/**
+ * Scratch registers the sort clobbers. Callers provide eight VRs
+ * distinct from key/payload.
+ */
+struct SortScratch
+{
+    gvml::Vr partnerKey; ///< exchange-partner keys
+    gvml::Vr partnerPay; ///< exchange-partner payloads
+    gvml::Vr maskJ;      ///< upper-of-pair mask
+    gvml::Vr choice;     ///< keep-max mask
+    gvml::Vr t1;         ///< temporary
+    gvml::Vr t2;         ///< temporary
+    gvml::Vr idx;        ///< element indices (persistent)
+    gvml::Vr one;        ///< constant 1 (persistent)
+
+    /** Default allocation in the upper VR file. */
+    static SortScratch
+    standard()
+    {
+        return {gvml::Vr(16), gvml::Vr(17), gvml::Vr(18),
+                gvml::Vr(19), gvml::Vr(20), gvml::Vr(21),
+                gvml::Vr(22), gvml::Vr(23)};
+    }
+};
+
+/**
+ * Sort the whole VR ascending by `key` (u16). With a payload, the
+ * payload VR is permuted alongside the keys and ties break by
+ * ascending payload (lexicographic order), making the sort
+ * deterministic; without one, equal keys may exchange freely.
+ */
+void bitonicSortU16(gvml::Gvml &g, gvml::Vr key, bool has_payload,
+                    gvml::Vr payload, const SortScratch &scratch);
+
+} // namespace cisram::kernels
+
+#endif // CISRAM_KERNELS_SORT_HH

@@ -1,0 +1,96 @@
+#include "kernels/topk.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cisram::kernels {
+
+using baseline::Hit;
+using gvml::Gvml;
+using gvml::Vr;
+
+namespace {
+
+void
+sortHits(std::vector<Hit> &hits)
+{
+    std::sort(hits.begin(), hits.end(), [](const Hit &a,
+                                           const Hit &b) {
+        if (a.score != b.score)
+            return a.score > b.score;
+        return a.id < b.id;
+    });
+}
+
+} // namespace
+
+std::vector<Hit>
+topKIterative(Gvml &g, Vr scores, size_t k)
+{
+    auto &core = g.core();
+    std::vector<Hit> out;
+    for (size_t i = 0; i < k; ++i) {
+        auto mx = g.maxIndexU16(scores);
+        core.rspSet(scores.idx, core.functional() ? mx.index : 0, 0);
+        if (core.functional())
+            out.push_back({static_cast<float>(mx.value), mx.index});
+    }
+    sortHits(out);
+    return out;
+}
+
+std::vector<Hit>
+topKThreshold(Gvml &g, Vr scores, size_t k, Vr scratch_a,
+              Vr scratch_b, Vr scratch_idx)
+{
+    auto &core = g.core();
+    cisram_assert(k >= 1 && k <= g.length(), "k out of range");
+
+    // Binary search the threshold: largest t with
+    // |{score >= t}| >= k. 16 probes independent of k.
+    uint16_t t = 0;
+    for (int bit = 15; bit >= 0; --bit) {
+        uint16_t probe = static_cast<uint16_t>(t | (1u << bit));
+        g.cpyImm16(scratch_a, probe);
+        g.geU16(scratch_b, scores, scratch_a);
+        uint32_t c = g.countM(scratch_b);
+        if (core.functional() && c >= k)
+            t = probe;
+    }
+
+    std::vector<Hit> out;
+    // Strict winners (> t), then threshold-equal entries by index.
+    g.cpyImm16(scratch_a, t);
+    g.gtU16(scratch_b, scores, scratch_a);
+    uint32_t n_gt = g.countM(scratch_b);
+    g.createIndexU16(scratch_idx);
+    g.cpyFromMrk16(scratch_idx, scratch_idx, scratch_b);
+    for (uint32_t i = 0; core.functional() && i < n_gt; ++i) {
+        size_t idx = g.core().rspGet(scratch_idx.idx, i);
+        out.push_back(
+            {static_cast<float>(core.vr()[scores.idx][idx]), idx});
+    }
+
+    size_t remaining = core.functional()
+        ? k - std::min<size_t>(k, n_gt)
+        : k;
+    g.cpyImm16(scratch_a, t);
+    g.eq16(scratch_b, scores, scratch_a);
+    g.createIndexU16(scratch_idx);
+    g.cpyFromMrk16(scratch_idx, scratch_idx, scratch_b);
+    for (size_t i = 0; i < remaining; ++i) {
+        // Timing mode charges the k fetches; functional reads them.
+        uint16_t idx = core.rspGet(scratch_idx.idx,
+                                   core.functional() ? i : 0);
+        if (core.functional())
+            out.push_back({static_cast<float>(t), idx});
+    }
+
+    sortHits(out);
+    if (out.size() > k)
+        out.resize(k);
+    return out;
+}
+
+} // namespace cisram::kernels

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * In-VR top-k selection algorithms.
+ *
+ * Two associative-computing strategies over a VR of u16 scores
+ * (higher is better):
+ *
+ *  - Iterative extraction: k rounds of the bit-serial global-max
+ *    search (gvml::maxIndexU16), each clearing the winner. Cost
+ *    ~k * 470 cycles; exact order, returns indices.
+ *  - Threshold counting: binary-search the k-th score with count_m
+ *    (16 probes regardless of k), then extract only the survivors.
+ *    Cost ~16 * (eq-family + count_m) + k extraction; wins for
+ *    large k because the search phase is k-independent.
+ *
+ * Both return hits best-first with ascending-index tie-breaks,
+ * matching FAISS-lite semantics.
+ */
+
+#ifndef CISRAM_KERNELS_TOPK_HH
+#define CISRAM_KERNELS_TOPK_HH
+
+#include <vector>
+
+#include "baseline/faisslite.hh"
+#include "gvml/gvml.hh"
+
+namespace cisram::kernels {
+
+/**
+ * Iterative max-extraction top-k. Destroys `scores` (winners are
+ * cleared to zero). Hit scores are the raw u16 keys.
+ */
+std::vector<baseline::Hit>
+topKIterative(gvml::Gvml &g, gvml::Vr scores, size_t k);
+
+/**
+ * Threshold-counting top-k: binary search for the smallest
+ * threshold with |{score >= t}| <= k, then extract the survivors
+ * (plus enough threshold-equal entries to fill k, lowest indices
+ * first). Needs three scratch VRs; preserves `scores`.
+ */
+std::vector<baseline::Hit>
+topKThreshold(gvml::Gvml &g, gvml::Vr scores, size_t k,
+              gvml::Vr scratch_a, gvml::Vr scratch_b,
+              gvml::Vr scratch_idx);
+
+} // namespace cisram::kernels
+
+#endif // CISRAM_KERNELS_TOPK_HH

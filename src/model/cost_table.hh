@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The analytical cost table of the framework (paper Tables 4 and 5).
+ *
+ * These are the *analytical* models (linear fits, constants) the
+ * framework uses for prediction, as distinct from the simulator's
+ * decomposed ground-truth timing in src/apusim/timing.hh. Keeping the
+ * two separate is what makes the Table 7 validation meaningful: the
+ * framework predicts, the simulator measures, and the error is a
+ * genuine output.
+ *
+ * All parameters are plain data so the design-space explorer can vary
+ * them (Section 1: "supports architectural design space exploration
+ * by enabling the tuning of key design parameters").
+ */
+
+#ifndef CISRAM_MODEL_COST_TABLE_HH
+#define CISRAM_MODEL_COST_TABLE_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace cisram::model {
+
+/** Analytical cost table; defaults are the paper's measured fits. */
+struct CostTable
+{
+    // ---- Table 4: data movement (cycles) -------------------------
+    double dmaL4L3PerByte = 0.19;
+    double dmaL4L3Init = 41164;
+    double dmaL4L2PerByte = 0.63;
+    double dmaL4L2Init = 548;
+    double dmaL2L1 = 386;
+    double dmaL4L1 = 22272;
+    double dmaL1L4 = 22186;
+    double pioLdPerElem = 57;
+    double pioStPerElem = 61;
+    double lookupPerEntry = 7.15;
+    double lookupInit = 629;
+    double loadStore = 29;
+    double cpy = 29;
+    double cpySubgrp = 82;
+    double cpyImm = 13;
+    double shiftPerStep = 373;
+    double shiftIntraBankBase = 8;
+
+    // ---- Table 5: computation (cycles) ---------------------------
+    double and16 = 12;
+    double or16 = 8;
+    double not16 = 10;
+    double xor16 = 12;
+    double ashift = 15;
+    double addU16 = 12;
+    double addS16 = 13;
+    double subU16 = 15;
+    double subS16 = 16;
+    double popcnt16 = 23;
+    double mulU16 = 115;
+    double mulS16 = 201;
+    double mulF16 = 77;
+    double divU16 = 664;
+    double divS16 = 739;
+    double eq16 = 13;
+    double gtU16 = 13;
+    double ltU16 = 13;
+    double ltGf16 = 45;
+    double geU16 = 13;
+    double leU16 = 13;
+    double recipU16 = 735;
+    double expF16 = 40295;
+    double sinFx = 761;
+    double cosFx = 761;
+    double countM = 239;
+    double minU16 = 13;
+    double maxU16 = 13;
+    double selectMsk = 13;
+    double srImm = 15;
+    double slImm = 15;
+    double createGrpIndex = 26;
+
+    // ---- architectural parameters --------------------------------
+    double clockHz = 500.0e6;
+    size_t vrLength = 32768;
+    unsigned numCores = 4;
+    unsigned numVmrs = 48;
+
+    // ---- composite models (Section 3.2) --------------------------
+
+    /** T_DMA = d / BW + T_init for L4 -> L2 (d in bytes). */
+    double
+    dmaL4L2(double bytes) const
+    {
+        return dmaL4L2PerByte * bytes + dmaL4L2Init;
+    }
+
+    /** T_DMA for the control-processor L4 -> L3 path. */
+    double
+    dmaL4L3(double bytes) const
+    {
+        return dmaL4L3PerByte * bytes + dmaL4L3Init;
+    }
+
+    /** T_PIO = n * T_access. */
+    double pioLd(double n) const { return pioLdPerElem * n; }
+    double pioSt(double n) const { return pioStPerElem * n; }
+
+    /** T_lookup = C * sigma + T_init (sigma = table entries). */
+    double
+    lookup(double entries) const
+    {
+        return lookupPerEntry * entries + lookupInit;
+    }
+
+    /** T_shift_e: C*k generic, 8 + k/4 on the intra-bank path. */
+    double
+    shiftE(double k) const
+    {
+        if (k == 0)
+            return cpy;
+        double mag = k < 0 ? -k : k;
+        if (static_cast<uint64_t>(mag) % 4 == 0)
+            return shiftIntraBankBase + mag / 4.0;
+        return shiftPerStep * mag;
+    }
+
+    /** Cycles -> seconds at the configured clock. */
+    double seconds(double cycles) const { return cycles / clockHz; }
+};
+
+} // namespace cisram::model
+
+#endif // CISRAM_MODEL_COST_TABLE_HH

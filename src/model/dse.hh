@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Design-space exploration over the analytical framework.
+ *
+ * The framework "supports architectural design space exploration by
+ * enabling the tuning of key design parameters" (paper Section 1).
+ * A DesignParameter names one knob of the CostTable; the explorer
+ * sweeps knobs and evaluates an objective (typically a kernel's
+ * predicted latency) at each point.
+ */
+
+#ifndef CISRAM_MODEL_DSE_HH
+#define CISRAM_MODEL_DSE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/cost_table.hh"
+
+namespace cisram::model {
+
+/** One tunable architectural knob. */
+struct DesignParameter
+{
+    std::string name;
+    std::function<void(CostTable &, double)> apply;
+    std::vector<double> values;
+};
+
+/** Result of evaluating one design point. */
+struct DesignPointResult
+{
+    double value;     ///< knob setting
+    double objective; ///< objective at that setting
+};
+
+/** Result of a 2-D sweep. */
+struct DesignPoint2D
+{
+    double a;
+    double b;
+    double objective;
+};
+
+class DesignSpaceExplorer
+{
+  public:
+    using Objective = std::function<double(const CostTable &)>;
+
+    explicit DesignSpaceExplorer(CostTable base = CostTable{})
+        : base_(base)
+    {}
+
+    /** Sweep one knob, evaluating the objective at each value. */
+    std::vector<DesignPointResult>
+    sweep(const DesignParameter &p, const Objective &objective) const
+    {
+        std::vector<DesignPointResult> out;
+        for (double v : p.values) {
+            CostTable t = base_;
+            p.apply(t, v);
+            out.push_back({v, objective(t)});
+        }
+        return out;
+    }
+
+    /** Cartesian sweep of two knobs. */
+    std::vector<DesignPoint2D>
+    sweep2D(const DesignParameter &a, const DesignParameter &b,
+            const Objective &objective) const
+    {
+        std::vector<DesignPoint2D> out;
+        for (double va : a.values) {
+            for (double vb : b.values) {
+                CostTable t = base_;
+                a.apply(t, va);
+                b.apply(t, vb);
+                out.push_back({va, vb, objective(t)});
+            }
+        }
+        return out;
+    }
+
+    const CostTable &base() const { return base_; }
+
+    // ---- standard knobs -------------------------------------------
+
+    /** DMA L4<->L2 bandwidth scaling (1.0 = the GSI device). */
+    static DesignParameter
+    dmaBandwidthScale(std::vector<double> scales)
+    {
+        return {"dma_bandwidth_scale",
+                [](CostTable &t, double s) {
+                    t.dmaL4L2PerByte /= s;
+                    t.dmaL4L3PerByte /= s;
+                    t.dmaL4L1 = t.dmaL4L1 / s;
+                    t.dmaL1L4 = t.dmaL1L4 / s;
+                },
+                std::move(scales)};
+    }
+
+    /** Vector register length in elements. */
+    static DesignParameter
+    vrLength(std::vector<double> lengths)
+    {
+        return {"vr_length",
+                [](CostTable &t, double l) {
+                    t.vrLength = static_cast<size_t>(l);
+                },
+                std::move(lengths)};
+    }
+
+    /** Lookup cost slope scaling (layout-engine aggressiveness). */
+    static DesignParameter
+    lookupCostScale(std::vector<double> scales)
+    {
+        return {"lookup_cost_scale",
+                [](CostTable &t, double s) {
+                    t.lookupPerEntry *= s;
+                },
+                std::move(scales)};
+    }
+
+    /** PIO per-element cost scaling. */
+    static DesignParameter
+    pioCostScale(std::vector<double> scales)
+    {
+        return {"pio_cost_scale",
+                [](CostTable &t, double s) {
+                    t.pioLdPerElem *= s;
+                    t.pioStPerElem *= s;
+                },
+                std::move(scales)};
+    }
+
+  private:
+    CostTable base_;
+};
+
+} // namespace cisram::model
+
+#endif // CISRAM_MODEL_DSE_HH

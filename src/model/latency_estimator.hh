@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The analytical latency estimator (paper Section 3.4, Fig. 6).
+ *
+ * Mirrors the GVML/DMA call surface so an APU program can be
+ * transliterated into a model program; the estimator interprets the
+ * calls against the analytical cost table and reports total latency.
+ * The paper implements this as a Python library; here it is a C++
+ * class with the same role, plus a repeat() helper that models a loop
+ * of shape-invariant iterations in O(1).
+ */
+
+#ifndef CISRAM_MODEL_LATENCY_ESTIMATOR_HH
+#define CISRAM_MODEL_LATENCY_ESTIMATOR_HH
+
+#include <functional>
+
+#include "model/cost_table.hh"
+#include "model/sg_model.hh"
+
+namespace cisram::model {
+
+class LatencyEstimator
+{
+  public:
+    explicit LatencyEstimator(CostTable table = CostTable{})
+        : table_(table)
+    {}
+
+    /** Access the cost table (e.g. for DSE parameter sweeps). */
+    CostTable &table() { return table_; }
+    const CostTable &table() const { return table_; }
+
+    /** Install a calibrated subgroup-reduction model (Eq. 1). */
+    void setSgModel(SubgroupReductionModel m) { sg = std::move(m); }
+    const SubgroupReductionModel &sgModel() const { return sg; }
+
+    // ---- accumulation --------------------------------------------
+
+    /** Charge raw cycles (escape hatch for custom operations). */
+    void charge(double cycles) { total += cycles * factor; }
+
+    /**
+     * Model `n` iterations of a shape-invariant loop body: the body
+     * is evaluated once and its charges are scaled by n. Nests.
+     */
+    void
+    repeat(double n, const std::function<void()> &body)
+    {
+        double saved = factor;
+        factor *= n;
+        body();
+        factor = saved;
+    }
+
+    double cycles() const { return total; }
+    double seconds() const { return table_.seconds(total); }
+    double microseconds() const { return seconds() * 1e6; }
+    void reset() { total = 0.0; }
+
+    // ---- data movement (Table 4) ----------------------------------
+    void fastDmaL4ToL2(double bytes) { charge(table_.dmaL4L2(bytes)); }
+    void fastDmaL2ToL4(double bytes) { charge(table_.dmaL4L2(bytes)); }
+    void dmaL4ToL3(double bytes) { charge(table_.dmaL4L3(bytes)); }
+    void directDmaL2ToL1_32k() { charge(table_.dmaL2L1); }
+    void directDmaL1ToL2_32k() { charge(table_.dmaL2L1); }
+    void directDmaL4ToL1_32k() { charge(table_.dmaL4L1); }
+    void directDmaL1ToL4_32k() { charge(table_.dmaL1L4); }
+    void pioLd(double n) { charge(table_.pioLd(n)); }
+    void pioSt(double n) { charge(table_.pioSt(n)); }
+    void lookup(double entries) { charge(table_.lookup(entries)); }
+    void gvmlLoad16() { charge(table_.loadStore); }
+    void gvmlStore16() { charge(table_.loadStore); }
+    void gvmlCpy16() { charge(table_.cpy); }
+    void gvmlCpySubgrp16Grp() { charge(table_.cpySubgrp); }
+    void gvmlCpyImm16() { charge(table_.cpyImm); }
+    void gvmlShiftE(double k) { charge(table_.shiftE(k)); }
+
+    // ---- computation (Table 5) ------------------------------------
+    void gvmlAnd16() { charge(table_.and16); }
+    void gvmlOr16() { charge(table_.or16); }
+    void gvmlNot16() { charge(table_.not16); }
+    void gvmlXor16() { charge(table_.xor16); }
+    void gvmlAsh16() { charge(table_.ashift); }
+    void gvmlAddU16() { charge(table_.addU16); }
+    void gvmlAddS16() { charge(table_.addS16); }
+    void gvmlSubU16() { charge(table_.subU16); }
+    void gvmlSubS16() { charge(table_.subS16); }
+    void gvmlPopcnt16() { charge(table_.popcnt16); }
+    void gvmlMulU16() { charge(table_.mulU16); }
+    void gvmlMulS16() { charge(table_.mulS16); }
+    void gvmlMulF16() { charge(table_.mulF16); }
+    void gvmlDivU16() { charge(table_.divU16); }
+    void gvmlDivS16() { charge(table_.divS16); }
+    void gvmlEq16() { charge(table_.eq16); }
+    void gvmlGtU16() { charge(table_.gtU16); }
+    void gvmlLtU16() { charge(table_.ltU16); }
+    void gvmlLtGf16() { charge(table_.ltGf16); }
+    void gvmlGeU16() { charge(table_.geU16); }
+    void gvmlLeU16() { charge(table_.leU16); }
+    void gvmlRecipU16() { charge(table_.recipU16); }
+    void gvmlExpF16() { charge(table_.expF16); }
+    void gvmlSinFx() { charge(table_.sinFx); }
+    void gvmlCosFx() { charge(table_.cosFx); }
+    void gvmlCountM() { charge(table_.countM); }
+    void gvmlMinU16() { charge(table_.minU16); }
+    void gvmlMaxU16() { charge(table_.maxU16); }
+    void gvmlCpy16Msk() { charge(table_.selectMsk); }
+    void gvmlCpyImm16Msk() { charge(table_.selectMsk); }
+    void gvmlCpyFromMrk16() { charge(2 * table_.selectMsk); }
+    void gvmlSrImm16() { charge(table_.srImm); }
+    void gvmlSlImm16() { charge(table_.slImm); }
+    void gvmlCreateGrpIndexU16() { charge(table_.createGrpIndex); }
+
+    /** Hierarchical subgroup reduction, modeled by Eq. 1. */
+    void
+    gvmlAddSubgrpS16(size_t grp, size_t subgrp)
+    {
+        if (grp == subgrp) {
+            gvmlCpy16();
+            return;
+        }
+        charge(sg.predict(grp, subgrp));
+    }
+
+    /** Associative max/min search (16 refinement steps + fetch). */
+    void
+    gvmlMaxIndexU16()
+    {
+        charge(16.0 * (table_.and16 + table_.or16 + 4.0) +
+               table_.pioStPerElem);
+    }
+
+  private:
+    CostTable table_;
+    SubgroupReductionModel sg;
+    double total = 0.0;
+    double factor = 1.0;
+};
+
+} // namespace cisram::model
+
+#endif // CISRAM_MODEL_LATENCY_ESTIMATOR_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Roofline model for compute-in-SRAM devices (paper Fig. 2).
+ *
+ * The compute roof is the device's peak throughput for the profiled
+ * operation mix (the paper profiles 16-bit unsigned multiply and
+ * accumulate); the memory roof is off-chip bandwidth times the
+ * kernel's operational intensity.
+ */
+
+#ifndef CISRAM_MODEL_ROOFLINE_HH
+#define CISRAM_MODEL_ROOFLINE_HH
+
+#include <algorithm>
+
+#include "model/cost_table.hh"
+
+namespace cisram::model {
+
+class Roofline
+{
+  public:
+    /**
+     * @param peak_ops_per_sec Compute roof in ops/s.
+     * @param mem_bytes_per_sec Off-chip memory bandwidth in B/s.
+     */
+    Roofline(double peak_ops_per_sec, double mem_bytes_per_sec)
+        : peak(peak_ops_per_sec), bw(mem_bytes_per_sec)
+    {}
+
+    double peakOpsPerSec() const { return peak; }
+    double memBandwidth() const { return bw; }
+
+    /** Attainable throughput (ops/s) at operational intensity oi. */
+    double
+    attainable(double oi) const
+    {
+        return std::min(peak, bw * oi);
+    }
+
+    /** OI at which the two roofs meet (the ridge point). */
+    double ridge() const { return peak / bw; }
+
+    /**
+     * Compute roof for 16-bit unsigned MAC derived from the cost
+     * table: every mul_u16 + add_u16 pair retires 2 ops per element
+     * across all lanes of all cores.
+     */
+    static Roofline
+    u16MacRoofline(const CostTable &t, double mem_bytes_per_sec)
+    {
+        double cycles_per_pair = t.mulU16 + t.addU16;
+        double ops_per_sec = 2.0 *
+            static_cast<double>(t.vrLength) * t.numCores * t.clockHz /
+            cycles_per_pair;
+        return Roofline(ops_per_sec, mem_bytes_per_sec);
+    }
+
+    /**
+     * Compute roof for binary (XNOR/popcount) MAC: one xor_16 +
+     * popcnt_16 + ashift + sub_s16 sequence retires 2*16 bit-ops per
+     * u16 element.
+     */
+    static Roofline
+    binaryMacRoofline(const CostTable &t, double mem_bytes_per_sec)
+    {
+        double cycles = t.xor16 + t.popcnt16 + t.ashift + t.subS16;
+        double ops_per_sec = 2.0 * 16.0 *
+            static_cast<double>(t.vrLength) * t.numCores * t.clockHz /
+            cycles;
+        return Roofline(ops_per_sec, mem_bytes_per_sec);
+    }
+
+  private:
+    double peak;
+    double bw;
+};
+
+} // namespace cisram::model
+
+#endif // CISRAM_MODEL_ROOFLINE_HH

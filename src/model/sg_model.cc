@@ -1,0 +1,89 @@
+#include "model/sg_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "gvml/gvml.hh"
+
+namespace cisram::model {
+
+void
+SubgroupReductionModel::fit(const std::vector<SgSample> &samples)
+{
+    cisram_assert(samples.size() >= 8,
+                  "need >= 8 samples to fit 8 coefficients");
+    // Basis per sample: { ls^i, lr*ls^i } for i in 0..3, so that
+    // T = sum_i (beta_i + alpha_i * lr) * ls^i.
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (const auto &s : samples) {
+        double lr = std::log2(static_cast<double>(s.grp));
+        double ls = std::log2(static_cast<double>(s.subgrp));
+        std::vector<double> row(8);
+        double p = 1.0;
+        for (int i = 0; i < 4; ++i) {
+            row[i] = p;          // beta_i basis
+            row[4 + i] = lr * p; // alpha_i basis
+            p *= ls;
+        }
+        x.push_back(std::move(row));
+        y.push_back(s.cycles);
+    }
+    auto coef = leastSquares(x, y);
+    for (int i = 0; i < 4; ++i) {
+        beta_[i] = coef[i];
+        alpha_[i] = coef[4 + i];
+    }
+    fitted_ = true;
+
+    double err_sum = 0.0;
+    for (const auto &s : samples) {
+        double p = predict(s.grp, s.subgrp);
+        err_sum += std::fabs(p - s.cycles) / s.cycles;
+    }
+    fitError_ = err_sum / static_cast<double>(samples.size());
+}
+
+double
+SubgroupReductionModel::predict(size_t grp, size_t subgrp) const
+{
+    cisram_assert(fitted_, "subgroup model used before calibration");
+    double lr = std::log2(static_cast<double>(grp));
+    double ls = std::log2(static_cast<double>(subgrp));
+    double t = 0.0;
+    double p = 1.0;
+    for (int i = 0; i < 4; ++i) {
+        t += (alpha_[i] * lr + beta_[i]) * p;
+        p *= ls;
+    }
+    return t;
+}
+
+std::vector<SgSample>
+SubgroupReductionModel::profile(apu::ApuCore &core)
+{
+    gvml::Gvml g(core);
+    auto saved_mode = core.mode();
+    core.setMode(apu::ExecMode::TimingOnly);
+
+    std::vector<SgSample> samples;
+    for (size_t grp = 16; grp <= core.vr().length(); grp *= 4) {
+        for (size_t subgrp = 1; subgrp <= grp / 2; subgrp *= 2) {
+            core.stats().reset();
+            g.addSubgrpS16(gvml::Vr(0), gvml::Vr(1), grp, subgrp);
+            samples.push_back({grp, subgrp, core.stats().cycles()});
+        }
+    }
+    core.stats().reset();
+    core.setMode(saved_mode);
+    return samples;
+}
+
+void
+SubgroupReductionModel::calibrate(apu::ApuCore &core)
+{
+    fit(profile(core));
+}
+
+} // namespace cisram::model

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The subgroup-reduction cost model of the paper's Eq. 1.
+ *
+ *   T_sg_add(r, s) = p3*(log2 s)^3 + p2*(log2 s)^2 + p1*log2 s + p0
+ *   p_i = alpha_i * log2 r + beta_i
+ *
+ * The eight coefficients (alpha_i, beta_i) are "experimentally
+ * determined constants": this module fits them by ordinary least
+ * squares against latencies profiled on the simulator, exactly the
+ * methodology the paper prescribes for porting the framework to a
+ * new device ("deriving the necessary parameters through profiling",
+ * Section 3.1).
+ */
+
+#ifndef CISRAM_MODEL_SG_MODEL_HH
+#define CISRAM_MODEL_SG_MODEL_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace cisram::apu {
+class ApuCore;
+}
+
+namespace cisram::model {
+
+/** One profiled observation. */
+struct SgSample
+{
+    size_t grp;
+    size_t subgrp;
+    double cycles;
+};
+
+class SubgroupReductionModel
+{
+  public:
+    /** Construct with all coefficients zero (must fit before use). */
+    SubgroupReductionModel() = default;
+
+    /**
+     * Fit alpha/beta by least squares over profiled samples.
+     * Requires at least 8 samples spanning multiple (r, s) pairs.
+     */
+    void fit(const std::vector<SgSample> &samples);
+
+    /** Predicted cycles for add_subgrp_s16 over (grp, subgrp). */
+    double predict(size_t grp, size_t subgrp) const;
+
+    /** True once fit() has run. */
+    bool fitted() const { return fitted_; }
+
+    /** Mean absolute relative error of the fit over its samples. */
+    double fitError() const { return fitError_; }
+
+    /** Coefficients, index i in [0,3]: p_i = alpha[i]*log2 r + beta[i]. */
+    double alpha(unsigned i) const { return alpha_[i]; }
+    double beta(unsigned i) const { return beta_[i]; }
+
+    /**
+     * Profile the simulator over a grid of (grp, subgrp) pairs in
+     * timing-only mode and return the samples (does not disturb
+     * functional state).
+     */
+    static std::vector<SgSample> profile(apu::ApuCore &core);
+
+    /** Convenience: profile `core` then fit. */
+    void calibrate(apu::ApuCore &core);
+
+  private:
+    double alpha_[4] = {0, 0, 0, 0};
+    double beta_[4] = {0, 0, 0, 0};
+    bool fitted_ = false;
+    double fitError_ = 0.0;
+};
+
+} // namespace cisram::model
+
+#endif // CISRAM_MODEL_SG_MODEL_HH

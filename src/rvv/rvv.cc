@@ -1,0 +1,238 @@
+#include "rvv/rvv.hh"
+
+#include "common/logging.hh"
+#include "gvml/microcode.hh"
+
+namespace cisram::rvv {
+
+using apu::BitProcArray;
+using apu::BoolOp;
+using apu::LatchSrc;
+
+RvvUnit::RvvUnit(apu::ApuCore &core)
+    : core_(core), bp(core.bitproc())
+{
+    cisram_assert(core.vr().numVrs() >= 24,
+                  "RVV mapping needs 24 VRs");
+}
+
+void
+RvvUnit::checkReg(unsigned v) const
+{
+    cisram_assert(v < numRegs, "vector register OOB: v", v);
+}
+
+void
+RvvUnit::vle16(unsigned vd, unsigned vmr)
+{
+    checkReg(vd);
+    core_.loadVr(vd, vmr);
+}
+
+void
+RvvUnit::vse16(unsigned vmr, unsigned vs)
+{
+    checkReg(vs);
+    core_.storeVr(vmr, vs);
+}
+
+void
+RvvUnit::vadd_vv(unsigned vd, unsigned vs1, unsigned vs2)
+{
+    checkReg(vd);
+    checkReg(vs1);
+    checkReg(vs2);
+    charge(gvml::mcAddU16(bp, vd, vs1, vs2, sCarry, sProp, sGen));
+}
+
+void
+RvvUnit::vsub_vv(unsigned vd, unsigned vs1, unsigned vs2)
+{
+    checkReg(vd);
+    checkReg(vs1);
+    checkReg(vs2);
+    charge(gvml::mcSubU16(bp, vd, vs1, vs2, sCarry, sProp, sGen,
+                          sNb));
+}
+
+void
+RvvUnit::vmul_vv(unsigned vd, unsigned vs1, unsigned vs2)
+{
+    checkReg(vd);
+    checkReg(vs1);
+    checkReg(vs2);
+    cisram_assert(vd != vs1 && vd != vs2,
+                  "vmul destination must not alias a source");
+    charge(gvml::mcMulU16(bp, vd, vs1, vs2, sMask, sPartial, sCarry,
+                          sProp, sGen));
+}
+
+void
+RvvUnit::vand_vv(unsigned vd, unsigned vs1, unsigned vs2)
+{
+    checkReg(vd);
+    checkReg(vs1);
+    checkReg(vs2);
+    uint64_t start = bp.uopCount();
+    bp.rlFromVrAndVr(BitProcArray::fullMask, vs1, vs2);
+    bp.writeVrFromRl(BitProcArray::fullMask, vd);
+    charge(bp.uopCount() - start);
+}
+
+void
+RvvUnit::vor_vv(unsigned vd, unsigned vs1, unsigned vs2)
+{
+    checkReg(vd);
+    checkReg(vs1);
+    checkReg(vs2);
+    uint64_t start = bp.uopCount();
+    bp.rlFromVr(BitProcArray::fullMask, vs1);
+    bp.rlOpVr(BitProcArray::fullMask, BoolOp::Or, vs2);
+    bp.writeVrFromRl(BitProcArray::fullMask, vd);
+    charge(bp.uopCount() - start);
+}
+
+void
+RvvUnit::vxor_vv(unsigned vd, unsigned vs1, unsigned vs2)
+{
+    checkReg(vd);
+    checkReg(vs1);
+    checkReg(vs2);
+    charge(gvml::mcXor16(bp, vd, vs1, vs2, sT0));
+}
+
+void
+RvvUnit::vnot_v(unsigned vd, unsigned vs)
+{
+    checkReg(vd);
+    checkReg(vs);
+    uint64_t start = bp.uopCount();
+    bp.rlFromVr(BitProcArray::fullMask, vs);
+    bp.writeVrFromRl(BitProcArray::fullMask, vd, /*negate=*/true);
+    charge(bp.uopCount() - start);
+}
+
+void
+RvvUnit::vsll_vi(unsigned vd, unsigned vs, unsigned shamt)
+{
+    checkReg(vd);
+    checkReg(vs);
+    cisram_assert(shamt < 16, "shift amount OOB");
+    uint64_t start = bp.uopCount();
+    bp.rlFromVr(BitProcArray::fullMask, vs);
+    for (unsigned k = 0; k < shamt; ++k)
+        bp.rlFromLatch(BitProcArray::fullMask, LatchSrc::RL_S);
+    bp.writeVrFromRl(BitProcArray::fullMask, vd);
+    charge(bp.uopCount() - start);
+}
+
+void
+RvvUnit::vsrl_vi(unsigned vd, unsigned vs, unsigned shamt)
+{
+    checkReg(vd);
+    checkReg(vs);
+    cisram_assert(shamt < 16, "shift amount OOB");
+    uint64_t start = bp.uopCount();
+    bp.rlFromVr(BitProcArray::fullMask, vs);
+    for (unsigned k = 0; k < shamt; ++k)
+        bp.rlFromLatch(BitProcArray::fullMask, LatchSrc::RL_N);
+    bp.writeVrFromRl(BitProcArray::fullMask, vd);
+    charge(bp.uopCount() - start);
+}
+
+void
+RvvUnit::vmseq_vv(unsigned vd, unsigned vs1, unsigned vs2)
+{
+    checkReg(vd);
+    checkReg(vs1);
+    checkReg(vs2);
+    uint64_t start = bp.uopCount();
+    gvml::mcXor16(bp, sT1, vs1, vs2, sT0);
+    bp.rlFromVr(BitProcArray::fullMask, sT1);
+    bp.writeVrFromRl(BitProcArray::fullMask, sT1, /*negate=*/true);
+    gvml::mcAllBitsSet(bp, vd, sT1);
+    charge(bp.uopCount() - start);
+}
+
+void
+RvvUnit::vmsltu_vv(unsigned vd, unsigned vs1, unsigned vs2)
+{
+    checkReg(vd);
+    checkReg(vs1);
+    checkReg(vs2);
+    uint64_t start = bp.uopCount();
+
+    // a - b with carry-out: carry_out == 0  <=>  a < b.
+    bp.rlFromVr(BitProcArray::fullMask, vs2);
+    bp.writeVrFromRl(BitProcArray::fullMask, sNb, true);
+    bp.rlFromImmediate(BitProcArray::fullMask, false);
+    bp.writeVrFromRl(BitProcArray::fullMask, sCarry);
+    bp.rlFromImmediate(0x0001, true);
+    bp.writeVrFromRl(0x0001, sCarry);
+    bp.rlFromVr(BitProcArray::fullMask, vs1);
+    bp.rlOpVr(BitProcArray::fullMask, BoolOp::Xor, sNb);
+    bp.writeVrFromRl(BitProcArray::fullMask, sProp);
+    bp.rlFromVrAndVr(BitProcArray::fullMask, vs1, sNb);
+    bp.writeVrFromRl(BitProcArray::fullMask, sGen);
+
+    // Clear the staging register; only slice 15 will be written.
+    bp.rlFromImmediate(BitProcArray::fullMask, false);
+    bp.writeVrFromRl(BitProcArray::fullMask, sT0);
+
+    // Ripple carries upward; the loop leaves each slice's carry-out
+    // in sCarry's next slice, and materializes the final carry-out
+    // (of slice 15) in slice 15 of sT0.
+    for (unsigned i = 0; i < 16; ++i) {
+        uint16_t m = static_cast<uint16_t>(1u << i);
+        bp.rlFromVrAndVr(m, sProp, sCarry);
+        bp.rlOpVr(m, BoolOp::Or, sGen);
+        if (i < 15) {
+            uint16_t m_next = static_cast<uint16_t>(1u << (i + 1));
+            bp.rlFromLatch(m_next, LatchSrc::RL_S);
+            bp.writeVrFromRl(m_next, sCarry);
+        } else {
+            bp.writeVrFromRl(0x8000, sT0);
+        }
+    }
+
+    // Broadcast slice 15's carry-out down to every slice, invert:
+    // vd = ~carry_out replicated (all-ones iff a < b).
+    bp.rlFromVr(BitProcArray::fullMask, sT0);
+    for (unsigned k = 0; k < 15; ++k)
+        bp.rlOpLatch(BitProcArray::fullMask, BoolOp::Or,
+                     LatchSrc::RL_N);
+    bp.writeVrFromRl(BitProcArray::fullMask, vd, /*negate=*/true);
+    charge(bp.uopCount() - start);
+}
+
+void
+RvvUnit::vmerge_vvm(unsigned vd, unsigned vs1, unsigned vs2,
+                    unsigned vmask)
+{
+    checkReg(vd);
+    checkReg(vs1);
+    checkReg(vs2);
+    checkReg(vmask);
+    uint64_t start = bp.uopCount();
+    bp.rlFromVrAndVr(BitProcArray::fullMask, vs1, vmask);
+    bp.writeVrFromRl(BitProcArray::fullMask, sT0);
+    bp.rlFromVr(BitProcArray::fullMask, vmask);
+    bp.writeVrFromRl(BitProcArray::fullMask, sT1, /*negate=*/true);
+    bp.rlFromVrAndVr(BitProcArray::fullMask, vs2, sT1);
+    bp.rlOpVr(BitProcArray::fullMask, BoolOp::Or, sT0);
+    bp.writeVrFromRl(BitProcArray::fullMask, vd);
+    charge(bp.uopCount() - start);
+}
+
+void
+RvvUnit::vmv_v(unsigned vd, unsigned vs)
+{
+    checkReg(vd);
+    checkReg(vs);
+    uint64_t start = bp.uopCount();
+    bp.rlFromVr(BitProcArray::fullMask, vs);
+    bp.writeVrFromRl(BitProcArray::fullMask, vd);
+    charge(bp.uopCount() - start);
+}
+
+} // namespace cisram::rvv

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A virtual RISC-V vector abstraction on APU microcode.
+ *
+ * The paper notes that programmers can build alternative vector
+ * abstractions directly from microcode, citing Golden et al.'s
+ * RISC-V vector mapping on this device (Section 2.2.2). This module
+ * demonstrates it: a small RVV-flavoured instruction set (vle/vse,
+ * vadd/vsub, logical ops, compares, shifts, merge) implemented
+ * purely in terms of the bit-processor micro-operations of Table 2 —
+ * no GVML word-level shortcuts on the datapath — with cycle costs
+ * derived from the issued micro-op counts.
+ *
+ * Vector registers map 1:1 onto the APU's VRs; VLEN is the device's
+ * 32768 x 16-bit geometry (SEW=16, LMUL=1).
+ */
+
+#ifndef CISRAM_RVV_RVV_HH
+#define CISRAM_RVV_RVV_HH
+
+#include <cstdint>
+
+#include "apusim/apu.hh"
+
+namespace cisram::rvv {
+
+/**
+ * The virtual vector unit, bound to one APU core.
+ *
+ * Registers v0..v15 are available to the program; v16..v23 are the
+ * unit's microcode scratch (carry/propagate/generate chains and
+ * mask staging), mirroring how a real mapping reserves VRs.
+ */
+class RvvUnit
+{
+  public:
+    static constexpr unsigned numRegs = 16;
+
+    explicit RvvUnit(apu::ApuCore &core);
+
+    /** VLEN in elements (SEW = 16 bits). */
+    size_t vl() const { return core_.vr().length(); }
+
+    // ---- loads / stores (unit stride, via L1) --------------------
+    /** vle16.v vd, (vmr): load a full vector register from L1. */
+    void vle16(unsigned vd, unsigned vmr);
+
+    /** vse16.v vs, (vmr): store a full vector register to L1. */
+    void vse16(unsigned vmr, unsigned vs);
+
+    // ---- integer arithmetic (bit-serial microcode) ----------------
+    void vadd_vv(unsigned vd, unsigned vs1, unsigned vs2);
+    void vsub_vv(unsigned vd, unsigned vs1, unsigned vs2);
+    void vmul_vv(unsigned vd, unsigned vs1, unsigned vs2);
+
+    // ---- logical (bit-parallel microcode) --------------------------
+    void vand_vv(unsigned vd, unsigned vs1, unsigned vs2);
+    void vor_vv(unsigned vd, unsigned vs1, unsigned vs2);
+    void vxor_vv(unsigned vd, unsigned vs1, unsigned vs2);
+    void vnot_v(unsigned vd, unsigned vs);
+
+    // ---- shifts by immediate (slice moves) -------------------------
+    void vsll_vi(unsigned vd, unsigned vs, unsigned shamt);
+    void vsrl_vi(unsigned vd, unsigned vs, unsigned shamt);
+
+    // ---- compares (mask result: all-ones / all-zeros) --------------
+    /** vmseq.vv: vd = (vs1 == vs2) ? 0xffff : 0. */
+    void vmseq_vv(unsigned vd, unsigned vs1, unsigned vs2);
+
+    /** vmsltu.vv: vd = (vs1 < vs2 unsigned) ? 0xffff : 0. */
+    void vmsltu_vv(unsigned vd, unsigned vs1, unsigned vs2);
+
+    // ---- merge ------------------------------------------------------
+    /** vmerge: vd = mask ? vs1 : vs2 (mask all-ones/all-zeros). */
+    void vmerge_vvm(unsigned vd, unsigned vs1, unsigned vs2,
+                    unsigned vmask);
+
+    /** vmv.v.v */
+    void vmv_v(unsigned vd, unsigned vs);
+
+    // ---- accounting -------------------------------------------------
+    /** Micro-ops issued by this unit so far. */
+    uint64_t uops() const { return uopsIssued; }
+
+    /** Direct element access for tests/host glue. */
+    std::vector<uint16_t> &
+    data(unsigned v)
+    {
+        checkReg(v);
+        return core_.vr()[v];
+    }
+
+  private:
+    void checkReg(unsigned v) const;
+
+    /** Charge the cycles of a microcode sequence (1 cycle/uop). */
+    void
+    charge(uint64_t uops)
+    {
+        uopsIssued += uops;
+        core_.chargeRaw(uops);
+    }
+
+    // Scratch register assignments (v16..v23).
+    static constexpr unsigned sCarry = 16, sProp = 17, sGen = 18,
+                              sNb = 19, sMask = 20, sPartial = 21,
+                              sT0 = 22, sT1 = 23;
+
+    apu::ApuCore &core_;
+    apu::BitProcArray &bp;
+    uint64_t uopsIssued = 0;
+};
+
+} // namespace cisram::rvv
+
+#endif // CISRAM_RVV_RVV_HH

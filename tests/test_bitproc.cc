@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Bit-processor array tests: Table 2 micro-operations, global lines,
+ * neighbour wires, and bank-boundary behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apusim/bitproc.hh"
+#include "apusim/vr_file.hh"
+#include "common/rng.hh"
+
+using namespace cisram;
+using namespace cisram::apu;
+
+namespace {
+
+/** Small register file: 8 VRs x 256 elements over 4 banks. */
+struct Fixture
+{
+    Fixture() : vrs(8, 256, 4), bp(vrs) {}
+
+    void
+    randomize(unsigned vr, uint64_t seed)
+    {
+        Rng rng(seed);
+        for (auto &v : vrs[vr])
+            v = rng.nextU16();
+    }
+
+    VrFile vrs;
+    BitProcArray bp;
+};
+
+} // namespace
+
+TEST(VrFileTest, SlicePlaneRoundTrip)
+{
+    Fixture f;
+    f.randomize(0, 11);
+    auto original = f.vrs[0];
+    for (unsigned s = 0; s < 16; ++s) {
+        BitVector plane = f.vrs.slicePlane(0, s);
+        for (size_t i = 0; i < original.size(); ++i)
+            EXPECT_EQ(plane.get(i), ((original[i] >> s) & 1) != 0);
+        f.vrs.setSlicePlane(0, s, plane);
+    }
+    EXPECT_EQ(f.vrs[0], original);
+}
+
+TEST(BitProc, ReadWriteVr)
+{
+    Fixture f;
+    f.randomize(0, 1);
+    f.bp.rlFromVr(BitProcArray::fullMask, 0);
+    f.bp.writeVrFromRl(BitProcArray::fullMask, 1);
+    EXPECT_EQ(f.vrs[1], f.vrs[0]);
+}
+
+TEST(BitProc, NegatedWriteIsComplement)
+{
+    Fixture f;
+    f.randomize(0, 2);
+    f.bp.rlFromVr(BitProcArray::fullMask, 0);
+    f.bp.writeVrFromRl(BitProcArray::fullMask, 1, /*negate=*/true);
+    for (size_t i = 0; i < f.vrs.length(); ++i)
+        EXPECT_EQ(f.vrs[1][i], static_cast<uint16_t>(~f.vrs[0][i]));
+}
+
+TEST(BitProc, ReadAndOfTwoVrs)
+{
+    Fixture f;
+    f.randomize(0, 3);
+    f.randomize(1, 4);
+    f.bp.rlFromVrAndVr(BitProcArray::fullMask, 0, 1);
+    f.bp.writeVrFromRl(BitProcArray::fullMask, 2);
+    for (size_t i = 0; i < f.vrs.length(); ++i)
+        EXPECT_EQ(f.vrs[2][i], f.vrs[0][i] & f.vrs[1][i]);
+}
+
+TEST(BitProc, RlOpVrBooleans)
+{
+    Fixture f;
+    f.randomize(0, 5);
+    f.randomize(1, 6);
+
+    f.bp.rlFromVr(BitProcArray::fullMask, 0);
+    f.bp.rlOpVr(BitProcArray::fullMask, BoolOp::Or, 1);
+    f.bp.writeVrFromRl(BitProcArray::fullMask, 2);
+
+    f.bp.rlFromVr(BitProcArray::fullMask, 0);
+    f.bp.rlOpVr(BitProcArray::fullMask, BoolOp::Xor, 1);
+    f.bp.writeVrFromRl(BitProcArray::fullMask, 3);
+
+    for (size_t i = 0; i < f.vrs.length(); ++i) {
+        EXPECT_EQ(f.vrs[2][i], f.vrs[0][i] | f.vrs[1][i]);
+        EXPECT_EQ(f.vrs[3][i], f.vrs[0][i] ^ f.vrs[1][i]);
+    }
+}
+
+TEST(BitProc, SliceMaskRestrictsOperation)
+{
+    Fixture f;
+    f.randomize(0, 7);
+    // Zero VR1, then copy only slices 0..7 of VR0 into it.
+    f.bp.rlFromImmediate(BitProcArray::fullMask, false);
+    f.bp.writeVrFromRl(BitProcArray::fullMask, 1);
+    f.bp.rlFromVr(0x00ff, 0);
+    f.bp.writeVrFromRl(0x00ff, 1);
+    for (size_t i = 0; i < f.vrs.length(); ++i)
+        EXPECT_EQ(f.vrs[1][i], f.vrs[0][i] & 0x00ff);
+}
+
+TEST(BitProc, GvlAndsAcrossSlices)
+{
+    Fixture f;
+    f.randomize(0, 8);
+    f.bp.rlFromVr(BitProcArray::fullMask, 0);
+    f.bp.loadGvlFromRl(BitProcArray::fullMask);
+    const BitVector &gvl = f.bp.gvl();
+    for (size_t i = 0; i < f.vrs.length(); ++i)
+        EXPECT_EQ(gvl.get(i), f.vrs[0][i] == 0xffff) << i;
+}
+
+TEST(BitProc, GvlWithPartialMask)
+{
+    Fixture f;
+    f.randomize(0, 9);
+    f.bp.rlFromVr(BitProcArray::fullMask, 0);
+    f.bp.loadGvlFromRl(0x000f); // AND of the low 4 slices only
+    const BitVector &gvl = f.bp.gvl();
+    for (size_t i = 0; i < f.vrs.length(); ++i)
+        EXPECT_EQ(gvl.get(i), (f.vrs[0][i] & 0xf) == 0xf) << i;
+}
+
+TEST(BitProc, GhlOrsAcrossBankRow)
+{
+    Fixture f;
+    // Set one element in bank 2 only (elements 128..191 for 4 banks
+    // of 64): slice 3 of element 130.
+    for (auto &v : f.vrs[0])
+        v = 0;
+    f.vrs[0][130] = 1u << 3;
+    f.bp.rlFromVr(BitProcArray::fullMask, 0);
+    f.bp.loadGhlFromRl(BitProcArray::fullMask);
+    for (unsigned b = 0; b < 4; ++b)
+        for (unsigned s = 0; s < 16; ++s)
+            EXPECT_EQ(f.bp.ghlBit(b, s), b == 2 && s == 3);
+
+    // Reading GHL back broadcasts to the whole bank row.
+    f.bp.rlFromLatch(BitProcArray::fullMask, LatchSrc::GHL);
+    f.bp.writeVrFromRl(BitProcArray::fullMask, 1);
+    for (size_t i = 0; i < f.vrs.length(); ++i) {
+        uint16_t expect = (i >= 128 && i < 192) ? (1u << 3) : 0;
+        EXPECT_EQ(f.vrs[1][i], expect) << i;
+    }
+}
+
+TEST(BitProc, EastWestNeighboursStopAtBankEdges)
+{
+    Fixture f;
+    Rng rng(10);
+    for (auto &v : f.vrs[0])
+        v = rng.nextU16();
+
+    // VR1 = west neighbour of VR0 (value at column i comes from i-1).
+    f.bp.rlFromVr(BitProcArray::fullMask, 0);
+    f.bp.rlFromLatch(BitProcArray::fullMask, LatchSrc::RL_W);
+    f.bp.writeVrFromRl(BitProcArray::fullMask, 1);
+
+    // VR2 = east neighbour.
+    f.bp.rlFromVr(BitProcArray::fullMask, 0);
+    f.bp.rlFromLatch(BitProcArray::fullMask, LatchSrc::RL_E);
+    f.bp.writeVrFromRl(BitProcArray::fullMask, 2);
+
+    size_t bank_elems = f.vrs.bankElems();
+    for (size_t i = 0; i < f.vrs.length(); ++i) {
+        uint16_t west =
+            (i % bank_elems == 0) ? 0 : f.vrs[0][i - 1];
+        uint16_t east =
+            (i % bank_elems == bank_elems - 1) ? 0 : f.vrs[0][i + 1];
+        EXPECT_EQ(f.vrs[1][i], west) << i;
+        EXPECT_EQ(f.vrs[2][i], east) << i;
+    }
+}
+
+TEST(BitProc, NorthSouthNeighboursShiftSlices)
+{
+    Fixture f;
+    f.randomize(0, 12);
+    // RL_S at slice s reads slice s-1: the net effect of writing
+    // RL_S back is a 1-bit left shift of every element.
+    f.bp.rlFromVr(BitProcArray::fullMask, 0);
+    f.bp.rlFromLatch(BitProcArray::fullMask, LatchSrc::RL_S);
+    f.bp.writeVrFromRl(BitProcArray::fullMask, 1);
+    for (size_t i = 0; i < f.vrs.length(); ++i)
+        EXPECT_EQ(f.vrs[1][i],
+                  static_cast<uint16_t>(f.vrs[0][i] << 1));
+
+    // RL_N reads slice s+1: a 1-bit logical right shift.
+    f.bp.rlFromVr(BitProcArray::fullMask, 0);
+    f.bp.rlFromLatch(BitProcArray::fullMask, LatchSrc::RL_N);
+    f.bp.writeVrFromRl(BitProcArray::fullMask, 2);
+    for (size_t i = 0; i < f.vrs.length(); ++i)
+        EXPECT_EQ(f.vrs[2][i],
+                  static_cast<uint16_t>(f.vrs[0][i] >> 1));
+}
+
+TEST(BitProc, RlFromVrOpLatchCombinations)
+{
+    Fixture f;
+    f.randomize(0, 13);
+    f.randomize(1, 14);
+    // RL = VR0; then RL = VR1 ^ RL  ==> VR0 ^ VR1.
+    f.bp.rlFromVr(BitProcArray::fullMask, 0);
+    f.bp.rlFromVrOpLatch(BitProcArray::fullMask, 1, BoolOp::Xor,
+                         LatchSrc::RL);
+    f.bp.writeVrFromRl(BitProcArray::fullMask, 2);
+    for (size_t i = 0; i < f.vrs.length(); ++i)
+        EXPECT_EQ(f.vrs[2][i], f.vrs[0][i] ^ f.vrs[1][i]);
+}
+
+TEST(BitProc, UopCounterAdvances)
+{
+    Fixture f;
+    uint64_t before = f.bp.uopCount();
+    f.bp.rlFromVr(BitProcArray::fullMask, 0);
+    f.bp.writeVrFromRl(BitProcArray::fullMask, 1);
+    EXPECT_EQ(f.bp.uopCount(), before + 2);
+}

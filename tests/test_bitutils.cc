@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit and property tests for bit utilities and BitVector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hh"
+#include "common/rng.hh"
+
+using namespace cisram;
+
+TEST(BitUtils, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ull << 40));
+    EXPECT_FALSE(isPow2((1ull << 40) + 1));
+}
+
+TEST(BitUtils, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(4), 2u);
+    EXPECT_EQ(log2Floor(32768), 15u);
+    EXPECT_EQ(log2Floor(~0ull), 63u);
+}
+
+TEST(BitUtils, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(4), 2u);
+    EXPECT_EQ(log2Ceil(5), 3u);
+}
+
+TEST(BitUtils, DivCeilAndRound)
+{
+    EXPECT_EQ(divCeil(0, 512), 0u);
+    EXPECT_EQ(divCeil(1, 512), 1u);
+    EXPECT_EQ(divCeil(512, 512), 1u);
+    EXPECT_EQ(divCeil(513, 512), 2u);
+    EXPECT_EQ(roundUpPow2(0, 512), 0u);
+    EXPECT_EQ(roundUpPow2(1, 512), 512u);
+    EXPECT_EQ(roundUpPow2(512, 512), 512u);
+}
+
+TEST(BitVector, SetGetFill)
+{
+    BitVector v(100);
+    EXPECT_EQ(v.size(), 100u);
+    EXPECT_FALSE(v.any());
+    v.set(0, true);
+    v.set(63, true);
+    v.set(64, true);
+    v.set(99, true);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(63));
+    EXPECT_TRUE(v.get(64));
+    EXPECT_TRUE(v.get(99));
+    EXPECT_FALSE(v.get(1));
+    EXPECT_EQ(v.popcount(), 4u);
+    v.fill(true);
+    EXPECT_TRUE(v.all());
+    EXPECT_EQ(v.popcount(), 100u);
+    v.fill(false);
+    EXPECT_FALSE(v.any());
+}
+
+TEST(BitVector, TailBitsStayClear)
+{
+    BitVector v(70, true);
+    EXPECT_EQ(v.popcount(), 70u);
+    v.invert();
+    EXPECT_EQ(v.popcount(), 0u);
+    v.invert();
+    EXPECT_EQ(v.popcount(), 70u);
+}
+
+TEST(BitVector, BooleanOps)
+{
+    BitVector a(130), b(130);
+    for (size_t i = 0; i < 130; i += 2)
+        a.set(i, true);
+    for (size_t i = 0; i < 130; i += 3)
+        b.set(i, true);
+    BitVector both = a & b;
+    BitVector either = a | b;
+    BitVector diff = a ^ b;
+    for (size_t i = 0; i < 130; ++i) {
+        EXPECT_EQ(both.get(i), a.get(i) && b.get(i)) << i;
+        EXPECT_EQ(either.get(i), a.get(i) || b.get(i)) << i;
+        EXPECT_EQ(diff.get(i), a.get(i) != b.get(i)) << i;
+    }
+}
+
+TEST(BitVector, FirstSet)
+{
+    BitVector v(200);
+    EXPECT_EQ(v.firstSet(), 200u);
+    v.set(150, true);
+    EXPECT_EQ(v.firstSet(), 150u);
+    v.set(7, true);
+    EXPECT_EQ(v.firstSet(), 7u);
+}
+
+class BitVectorShift : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(BitVectorShift, ShiftMatchesReference)
+{
+    size_t k = GetParam();
+    Rng rng(1234 + k);
+    const size_t n = 300;
+    BitVector v(n);
+    std::vector<bool> ref(n, false);
+    for (size_t i = 0; i < n; ++i) {
+        bool bit = rng.next() & 1;
+        v.set(i, bit);
+        ref[i] = bit;
+    }
+
+    BitVector up = v.shiftedUp(k);
+    BitVector down = v.shiftedDown(k);
+    for (size_t i = 0; i < n; ++i) {
+        bool exp_up = i >= k ? ref[i - k] : false;
+        bool exp_down = i + k < n ? ref[i + k] : false;
+        EXPECT_EQ(up.get(i), exp_up) << "up k=" << k << " i=" << i;
+        EXPECT_EQ(down.get(i), exp_down) << "down k=" << k << " i=" << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, BitVectorShift,
+                         ::testing::Values(0, 1, 2, 63, 64, 65, 127,
+                                           128, 200, 299, 300, 400));

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Binary-matmul kernel tests: every variant computes the exact
+ * reference result; timing mode reproduces the Fig. 12 breakdown
+ * shape; simulator and analytical model agree.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/bmm_model.hh"
+#include "kernels/bmm.hh"
+#include "model/sg_model.hh"
+
+using namespace cisram;
+using namespace cisram::core;
+using namespace cisram::kernels;
+
+namespace {
+
+constexpr BmmVariant allVariants[] = {
+    BmmVariant::Baseline, BmmVariant::Opt1, BmmVariant::Opt1Opt2,
+    BmmVariant::Opt1Opt3, BmmVariant::AllOpts,
+};
+
+} // namespace
+
+class BmmFunctional
+    : public ::testing::TestWithParam<BmmVariant>
+{
+};
+
+TEST_P(BmmFunctional, MatchesReference)
+{
+    BmmShape shape{64, 64, 256};
+    BmmData data = genBmmData(shape, 101);
+    auto expect = bmmReference(shape, data);
+
+    apu::ApuDevice dev;
+    auto got = runBmmApu(dev, shape, GetParam(), &data);
+    ASSERT_EQ(got.c.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i)
+        ASSERT_EQ(got.c[i], expect[i])
+            << bmmVariantName(GetParam()) << " at " << i;
+}
+
+TEST_P(BmmFunctional, MatchesReferenceNonSquare)
+{
+    // Partial tiles (m not a multiple of rows-per-VR) and multiple
+    // B-VR groups.
+    BmmShape shape{48, 128, 512};
+    BmmData data = genBmmData(shape, 102);
+    auto expect = bmmReference(shape, data);
+
+    apu::ApuDevice dev;
+    auto got = runBmmApu(dev, shape, GetParam(), &data);
+    ASSERT_EQ(got.c.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i)
+        ASSERT_EQ(got.c[i], expect[i])
+            << bmmVariantName(GetParam()) << " at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, BmmFunctional, ::testing::ValuesIn(allVariants),
+    [](const ::testing::TestParamInfo<BmmVariant> &info) {
+        std::string name = bmmVariantName(info.param);
+        for (auto &c : name)
+            if (c == '+' || c == '-')
+                c = '_';
+        return name;
+    });
+
+namespace {
+
+BmmRunResult
+timedRun(BmmVariant v)
+{
+    apu::ApuDevice dev;
+    dev.core(0).setMode(apu::ExecMode::TimingOnly);
+    BmmShape paper{1024, 1024, 1024};
+    return runBmmApu(dev, paper, v, nullptr);
+}
+
+} // namespace
+
+TEST(BmmTiming, Fig12BaselineStoreBound)
+{
+    auto r = timedRun(BmmVariant::Baseline);
+    EXPECT_GT(r.cycles.store, r.cycles.ldLhs);
+    EXPECT_GT(r.cycles.store, r.cycles.ldRhs);
+    EXPECT_GT(r.cycles.store, r.cycles.vrOps);
+    // Paper: 226.3 ms measured baseline; ours within 2x.
+    double ms = r.cycles.total() / 500.0e6 * 1e3;
+    EXPECT_GT(ms, 110.0);
+    EXPECT_LT(ms, 450.0);
+}
+
+TEST(BmmTiming, Fig12OptProgression)
+{
+    double base = timedRun(BmmVariant::Baseline).cycles.total();
+    auto o1 = timedRun(BmmVariant::Opt1);
+    double o12 = timedRun(BmmVariant::Opt1Opt2).cycles.total();
+    double o13 = timedRun(BmmVariant::Opt1Opt3).cycles.total();
+    double all = timedRun(BmmVariant::AllOpts).cycles.total();
+
+    // Opt1 shifts the bottleneck to RHS loading.
+    EXPECT_GT(o1.cycles.ldRhs, o1.cycles.ldLhs);
+    EXPECT_GT(o1.cycles.ldRhs, o1.cycles.store);
+
+    // Each additional optimization helps; all is the best.
+    EXPECT_LT(o12, o1.cycles.total());
+    EXPECT_LT(o13, o1.cycles.total());
+    EXPECT_LT(all, o12);
+    EXPECT_LT(all, o13);
+
+    // Paper: 18.9x end-to-end gain; require >10x.
+    EXPECT_GT(base / all, 10.0);
+    EXPECT_LT(base / all, 60.0);
+}
+
+TEST(BmmTiming, SimulatorTracksAnalyticalModel)
+{
+    apu::ApuDevice dev;
+    model::SubgroupReductionModel sg;
+    sg.calibrate(dev.core(0));
+    BmmAnalyticalModel model(model::CostTable{}, sg);
+    BmmShape paper{1024, 1024, 1024};
+
+    for (auto v : allVariants) {
+        double sim = timedRun(v).cycles.total();
+        double pred = model.predict(paper, v).total();
+        EXPECT_NEAR(pred, sim, sim * 0.25) << bmmVariantName(v);
+    }
+}
+
+TEST(BmmTiming, UopsCounted)
+{
+    auto r = timedRun(BmmVariant::AllOpts);
+    EXPECT_GT(r.uops, 1000.0);
+}

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Optimization-framework tests: layouts and broadcast spans
+ * (Fig. 11), reduction-mapping and DMA-coalescing planners, and the
+ * BMM analytical model (Fig. 12 shape).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apusim/apu.hh"
+#include "core/bmm_model.hh"
+#include "core/layout.hh"
+#include "core/planner.hh"
+#include "model/sg_model.hh"
+
+using namespace cisram;
+using namespace cisram::core;
+
+TEST(Layout, RowMajorOffsets)
+{
+    Layout l = Layout::rowMajor({3, 6});
+    EXPECT_EQ(l.totalElems(), 18u);
+    EXPECT_EQ(l.offsetOf({0, 0}), 0);
+    EXPECT_EQ(l.offsetOf({0, 5}), 5);
+    EXPECT_EQ(l.offsetOf({1, 0}), 6);
+    EXPECT_EQ(l.offsetOf({2, 5}), 17);
+    EXPECT_TRUE(l.isContiguous());
+}
+
+TEST(Layout, ColumnMajorOffsets)
+{
+    Layout l = Layout::columnMajor({3, 6});
+    EXPECT_EQ(l.offsetOf({0, 0}), 0);
+    EXPECT_EQ(l.offsetOf({1, 0}), 1);
+    EXPECT_EQ(l.offsetOf({0, 1}), 3);
+    EXPECT_TRUE(l.isContiguous());
+}
+
+TEST(Layout, TransposePreservesElements)
+{
+    Layout l = Layout::rowMajor({4, 8}).transposed(0, 1);
+    EXPECT_EQ(l.totalElems(), 32u);
+    // Transposed row-major == column-major of the transposed shape.
+    EXPECT_EQ(l.offsetOf({1, 0}), 1);
+    EXPECT_EQ(l.offsetOf({0, 1}), 8);
+}
+
+TEST(Layout, NonContiguousDetected)
+{
+    // Stride-2 layout leaves holes.
+    Layout l({{4, 2}});
+    EXPECT_FALSE(l.isContiguous());
+}
+
+TEST(Layout, Fig11LookupSpans)
+{
+    // Paper Fig. 11: a 3x6 matrix, broadcasting a window of 3
+    // scalars down the row axis. Row-major needs an 18-entry shared
+    // table; the broadcast-friendly layout needs only 3 per step.
+    std::vector<size_t> shape = {3, 6};
+    BroadcastSweep sweep{0, 3};
+
+    Layout row_major = Layout::rowMajor(shape);
+    EXPECT_EQ(maxLookupSpan(row_major, sweep), 13u);
+    EXPECT_EQ(sharedLookupSpan(row_major, sweep), 18u);
+
+    Layout bf = broadcastFriendly(shape, 0);
+    EXPECT_EQ(maxLookupSpan(bf, sweep), 3u);
+    EXPECT_TRUE(bf.isContiguous());
+}
+
+TEST(Layout, BroadcastFriendlyScalesWithShape)
+{
+    std::vector<size_t> shape = {32, 64};
+    BroadcastSweep sweep{0, 32};
+    Layout rm = Layout::rowMajor(shape);
+    Layout bf = broadcastFriendly(shape, 0);
+    EXPECT_EQ(maxLookupSpan(rm, sweep), 31u * 64 + 1);
+    EXPECT_EQ(maxLookupSpan(bf, sweep), 32u);
+}
+
+namespace {
+
+model::SubgroupReductionModel
+calibratedSg()
+{
+    apu::ApuDevice dev;
+    model::SubgroupReductionModel sg;
+    sg.calibrate(dev.core(0));
+    return sg;
+}
+
+} // namespace
+
+TEST(Planner, TemporalReductionWinsForLargeGroups)
+{
+    model::CostTable t;
+    auto sg = calibratedSg();
+    // The paper's core observation: temporal (inter-VR) mapping beats
+    // spatial (intra-VR) reduction, driven by PIO store costs.
+    for (size_t r : {64u, 256u, 1024u, 8192u}) {
+        ReductionPlan plan = planReduction(t, sg, r);
+        EXPECT_EQ(plan.best, ReductionMapping::Temporal) << r;
+        EXPECT_GT(plan.speedup(), 1.0) << r;
+    }
+}
+
+TEST(Planner, CoalescingWinsForRepeatedChunks)
+{
+    model::CostTable t;
+    // A 2 KiB row reused 64 times across full-VR duplications.
+    CoalescePlan plan = planDmaCoalescing(t, 2048, 64);
+    EXPECT_TRUE(plan.coalesce);
+    EXPECT_GT(plan.speedup(), 10.0);
+}
+
+TEST(Planner, CoalescingNotWorthItForSingleUse)
+{
+    model::CostTable t;
+    CoalescePlan plan = planDmaCoalescing(t, 65536, 1);
+    // One use of a full-VR chunk: both paths are one bulk move; the
+    // coalesced path must not be dramatically better.
+    EXPECT_LT(plan.naiveCycles / plan.coalescedCycles, 2.5);
+}
+
+TEST(Planner, BroadcastCostTracksSpan)
+{
+    model::CostTable t;
+    EXPECT_LT(broadcastCost(t, 3, 100), broadcastCost(t, 18, 100));
+}
+
+class BmmModelTest : public ::testing::Test
+{
+  protected:
+    BmmModelTest() : model(model::CostTable{}, calibratedSg()) {}
+
+    BmmAnalyticalModel model;
+    BmmShape paper{1024, 1024, 1024};
+};
+
+TEST_F(BmmModelTest, Fig12BaselineStoreDominated)
+{
+    StageBreakdown b = model.predict(paper, BmmVariant::Baseline);
+    // Baseline is bottlenecked by PIO stores of scattered results.
+    EXPECT_GT(b.store, b.ldLhs);
+    EXPECT_GT(b.store, b.ldRhs);
+    EXPECT_GT(b.store, b.vrOps);
+    // Paper: baseline ~226 ms. Same order of magnitude.
+    double ms = model.table().seconds(b.total()) * 1e3;
+    EXPECT_GT(ms, 150.0);
+    EXPECT_LT(ms, 300.0);
+}
+
+TEST_F(BmmModelTest, Fig12Opt1ShiftsBottleneckToRhs)
+{
+    StageBreakdown b = model.predict(paper, BmmVariant::Opt1);
+    // "it increases RHS matrix loading time due to data duplication"
+    EXPECT_GT(b.ldRhs, b.ldLhs);
+    EXPECT_GT(b.ldRhs, b.store);
+    // Store collapses: contiguous DMA instead of PIO.
+    StageBreakdown base = model.predict(paper, BmmVariant::Baseline);
+    EXPECT_LT(b.store, base.store / 10.0);
+}
+
+TEST_F(BmmModelTest, Fig12CombinedSpeedupInPaperRange)
+{
+    double base =
+        model.predict(paper, BmmVariant::Baseline).total();
+    double all = model.predict(paper, BmmVariant::AllOpts).total();
+    // Paper: 18.9x end to end. Same shape: >10x and <50x.
+    EXPECT_GT(base / all, 10.0);
+    EXPECT_LT(base / all, 50.0);
+    // All-opts latency ~12 ms in the paper; ours must be single-digit
+    // to tens of ms.
+    double ms = model.table().seconds(all) * 1e3;
+    EXPECT_GT(ms, 2.0);
+    EXPECT_LT(ms, 30.0);
+}
+
+TEST_F(BmmModelTest, IndividualOptsCompose)
+{
+    double o1 = model.predict(paper, BmmVariant::Opt1).total();
+    double o12 = model.predict(paper, BmmVariant::Opt1Opt2).total();
+    double o13 = model.predict(paper, BmmVariant::Opt1Opt3).total();
+    double all = model.predict(paper, BmmVariant::AllOpts).total();
+    // Adding an optimization never hurts, and all < each pair.
+    EXPECT_LT(o12, o1);
+    EXPECT_LT(o13, o1);
+    EXPECT_LT(all, o12);
+    EXPECT_LT(all, o13);
+}
+
+TEST_F(BmmModelTest, OperationalIntensityImproves)
+{
+    double oi_base =
+        model.operationalIntensity(paper, BmmVariant::Baseline);
+    double oi_opt1 =
+        model.operationalIntensity(paper, BmmVariant::Opt1);
+    double oi_all =
+        model.operationalIntensity(paper, BmmVariant::AllOpts);
+    // Eq. 2 < Eq. 9 < Eq. 13 for the paper's shape.
+    EXPECT_LT(oi_base, oi_opt1);
+    EXPECT_LT(oi_opt1, oi_all);
+}
+
+TEST_F(BmmModelTest, ThroughputBelowBinaryRoof)
+{
+    model::CostTable t;
+    double roof = 2.0 * 16.0 * t.vrLength * t.numCores * t.clockHz /
+        (t.xor16 + t.popcnt16 + t.ashift + t.subS16);
+    for (auto v : {BmmVariant::Baseline, BmmVariant::AllOpts}) {
+        EXPECT_LT(model.opsPerSecond(paper, v), roof)
+            << bmmVariantName(v);
+    }
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Regression pins: every calibrated cost constant of the simulated
+ * device and the analytical framework is locked to the paper's
+ * published value. A failing pin means the reproduction's
+ * calibration drifted, which would silently invalidate every
+ * downstream table and figure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apusim/apu.hh"
+#include "apusim/timing.hh"
+#include "model/cost_table.hh"
+
+using namespace cisram;
+
+TEST(CostPins, SimulatorDataMovementConstants)
+{
+    const auto &mv = apu::defaultTiming().move;
+    EXPECT_DOUBLE_EQ(mv.dmaL4L3PerByte, 0.19);
+    EXPECT_EQ(mv.dmaL4L3Init, 41164u);
+    EXPECT_DOUBLE_EQ(mv.dmaL4L2PerByte, 0.63);
+    EXPECT_EQ(mv.dmaL4L2Init, 548u);
+    EXPECT_EQ(mv.dmaL2L1, 386u);
+    EXPECT_EQ(mv.pioLoadPerElem, 57u);
+    EXPECT_EQ(mv.pioStorePerElem, 61u);
+    EXPECT_EQ(mv.lookupInit, 629u);
+    EXPECT_EQ(mv.loadVr, 29u);
+    EXPECT_EQ(mv.storeVr, 29u);
+    EXPECT_EQ(mv.cpy, 29u);
+    EXPECT_EQ(mv.cpySubgrp, 82u);
+    EXPECT_EQ(mv.cpyImm, 13u);
+    EXPECT_EQ(mv.shiftPerStep, 373u);
+    EXPECT_EQ(mv.shiftIntraBankBase, 8u);
+}
+
+TEST(CostPins, SimulatorComputeConstants)
+{
+    const auto &cp = apu::defaultTiming().compute;
+    struct Pin
+    {
+        uint64_t value, paper;
+        const char *name;
+    } pins[] = {
+        {cp.and16, 12, "and_16"},     {cp.or16, 8, "or_16"},
+        {cp.not16, 10, "not_16"},     {cp.xor16, 12, "xor_16"},
+        {cp.ashift, 15, "ashift"},    {cp.addU16, 12, "add_u16"},
+        {cp.addS16, 13, "add_s16"},   {cp.subU16, 15, "sub_u16"},
+        {cp.subS16, 16, "sub_s16"},   {cp.popcnt16, 23, "popcnt"},
+        {cp.mulU16, 115, "mul_u16"},  {cp.mulS16, 201, "mul_s16"},
+        {cp.mulF16, 77, "mul_f16"},   {cp.divU16, 664, "div_u16"},
+        {cp.divS16, 739, "div_s16"},  {cp.eq16, 13, "eq_16"},
+        {cp.gtU16, 13, "gt_u16"},     {cp.ltU16, 13, "lt_u16"},
+        {cp.ltGf16, 45, "lt_gf16"},   {cp.geU16, 13, "ge_u16"},
+        {cp.leU16, 13, "le_u16"},     {cp.recipU16, 735, "recip"},
+        {cp.expF16, 40295, "exp_f16"},{cp.sinFx, 761, "sin_fx"},
+        {cp.cosFx, 761, "cos_fx"},    {cp.countM, 239, "count_m"},
+    };
+    for (const auto &p : pins)
+        EXPECT_EQ(p.value, p.paper) << p.name;
+}
+
+TEST(CostPins, FrameworkMatchesSimulatorBaseConstants)
+{
+    // The analytical CostTable and the simulator's TimingParams are
+    // intentionally separate objects; their first-order constants
+    // must still agree or Table 7's errors become artifacts.
+    model::CostTable t;
+    const auto &tp = apu::defaultTiming();
+    EXPECT_DOUBLE_EQ(t.dmaL4L3PerByte, tp.move.dmaL4L3PerByte);
+    EXPECT_DOUBLE_EQ(t.dmaL4L2PerByte, tp.move.dmaL4L2PerByte);
+    EXPECT_DOUBLE_EQ(t.dmaL2L1,
+                     static_cast<double>(tp.move.dmaL2L1));
+    EXPECT_DOUBLE_EQ(t.pioLdPerElem,
+                     static_cast<double>(tp.move.pioLoadPerElem));
+    EXPECT_DOUBLE_EQ(t.pioStPerElem,
+                     static_cast<double>(tp.move.pioStorePerElem));
+    EXPECT_DOUBLE_EQ(t.cpySubgrp,
+                     static_cast<double>(tp.move.cpySubgrp));
+    EXPECT_DOUBLE_EQ(t.mulS16,
+                     static_cast<double>(tp.compute.mulS16));
+    EXPECT_DOUBLE_EQ(t.countM,
+                     static_cast<double>(tp.compute.countM));
+    // And the whole-vector DMA fits stay at the paper's values.
+    EXPECT_DOUBLE_EQ(t.dmaL4L1, 22272.0);
+    EXPECT_DOUBLE_EQ(t.dmaL1L4, 22186.0);
+    EXPECT_DOUBLE_EQ(t.lookupPerEntry, 7.15);
+}
+
+TEST(CostPins, DeviceGeometry)
+{
+    const auto &s = apu::defaultSpec();
+    EXPECT_DOUBLE_EQ(s.clockHz, 500.0e6);
+    EXPECT_EQ(s.numCores, 4u);
+    EXPECT_EQ(s.vrLength, 32768u);
+    EXPECT_EQ(s.numVrs, 24u);
+    EXPECT_EQ(s.numBanks, 16u);
+    EXPECT_EQ(s.numVmrs, 48u);
+    EXPECT_EQ(s.l2Bytes, 64u * 1024);
+    EXPECT_EQ(s.l3Bytes, 1024u * 1024);
+    EXPECT_EQ(s.l4Bytes, 16ull * 1024 * 1024 * 1024);
+    EXPECT_EQ(s.dmaChunkBytes, 512u);
+    EXPECT_EQ(s.dmaEnginesPerCore, 2u);
+    // Derived totals from the paper: 2M bit processors.
+    EXPECT_EQ(s.vrLength * s.numCores * 16, 2097152u);
+}

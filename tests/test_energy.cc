@@ -1,0 +1,80 @@
+/**
+ * @file
+ * APU power-rail model tests: additivity, shares, and the calibrated
+ * 200 GB RAG breakdown target (paper Fig. 15).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy.hh"
+
+using namespace cisram::energy;
+
+TEST(ApuPower, RailsAdditive)
+{
+    ApuPowerModel model;
+    ApuActivity a;
+    a.totalSeconds = 0.1;
+    a.computeSeconds = 0.08;
+    a.dramBytes = 1e9;
+    a.cacheBytes = 2e9;
+    EnergyBreakdown e = model.energy(a);
+    EXPECT_GT(e.staticJ, 0.0);
+    EXPECT_GT(e.computeJ, 0.0);
+    EXPECT_GT(e.dramJ, 0.0);
+    EXPECT_GT(e.cacheJ, 0.0);
+    EXPECT_GT(e.otherJ, 0.0);
+    EXPECT_DOUBLE_EQ(e.totalJ(), e.staticJ + e.computeJ + e.dramJ +
+                                     e.cacheJ + e.otherJ);
+}
+
+TEST(ApuPower, SharesSumToHundred)
+{
+    ApuPowerModel model;
+    ApuActivity a{0.05, 0.04, 5e8, 1e9};
+    EnergyBreakdown e = model.energy(a);
+    double sum = e.share(e.staticJ) + e.share(e.computeJ) +
+        e.share(e.dramJ) + e.share(e.cacheJ) + e.share(e.otherJ);
+    EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST(ApuPower, Fig15BreakdownAt200GB)
+{
+    // The calibration target: the 200 GB RAG retrieval (84.2 ms
+    // window, 74.6 ms compute, 2.4 GB streamed, ~2.6 GB through the
+    // on-chip hierarchy) must reproduce the paper's measured rail
+    // shares: static 71.4%, compute 24.7%, DRAM 2.7%, other 1.1%,
+    // cache ~0.005%.
+    ApuPowerModel model;
+    ApuActivity a;
+    a.totalSeconds = 84.2e-3;
+    a.computeSeconds = 74.6e-3;
+    a.dramBytes = 2.4e9;
+    a.cacheBytes = 2.6e9;
+    EnergyBreakdown e = model.energy(a);
+    EXPECT_NEAR(e.share(e.staticJ), 71.4, 1.5);
+    EXPECT_NEAR(e.share(e.computeJ), 24.7, 1.5);
+    EXPECT_NEAR(e.share(e.dramJ), 2.7, 0.5);
+    EXPECT_NEAR(e.share(e.otherJ), 1.1, 0.3);
+    EXPECT_LT(e.share(e.cacheJ), 0.05);
+}
+
+TEST(ApuPower, StaticScalesWithWindowOnly)
+{
+    ApuPowerModel model;
+    ApuActivity a{0.1, 0.0, 0.0, 0.0};
+    ApuActivity b{0.2, 0.0, 0.0, 0.0};
+    EXPECT_NEAR(model.energy(b).staticJ / model.energy(a).staticJ,
+                2.0, 1e-9);
+}
+
+TEST(GpuEnergy, GrowsWithBytes)
+{
+    GpuEnergyModel gpu;
+    double e10 = gpu.retrievalEnergy(120e6);
+    double e200 = gpu.retrievalEnergy(2400e6);
+    EXPECT_GT(e200, e10);
+    // Fixed overhead floors the small-corpus energy.
+    EXPECT_GT(e10, gpu.config().sampledWatts *
+                       gpu.config().overheadSeconds * 0.99);
+}

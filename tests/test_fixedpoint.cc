@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fixed-point trigonometry tests: accuracy against libm, symmetry,
+ * quadrant identities.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/fixedpoint.hh"
+
+using namespace cisram;
+
+TEST(FixedPoint, KnownAngles)
+{
+    EXPECT_EQ(sinFx(0x0000), 0);
+    EXPECT_EQ(sinFx(0x4000), 32767);  // pi/2
+    EXPECT_EQ(sinFx(0x8000), 0);      // pi
+    EXPECT_EQ(sinFx(0xc000), -32767); // 3*pi/2
+    EXPECT_EQ(cosFx(0x0000), 32767);
+    EXPECT_EQ(cosFx(0x8000), -32767);
+}
+
+TEST(FixedPoint, AccuracyAgainstLibm)
+{
+    for (uint32_t p = 0; p < 0x10000; p += 13) {
+        uint16_t phase = static_cast<uint16_t>(p);
+        double angle = (p / 65536.0) * 2.0 * M_PI;
+        double got = q15ToDouble(sinFx(phase));
+        EXPECT_NEAR(got, std::sin(angle), 3e-4) << "phase=" << p;
+        double got_c = q15ToDouble(cosFx(phase));
+        EXPECT_NEAR(got_c, std::cos(angle), 3e-4) << "phase=" << p;
+    }
+}
+
+TEST(FixedPoint, OddSymmetry)
+{
+    for (uint32_t p = 1; p < 0x8000; p += 97) {
+        uint16_t phase = static_cast<uint16_t>(p);
+        uint16_t neg = static_cast<uint16_t>(0x10000 - p);
+        EXPECT_EQ(sinFx(phase), -sinFx(neg)) << p;
+    }
+}
+
+TEST(FixedPoint, PythagoreanWithinTolerance)
+{
+    for (uint32_t p = 0; p < 0x10000; p += 251) {
+        uint16_t phase = static_cast<uint16_t>(p);
+        double s = q15ToDouble(sinFx(phase));
+        double c = q15ToDouble(cosFx(phase));
+        EXPECT_NEAR(s * s + c * c, 1.0, 2e-3) << p;
+    }
+}
+
+TEST(FixedPoint, RadiansToPhase)
+{
+    EXPECT_EQ(radiansToPhase(0.0), 0);
+    EXPECT_EQ(radiansToPhase(M_PI), 0x8000);
+    EXPECT_EQ(radiansToPhase(M_PI / 2.0), 0x4000);
+    // Wraps full turns.
+    EXPECT_EQ(radiansToPhase(2.0 * M_PI + M_PI), 0x8000);
+    EXPECT_EQ(radiansToPhase(-M_PI / 2.0), 0xc000);
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * IEEE binary16 soft-float tests: golden encodings, round-trip
+ * properties, rounding behaviour, and special values.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/float16.hh"
+#include "common/rng.hh"
+
+using cisram::Float16;
+using cisram::Rng;
+
+TEST(Float16, GoldenEncodings)
+{
+    EXPECT_EQ(Float16::fromFloat(0.0f).bits(), 0x0000);
+    EXPECT_EQ(Float16::fromFloat(-0.0f).bits(), 0x8000);
+    EXPECT_EQ(Float16::fromFloat(1.0f).bits(), 0x3c00);
+    EXPECT_EQ(Float16::fromFloat(-1.0f).bits(), 0xbc00);
+    EXPECT_EQ(Float16::fromFloat(2.0f).bits(), 0x4000);
+    EXPECT_EQ(Float16::fromFloat(0.5f).bits(), 0x3800);
+    EXPECT_EQ(Float16::fromFloat(65504.0f).bits(), 0x7bff); // max half
+    EXPECT_EQ(Float16::fromFloat(0.099976f).bits(), 0x2e66);
+    // Smallest normal and smallest subnormal.
+    EXPECT_EQ(Float16::fromFloat(6.103515625e-05f).bits(), 0x0400);
+    EXPECT_EQ(Float16::fromFloat(5.9604644775390625e-08f).bits(),
+              0x0001);
+}
+
+TEST(Float16, SpecialValues)
+{
+    Float16 inf = Float16::fromFloat(INFINITY);
+    Float16 ninf = Float16::fromFloat(-INFINITY);
+    Float16 nan = Float16::fromFloat(NAN);
+    EXPECT_TRUE(inf.isInf());
+    EXPECT_FALSE(inf.signBit());
+    EXPECT_TRUE(ninf.isInf());
+    EXPECT_TRUE(ninf.signBit());
+    EXPECT_TRUE(nan.isNan());
+    EXPECT_TRUE(std::isnan(nan.toFloat()));
+    EXPECT_TRUE(std::isinf(inf.toFloat()));
+
+    // Overflow saturates to infinity.
+    EXPECT_TRUE(Float16::fromFloat(1.0e6f).isInf());
+    EXPECT_TRUE(Float16::fromFloat(-1.0e6f).isInf());
+    // Underflow flushes to signed zero.
+    EXPECT_TRUE(Float16::fromFloat(1.0e-9f).isZero());
+    EXPECT_EQ(Float16::fromFloat(-1.0e-9f).bits(), 0x8000);
+}
+
+TEST(Float16, ExactRoundTripForAllEncodings)
+{
+    // Every finite half value must survive half -> float -> half.
+    for (uint32_t b = 0; b < 0x10000; ++b) {
+        Float16 h = Float16::fromBits(static_cast<uint16_t>(b));
+        if (h.isNan())
+            continue;
+        Float16 back = Float16::fromFloat(h.toFloat());
+        EXPECT_EQ(back.bits(), h.bits()) << "bits=" << b;
+    }
+}
+
+TEST(Float16, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10);
+    // ties go to the even mantissa (1.0).
+    float tie = 1.0f + std::ldexp(1.0f, -11);
+    EXPECT_EQ(Float16::fromFloat(tie).bits(), 0x3c00);
+    // Just above the tie rounds up.
+    float above = 1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -20);
+    EXPECT_EQ(Float16::fromFloat(above).bits(), 0x3c01);
+    // 1 + 3*2^-11 ties between 0x3c01 and 0x3c02 -> even (0x3c02).
+    float tie2 = 1.0f + 3.0f * std::ldexp(1.0f, -11);
+    EXPECT_EQ(Float16::fromFloat(tie2).bits(), 0x3c02);
+}
+
+TEST(Float16, ConversionErrorBounded)
+{
+    Rng rng(42);
+    for (int i = 0; i < 20000; ++i) {
+        float v = rng.nextFloat(-1000.0f, 1000.0f);
+        float r = Float16::fromFloat(v).toFloat();
+        // Half precision relative error bound: 2^-11.
+        EXPECT_LE(std::fabs(r - v),
+                  std::fabs(v) * std::ldexp(1.0f, -11) + 1e-7f)
+            << v;
+    }
+}
+
+TEST(Float16, ArithmeticMatchesRoundedFloat)
+{
+    Rng rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        Float16 a = Float16::fromFloat(rng.nextFloat(-100.f, 100.f));
+        Float16 b = Float16::fromFloat(rng.nextFloat(-100.f, 100.f));
+        EXPECT_EQ((a + b).bits(),
+                  Float16::fromFloat(a.toFloat() + b.toFloat()).bits());
+        EXPECT_EQ((a * b).bits(),
+                  Float16::fromFloat(a.toFloat() * b.toFloat()).bits());
+        EXPECT_EQ(a < b, a.toFloat() < b.toFloat());
+    }
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * GSI float16 (1s/6e/9m) tests: encoding geometry, round-trip, range.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/gsifloat.hh"
+#include "common/rng.hh"
+
+using cisram::GsiFloat16;
+using cisram::Rng;
+
+TEST(GsiFloat16, GoldenEncodings)
+{
+    // 1.0: sign 0, exponent bias 31 -> 0b0_011111_000000000.
+    EXPECT_EQ(GsiFloat16::fromFloat(1.0f).bits(), 0x3e00);
+    EXPECT_EQ(GsiFloat16::fromFloat(-1.0f).bits(), 0xbe00);
+    EXPECT_EQ(GsiFloat16::fromFloat(2.0f).bits(), 0x4000);
+    EXPECT_EQ(GsiFloat16::fromFloat(0.5f).bits(), 0x3c00);
+    EXPECT_EQ(GsiFloat16::fromFloat(0.0f).bits(), 0x0000);
+    EXPECT_EQ(GsiFloat16::fromFloat(-0.0f).bits(), 0x8000);
+    // 1.5: mantissa high bit set.
+    EXPECT_EQ(GsiFloat16::fromFloat(1.5f).bits(), 0x3f00);
+}
+
+TEST(GsiFloat16, WiderDynamicRangeThanIeeeHalf)
+{
+    // 2^20 overflows IEEE half (max 65504) but fits in gf16
+    // (max exponent 31, i.e. values up to ~2^32).
+    GsiFloat16 big = GsiFloat16::fromFloat(1048576.0f);
+    EXPECT_FALSE(big.isInf());
+    EXPECT_FLOAT_EQ(big.toFloat(), 1048576.0f);
+
+    // Near the top of the range: (2 - 2^-9) * 2^31.
+    float max_gf = (2.0f - std::ldexp(1.0f, -9)) * std::ldexp(1.0f, 31);
+    EXPECT_FALSE(GsiFloat16::fromFloat(max_gf).isInf());
+    EXPECT_TRUE(GsiFloat16::fromFloat(max_gf * 2.0f).isInf());
+
+    // Smallest normal 2^-30.
+    float min_norm = std::ldexp(1.0f, -30);
+    EXPECT_FLOAT_EQ(GsiFloat16::fromFloat(min_norm).toFloat(),
+                    min_norm);
+}
+
+TEST(GsiFloat16, SpecialValues)
+{
+    EXPECT_TRUE(GsiFloat16::fromFloat(INFINITY).isInf());
+    EXPECT_TRUE(GsiFloat16::fromFloat(-INFINITY).isInf());
+    EXPECT_TRUE(GsiFloat16::fromFloat(NAN).isNan());
+    EXPECT_TRUE(std::isnan(GsiFloat16::fromFloat(NAN).toFloat()));
+}
+
+TEST(GsiFloat16, ExactRoundTripForAllEncodings)
+{
+    for (uint32_t b = 0; b < 0x10000; ++b) {
+        GsiFloat16 g = GsiFloat16::fromBits(static_cast<uint16_t>(b));
+        if (g.isNan())
+            continue;
+        GsiFloat16 back = GsiFloat16::fromFloat(g.toFloat());
+        EXPECT_EQ(back.bits(), g.bits()) << "bits=" << b;
+    }
+}
+
+TEST(GsiFloat16, ConversionErrorBounded)
+{
+    Rng rng(99);
+    for (int i = 0; i < 20000; ++i) {
+        float v = rng.nextFloat(-1.0e6f, 1.0e6f);
+        float r = GsiFloat16::fromFloat(v).toFloat();
+        // 9-bit mantissa: relative error bound 2^-10.
+        EXPECT_LE(std::fabs(r - v),
+                  std::fabs(v) * std::ldexp(1.0f, -10) + 1e-12f)
+            << v;
+    }
+}
+
+TEST(GsiFloat16, SubnormalsRepresentTinyValues)
+{
+    // One quarter of the smallest normal is a subnormal, not zero.
+    float tiny = std::ldexp(1.0f, -32);
+    GsiFloat16 g = GsiFloat16::fromFloat(tiny);
+    EXPECT_FALSE(g.isZero());
+    EXPECT_FLOAT_EQ(g.toFloat(), tiny);
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table 7 validation: the analytical framework's predicted Phoenix
+ * latencies track the simulator's measurements within a few percent,
+ * as in the paper (average accuracy 97.3%, max error 6.2%).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kernels/phoenix_model.hh"
+
+using namespace cisram;
+using namespace cisram::baseline;
+using namespace cisram::kernels;
+
+namespace {
+
+struct Validation
+{
+    std::vector<double> errors; // relative, signed
+};
+
+Validation
+validate()
+{
+    apu::ApuDevice dev;
+    model::SubgroupReductionModel sg;
+    sg.calibrate(dev.core(0));
+    model::LatencyEstimator est;
+    est.setSgModel(sg);
+
+    Validation out;
+    for (const auto &spec : phoenixSpecs()) {
+        double meas = runPhoenixApuTimed(dev, spec.app,
+                                         PhoenixVariant::AllOpts)
+                          .cycles;
+        double pred = predictPhoenixCycles(est, spec.app);
+        out.errors.push_back((pred - meas) / meas);
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Table7Validation, PerAppErrorWithinTenPercent)
+{
+    auto v = validate();
+    size_t i = 0;
+    for (const auto &spec : phoenixSpecs()) {
+        EXPECT_LT(std::fabs(v.errors[i]), 0.10) << spec.name;
+        ++i;
+    }
+}
+
+TEST(Table7Validation, AverageAccuracyAboveNinetyFive)
+{
+    auto v = validate();
+    double sum = 0;
+    for (double e : v.errors)
+        sum += std::fabs(e);
+    double avg_err = sum / static_cast<double>(v.errors.size());
+    // Paper: 97.3% average accuracy.
+    EXPECT_LT(avg_err, 0.05);
+}
+
+TEST(Table7Validation, PredictionRequiresCalibration)
+{
+    model::LatencyEstimator est; // no Eq. 1 model installed
+    EXPECT_DEATH((void)predictPhoenixCycles(
+                     est, PhoenixApp::MatrixMultiply),
+                 "calibrated");
+}

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Property-based sweeps (parameterized over RNG seeds): algebraic
+ * laws of the GVML operations, data-movement round trips at random
+ * shapes, reduction consistency against scalar references, and DRAM
+ * timing monotonicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dramsim/dram_sim.hh"
+#include "gvml/gvml.hh"
+#include "kernels/sort.hh"
+
+using namespace cisram;
+using namespace cisram::apu;
+using namespace cisram::gvml;
+
+class GvmlProperties : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    GvmlProperties() : g(dev.core(0)), rng(GetParam()) {}
+
+    void
+    fill(Vr v)
+    {
+        for (auto &x : g.data(v))
+            x = rng.nextU16();
+    }
+
+    ApuDevice dev;
+    Gvml g;
+    Rng rng;
+};
+
+TEST_P(GvmlProperties, AddCommutesAndAssociates)
+{
+    fill(Vr(1));
+    fill(Vr(2));
+    fill(Vr(3));
+    g.addU16(Vr(4), Vr(1), Vr(2));
+    g.addU16(Vr(5), Vr(2), Vr(1));
+    EXPECT_EQ(g.data(Vr(4)), g.data(Vr(5)));
+
+    g.addU16(Vr(6), Vr(4), Vr(3)); // (a+b)+c
+    g.addU16(Vr(7), Vr(2), Vr(3));
+    g.addU16(Vr(8), Vr(1), Vr(7)); // a+(b+c)
+    EXPECT_EQ(g.data(Vr(6)), g.data(Vr(8)));
+}
+
+TEST_P(GvmlProperties, SubInvertsAdd)
+{
+    fill(Vr(1));
+    fill(Vr(2));
+    g.addU16(Vr(3), Vr(1), Vr(2));
+    g.subU16(Vr(4), Vr(3), Vr(2));
+    EXPECT_EQ(g.data(Vr(4)), g.data(Vr(1)));
+}
+
+TEST_P(GvmlProperties, XorInvolutionAndNotNot)
+{
+    fill(Vr(1));
+    fill(Vr(2));
+    g.xor16(Vr(3), Vr(1), Vr(2));
+    g.xor16(Vr(4), Vr(3), Vr(2));
+    EXPECT_EQ(g.data(Vr(4)), g.data(Vr(1)));
+    g.not16(Vr(5), Vr(1));
+    g.not16(Vr(6), Vr(5));
+    EXPECT_EQ(g.data(Vr(6)), g.data(Vr(1)));
+}
+
+TEST_P(GvmlProperties, DeMorgan)
+{
+    fill(Vr(1));
+    fill(Vr(2));
+    // ~(a & b) == ~a | ~b
+    g.and16(Vr(3), Vr(1), Vr(2));
+    g.not16(Vr(3), Vr(3));
+    g.not16(Vr(4), Vr(1));
+    g.not16(Vr(5), Vr(2));
+    g.or16(Vr(6), Vr(4), Vr(5));
+    EXPECT_EQ(g.data(Vr(3)), g.data(Vr(6)));
+}
+
+TEST_P(GvmlProperties, MinMaxLattice)
+{
+    fill(Vr(1));
+    fill(Vr(2));
+    g.minU16(Vr(3), Vr(1), Vr(2));
+    g.maxU16(Vr(4), Vr(1), Vr(2));
+    // min + max == a + b
+    g.addU16(Vr(5), Vr(3), Vr(4));
+    g.addU16(Vr(6), Vr(1), Vr(2));
+    EXPECT_EQ(g.data(Vr(5)), g.data(Vr(6)));
+    // min <= max everywhere
+    g.leU16(Vr(7), Vr(3), Vr(4));
+    EXPECT_EQ(g.countM(Vr(7)), g.length());
+}
+
+TEST_P(GvmlProperties, ComparisonTrichotomy)
+{
+    fill(Vr(1));
+    fill(Vr(2));
+    g.ltU16(Vr(3), Vr(1), Vr(2));
+    g.gtU16(Vr(4), Vr(1), Vr(2));
+    g.eq16(Vr(5), Vr(1), Vr(2));
+    g.or16(Vr(6), Vr(3), Vr(4));
+    g.or16(Vr(6), Vr(6), Vr(5));
+    EXPECT_EQ(g.countM(Vr(6)), g.length());
+    // Mutually exclusive.
+    g.and16(Vr(7), Vr(3), Vr(4));
+    EXPECT_EQ(g.countM(Vr(7)), 0u);
+    g.and16(Vr(7), Vr(3), Vr(5));
+    EXPECT_EQ(g.countM(Vr(7)), 0u);
+}
+
+TEST_P(GvmlProperties, PopcountBoundsAndComplement)
+{
+    fill(Vr(1));
+    g.popcnt16(Vr(2), Vr(1));
+    g.not16(Vr(3), Vr(1));
+    g.popcnt16(Vr(4), Vr(3));
+    const auto &p = g.data(Vr(2));
+    const auto &pc = g.data(Vr(4));
+    for (size_t i = 0; i < g.length(); ++i) {
+        ASSERT_LE(p[i], 16);
+        ASSERT_EQ(p[i] + pc[i], 16);
+    }
+}
+
+TEST_P(GvmlProperties, ShiftRoundTrip)
+{
+    fill(Vr(1));
+    int64_t k = static_cast<int64_t>(rng.nextBelow(500)) + 1;
+    g.shiftE(Vr(2), Vr(1), k);
+    g.shiftE(Vr(3), Vr(2), -k);
+    // Interior elements survive the round trip.
+    const auto &a = g.data(Vr(1));
+    const auto &b = g.data(Vr(3));
+    for (size_t i = static_cast<size_t>(k);
+         i + static_cast<size_t>(k) < g.length(); ++i)
+        ASSERT_EQ(b[i], a[i]) << i;
+}
+
+TEST_P(GvmlProperties, SubgroupBroadcastIdempotent)
+{
+    fill(Vr(1));
+    size_t grp = size_t(64) << rng.nextBelow(5);
+    size_t sub = grp >> (1 + rng.nextBelow(3));
+    g.cpySubgrp16Grp(Vr(2), Vr(1), grp, sub, 0);
+    g.cpySubgrp16Grp(Vr(3), Vr(2), grp, sub, 0);
+    EXPECT_EQ(g.data(Vr(3)), g.data(Vr(2)));
+}
+
+TEST_P(GvmlProperties, SubgroupReduceMatchesScalar)
+{
+    auto &src = g.data(Vr(1));
+    for (auto &x : src)
+        x = static_cast<uint16_t>(rng.nextBelow(64));
+    size_t grp = size_t(16) << rng.nextBelow(8);
+    size_t sub = size_t(1) << rng.nextBelow(4);
+    if (sub > grp)
+        std::swap(sub, grp);
+    if (grp == sub)
+        grp *= 2;
+    g.addSubgrpS16(Vr(2), Vr(1), grp, sub);
+    const auto &dst = g.data(Vr(2));
+    for (size_t base = 0; base < g.length(); base += grp) {
+        for (size_t pos = 0; pos < sub; ++pos) {
+            int32_t expect = 0;
+            for (size_t s = 0; s < grp / sub; ++s)
+                expect += static_cast<int16_t>(
+                    src[base + s * sub + pos]);
+            ASSERT_EQ(static_cast<int16_t>(dst[base + pos]),
+                      static_cast<int16_t>(expect))
+                << grp << "/" << sub;
+        }
+    }
+}
+
+TEST_P(GvmlProperties, MaxIndexAgreesWithScan)
+{
+    fill(Vr(1));
+    auto mx = g.maxIndexU16(Vr(1));
+    const auto &a = g.data(Vr(1));
+    uint16_t best = 0;
+    size_t best_i = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i] > best) {
+            best = a[i];
+            best_i = i;
+        }
+    }
+    EXPECT_EQ(mx.value, best);
+    EXPECT_EQ(mx.index, best_i);
+}
+
+TEST_P(GvmlProperties, CompactPreservesMarkedOrder)
+{
+    fill(Vr(1));
+    auto &mark = g.data(Vr(2));
+    for (auto &m : mark)
+        m = rng.nextBelow(4) == 0 ? 1 : 0;
+    uint32_t n = g.cpyFromMrk16(Vr(3), Vr(1), Vr(2));
+    EXPECT_EQ(n, g.countM(Vr(2)));
+    const auto &src = g.data(Vr(1));
+    const auto &dst = g.data(Vr(3));
+    size_t j = 0;
+    for (size_t i = 0; i < g.length(); ++i)
+        if (mark[i])
+            ASSERT_EQ(dst[j++], src[i]);
+    for (; j < g.length(); ++j)
+        ASSERT_EQ(dst[j], 0);
+}
+
+TEST_P(GvmlProperties, SortIsIdempotentAndPermutes)
+{
+    using namespace cisram::kernels;
+    auto &key = g.data(Vr(0));
+    uint64_t checksum = 0;
+    for (auto &x : key) {
+        x = static_cast<uint16_t>(rng.nextBelow(10000));
+        checksum += x;
+    }
+    bitonicSortU16(g, Vr(0), false, Vr(1),
+                   SortScratch::standard());
+    auto once = g.data(Vr(0));
+    uint64_t after = 0;
+    for (size_t i = 0; i < once.size(); ++i) {
+        after += once[i];
+        if (i)
+            ASSERT_LE(once[i - 1], once[i]);
+    }
+    EXPECT_EQ(after, checksum); // a permutation, nothing lost
+    bitonicSortU16(g, Vr(0), false, Vr(1),
+                   SortScratch::standard());
+    EXPECT_EQ(g.data(Vr(0)), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GvmlProperties,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ------------------------------------------------------------------
+
+class DmaProperties : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DmaProperties, RandomRoundTripsThroughL2)
+{
+    ApuDevice dev;
+    auto &core = dev.core(0);
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 20; ++trial) {
+        size_t bytes = 1 + rng.nextBelow(dev.spec().l2Bytes - 1);
+        std::vector<uint8_t> data(bytes);
+        for (auto &b : data)
+            b = static_cast<uint8_t>(rng.next());
+        uint64_t addr = dev.allocator().alloc(bytes);
+        dev.l4().write(addr, data.data(), bytes);
+        core.dmaL4ToL2(addr, 0, bytes);
+        uint64_t out = dev.allocator().alloc(bytes);
+        core.dmaL2ToL4(out, 0, bytes);
+        std::vector<uint8_t> back(bytes);
+        dev.l4().read(out, back.data(), bytes);
+        ASSERT_EQ(back, data) << "bytes=" << bytes;
+    }
+}
+
+TEST_P(DmaProperties, CostMonotoneInSize)
+{
+    ApuDevice dev;
+    auto &core = dev.core(0);
+    core.setMode(ExecMode::TimingOnly);
+    Rng rng(GetParam());
+    double prev = 0;
+    for (size_t bytes = 512; bytes <= 65536; bytes *= 2) {
+        core.stats().reset();
+        core.dmaL4ToL2(0, 0, bytes);
+        double c = core.stats().cycles();
+        EXPECT_GT(c, prev);
+        prev = c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DmaProperties,
+                         ::testing::Values(7, 8));
+
+// ------------------------------------------------------------------
+
+TEST(DramProperties, TimeMonotoneInBytes)
+{
+    dram::DramSystem sys(dram::hbm2eConfig());
+    double prev = 0;
+    for (uint64_t mb = 1; mb <= 64; mb *= 2) {
+        double t = sys.streamReadSeconds(0, mb << 20);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(DramProperties, MoreChannelsFaster)
+{
+    dram::DramConfig one = dram::hbm2eConfig();
+    one.channels = 1;
+    dram::DramConfig eight = dram::hbm2eConfig();
+    dram::DramSystem s1(one), s8(eight);
+    uint64_t bytes = 32ull << 20;
+    double t1 = s1.streamReadSeconds(0, bytes);
+    double t8 = s8.streamReadSeconds(0, bytes);
+    EXPECT_GT(t1 / t8, 6.0);
+    EXPECT_LT(t1 / t8, 9.0);
+}
+
+TEST(DramProperties, WritesRoughlySymmetricToReads)
+{
+    dram::DramSystem sys(dram::hbm2eConfig());
+    uint64_t bytes = 16ull << 20;
+    double r = sys.streamReadSeconds(0, bytes);
+    double w = sys.streamWriteSeconds(0, bytes);
+    EXPECT_LT(w / r, 1.5);
+    EXPECT_GT(w / r, 0.7);
+}

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Failure-injection tests: API misuse must die loudly with a
+ * diagnostic, never corrupt state silently. (cisram_assert stays on
+ * in release builds; these death tests pin that contract.)
+ */
+
+#include <gtest/gtest.h>
+
+#include "apusim/apu.hh"
+#include "baseline/phoenix_cpu.hh"
+#include "core/layout.hh"
+#include "core/planner.hh"
+#include "gvml/gvml.hh"
+#include "kernels/bmm.hh"
+#include "kernels/rag.hh"
+#include "model/sg_model.hh"
+
+using namespace cisram;
+using namespace cisram::apu;
+using namespace cisram::gvml;
+
+TEST(Robustness, VrIndexOutOfBounds)
+{
+    ApuDevice dev;
+    EXPECT_DEATH((void)dev.core(0).vr()[24], "VR index OOB");
+    EXPECT_DEATH((void)dev.core(0).l1().slot(48), "VMR index OOB");
+    EXPECT_DEATH((void)dev.core(5), "core index OOB");
+}
+
+TEST(Robustness, MemoryBoundsEnforced)
+{
+    ApuDevice dev;
+    uint8_t buf[8] = {};
+    EXPECT_DEATH(dev.l4().read(dev.l4().capacity() - 4, buf, 8),
+                 "DRAM read OOB");
+    EXPECT_DEATH(dev.core(0).l2().write(dev.spec().l2Bytes - 4, buf,
+                                        8),
+                 "SRAM write OOB");
+    EXPECT_DEATH(dev.core(0).dmaL4ToL2(0, 0,
+                                       dev.spec().l2Bytes + 1),
+                 "L2 overflow");
+}
+
+TEST(Robustness, PioAndLookupValidation)
+{
+    ApuDevice dev;
+    auto &core = dev.core(0);
+    // PIO beyond the VR length.
+    EXPECT_DEATH(core.pioLoad(0, 32760, 1, 0, 2, 100),
+                 "PIO load VR index OOB");
+    // Lookup table that does not fit in L3.
+    EXPECT_DEATH(core.lookup(0, 1, 0, dev.spec().l3Bytes),
+                 "lookup table exceeds L3");
+    // Lookup index outside the declared table.
+    core.vr()[1][0] = 100;
+    EXPECT_DEATH(core.lookup(0, 1, 0, 50), "lookup index OOB");
+}
+
+TEST(Robustness, GvmlSubgroupContracts)
+{
+    ApuDevice dev;
+    Gvml g(dev.core(0));
+    EXPECT_DEATH(g.addSubgrpS16(Vr(0), Vr(1), 100, 1),
+                 "power-of-two");
+    EXPECT_DEATH(g.addSubgrpS16(Vr(0), Vr(1), 64, 128), "invalid");
+    EXPECT_DEATH(g.cpySubgrp16Grp(Vr(0), Vr(1), 64, 48),
+                 "subgroup must divide group");
+    EXPECT_DEATH(g.cpySubgrp16Grp(Vr(0), Vr(1), 64, 16, 4),
+                 "subgroup index OOB");
+}
+
+TEST(Robustness, LayoutContracts)
+{
+    using namespace cisram::core;
+    Layout l = Layout::rowMajor({4, 8});
+    EXPECT_DEATH((void)l.offsetOf({1}), "index rank mismatch");
+    EXPECT_DEATH((void)l.offsetOf({4, 0}), "index OOB");
+    BroadcastSweep bad{0, 3}; // window does not divide the axis
+    EXPECT_DEATH((void)maxLookupSpan(l, bad),
+                 "window must divide");
+}
+
+TEST(Robustness, KernelShapeContracts)
+{
+    apu::ApuDevice dev;
+    core::BmmShape bad_k{64, 64, 48 * 16}; // kWords = 48, not pow2
+    kernels::BmmData data;
+    EXPECT_DEATH(
+        (void)kernels::runBmmApu(dev, bad_k,
+                                 core::BmmVariant::AllOpts, &data),
+        "power of two");
+
+    dram::DramSystem hbm(dram::hbm2eConfig());
+    baseline::RagCorpusSpec spec{"x", 0, 1000, 368};
+    kernels::RagRetriever r(dev, hbm, spec, 5);
+    std::vector<int16_t> short_query(10);
+    EXPECT_DEATH(
+        (void)r.retrieve(short_query,
+                         kernels::RagVariant::AllOpts, 1),
+        "query dim mismatch");
+}
+
+TEST(Robustness, PlannerAndModelContracts)
+{
+    model::CostTable t;
+    model::SubgroupReductionModel sg;
+    // Using the Eq. 1 model before calibration is a hard error.
+    EXPECT_DEATH((void)sg.predict(64, 1), "before calibration");
+    EXPECT_DEATH((void)core::planReduction(t, sg, 1),
+                 "reduction length");
+    // Fitting with too few samples is rejected.
+    std::vector<model::SgSample> few = {{16, 1, 100.0}};
+    EXPECT_DEATH(sg.fit(few), "8 samples");
+}
+
+TEST(Robustness, FunctionalRunsRequireOperands)
+{
+    apu::ApuDevice dev;
+    EXPECT_DEATH((void)kernels::runBmmApu(
+                     dev, {64, 64, 256},
+                     core::BmmVariant::Baseline, nullptr),
+                 "requires operands");
+}
+
+TEST(Robustness, MatmulShapeMismatch)
+{
+    auto a = baseline::genMatrix(4, 4, 1);
+    auto b = baseline::genMatrix(4, 4, 2);
+    EXPECT_DEATH((void)baseline::matmulSeq(a, b, 4, 5, 4),
+                 "shape mismatch");
+}
+
+TEST(Robustness, RepeatAndTagScopesBalance)
+{
+    // Scopes close in order even under nesting; cycles stay sane.
+    apu::ApuDevice dev;
+    auto &stats = dev.core(0).stats();
+    {
+        apu::ScopedRepeat a(stats, 3);
+        {
+            apu::ScopedTag t(stats, "x");
+            stats.charge(10);
+        }
+        stats.charge(1);
+    }
+    stats.charge(1);
+    EXPECT_DOUBLE_EQ(stats.cycles(), 30 + 3 + 1);
+    EXPECT_DOUBLE_EQ(stats.taggedCycles("x"), 30);
+    EXPECT_DOUBLE_EQ(stats.repeat(), 1.0);
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for statistics helpers: means, least squares, R^2.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+using namespace cisram;
+
+TEST(Stats, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(geomean({1, 4}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2, 8, 4}), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(maxOf({3, 9, 1}), 9.0);
+    EXPECT_DOUBLE_EQ(minOf({3, 9, 1}), 1.0);
+}
+
+TEST(Stats, LeastSquaresRecoversLine)
+{
+    // y = 3 + 2x fit with intercept column.
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 10; ++i) {
+        x.push_back({1.0, static_cast<double>(i)});
+        y.push_back(3.0 + 2.0 * i);
+    }
+    auto beta = leastSquares(x, y);
+    ASSERT_EQ(beta.size(), 2u);
+    EXPECT_NEAR(beta[0], 3.0, 1e-9);
+    EXPECT_NEAR(beta[1], 2.0, 1e-9);
+}
+
+TEST(Stats, LeastSquaresCubicWithNoise)
+{
+    Rng rng(5);
+    std::vector<std::vector<double>> x;
+    std::vector<double> y;
+    for (int i = 0; i < 200; ++i) {
+        double t = rng.nextDouble() * 10.0;
+        x.push_back({1.0, t, t * t, t * t * t});
+        double noise = (rng.nextDouble() - 0.5) * 1e-3;
+        y.push_back(1.0 - 2.0 * t + 0.5 * t * t + 0.25 * t * t * t +
+                    noise);
+    }
+    auto beta = leastSquares(x, y);
+    ASSERT_EQ(beta.size(), 4u);
+    EXPECT_NEAR(beta[0], 1.0, 1e-2);
+    EXPECT_NEAR(beta[1], -2.0, 1e-2);
+    EXPECT_NEAR(beta[2], 0.5, 1e-2);
+    EXPECT_NEAR(beta[3], 0.25, 1e-3);
+}
+
+TEST(Stats, RSquared)
+{
+    std::vector<double> obs = {1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(rSquared(obs, obs), 1.0);
+    std::vector<double> flat(5, 3.0);
+    EXPECT_DOUBLE_EQ(rSquared(flat, obs), 0.0);
+}
+
+TEST(Stats, RngDeterminism)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    Rng c(124);
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Stats, RngBounds)
+{
+    Rng rng(77);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(rng.nextBelow(17), 17u);
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}

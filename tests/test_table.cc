@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the bench-output helpers: table rendering and the
+ * numeric formatters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+using namespace cisram;
+
+TEST(AsciiTableTest, RendersAlignedColumns)
+{
+    AsciiTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "12345"});
+    std::string out = t.render();
+    // Header and both rows present.
+    EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+    EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+    EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+    // Every line has equal width.
+    size_t width = out.find('\n');
+    size_t pos = 0;
+    while (pos < out.size()) {
+        size_t next = out.find('\n', pos);
+        EXPECT_EQ(next - pos, width);
+        pos = next + 1;
+    }
+}
+
+TEST(AsciiTableTest, SeparatorsAndColumnCountEnforced)
+{
+    AsciiTable t({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addSeparator();
+    t.addRow({"3", "4"});
+    std::string out = t.render();
+    // 4 separator lines: top, under header, mid, bottom.
+    size_t count = 0;
+    size_t pos = 0;
+    while (pos < out.size()) {
+        if (out[pos] == '+')
+            ++count;
+        pos = out.find('\n', pos);
+        if (pos == std::string::npos)
+            break;
+        ++pos;
+    }
+    EXPECT_EQ(count, 4u);
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+TEST(Formatters, Doubles)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(3.0, 0), "3");
+    EXPECT_EQ(formatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(Formatters, Times)
+{
+    EXPECT_EQ(formatTime(2.5), "2.500 s");
+    EXPECT_EQ(formatTime(2.5e-3), "2.500 ms");
+    EXPECT_EQ(formatTime(2.5e-6), "2.500 us");
+    EXPECT_EQ(formatTime(2.5e-9), "2.500 ns");
+}
+
+TEST(Formatters, Bytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KiB");
+    EXPECT_EQ(formatBytes(3.5 * 1024 * 1024), "3.50 MiB");
+    EXPECT_EQ(formatBytes(2.0 * 1024 * 1024 * 1024), "2.00 GiB");
+}

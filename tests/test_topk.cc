@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Top-k selection algorithm tests: both in-VR strategies agree with
+ * a scalar reference across distributions and k values, and their
+ * cost crossover behaves as modeled.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "kernels/topk.hh"
+
+using namespace cisram;
+using namespace cisram::baseline;
+using namespace cisram::gvml;
+using namespace cisram::kernels;
+
+namespace {
+
+std::vector<Hit>
+referenceTopK(const std::vector<uint16_t> &scores, size_t k)
+{
+    std::vector<Hit> all;
+    for (size_t i = 0; i < scores.size(); ++i)
+        all.push_back({static_cast<float>(scores[i]), i});
+    std::sort(all.begin(), all.end(), [](const Hit &a, const Hit &b) {
+        if (a.score != b.score)
+            return a.score > b.score;
+        return a.id < b.id;
+    });
+    all.resize(std::min(k, all.size()));
+    return all;
+}
+
+struct Dist
+{
+    const char *name;
+    uint64_t seed;
+    std::function<uint16_t(Rng &)> draw;
+};
+
+const Dist distributions[] = {
+    {"uniform", 1,
+     [](Rng &r) { return r.nextU16(); }},
+    {"heavy_ties", 2,
+     [](Rng &r) { return static_cast<uint16_t>(r.nextBelow(8)); }},
+    {"skewed", 3,
+     [](Rng &r) {
+         double u = r.nextDouble();
+         return static_cast<uint16_t>(u * u * 65535.0);
+     }},
+    {"constant", 4, [](Rng &) { return uint16_t(42); }},
+};
+
+} // namespace
+
+class TopKAlgorithms : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(TopKAlgorithms, BothMatchReferenceAcrossDistributions)
+{
+    size_t k = GetParam();
+    for (const auto &dist : distributions) {
+        apu::ApuDevice dev;
+        Gvml g(dev.core(0));
+        Rng rng(dist.seed);
+        std::vector<uint16_t> scores(g.length());
+        for (auto &s : scores)
+            s = dist.draw(rng);
+        auto expect = referenceTopK(scores, k);
+
+        g.data(Vr(0)) = scores;
+        auto thr = topKThreshold(g, Vr(0), k, Vr(1), Vr(2), Vr(3));
+        ASSERT_EQ(thr.size(), expect.size()) << dist.name;
+        for (size_t i = 0; i < expect.size(); ++i) {
+            ASSERT_EQ(thr[i].id, expect[i].id)
+                << dist.name << " k=" << k << " i=" << i;
+            ASSERT_EQ(thr[i].score, expect[i].score);
+        }
+
+        g.data(Vr(0)) = scores; // iterative destroys its input
+        auto iter = topKIterative(g, Vr(0), k);
+        ASSERT_EQ(iter.size(), expect.size()) << dist.name;
+        for (size_t i = 0; i < expect.size(); ++i) {
+            ASSERT_EQ(iter[i].id, expect[i].id)
+                << dist.name << " k=" << k << " i=" << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TopKAlgorithms,
+                         ::testing::Values(1, 5, 17, 64));
+
+TEST(TopKCost, ThresholdWinsForLargeK)
+{
+    auto cost = [](bool threshold, size_t k) {
+        apu::ApuDevice dev;
+        dev.core(0).setMode(apu::ExecMode::TimingOnly);
+        Gvml g(dev.core(0));
+        dev.core(0).stats().reset();
+        if (threshold)
+            (void)topKThreshold(g, Vr(0), k, Vr(1), Vr(2), Vr(3));
+        else
+            (void)topKIterative(g, Vr(0), k);
+        return dev.core(0).stats().cycles();
+    };
+    // Small k: iterative extraction is cheaper.
+    EXPECT_LT(cost(false, 2), cost(true, 2));
+    // Large k: the k-independent threshold search wins.
+    EXPECT_LT(cost(true, 64), cost(false, 64));
+    // Threshold search cost is nearly flat in k.
+    EXPECT_LT(cost(true, 64), cost(true, 1) * 2.0);
+}
