@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_phoenix.dir/bench_fig13_phoenix.cc.o"
+  "CMakeFiles/bench_fig13_phoenix.dir/bench_fig13_phoenix.cc.o.d"
+  "bench_fig13_phoenix"
+  "bench_fig13_phoenix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_phoenix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_datamovement.dir/bench_table4_datamovement.cc.o"
+  "CMakeFiles/bench_table4_datamovement.dir/bench_table4_datamovement.cc.o.d"
+  "bench_table4_datamovement"
+  "bench_table4_datamovement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_datamovement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_compute.dir/bench_table5_compute.cc.o"
+  "CMakeFiles/bench_table5_compute.dir/bench_table5_compute.cc.o.d"
+  "bench_table5_compute"
+  "bench_table5_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_rag_breakdown.dir/bench_table8_rag_breakdown.cc.o"
+  "CMakeFiles/bench_table8_rag_breakdown.dir/bench_table8_rag_breakdown.cc.o.d"
+  "bench_table8_rag_breakdown"
+  "bench_table8_rag_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_rag_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytical_model.dir/analytical_model.cpp.o"
+  "CMakeFiles/analytical_model.dir/analytical_model.cpp.o.d"
+  "analytical_model"
+  "analytical_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytical_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

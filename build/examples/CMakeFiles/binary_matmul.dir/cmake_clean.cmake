@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_matmul.dir/binary_matmul.cpp.o"
+  "CMakeFiles/binary_matmul.dir/binary_matmul.cpp.o.d"
+  "binary_matmul"
+  "binary_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

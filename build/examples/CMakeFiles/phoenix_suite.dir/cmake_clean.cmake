@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_suite.dir/phoenix_suite.cpp.o"
+  "CMakeFiles/phoenix_suite.dir/phoenix_suite.cpp.o.d"
+  "phoenix_suite"
+  "phoenix_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/rag_retrieval.cpp" "examples/CMakeFiles/rag_retrieval.dir/rag_retrieval.cpp.o" "gcc" "examples/CMakeFiles/rag_retrieval.dir/rag_retrieval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gdl/CMakeFiles/cisram_gdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/rvv/CMakeFiles/cisram_rvv.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cisram_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/dramsim/CMakeFiles/cisram_dramsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/cisram_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cisram_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cisram_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/gvml/CMakeFiles/cisram_gvml.dir/DependInfo.cmake"
+  "/root/repo/build/src/apusim/CMakeFiles/cisram_apusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cisram_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cisram_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

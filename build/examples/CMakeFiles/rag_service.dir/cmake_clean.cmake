@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rag_service.dir/rag_service.cpp.o"
+  "CMakeFiles/rag_service.dir/rag_service.cpp.o.d"
+  "rag_service"
+  "rag_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rag_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

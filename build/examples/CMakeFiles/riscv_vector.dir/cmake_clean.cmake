@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_vector.dir/riscv_vector.cpp.o"
+  "CMakeFiles/riscv_vector.dir/riscv_vector.cpp.o.d"
+  "riscv_vector"
+  "riscv_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apusim/apu.cc" "src/apusim/CMakeFiles/cisram_apusim.dir/apu.cc.o" "gcc" "src/apusim/CMakeFiles/cisram_apusim.dir/apu.cc.o.d"
+  "/root/repo/src/apusim/bitproc.cc" "src/apusim/CMakeFiles/cisram_apusim.dir/bitproc.cc.o" "gcc" "src/apusim/CMakeFiles/cisram_apusim.dir/bitproc.cc.o.d"
+  "/root/repo/src/apusim/memory.cc" "src/apusim/CMakeFiles/cisram_apusim.dir/memory.cc.o" "gcc" "src/apusim/CMakeFiles/cisram_apusim.dir/memory.cc.o.d"
+  "/root/repo/src/apusim/vr_file.cc" "src/apusim/CMakeFiles/cisram_apusim.dir/vr_file.cc.o" "gcc" "src/apusim/CMakeFiles/cisram_apusim.dir/vr_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cisram_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisram_apusim.dir/apu.cc.o"
+  "CMakeFiles/cisram_apusim.dir/apu.cc.o.d"
+  "CMakeFiles/cisram_apusim.dir/bitproc.cc.o"
+  "CMakeFiles/cisram_apusim.dir/bitproc.cc.o.d"
+  "CMakeFiles/cisram_apusim.dir/memory.cc.o"
+  "CMakeFiles/cisram_apusim.dir/memory.cc.o.d"
+  "CMakeFiles/cisram_apusim.dir/vr_file.cc.o"
+  "CMakeFiles/cisram_apusim.dir/vr_file.cc.o.d"
+  "libcisram_apusim.a"
+  "libcisram_apusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisram_apusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

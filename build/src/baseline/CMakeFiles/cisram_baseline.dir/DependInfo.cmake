@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/faisslite.cc" "src/baseline/CMakeFiles/cisram_baseline.dir/faisslite.cc.o" "gcc" "src/baseline/CMakeFiles/cisram_baseline.dir/faisslite.cc.o.d"
+  "/root/repo/src/baseline/phoenix_cpu.cc" "src/baseline/CMakeFiles/cisram_baseline.dir/phoenix_cpu.cc.o" "gcc" "src/baseline/CMakeFiles/cisram_baseline.dir/phoenix_cpu.cc.o.d"
+  "/root/repo/src/baseline/timing_models.cc" "src/baseline/CMakeFiles/cisram_baseline.dir/timing_models.cc.o" "gcc" "src/baseline/CMakeFiles/cisram_baseline.dir/timing_models.cc.o.d"
+  "/root/repo/src/baseline/workloads.cc" "src/baseline/CMakeFiles/cisram_baseline.dir/workloads.cc.o" "gcc" "src/baseline/CMakeFiles/cisram_baseline.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cisram_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisram_baseline.dir/faisslite.cc.o"
+  "CMakeFiles/cisram_baseline.dir/faisslite.cc.o.d"
+  "CMakeFiles/cisram_baseline.dir/phoenix_cpu.cc.o"
+  "CMakeFiles/cisram_baseline.dir/phoenix_cpu.cc.o.d"
+  "CMakeFiles/cisram_baseline.dir/timing_models.cc.o"
+  "CMakeFiles/cisram_baseline.dir/timing_models.cc.o.d"
+  "CMakeFiles/cisram_baseline.dir/workloads.cc.o"
+  "CMakeFiles/cisram_baseline.dir/workloads.cc.o.d"
+  "libcisram_baseline.a"
+  "libcisram_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisram_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

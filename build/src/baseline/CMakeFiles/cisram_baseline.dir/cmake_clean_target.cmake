@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcisram_baseline.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bitutils.cc" "src/common/CMakeFiles/cisram_common.dir/bitutils.cc.o" "gcc" "src/common/CMakeFiles/cisram_common.dir/bitutils.cc.o.d"
+  "/root/repo/src/common/fixedpoint.cc" "src/common/CMakeFiles/cisram_common.dir/fixedpoint.cc.o" "gcc" "src/common/CMakeFiles/cisram_common.dir/fixedpoint.cc.o.d"
+  "/root/repo/src/common/float16.cc" "src/common/CMakeFiles/cisram_common.dir/float16.cc.o" "gcc" "src/common/CMakeFiles/cisram_common.dir/float16.cc.o.d"
+  "/root/repo/src/common/gsifloat.cc" "src/common/CMakeFiles/cisram_common.dir/gsifloat.cc.o" "gcc" "src/common/CMakeFiles/cisram_common.dir/gsifloat.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/cisram_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/cisram_common.dir/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/common/CMakeFiles/cisram_common.dir/stats.cc.o" "gcc" "src/common/CMakeFiles/cisram_common.dir/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/common/CMakeFiles/cisram_common.dir/table.cc.o" "gcc" "src/common/CMakeFiles/cisram_common.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

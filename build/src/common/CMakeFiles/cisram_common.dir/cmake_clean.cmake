@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisram_common.dir/bitutils.cc.o"
+  "CMakeFiles/cisram_common.dir/bitutils.cc.o.d"
+  "CMakeFiles/cisram_common.dir/fixedpoint.cc.o"
+  "CMakeFiles/cisram_common.dir/fixedpoint.cc.o.d"
+  "CMakeFiles/cisram_common.dir/float16.cc.o"
+  "CMakeFiles/cisram_common.dir/float16.cc.o.d"
+  "CMakeFiles/cisram_common.dir/gsifloat.cc.o"
+  "CMakeFiles/cisram_common.dir/gsifloat.cc.o.d"
+  "CMakeFiles/cisram_common.dir/logging.cc.o"
+  "CMakeFiles/cisram_common.dir/logging.cc.o.d"
+  "CMakeFiles/cisram_common.dir/stats.cc.o"
+  "CMakeFiles/cisram_common.dir/stats.cc.o.d"
+  "CMakeFiles/cisram_common.dir/table.cc.o"
+  "CMakeFiles/cisram_common.dir/table.cc.o.d"
+  "libcisram_common.a"
+  "libcisram_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisram_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bmm_model.cc" "src/core/CMakeFiles/cisram_core.dir/bmm_model.cc.o" "gcc" "src/core/CMakeFiles/cisram_core.dir/bmm_model.cc.o.d"
+  "/root/repo/src/core/dma_plan.cc" "src/core/CMakeFiles/cisram_core.dir/dma_plan.cc.o" "gcc" "src/core/CMakeFiles/cisram_core.dir/dma_plan.cc.o.d"
+  "/root/repo/src/core/layout.cc" "src/core/CMakeFiles/cisram_core.dir/layout.cc.o" "gcc" "src/core/CMakeFiles/cisram_core.dir/layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cisram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cisram_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/gvml/CMakeFiles/cisram_gvml.dir/DependInfo.cmake"
+  "/root/repo/build/src/apusim/CMakeFiles/cisram_apusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisram_core.dir/bmm_model.cc.o"
+  "CMakeFiles/cisram_core.dir/bmm_model.cc.o.d"
+  "CMakeFiles/cisram_core.dir/dma_plan.cc.o"
+  "CMakeFiles/cisram_core.dir/dma_plan.cc.o.d"
+  "CMakeFiles/cisram_core.dir/layout.cc.o"
+  "CMakeFiles/cisram_core.dir/layout.cc.o.d"
+  "libcisram_core.a"
+  "libcisram_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisram_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisram_dramsim.dir/dram_sim.cc.o"
+  "CMakeFiles/cisram_dramsim.dir/dram_sim.cc.o.d"
+  "libcisram_dramsim.a"
+  "libcisram_dramsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisram_dramsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

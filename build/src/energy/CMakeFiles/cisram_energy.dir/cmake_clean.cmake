@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisram_energy.dir/energy.cc.o"
+  "CMakeFiles/cisram_energy.dir/energy.cc.o.d"
+  "libcisram_energy.a"
+  "libcisram_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisram_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisram_gdl.dir/gdl.cc.o"
+  "CMakeFiles/cisram_gdl.dir/gdl.cc.o.d"
+  "libcisram_gdl.a"
+  "libcisram_gdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisram_gdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gvml/gvml_ewise.cc" "src/gvml/CMakeFiles/cisram_gvml.dir/gvml_ewise.cc.o" "gcc" "src/gvml/CMakeFiles/cisram_gvml.dir/gvml_ewise.cc.o.d"
+  "/root/repo/src/gvml/gvml_move.cc" "src/gvml/CMakeFiles/cisram_gvml.dir/gvml_move.cc.o" "gcc" "src/gvml/CMakeFiles/cisram_gvml.dir/gvml_move.cc.o.d"
+  "/root/repo/src/gvml/gvml_reduce.cc" "src/gvml/CMakeFiles/cisram_gvml.dir/gvml_reduce.cc.o" "gcc" "src/gvml/CMakeFiles/cisram_gvml.dir/gvml_reduce.cc.o.d"
+  "/root/repo/src/gvml/microcode.cc" "src/gvml/CMakeFiles/cisram_gvml.dir/microcode.cc.o" "gcc" "src/gvml/CMakeFiles/cisram_gvml.dir/microcode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apusim/CMakeFiles/cisram_apusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cisram_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisram_gvml.dir/gvml_ewise.cc.o"
+  "CMakeFiles/cisram_gvml.dir/gvml_ewise.cc.o.d"
+  "CMakeFiles/cisram_gvml.dir/gvml_move.cc.o"
+  "CMakeFiles/cisram_gvml.dir/gvml_move.cc.o.d"
+  "CMakeFiles/cisram_gvml.dir/gvml_reduce.cc.o"
+  "CMakeFiles/cisram_gvml.dir/gvml_reduce.cc.o.d"
+  "CMakeFiles/cisram_gvml.dir/microcode.cc.o"
+  "CMakeFiles/cisram_gvml.dir/microcode.cc.o.d"
+  "libcisram_gvml.a"
+  "libcisram_gvml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisram_gvml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

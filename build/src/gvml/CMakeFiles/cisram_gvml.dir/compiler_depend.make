@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cisram_gvml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/bmm.cc" "src/kernels/CMakeFiles/cisram_kernels.dir/bmm.cc.o" "gcc" "src/kernels/CMakeFiles/cisram_kernels.dir/bmm.cc.o.d"
+  "/root/repo/src/kernels/phoenix_compute.cc" "src/kernels/CMakeFiles/cisram_kernels.dir/phoenix_compute.cc.o" "gcc" "src/kernels/CMakeFiles/cisram_kernels.dir/phoenix_compute.cc.o.d"
+  "/root/repo/src/kernels/phoenix_model.cc" "src/kernels/CMakeFiles/cisram_kernels.dir/phoenix_model.cc.o" "gcc" "src/kernels/CMakeFiles/cisram_kernels.dir/phoenix_model.cc.o.d"
+  "/root/repo/src/kernels/phoenix_sort_apps.cc" "src/kernels/CMakeFiles/cisram_kernels.dir/phoenix_sort_apps.cc.o" "gcc" "src/kernels/CMakeFiles/cisram_kernels.dir/phoenix_sort_apps.cc.o.d"
+  "/root/repo/src/kernels/phoenix_stream.cc" "src/kernels/CMakeFiles/cisram_kernels.dir/phoenix_stream.cc.o" "gcc" "src/kernels/CMakeFiles/cisram_kernels.dir/phoenix_stream.cc.o.d"
+  "/root/repo/src/kernels/rag.cc" "src/kernels/CMakeFiles/cisram_kernels.dir/rag.cc.o" "gcc" "src/kernels/CMakeFiles/cisram_kernels.dir/rag.cc.o.d"
+  "/root/repo/src/kernels/rag_model.cc" "src/kernels/CMakeFiles/cisram_kernels.dir/rag_model.cc.o" "gcc" "src/kernels/CMakeFiles/cisram_kernels.dir/rag_model.cc.o.d"
+  "/root/repo/src/kernels/sort.cc" "src/kernels/CMakeFiles/cisram_kernels.dir/sort.cc.o" "gcc" "src/kernels/CMakeFiles/cisram_kernels.dir/sort.cc.o.d"
+  "/root/repo/src/kernels/topk.cc" "src/kernels/CMakeFiles/cisram_kernels.dir/topk.cc.o" "gcc" "src/kernels/CMakeFiles/cisram_kernels.dir/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apusim/CMakeFiles/cisram_apusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gvml/CMakeFiles/cisram_gvml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cisram_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/cisram_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cisram_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dramsim/CMakeFiles/cisram_dramsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/cisram_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cisram_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisram_kernels.dir/bmm.cc.o"
+  "CMakeFiles/cisram_kernels.dir/bmm.cc.o.d"
+  "CMakeFiles/cisram_kernels.dir/phoenix_compute.cc.o"
+  "CMakeFiles/cisram_kernels.dir/phoenix_compute.cc.o.d"
+  "CMakeFiles/cisram_kernels.dir/phoenix_model.cc.o"
+  "CMakeFiles/cisram_kernels.dir/phoenix_model.cc.o.d"
+  "CMakeFiles/cisram_kernels.dir/phoenix_sort_apps.cc.o"
+  "CMakeFiles/cisram_kernels.dir/phoenix_sort_apps.cc.o.d"
+  "CMakeFiles/cisram_kernels.dir/phoenix_stream.cc.o"
+  "CMakeFiles/cisram_kernels.dir/phoenix_stream.cc.o.d"
+  "CMakeFiles/cisram_kernels.dir/rag.cc.o"
+  "CMakeFiles/cisram_kernels.dir/rag.cc.o.d"
+  "CMakeFiles/cisram_kernels.dir/rag_model.cc.o"
+  "CMakeFiles/cisram_kernels.dir/rag_model.cc.o.d"
+  "CMakeFiles/cisram_kernels.dir/sort.cc.o"
+  "CMakeFiles/cisram_kernels.dir/sort.cc.o.d"
+  "CMakeFiles/cisram_kernels.dir/topk.cc.o"
+  "CMakeFiles/cisram_kernels.dir/topk.cc.o.d"
+  "libcisram_kernels.a"
+  "libcisram_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisram_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/sg_model.cc" "src/model/CMakeFiles/cisram_model.dir/sg_model.cc.o" "gcc" "src/model/CMakeFiles/cisram_model.dir/sg_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cisram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gvml/CMakeFiles/cisram_gvml.dir/DependInfo.cmake"
+  "/root/repo/build/src/apusim/CMakeFiles/cisram_apusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisram_model.dir/sg_model.cc.o"
+  "CMakeFiles/cisram_model.dir/sg_model.cc.o.d"
+  "libcisram_model.a"
+  "libcisram_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisram_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

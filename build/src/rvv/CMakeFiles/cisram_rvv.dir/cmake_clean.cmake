@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cisram_rvv.dir/rvv.cc.o"
+  "CMakeFiles/cisram_rvv.dir/rvv.cc.o.d"
+  "libcisram_rvv.a"
+  "libcisram_rvv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cisram_rvv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

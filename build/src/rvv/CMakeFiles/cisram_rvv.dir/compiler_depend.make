@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cisram_rvv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apusim.dir/test_apusim.cc.o"
+  "CMakeFiles/test_apusim.dir/test_apusim.cc.o.d"
+  "test_apusim"
+  "test_apusim.pdb"
+  "test_apusim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitproc.dir/test_bitproc.cc.o"
+  "CMakeFiles/test_bitproc.dir/test_bitproc.cc.o.d"
+  "test_bitproc"
+  "test_bitproc.pdb"
+  "test_bitproc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

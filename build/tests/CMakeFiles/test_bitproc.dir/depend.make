@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bitproc.
+# This may be replaced when dependencies are built.

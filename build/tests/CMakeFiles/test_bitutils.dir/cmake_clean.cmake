@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitutils.dir/test_bitutils.cc.o"
+  "CMakeFiles/test_bitutils.dir/test_bitutils.cc.o.d"
+  "test_bitutils"
+  "test_bitutils.pdb"
+  "test_bitutils[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitutils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bmm.dir/test_bmm.cc.o"
+  "CMakeFiles/test_bmm.dir/test_bmm.cc.o.d"
+  "test_bmm"
+  "test_bmm.pdb"
+  "test_bmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_pins.dir/test_cost_pins.cc.o"
+  "CMakeFiles/test_cost_pins.dir/test_cost_pins.cc.o.d"
+  "test_cost_pins"
+  "test_cost_pins.pdb"
+  "test_cost_pins[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_pins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

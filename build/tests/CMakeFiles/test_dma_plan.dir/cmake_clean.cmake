@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dma_plan.dir/test_dma_plan.cc.o"
+  "CMakeFiles/test_dma_plan.dir/test_dma_plan.cc.o.d"
+  "test_dma_plan"
+  "test_dma_plan.pdb"
+  "test_dma_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dma_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dramsim.dir/test_dramsim.cc.o"
+  "CMakeFiles/test_dramsim.dir/test_dramsim.cc.o.d"
+  "test_dramsim"
+  "test_dramsim.pdb"
+  "test_dramsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dramsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gdl.dir/test_gdl.cc.o"
+  "CMakeFiles/test_gdl.dir/test_gdl.cc.o.d"
+  "test_gdl"
+  "test_gdl.pdb"
+  "test_gdl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gsifloat.dir/test_gsifloat.cc.o"
+  "CMakeFiles/test_gsifloat.dir/test_gsifloat.cc.o.d"
+  "test_gsifloat"
+  "test_gsifloat.pdb"
+  "test_gsifloat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gsifloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

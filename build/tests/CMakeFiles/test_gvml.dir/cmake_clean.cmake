@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gvml.dir/test_gvml.cc.o"
+  "CMakeFiles/test_gvml.dir/test_gvml.cc.o.d"
+  "test_gvml"
+  "test_gvml.pdb"
+  "test_gvml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gvml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

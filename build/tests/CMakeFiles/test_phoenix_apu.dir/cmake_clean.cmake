@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phoenix_apu.dir/test_phoenix_apu.cc.o"
+  "CMakeFiles/test_phoenix_apu.dir/test_phoenix_apu.cc.o.d"
+  "test_phoenix_apu"
+  "test_phoenix_apu.pdb"
+  "test_phoenix_apu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phoenix_apu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rvv.dir/test_rvv.cc.o"
+  "CMakeFiles/test_rvv.dir/test_rvv.cc.o.d"
+  "test_rvv"
+  "test_rvv.pdb"
+  "test_rvv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rvv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bitutils[1]_include.cmake")
+include("/root/repo/build/tests/test_float16[1]_include.cmake")
+include("/root/repo/build/tests/test_gsifloat[1]_include.cmake")
+include("/root/repo/build/tests/test_fixedpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_table[1]_include.cmake")
+include("/root/repo/build/tests/test_bitproc[1]_include.cmake")
+include("/root/repo/build/tests/test_apusim[1]_include.cmake")
+include("/root/repo/build/tests/test_gvml[1]_include.cmake")
+include("/root/repo/build/tests/test_gdl[1]_include.cmake")
+include("/root/repo/build/tests/test_rvv[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_multicore[1]_include.cmake")
+include("/root/repo/build/tests/test_topk[1]_include.cmake")
+include("/root/repo/build/tests/test_dma_plan[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_cost_pins[1]_include.cmake")
+include("/root/repo/build/tests/test_microcode[1]_include.cmake")
+include("/root/repo/build/tests/test_dramsim[1]_include.cmake")
+include("/root/repo/build/tests/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_bmm[1]_include.cmake")
+include("/root/repo/build/tests/test_rag[1]_include.cmake")
+include("/root/repo/build/tests/test_phoenix_apu[1]_include.cmake")
+include("/root/repo/build/tests/test_phoenix_model[1]_include.cmake")
