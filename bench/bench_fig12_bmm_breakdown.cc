@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_report.hh"
 #include "common/table.hh"
 #include "core/bmm_model.hh"
 #include "kernels/bmm.hh"
@@ -20,6 +21,7 @@ int
 main()
 {
     std::printf("== Fig. 12: binary matmul runtime breakdown ==\n");
+    bench::BenchReport report("fig12_bmm_breakdown");
     const BmmShape shape{1024, 1024, 1024};
     const double clock = 500.0e6;
 
@@ -53,12 +55,22 @@ main()
                       formatDouble(
                           analytical.operationalIntensity(shape, v),
                           1)});
+        report.breakdown(bmmVariantName(v),
+                         {{"ld_lhs", r.cycles.ldLhs},
+                          {"ld_rhs", r.cycles.ldRhs},
+                          {"vr_ops", r.cycles.vrOps},
+                          {"st", r.cycles.store},
+                          {"total", total},
+                          {"model_total",
+                           analytical.predict(shape, v).total()}});
         if (v == BmmVariant::Baseline)
             base_total = total;
         if (v == BmmVariant::AllOpts)
             all_total = total;
     }
     table.print();
+    report.scalar("combined_speedup", base_total / all_total);
+    report.note("units", "breakdown values are device cycles");
 
     std::printf("\ncombined speedup: %.1fx (paper: 18.9x, "
                 "226.3 ms -> 12.0 ms)\n",

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "baseline/timing_models.hh"
+#include "bench_report.hh"
 #include "common/table.hh"
 #include "kernels/rag.hh"
 
@@ -35,10 +36,13 @@ main()
 {
     std::printf("== Fig. 14: end-to-end RAG inference breakdown "
                 "==\n");
+    bench::BenchReport report("fig14_rag_e2e");
+    report.note("units", "breakdown values are milliseconds");
     XeonTimingModel cpu;
     GpuTimingModel gpu;
     LlmGenerationModel llm;
     double gen_ms = llm.ttftSeconds() * 1e3;
+    report.scalar("generation_ttft_ms", gen_ms);
     std::printf("generation TTFT (Llama3.1-8B on dedicated GPU "
                 "model): %.0f ms\n\n",
                 gen_ms);
@@ -73,6 +77,12 @@ main()
                           formatDouble(r.retr_ms / ttft * 100.0, 1) +
                               "%"});
         }
+        report.breakdown(spec.label,
+                         {{"cpu_retrieval_ms", rows[0].retr_ms},
+                          {"gpu_retrieval_ms", rows[1].retr_ms},
+                          {"cim_no_opt_ms", rows[2].retr_ms},
+                          {"cim_all_opts_ms", rows[6].retr_ms},
+                          {"generation_ms", gen_ms}});
         table.addSeparator();
     }
     table.print();
@@ -88,6 +98,11 @@ main()
                     "%.2fx\n",
                     spec.label, cpu_ms / apu_ms,
                     e2e_cpu / e2e_apu);
+        report.scalar(std::string("retrieval_speedup_vs_cpu/") +
+                          spec.label,
+                      cpu_ms / apu_ms);
+        report.scalar(std::string("e2e_speedup_vs_cpu/") + spec.label,
+                      e2e_cpu / e2e_apu);
     }
     std::printf("  (paper: retrieval 6.3x/4.8x/6.6x, end-to-end "
                 "1.05x/1.15x/1.75x)\n");

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_report.hh"
 #include "common/table.hh"
 #include "dramsim/dram_sim.hh"
 #include "energy/energy.hh"
@@ -23,6 +24,8 @@ int
 main()
 {
     std::printf("== Fig. 15: top-5 retrieval energy vs GPU ==\n");
+    bench::BenchReport report("fig15_energy");
+    report.note("units", "breakdown values are joules");
     ApuPowerModel apu_power;
     GpuEnergyModel gpu_energy;
 
@@ -54,6 +57,13 @@ main()
                       formatDouble(e.share(e.dramJ), 1),
                       formatDouble(e.share(e.cacheJ), 3),
                       formatDouble(e.share(e.otherJ), 1)});
+        report.breakdown(spec.label, {{"static", e.staticJ},
+                                      {"compute", e.computeJ},
+                                      {"dram", e.dramJ},
+                                      {"cache", e.cacheJ},
+                                      {"other", e.otherJ},
+                                      {"total", e.totalJ()},
+                                      {"gpu_total", gpu_j}});
     }
     table.print();
 

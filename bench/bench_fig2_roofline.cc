@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_report.hh"
 #include "common/table.hh"
 #include "core/bmm_model.hh"
 #include "dramsim/dram_sim.hh"
@@ -24,6 +25,7 @@ int
 main()
 {
     std::printf("== Fig. 2: matmul kernels on the roofline ==\n");
+    bench::BenchReport report("fig2_roofline");
     model::CostTable t;
     dram::DramSystem ddr(dram::ddr4DeviceConfig());
     double mem_bw = ddr.config().peakBandwidth();
@@ -60,8 +62,15 @@ main()
                       formatDouble(achieved / 1e9, 1),
                       formatDouble(attain / 1e9, 1),
                       formatDouble(achieved / attain * 100.0, 1)});
+        report.breakdown(bmmVariantName(v),
+                         {{"oi_ops_per_byte", oi},
+                          {"achieved_ops_per_sec", achieved},
+                          {"attainable_ops_per_sec", attain}});
     }
     table.print();
+    report.scalar("compute_roof_ops_per_sec", roof.peakOpsPerSec());
+    report.scalar("memory_roof_bytes_per_sec", mem_bw);
+    report.scalar("ridge_oi", roof.ridge());
 
     std::printf("\nRoofline curve (OI -> attainable Gops):\n");
     for (double oi : {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0}) {

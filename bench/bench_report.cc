@@ -1,0 +1,79 @@
+#include "bench_report.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
+
+namespace cisram::bench {
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name))
+{
+    // Arm the full observability layer so the snapshot has per-op
+    // counters and a CISRAM_TRACE run records from the first event.
+    trace::Tracer::init();
+    metrics::initFromEnv();
+    metrics::setEnabled(true);
+    root_["bench"] = name_;
+    root_["schema"] = 1;
+}
+
+BenchReport::~BenchReport()
+{
+    if (!written_)
+        write();
+}
+
+void
+BenchReport::scalar(const std::string &key, double value)
+{
+    root_["scalars"][key] = value;
+}
+
+void
+BenchReport::note(const std::string &key, std::string text)
+{
+    root_["notes"][key] = std::move(text);
+}
+
+void
+BenchReport::breakdown(const std::string &key,
+                       const std::map<std::string, double> &stages)
+{
+    json::Value &section = root_["breakdowns"][key];
+    for (const auto &kv : stages)
+        section[kv.first] = kv.second;
+}
+
+std::string
+BenchReport::path() const
+{
+    const char *dir = std::getenv("CISRAM_BENCH_DIR");
+    std::string out = dir && *dir ? dir : ".";
+    if (out.back() != '/')
+        out += '/';
+    out += "BENCH_" + name_ + ".json";
+    return out;
+}
+
+void
+BenchReport::write()
+{
+    written_ = true;
+    root_["metrics"] = metrics::Registry::get().toJson();
+    std::string doc = root_.dump(2);
+    doc += '\n';
+    std::string file = path();
+    std::FILE *f = std::fopen(file.c_str(), "w");
+    if (!f) {
+        cisram_warn("bench report: cannot open ", file);
+        return;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    cisram_inform("bench report: wrote ", file);
+}
+
+} // namespace cisram::bench

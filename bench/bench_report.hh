@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Machine-readable stats sink for the bench binaries.
+ *
+ * Every bench prints a human-oriented AsciiTable; this helper
+ * additionally serializes the run — named scalars, per-stage
+ * breakdowns (CycleStats::breakdown() maps plug in directly), and a
+ * full metrics-registry snapshot — to BENCH_<name>.json so perf
+ * trajectories and external tooling can consume the numbers.
+ *
+ * Schema (versioned, documented in DESIGN.md "Observability"):
+ *   {
+ *     "bench": "<name>", "schema": 1,
+ *     "scalars":    { "<key>": number, ... },
+ *     "notes":      { "<key>": "text", ... },
+ *     "breakdowns": { "<key>": { "<stage>": cycles-or-seconds } },
+ *     "metrics":    { "counters": {...}, "gauges": {...},
+ *                     "histograms": {...} }
+ *   }
+ *
+ * Constructing a report arms detailed metrics collection
+ * (metrics::setEnabled), so the snapshot includes per-op counters.
+ * The file lands in $CISRAM_BENCH_DIR (default: the working
+ * directory) when write() is called or the report is destroyed.
+ */
+
+#ifndef CISRAM_BENCH_BENCH_REPORT_HH
+#define CISRAM_BENCH_BENCH_REPORT_HH
+
+#include <map>
+#include <string>
+
+#include "common/json.hh"
+
+namespace cisram::bench {
+
+class BenchReport
+{
+  public:
+    /** @param name Bench identifier, e.g. "fig12_bmm_breakdown". */
+    explicit BenchReport(std::string name);
+
+    /** Writes the file if write() was never called. */
+    ~BenchReport();
+
+    BenchReport(const BenchReport &) = delete;
+    BenchReport &operator=(const BenchReport &) = delete;
+
+    /** Record one named number. */
+    void scalar(const std::string &key, double value);
+
+    /** Record one named text annotation. */
+    void note(const std::string &key, std::string text);
+
+    /**
+     * Record a named breakdown; CycleStats::breakdown() and stage
+     * maps feed this directly.
+     */
+    void breakdown(const std::string &key,
+                   const std::map<std::string, double> &stages);
+
+    /** Direct access to the document for bench-specific sections. */
+    json::Value &root() { return root_; }
+
+    /** Output path: $CISRAM_BENCH_DIR/BENCH_<name>.json. */
+    std::string path() const;
+
+    /** Snapshot the metrics registry and write the file. */
+    void write();
+
+  private:
+    std::string name_;
+    json::Value root_;
+    bool written_ = false;
+};
+
+} // namespace cisram::bench
+
+#endif // CISRAM_BENCH_BENCH_REPORT_HH

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_report.hh"
 #include "common/table.hh"
 #include "kernels/rag.hh"
 
@@ -46,15 +47,29 @@ int
 main()
 {
     std::printf("== Table 8: retrieval latency breakdown ==\n\n");
+    bench::BenchReport report("table8_rag_breakdown");
+    report.note("units", "breakdown values are seconds");
     for (bool optimized : {false, true}) {
         std::printf("-- compute-in-SRAM %s --\n",
                     optimized ? "all opts" : "no opt");
         AsciiTable table({"Stage", "10GB", "50GB", "200GB"});
         RagRunResult rs[3];
         int i = 0;
-        for (const auto &spec : ragCorpora())
-            rs[i++] = run(spec, optimized ? RagVariant::AllOpts
-                                          : RagVariant::NoOpt);
+        for (const auto &spec : ragCorpora()) {
+            rs[i] = run(spec, optimized ? RagVariant::AllOpts
+                                        : RagVariant::NoOpt);
+            const auto &st = rs[i].stages;
+            report.breakdown(
+                std::string(optimized ? "all_opts" : "no_opt") + "/" +
+                    spec.label,
+                {{"load_embedding", st.loadEmbedding},
+                 {"load_query", st.loadQuery},
+                 {"calc_distance", st.calcDistance},
+                 {"topk_aggregation", st.topkAggregation},
+                 {"return_topk", st.returnTopk},
+                 {"total", st.total()}});
+            ++i;
+        }
         table.addRow({"Load Embedding*",
                       ms(rs[0].stages.loadEmbedding),
                       ms(rs[1].stages.loadEmbedding),

@@ -11,6 +11,8 @@
 #include <cstdio>
 
 #include "baseline/timing_models.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
 #include "energy/energy.hh"
 #include "gdl/gdl.hh"
 #include "kernels/rag.hh"
@@ -22,6 +24,18 @@ using namespace cisram::kernels;
 int
 main()
 {
+    // Serving metrics for the whole session; CISRAM_TRACE=<path>
+    // additionally dumps a per-op timeline of every query.
+    trace::Tracer::init();
+    metrics::initFromEnv();
+    metrics::setEnabled(true);
+    auto &reg = metrics::Registry::get();
+    auto &m_queries = reg.counter("rag.queries");
+    auto &m_retrieval = reg.histogram("rag.retrieval_seconds");
+    auto &m_ttft = reg.histogram("rag.ttft_seconds");
+    auto &m_energy = reg.histogram("rag.query_energy_joules");
+    auto &m_host = reg.histogram("rag.host_pcie_seconds");
+
     // 200 GB corpus, timing mode (paper scale).
     const auto &spec = ragCorpora()[2];
     apu::ApuDevice dev;
@@ -66,6 +80,12 @@ main()
         act.cacheBytes = r.cacheBytes;
         double joules = power.energy(act).totalJ();
 
+        m_queries.inc();
+        m_retrieval.observe(r.stages.total());
+        m_ttft.observe(ttft);
+        m_energy.observe(joules);
+        m_host.observe(host_s);
+
         total_energy += joules;
         total_ttft += ttft;
         std::printf("%5d %14.1f %14.1f %12.1f %12.1f\n", q,
@@ -82,5 +102,20 @@ main()
                 gpu.retrievalEnergy(spec.embeddingBytes()),
                 gpu.retrievalEnergy(spec.embeddingBytes()) /
                     (total_energy / 10.0));
+
+    std::printf("\nservice metrics (registry snapshot):\n");
+    std::printf("  queries served: %.0f\n", m_queries.value());
+    std::printf("  retrieval  p=mean %.1f ms  min %.1f  max %.1f\n",
+                m_retrieval.mean() * 1e3, m_retrieval.min() * 1e3,
+                m_retrieval.max() * 1e3);
+    std::printf("  TTFT       p=mean %.1f ms  min %.1f  max %.1f\n",
+                m_ttft.mean() * 1e3, m_ttft.min() * 1e3,
+                m_ttft.max() * 1e3);
+    std::printf("  energy     p=mean %.1f mJ  total %.1f mJ\n",
+                m_energy.mean() * 1e3, m_energy.sum() * 1e3);
+    std::printf("  host PCIe  p=mean %.1f us\n",
+                m_host.mean() * 1e6);
+    if (trace::active())
+        std::printf("  trace timeline armed (written at exit)\n");
     return 0;
 }

@@ -3,8 +3,34 @@
 #include <cstring>
 
 #include "common/bitutils.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
 
 namespace cisram::apu {
+
+namespace {
+
+/**
+ * DMA-engine occupancy accounting: burst cycles keep `engines`
+ * engine(s) busy. Only the burst portion occupies an engine; init
+ * and descriptor overhead is control-processor time.
+ */
+void
+noteDmaBusy(double burst_cycles, int engines, double repeat)
+{
+    if (!metrics::enabled())
+        return;
+    auto &reg = metrics::Registry::get();
+    static auto &e0 =
+        reg.counter("apu.dma.engine_busy_cycles", {{"engine", "0"}});
+    static auto &e1 =
+        reg.counter("apu.dma.engine_busy_cycles", {{"engine", "1"}});
+    e0.inc(burst_cycles * repeat);
+    if (engines > 1)
+        e1.inc(burst_cycles * repeat);
+}
+
+} // namespace
 
 const ApuSpec &
 defaultSpec()
@@ -28,7 +54,9 @@ ApuCore::ApuCore(ApuDevice &device, unsigned core_id)
       l2_(device.spec().l2Bytes),
       l3_(device.spec().l3Bytes),
       bitproc_(vrs)
-{}
+{
+    stats_.setTraceIds(device.tracePid(), core_id);
+}
 
 const ApuSpec &
 ApuCore::spec() const
@@ -58,10 +86,14 @@ void
 ApuCore::dmaL4ToL2(uint64_t l4_addr, size_t l2_off, size_t bytes)
 {
     cisram_assert(l2_off + bytes <= l2_.size(), "L2 overflow");
+    trace::OpScope op("apu.dmaL4ToL2",
+                      static_cast<double>(bytes), 1);
     const auto &mv = timing().move;
     size_t chunks = divCeil(bytes, spec().dmaChunkBytes);
+    uint64_t burst = chunkBurstCycles(chunks, mv.dmaL4L2PerByte);
+    noteDmaBusy(static_cast<double>(burst), 1, stats_.repeat());
     stats_.charge(mv.dmaL4L2Init + timing().control.dmaDescriptor +
-                  chunkBurstCycles(chunks, mv.dmaL4L2PerByte));
+                  burst);
     if (functional()) {
         std::vector<uint8_t> buf(bytes);
         dev.l4().read(l4_addr, buf.data(), bytes);
@@ -73,10 +105,14 @@ void
 ApuCore::dmaL2ToL4(uint64_t l4_addr, size_t l2_off, size_t bytes)
 {
     cisram_assert(l2_off + bytes <= l2_.size(), "L2 read OOB");
+    trace::OpScope op("apu.dmaL2ToL4",
+                      static_cast<double>(bytes), 1);
     const auto &mv = timing().move;
     size_t chunks = divCeil(bytes, spec().dmaChunkBytes);
+    uint64_t burst = chunkBurstCycles(chunks, mv.dmaL4L2PerByte);
+    noteDmaBusy(static_cast<double>(burst), 1, stats_.repeat());
     stats_.charge(mv.dmaL4L2Init + timing().control.dmaDescriptor +
-                  chunkBurstCycles(chunks, mv.dmaL4L2PerByte));
+                  burst);
     if (functional()) {
         std::vector<uint8_t> buf(bytes);
         l2_.read(l2_off, buf.data(), bytes);
@@ -88,10 +124,13 @@ void
 ApuCore::dmaL4ToL3(uint64_t l4_addr, size_t l3_off, size_t bytes)
 {
     cisram_assert(l3_off + bytes <= l3_.size(), "L3 overflow");
+    trace::OpScope op("apu.dmaL4ToL3",
+                      static_cast<double>(bytes), 1);
     const auto &mv = timing().move;
     size_t chunks = divCeil(bytes, spec().dmaChunkBytes);
-    stats_.charge(mv.dmaL4L3Init +
-                  chunkBurstCycles(chunks, mv.dmaL4L3PerByte));
+    uint64_t burst = chunkBurstCycles(chunks, mv.dmaL4L3PerByte);
+    noteDmaBusy(static_cast<double>(burst), 1, stats_.repeat());
+    stats_.charge(mv.dmaL4L3Init + burst);
     if (functional()) {
         std::vector<uint8_t> buf(bytes);
         dev.l4().read(l4_addr, buf.data(), bytes);
@@ -103,10 +142,13 @@ void
 ApuCore::dmaL3ToL4(uint64_t l4_addr, size_t l3_off, size_t bytes)
 {
     cisram_assert(l3_off + bytes <= l3_.size(), "L3 read OOB");
+    trace::OpScope op("apu.dmaL3ToL4",
+                      static_cast<double>(bytes), 1);
     const auto &mv = timing().move;
     size_t chunks = divCeil(bytes, spec().dmaChunkBytes);
-    stats_.charge(mv.dmaL4L3Init +
-                  chunkBurstCycles(chunks, mv.dmaL4L3PerByte));
+    uint64_t burst = chunkBurstCycles(chunks, mv.dmaL4L3PerByte);
+    noteDmaBusy(static_cast<double>(burst), 1, stats_.repeat());
+    stats_.charge(mv.dmaL4L3Init + burst);
     if (functional()) {
         std::vector<uint8_t> buf(bytes);
         l3_.read(l3_off, buf.data(), bytes);
@@ -121,12 +163,17 @@ ApuCore::dmaL4ToL2Chunks(const std::vector<uint64_t> &chunk_srcs,
     size_t chunk = spec().dmaChunkBytes;
     cisram_assert(l2_off + chunk_srcs.size() * chunk <= l2_.size(),
                   "L2 overflow in chunked DMA");
+    trace::OpScope op("apu.dmaL4ToL2Chunks",
+                      static_cast<double>(chunk_srcs.size() * chunk),
+                      1);
     const auto &mv = timing().move;
     // One descriptor per transaction; source addresses are programmed
     // per chunk, so the burst cost is the same as a contiguous move.
+    uint64_t burst =
+        chunkBurstCycles(chunk_srcs.size(), mv.dmaL4L2PerByte);
+    noteDmaBusy(static_cast<double>(burst), 1, stats_.repeat());
     stats_.charge(mv.dmaL4L2Init + timing().control.dmaDescriptor +
-                  chunkBurstCycles(chunk_srcs.size(),
-                                   mv.dmaL4L2PerByte));
+                  burst);
     if (functional()) {
         std::vector<uint8_t> buf(chunk);
         for (size_t i = 0; i < chunk_srcs.size(); ++i) {
@@ -139,6 +186,8 @@ ApuCore::dmaL4ToL2Chunks(const std::vector<uint64_t> &chunk_srcs,
 void
 ApuCore::dmaL2ToL1(unsigned vmr)
 {
+    trace::OpScope op("apu.dmaL2ToL1",
+                      static_cast<double>(spec().vrBytes()));
     stats_.charge(timing().move.dmaL2L1);
     if (functional()) {
         auto &slot = l1_.slot(vmr);
@@ -149,6 +198,8 @@ ApuCore::dmaL2ToL1(unsigned vmr)
 void
 ApuCore::dmaL1ToL2(unsigned vmr)
 {
+    trace::OpScope op("apu.dmaL1ToL2",
+                      static_cast<double>(spec().vrBytes()));
     stats_.charge(timing().move.dmaL2L1);
     if (functional()) {
         auto &slot = l1_.slot(vmr);
@@ -161,12 +212,15 @@ ApuCore::dmaL4ToL1(unsigned vmr, uint64_t l4_addr)
 {
     const auto &mv = timing().move;
     size_t bytes = spec().vrBytes();
+    trace::OpScope op("apu.dmaL4ToL1",
+                      static_cast<double>(bytes), 2);
     size_t chunks = divCeil(bytes, spec().dmaChunkBytes);
     // The two DMA engines each stream half the vector; L2 staging and
     // the L2->L1 wide move are pipelined behind the stream.
     uint64_t burst =
         chunkBurstCycles(chunks / spec().dmaEnginesPerCore,
                          mv.dmaL4L2PerByte);
+    noteDmaBusy(static_cast<double>(burst), 2, stats_.repeat());
     stats_.charge(mv.dmaL4L2Init + burst + mv.dmaL2L1 +
                   mv.pipeSyncL4L1);
     if (functional()) {
@@ -180,10 +234,13 @@ ApuCore::dmaL1ToL4(uint64_t l4_addr, unsigned vmr)
 {
     const auto &mv = timing().move;
     size_t bytes = spec().vrBytes();
+    trace::OpScope op("apu.dmaL1ToL4",
+                      static_cast<double>(bytes), 2);
     size_t chunks = divCeil(bytes, spec().dmaChunkBytes);
     uint64_t burst =
         chunkBurstCycles(chunks / spec().dmaEnginesPerCore,
                          mv.dmaL4L2PerByte);
+    noteDmaBusy(static_cast<double>(burst), 2, stats_.repeat());
     stats_.charge(mv.dmaL4L2Init + burst + mv.dmaL2L1 +
                   mv.pipeSyncL1L4);
     if (functional()) {
@@ -196,6 +253,7 @@ void
 ApuCore::pioLoad(unsigned vr, size_t vr_start, size_t vr_stride,
                  uint64_t l4_addr, int64_t l4_stride_bytes, size_t n)
 {
+    trace::OpScope op("apu.pioLoad", static_cast<double>(n * 2));
     const auto &mv = timing().move;
     stats_.charge(timing().control.dmaDescriptor +
                   mv.pioLoadPerElem * n);
@@ -217,6 +275,7 @@ ApuCore::pioStore(uint64_t l4_addr, int64_t l4_stride_bytes,
                   unsigned vr, size_t vr_start, size_t vr_stride,
                   size_t n)
 {
+    trace::OpScope op("apu.pioStore", static_cast<double>(n * 2));
     const auto &mv = timing().move;
     stats_.charge(timing().control.dmaDescriptor +
                   mv.pioStorePerElem * n);
@@ -238,6 +297,7 @@ ApuCore::rspGet(unsigned vr, size_t idx)
 {
     // Serial retrieval through the response FIFO: priced like a PIO
     // store of one element.
+    trace::OpScope op("apu.rspGet", 2.0);
     stats_.charge(timing().move.pioStorePerElem);
     if (functional()) {
         cisram_assert(idx < vrs.length());
@@ -249,6 +309,7 @@ ApuCore::rspGet(unsigned vr, size_t idx)
 void
 ApuCore::rspSet(unsigned vr, size_t idx, uint16_t value)
 {
+    trace::OpScope op("apu.rspSet", 2.0);
     stats_.charge(timing().move.pioLoadPerElem);
     if (functional()) {
         cisram_assert(idx < vrs.length());
@@ -260,6 +321,7 @@ void
 ApuCore::lookup(unsigned dst_vr, unsigned idx_vr, size_t l3_off,
                 size_t table_entries)
 {
+    trace::OpScope op("apu.lookup");
     const auto &mv = timing().move;
     uint64_t granules = divCeil(table_entries, mv.lookupGranule);
     chargeVectorOp(mv.lookupInit + granules * mv.lookupPerGranule);
@@ -281,6 +343,8 @@ ApuCore::lookup(unsigned dst_vr, unsigned idx_vr, size_t l3_off,
 void
 ApuCore::loadVr(unsigned vr, unsigned vmr)
 {
+    trace::OpScope op("apu.loadVr",
+                      static_cast<double>(spec().vrBytes()));
     chargeVectorOp(timing().move.loadVr);
     if (functional())
         vrs[vr] = l1_.slot(vmr);
@@ -289,6 +353,8 @@ ApuCore::loadVr(unsigned vr, unsigned vmr)
 void
 ApuCore::storeVr(unsigned vmr, unsigned vr)
 {
+    trace::OpScope op("apu.storeVr",
+                      static_cast<double>(spec().vrBytes()));
     chargeVectorOp(timing().move.storeVr);
     if (functional())
         l1_.slot(vmr) = vrs[vr];
@@ -298,6 +364,12 @@ ApuDevice::ApuDevice(ApuSpec spec, TimingParams timing)
     : spec_(spec), timing_(timing), dram(spec.l4Bytes),
       alloc(spec.l4Bytes)
 {
+    // Arm the observability layer from the environment
+    // (CISRAM_TRACE / CISRAM_METRICS) on first device construction.
+    trace::Tracer::init();
+    metrics::initFromEnv();
+    if (trace::active())
+        tracePid_ = trace::Tracer::get().registerProcess("apu");
     for (unsigned i = 0; i < spec_.numCores; ++i)
         cores.push_back(std::make_unique<ApuCore>(*this, i));
 }

@@ -181,6 +181,9 @@ class ApuDevice
         return static_cast<unsigned>(cores.size());
     }
 
+    /** Trace process id of this device (0 when tracing is off). */
+    uint32_t tracePid() const { return tracePid_; }
+
     ApuCore &core(unsigned i);
 
     DeviceDram &l4() { return dram; }
@@ -196,6 +199,7 @@ class ApuDevice
   private:
     ApuSpec spec_;
     TimingParams timing_;
+    uint32_t tracePid_ = 0;
     DeviceDram dram;
     DramAllocator alloc;
     std::vector<std::unique_ptr<ApuCore>> cores;

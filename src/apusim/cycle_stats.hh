@@ -12,6 +12,11 @@
  *    timed by executing one representative tile functionally and
  *    accounting for the rest, which is exact on this architecture
  *    because op latency is data-independent.
+ *
+ * When the observability layer is armed (CISRAM_TRACE set, or
+ * metrics::setEnabled(true)), each charge additionally emits a trace
+ * span and per-op counters; the disabled cost is two global bool
+ * tests (see common/trace.hh and common/metrics.hh).
  */
 
 #ifndef CISRAM_APUSIM_CYCLE_STATS_HH
@@ -21,6 +26,10 @@
 #include <map>
 #include <string>
 #include <vector>
+
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
 
 namespace cisram::apu {
 
@@ -32,9 +41,12 @@ class CycleStats
     charge(uint64_t cycles)
     {
         double scaled = static_cast<double>(cycles) * repeatFactor;
+        double start = total_;
         total_ += scaled;
         if (!tagStack.empty())
             tagged_[tagStack.back()] += scaled;
+        if (trace::active() || metrics::enabled()) [[unlikely]]
+            observeCharge(start, scaled);
     }
 
     /** Count one microcode instruction (scaled by repeat scopes). */
@@ -64,6 +76,12 @@ class CycleStats
     void
     reset()
     {
+        cisram_assert(tagStack.empty(),
+                      "CycleStats::reset with ", tagStack.size(),
+                      " open tag scope(s)");
+        cisram_assert(repeatStack.empty(),
+                      "CycleStats::reset with ", repeatStack.size(),
+                      " open repeat scope(s)");
         total_ = 0.0;
         uops_ = 0.0;
         tagged_.clear();
@@ -75,7 +93,13 @@ class CycleStats
         tagStack.push_back(std::move(tag));
     }
 
-    void popTag() { tagStack.pop_back(); }
+    void
+    popTag()
+    {
+        cisram_assert(!tagStack.empty(),
+                      "popTag without a matching pushTag");
+        tagStack.pop_back();
+    }
 
     void
     pushRepeat(double n)
@@ -87,6 +111,8 @@ class CycleStats
     void
     popRepeat()
     {
+        cisram_assert(!repeatStack.empty(),
+                      "popRepeat without a matching pushRepeat");
         repeatFactor /= repeatStack.back();
         repeatStack.pop_back();
     }
@@ -94,13 +120,26 @@ class CycleStats
     /** Current aggregate repeat multiplier. */
     double repeat() const { return repeatFactor; }
 
+    /** Trace identity: owning device (pid) and core (tid). */
+    void
+    setTraceIds(uint32_t pid, uint32_t tid)
+    {
+        tracePid = pid;
+        traceTid = tid;
+    }
+
   private:
+    /** Cold path: emit a trace span and per-op metrics. */
+    void observeCharge(double start, double scaled);
+
     double total_ = 0.0;
     double uops_ = 0.0;
     std::map<std::string, double> tagged_;
     std::vector<std::string> tagStack;
     std::vector<double> repeatStack;
     double repeatFactor = 1.0;
+    uint32_t tracePid = 0;
+    uint32_t traceTid = 0;
 };
 
 /** RAII tag scope: cycles charged inside accrue to `tag`. */

@@ -1,0 +1,443 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace cisram::json {
+
+Value &
+Object::operator[](const std::string &key)
+{
+    for (auto &kv : items_)
+        if (kv.first == key)
+            return kv.second;
+    items_.emplace_back(key, Value{});
+    return items_.back().second;
+}
+
+const Value *
+Object::find(const std::string &key) const
+{
+    for (const auto &kv : items_)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+bool
+Value::asBool() const
+{
+    cisram_assert(type_ == Type::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+double
+Value::asNumber() const
+{
+    cisram_assert(type_ == Type::Number, "JSON value is not a number");
+    return num_;
+}
+
+const std::string &
+Value::asString() const
+{
+    cisram_assert(type_ == Type::String, "JSON value is not a string");
+    return str_;
+}
+
+const Array &
+Value::asArray() const
+{
+    cisram_assert(type_ == Type::Array, "JSON value is not an array");
+    return arr_;
+}
+
+const Object &
+Value::asObject() const
+{
+    cisram_assert(type_ == Type::Object, "JSON value is not an object");
+    return obj_;
+}
+
+Array &
+Value::makeArray()
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    cisram_assert(type_ == Type::Array, "JSON value is not an array");
+    return arr_;
+}
+
+Object &
+Value::makeObject()
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    cisram_assert(type_ == Type::Object, "JSON value is not an object");
+    return obj_;
+}
+
+void
+appendQuoted(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+namespace {
+
+void
+appendNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    // Integers (the common case for counters and cycle counts) print
+    // without an exponent or trailing zeros.
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        out += buf;
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+void
+indentTo(std::string &out, int indent, int depth)
+{
+    if (indent < 0)
+        return;
+    out += '\n';
+    out.append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    switch (type_) {
+    case Type::Null:
+        out += "null";
+        break;
+    case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+    case Type::Number:
+        appendNumber(out, num_);
+        break;
+    case Type::String:
+        appendQuoted(out, str_);
+        break;
+    case Type::Array: {
+        if (arr_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        bool first = true;
+        for (const auto &v : arr_) {
+            if (!first)
+                out += ',';
+            first = false;
+            indentTo(out, indent, depth + 1);
+            v.dumpTo(out, indent, depth + 1);
+        }
+        indentTo(out, indent, depth);
+        out += ']';
+        break;
+    }
+    case Type::Object: {
+        if (obj_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        bool first = true;
+        for (const auto &kv : obj_) {
+            if (!first)
+                out += ',';
+            first = false;
+            indentTo(out, indent, depth + 1);
+            appendQuoted(out, kv.first);
+            out += indent < 0 ? ":" : ": ";
+            kv.second.dumpTo(out, indent, depth + 1);
+        }
+        indentTo(out, indent, depth);
+        out += '}';
+        break;
+    }
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Parser: recursive descent over the document.
+
+namespace {
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    std::string err;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (err.empty())
+            err = msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (p < end &&
+               (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+            ++p;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (p < end && *p == c) {
+            ++p;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word, size_t len)
+    {
+        if (static_cast<size_t>(end - p) < len ||
+            std::memcmp(p, word, len) != 0)
+            return fail(std::string("expected '") + word + "'");
+        p += len;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        ++p;
+        out.clear();
+        while (p < end && *p != '"') {
+            char c = *p++;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (p >= end)
+                return fail("truncated escape");
+            char e = *p++;
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                if (end - p < 4)
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = *p++;
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs
+                // are passed through as two 3-byte sequences, which
+                // round-trips our own writer's output).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+            }
+            default:
+                return fail("bad escape character");
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p; // closing quote
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        switch (*p) {
+        case 'n':
+            if (!literal("null", 4))
+                return false;
+            out = Value{};
+            return true;
+        case 't':
+            if (!literal("true", 4))
+                return false;
+            out = Value{true};
+            return true;
+        case 'f':
+            if (!literal("false", 5))
+                return false;
+            out = Value{false};
+            return true;
+        case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Value{std::move(s)};
+            return true;
+        }
+        case '[': {
+            ++p;
+            Array arr;
+            skipWs();
+            if (consume(']')) {
+                out = Value{std::move(arr)};
+                return true;
+            }
+            while (true) {
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                arr.push_back(std::move(v));
+                if (consume(']'))
+                    break;
+                if (!consume(','))
+                    return fail("expected ',' or ']'");
+            }
+            out = Value{std::move(arr)};
+            return true;
+        }
+        case '{': {
+            ++p;
+            Object obj;
+            skipWs();
+            if (consume('}')) {
+                out = Value{std::move(obj)};
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return fail("expected ':'");
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                obj[key] = std::move(v);
+                if (consume('}'))
+                    break;
+                if (!consume(','))
+                    return fail("expected ',' or '}'");
+            }
+            out = Value{std::move(obj)};
+            return true;
+        }
+        default: {
+            char *num_end = nullptr;
+            double v = std::strtod(p, &num_end);
+            if (num_end == p)
+                return fail("unexpected character");
+            p = num_end;
+            out = Value{v};
+            return true;
+        }
+        }
+    }
+};
+
+} // namespace
+
+bool
+parse(const std::string &text, Value &out, std::string *error)
+{
+    Parser parser{text.data(), text.data() + text.size(), {}};
+    if (!parser.parseValue(out)) {
+        if (error)
+            *error = parser.err;
+        return false;
+    }
+    parser.skipWs();
+    if (parser.p != parser.end) {
+        if (error)
+            *error = "trailing characters after document";
+        return false;
+    }
+    return true;
+}
+
+Value
+parseOrDie(const std::string &text)
+{
+    Value v;
+    std::string err;
+    if (!parse(text, v, &err))
+        cisram_panic("JSON parse failed: ", err);
+    return v;
+}
+
+} // namespace cisram::json

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Minimal JSON document model, writer, and parser.
+ *
+ * The observability layer (trace export, metrics dumps, BENCH_*.json
+ * stats files) needs machine-readable output, and the tests need to
+ * read it back; this module provides both without any external
+ * dependency. It supports the full JSON grammar except for exotic
+ * number forms (NaN/Inf are serialized as null, matching the Chrome
+ * trace-event consumers).
+ */
+
+#ifndef CISRAM_COMMON_JSON_HH
+#define CISRAM_COMMON_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cisram::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+
+/** Object preserving insertion order (stable, diffable output). */
+class Object
+{
+  public:
+    Value &operator[](const std::string &key);
+
+    /** Null-like reference semantics: nullptr if absent. */
+    const Value *find(const std::string &key) const;
+
+    bool contains(const std::string &key) const
+    {
+        return find(key) != nullptr;
+    }
+
+    size_t size() const { return items_.size(); }
+    bool empty() const { return items_.empty(); }
+
+    auto begin() const { return items_.begin(); }
+    auto end() const { return items_.end(); }
+
+  private:
+    std::vector<std::pair<std::string, Value>> items_;
+};
+
+/** One JSON value: null, bool, number, string, array, or object. */
+class Value
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Value() : type_(Type::Null) {}
+    Value(std::nullptr_t) : type_(Type::Null) {}
+    Value(bool b) : type_(Type::Bool), bool_(b) {}
+    Value(double n) : type_(Type::Number), num_(n) {}
+    Value(int n) : type_(Type::Number), num_(n) {}
+    Value(unsigned n) : type_(Type::Number), num_(n) {}
+    Value(int64_t n)
+        : type_(Type::Number), num_(static_cast<double>(n))
+    {}
+    Value(uint64_t n)
+        : type_(Type::Number), num_(static_cast<double>(n))
+    {}
+    Value(const char *s) : type_(Type::String), str_(s) {}
+    Value(std::string s) : type_(Type::String), str_(std::move(s)) {}
+    Value(Array a) : type_(Type::Array), arr_(std::move(a)) {}
+    Value(Object o) : type_(Type::Object), obj_(std::move(o)) {}
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Typed accessors; panic on type mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Mutable access, converting a Null in place. */
+    Array &makeArray();
+    Object &makeObject();
+
+    /** Convenience: obj()[key] on object values. */
+    Value &operator[](const std::string &key)
+    {
+        return makeObject()[key];
+    }
+
+    /** Serialize. `indent` < 0 renders compact single-line JSON. */
+    std::string dump(int indent = -1) const;
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    Array arr_;
+    Object obj_;
+};
+
+/** Append `s` JSON-escaped (with surrounding quotes) to `out`. */
+void appendQuoted(std::string &out, const std::string &s);
+
+/**
+ * Parse a JSON document.
+ *
+ * @param text  The document.
+ * @param error If non-null, receives a message on failure.
+ * @return The parsed value, or std::nullopt-like Null + error set.
+ */
+bool parse(const std::string &text, Value &out,
+           std::string *error = nullptr);
+
+/** Parse-or-panic wrapper for trusted inputs (tests). */
+Value parseOrDie(const std::string &text);
+
+} // namespace cisram::json
+
+#endif // CISRAM_COMMON_JSON_HH

@@ -1,9 +1,53 @@
 #include "common/logging.hh"
 
+#include <cstring>
 #include <exception>
 #include <iostream>
 
 namespace cisram {
+
+namespace {
+
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("CISRAM_LOG_LEVEL");
+    if (!env || !*env)
+        return LogLevel::Info;
+    if (std::strcmp(env, "quiet") == 0)
+        return LogLevel::Quiet;
+    if (std::strcmp(env, "warn") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "info") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(env, "debug") == 0)
+        return LogLevel::Debug;
+    std::cerr << "warn: unknown CISRAM_LOG_LEVEL '" << env
+              << "' (expected quiet|warn|info|debug); using info"
+              << std::endl;
+    return LogLevel::Info;
+}
+
+LogLevel &
+currentLevel()
+{
+    static LogLevel level = levelFromEnv();
+    return level;
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return currentLevel();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    currentLevel() = level;
+}
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
@@ -24,13 +68,23 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    if (!logEnabled(LogLevel::Warn))
+        return;
     std::cerr << "warn: " << msg << std::endl;
 }
 
 void
 informImpl(const std::string &msg)
 {
+    if (!logEnabled(LogLevel::Info))
+        return;
     std::cerr << "info: " << msg << std::endl;
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    std::cerr << "debug: " << msg << std::endl;
 }
 
 } // namespace cisram

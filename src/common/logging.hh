@@ -4,7 +4,12 @@
  *
  * Follows the gem5 convention: panic() is for internal invariant
  * violations (simulator bugs), fatal() is for user errors (bad
- * configuration or arguments), warn()/inform() are status messages.
+ * configuration or arguments), warn()/inform()/debug() are status
+ * messages filtered by a runtime log level.
+ *
+ * The level comes from the CISRAM_LOG_LEVEL environment variable
+ * (quiet | warn | info | debug; default info) and can be overridden
+ * programmatically with setLogLevel(). panic/fatal always print.
  */
 
 #ifndef CISRAM_COMMON_LOGGING_HH
@@ -30,6 +35,25 @@ void warnImpl(const std::string &msg);
 
 /** Print an informational message to stderr; execution continues. */
 void informImpl(const std::string &msg);
+
+/** Print a debug diagnostic to stderr; execution continues. */
+void debugImpl(const std::string &msg);
+
+/** Message severity, ordered so higher values print more. */
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Current level (CISRAM_LOG_LEVEL, cached on first use). */
+LogLevel logLevel();
+
+/** Override the level for the rest of the process. */
+void setLogLevel(LogLevel level);
+
+/** True if messages of `level` currently print. */
+inline bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(logLevel()) >= static_cast<int>(level);
+}
 
 namespace detail {
 
@@ -60,6 +84,18 @@ concat(Args &&...args)
 
 #define cisram_inform(...) \
     ::cisram::informImpl(::cisram::detail::concat(__VA_ARGS__))
+
+/**
+ * Debug diagnostic: compiled in, but the (potentially expensive)
+ * message formatting only runs when the level admits it.
+ */
+#define cisram_debug(...) \
+    do { \
+        if (::cisram::logEnabled(::cisram::LogLevel::Debug)) { \
+            ::cisram::debugImpl( \
+                ::cisram::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
 
 /**
  * Assertion that stays enabled in release builds. Simulator

@@ -1,0 +1,176 @@
+#include "common/metrics.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace cisram::metrics {
+
+namespace detail {
+
+bool g_enabled = false;
+
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::g_enabled = on;
+}
+
+void
+initFromEnv()
+{
+    static bool done = false;
+    if (done)
+        return;
+    done = true;
+    const char *env = std::getenv("CISRAM_METRICS");
+    if (env && *env && *env != '0')
+        detail::g_enabled = true;
+}
+
+void
+Histogram::observe(double v)
+{
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_)
+        min_ = v;
+    if (count_ == 1 || v > max_)
+        max_ = v;
+    int bucket = 0;
+    if (v >= 1.0) {
+        bucket = std::ilogb(v) + 1;
+        if (bucket >= numBuckets)
+            bucket = numBuckets - 1;
+    }
+    ++buckets_[bucket];
+}
+
+void
+Histogram::zero()
+{
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
+    for (auto &b : buckets_)
+        b = 0;
+}
+
+Registry &
+Registry::get()
+{
+    static Registry instance;
+    initFromEnv();
+    return instance;
+}
+
+std::string
+Registry::seriesKey(const std::string &name, const Labels &labels)
+{
+    if (labels.empty())
+        return name;
+    std::string key = name;
+    key += '{';
+    bool first = true;
+    for (const auto &kv : labels) {
+        if (!first)
+            key += ',';
+        first = false;
+        key += kv.first;
+        key += '=';
+        key += kv.second;
+    }
+    key += '}';
+    return key;
+}
+
+template <typename T>
+T &
+Registry::series(std::map<std::string, std::unique_ptr<T>> &store,
+                 const std::string &name, const Labels &labels)
+{
+    std::string key = seriesKey(name, labels);
+    auto it = store.find(key);
+    if (it == store.end())
+        it = store.emplace(std::move(key), std::make_unique<T>())
+                 .first;
+    return *it->second;
+}
+
+Counter &
+Registry::counter(const std::string &name, const Labels &labels)
+{
+    return series(counters_, name, labels);
+}
+
+Gauge &
+Registry::gauge(const std::string &name, const Labels &labels)
+{
+    return series(gauges_, name, labels);
+}
+
+Histogram &
+Registry::histogram(const std::string &name, const Labels &labels)
+{
+    return series(histograms_, name, labels);
+}
+
+OpCounters &
+Registry::opCounters(const char *op)
+{
+    auto it = opCache_.find(op);
+    if (it != opCache_.end())
+        return *it->second;
+    Labels labels{{"op", op}};
+    auto bundle = std::make_unique<OpCounters>(OpCounters{
+        counter("sim.op.issues", labels),
+        counter("sim.op.cycles", labels),
+        counter("sim.op.bytes", labels)});
+    auto *ptr = bundle.get();
+    opCache_.emplace(op, std::move(bundle));
+    return *ptr;
+}
+
+void
+Registry::zeroAll()
+{
+    for (auto &kv : counters_)
+        kv.second->zero();
+    for (auto &kv : gauges_)
+        kv.second->zero();
+    for (auto &kv : histograms_)
+        kv.second->zero();
+}
+
+json::Value
+Registry::toJson() const
+{
+    json::Object root;
+    json::Object counters;
+    for (const auto &kv : counters_)
+        counters[kv.first] = kv.second->value();
+    root["counters"] = json::Value{std::move(counters)};
+
+    json::Object gauges;
+    for (const auto &kv : gauges_)
+        gauges[kv.first] = kv.second->value();
+    root["gauges"] = json::Value{std::move(gauges)};
+
+    json::Object histograms;
+    for (const auto &kv : histograms_) {
+        const Histogram &h = *kv.second;
+        json::Object summary;
+        summary["count"] = static_cast<double>(h.count());
+        summary["sum"] = h.sum();
+        summary["min"] = h.min();
+        summary["max"] = h.max();
+        summary["mean"] = h.mean();
+        histograms[kv.first] = json::Value{std::move(summary)};
+    }
+    root["histograms"] = json::Value{std::move(histograms)};
+    return json::Value{std::move(root)};
+}
+
+} // namespace cisram::metrics

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Global metrics registry: counters, gauges, and histograms with
+ * labeled series.
+ *
+ * Subsystems register named series (e.g. "dram.row_hits" or
+ * "sim.op.cycles{op=gvml.addU16}") and bump them as the simulation
+ * runs; a whole run can then be serialized to JSON by the stats sink
+ * (bench/bench_report) or inspected programmatically.
+ *
+ * Cost model: obtaining a series reference does a map lookup, so hot
+ * paths hold the returned reference (or use opCounters(), which
+ * caches by string-literal identity). Bumping a held series is a
+ * single add. Per-charge instrumentation in the simulator is further
+ * gated behind metrics::enabled() so a run that never opts in pays
+ * only a global bool test. The simulator is single-threaded by
+ * design (see apusim/multicore.hh); the registry is not locked.
+ */
+
+#ifndef CISRAM_COMMON_METRICS_HH
+#define CISRAM_COMMON_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace cisram::metrics {
+
+/** Ordered label set rendered into the series key. */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/** Monotonically increasing sum. */
+class Counter
+{
+  public:
+    void inc(double d = 1.0) { value_ += d; }
+    double value() const { return value_; }
+    void zero() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Last-written value. */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void zero() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Distribution summary: count/sum/min/max plus base-2 exponential
+ * buckets (bucket i counts observations in [2^(i-1), 2^i), bucket 0
+ * counts values < 1).
+ */
+class Histogram
+{
+  public:
+    static constexpr int numBuckets = 64;
+
+    void observe(double v);
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    uint64_t bucketCount(int i) const { return buckets_[i]; }
+
+    void zero();
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    uint64_t buckets_[numBuckets] = {};
+};
+
+/** Per-op counter bundle used by the cycle-charging hot path. */
+struct OpCounters
+{
+    Counter &issues; ///< times the op was charged
+    Counter &cycles; ///< total (repeat-scaled) cycles
+    Counter &bytes;  ///< total bytes moved (DMA/PIO ops)
+};
+
+class Registry
+{
+  public:
+    static Registry &get();
+
+    Counter &counter(const std::string &name,
+                     const Labels &labels = {});
+    Gauge &gauge(const std::string &name, const Labels &labels = {});
+    Histogram &histogram(const std::string &name,
+                         const Labels &labels = {});
+
+    /**
+     * Cached per-op bundle keyed by the string literal's identity;
+     * `op` must be a pointer that stays valid for the process
+     * lifetime (string literals qualify).
+     */
+    OpCounters &opCounters(const char *op);
+
+    /**
+     * Zero every registered series. References handed out earlier
+     * remain valid (series are never destroyed).
+     */
+    void zeroAll();
+
+    /**
+     * Snapshot as JSON: {"counters": {...}, "gauges": {...},
+     * "histograms": {key: {count, sum, min, max, mean}}}.
+     */
+    json::Value toJson() const;
+
+    /** Series key as rendered into the JSON dump. */
+    static std::string seriesKey(const std::string &name,
+                                 const Labels &labels);
+
+  private:
+    Registry() = default;
+
+    template <typename T>
+    T &series(std::map<std::string, std::unique_ptr<T>> &store,
+              const std::string &name, const Labels &labels);
+
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::unordered_map<const void *, std::unique_ptr<OpCounters>>
+        opCache_;
+};
+
+namespace detail {
+extern bool g_enabled;
+} // namespace detail
+
+/**
+ * True when detailed (per-charge) metric collection is on. Off by
+ * default; enabled by CISRAM_METRICS=1, by the bench stats sink, or
+ * programmatically. Coarse per-call metrics (DRAM trace summaries,
+ * energy breakdowns) are recorded unconditionally. Inline (a single
+ * global load) so the charge hot path stays fully inlineable.
+ */
+inline bool
+enabled()
+{
+    return detail::g_enabled;
+}
+
+/** Turn detailed collection on or off for the rest of the process. */
+void setEnabled(bool on);
+
+/**
+ * Read CISRAM_METRICS once and apply it. Idempotent; called by the
+ * subsystem constructors so plain env-var usage needs no code.
+ */
+void initFromEnv();
+
+} // namespace cisram::metrics
+
+#endif // CISRAM_COMMON_METRICS_HH

@@ -1,0 +1,234 @@
+#include "common/trace.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace cisram::trace {
+
+namespace detail {
+bool g_active = false;
+} // namespace detail
+
+namespace {
+
+// Current op annotation (see OpScope). The simulator is
+// single-threaded by design, so plain globals suffice.
+const char *g_op = nullptr;
+double g_bytes = -1.0;
+int g_engines = 0;
+
+} // namespace
+
+OpScope::OpScope(const char *op, double bytes, int engines)
+    : prevOp_(g_op), prevBytes_(g_bytes), prevEngines_(g_engines)
+{
+    g_op = op;
+    g_bytes = bytes;
+    g_engines = engines;
+}
+
+OpScope::~OpScope()
+{
+    g_op = prevOp_;
+    g_bytes = prevBytes_;
+    g_engines = prevEngines_;
+}
+
+const char *
+currentOp()
+{
+    return g_op;
+}
+
+double
+currentBytes()
+{
+    return g_bytes;
+}
+
+int
+currentEngines()
+{
+    return g_engines;
+}
+
+Tracer::Tracer()
+{
+    processes_.push_back("sim");
+    const char *env = std::getenv("CISRAM_TRACE");
+    if (env && *env)
+        enable(env);
+}
+
+Tracer::~Tracer()
+{
+    if (detail::g_active && !path_.empty())
+        write();
+}
+
+Tracer &
+Tracer::get()
+{
+    static Tracer instance;
+    return instance;
+}
+
+void
+Tracer::enable(const std::string &path)
+{
+    path_ = path;
+    detail::g_active = true;
+    cisram_debug("trace: recording to ", path_);
+}
+
+void
+Tracer::disable()
+{
+    detail::g_active = false;
+    events_.clear();
+    path_.clear();
+}
+
+uint32_t
+Tracer::registerProcess(const std::string &label)
+{
+    processes_.push_back(label);
+    return static_cast<uint32_t>(processes_.size() - 1);
+}
+
+void
+Tracer::complete(uint32_t pid, uint32_t tid, const char *name,
+                 const char *cat, double ts, double dur, double bytes,
+                 double repeat, int engines)
+{
+    if (!detail::g_active)
+        return;
+    if (tid > maxTid_)
+        maxTid_ = tid;
+    events_.push_back(Event{'X', pid, tid, ts, dur, name, cat, bytes,
+                            repeat, engines});
+}
+
+void
+Tracer::instant(uint32_t pid, uint32_t tid, const char *name,
+                double ts)
+{
+    if (!detail::g_active)
+        return;
+    if (tid > maxTid_)
+        maxTid_ = tid;
+    events_.push_back(Event{'i', pid, tid, ts, 0.0, name, "instant",
+                            -1.0, 1.0, 0});
+}
+
+namespace {
+
+void
+appendEventJson(std::string &out, const Event &e)
+{
+    char buf[96];
+    out += "{\"name\":";
+    json::appendQuoted(out, e.name);
+    out += ",\"cat\":";
+    json::appendQuoted(out, e.cat);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ph\":\"%c\",\"pid\":%u,\"tid\":%u,\"ts\":%.3f",
+                  e.phase, e.pid, e.tid, e.ts);
+    out += buf;
+    if (e.phase == 'X') {
+        std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", e.dur);
+        out += buf;
+    }
+    out += ",\"args\":{";
+    bool first = true;
+    if (e.bytes >= 0) {
+        std::snprintf(buf, sizeof(buf), "\"bytes\":%.0f", e.bytes);
+        out += buf;
+        first = false;
+    }
+    if (e.repeat != 1.0) {
+        std::snprintf(buf, sizeof(buf), "%s\"repeat\":%g",
+                      first ? "" : ",", e.repeat);
+        out += buf;
+        first = false;
+    }
+    if (e.engines > 0) {
+        std::snprintf(buf, sizeof(buf), "%s\"engines\":%d",
+                      first ? "" : ",", e.engines);
+        out += buf;
+    }
+    out += "}}";
+}
+
+void
+appendMetaJson(std::string &out, const char *kind, uint32_t pid,
+               int tid, const std::string &name)
+{
+    char buf[64];
+    out += "{\"name\":\"";
+    out += kind;
+    out += "\",\"ph\":\"M\",\"pid\":";
+    std::snprintf(buf, sizeof(buf), "%u", pid);
+    out += buf;
+    if (tid >= 0) {
+        std::snprintf(buf, sizeof(buf), ",\"tid\":%d", tid);
+        out += buf;
+    }
+    out += ",\"args\":{\"name\":";
+    json::appendQuoted(out, name);
+    out += "}}";
+}
+
+} // namespace
+
+std::string
+Tracer::renderJson() const
+{
+    std::string out;
+    out.reserve(events_.size() * 120 + 1024);
+    out += "{\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n";
+    bool first = true;
+    for (uint32_t pid = 0; pid < processes_.size(); ++pid) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        appendMetaJson(out, "process_name", pid, -1, processes_[pid]);
+        for (uint32_t tid = 0; tid <= maxTid_; ++tid) {
+            out += ",\n";
+            appendMetaJson(out, "thread_name", pid,
+                           static_cast<int>(tid),
+                           "core" + std::to_string(tid));
+        }
+    }
+    for (const auto &e : events_) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        appendEventJson(out, e);
+    }
+    out += "\n],\n\"otherData\":{\"tool\":\"cisram\","
+           "\"timestampUnit\":\"device cycles\"}}\n";
+    return out;
+}
+
+void
+Tracer::write()
+{
+    cisram_assert(!path_.empty(), "trace write without a sink path");
+    std::string doc = renderJson();
+    std::FILE *f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+        cisram_warn("trace: cannot open ", path_, " for writing");
+        return;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    cisram_inform("trace: wrote ", events_.size(), " events to ",
+                  path_);
+    events_.clear();
+}
+
+} // namespace cisram::trace

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Structured event tracing with Chrome trace-event JSON export.
+ *
+ * Every cycle charged in the simulator can be recorded as a timed
+ * span: op name, device (pid) and core (tid), the active CycleStats
+ * tag, cycles charged (duration), bytes moved, and the DMA engine
+ * count. The resulting file loads directly in Perfetto
+ * (https://ui.perfetto.dev) or chrome://tracing, giving the per-stage
+ * timeline behind the paper's Fig. 12 / Table 8 breakdowns.
+ *
+ * Timestamps are *device cycles* of the owning core, reported in the
+ * trace's microsecond field (i.e. 1 us in the viewer = 1 simulated
+ * cycle). Repeat scopes compress time exactly as they compress the
+ * cycle ledger, so span totals per category always match CycleStats
+ * tag totals.
+ *
+ * Cost: off by default; the per-charge hook is a single global bool
+ * test (see cycle_stats.hh). Enable by setting CISRAM_TRACE=out.json
+ * in the environment (activated when the first ApuDevice/DramSystem
+ * is constructed) or programmatically via Tracer::enable(). The file
+ * is written when the process exits or on an explicit write().
+ */
+
+#ifndef CISRAM_COMMON_TRACE_HH
+#define CISRAM_COMMON_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cisram::trace {
+
+namespace detail {
+extern bool g_active;
+} // namespace detail
+
+/** True when events are being recorded (hot-path gate). */
+inline bool
+active()
+{
+    return detail::g_active;
+}
+
+/** One recorded event (complete span or instant). */
+struct Event
+{
+    char phase;       ///< 'X' complete span, 'i' instant
+    uint32_t pid;     ///< device serial (0 = default/global)
+    uint32_t tid;     ///< core id within the device
+    double ts;        ///< start, in core cycles
+    double dur;       ///< span length, in cycles ('X' only)
+    std::string name; ///< op name (or tag for untagged charges)
+    std::string cat;  ///< active CycleStats tag, or "untagged"
+    double bytes;     ///< bytes moved, or < 0 if not applicable
+    double repeat;    ///< repeat-scope factor when charged
+    int engines;      ///< DMA engines involved, or 0
+};
+
+class Tracer
+{
+  public:
+    /**
+     * The process-wide tracer. First call reads CISRAM_TRACE; if set
+     * and non-empty, recording starts with that output path.
+     */
+    static Tracer &get();
+
+    /** Idempotent touch so env-var configuration takes effect. */
+    static void init() { get(); }
+
+    /** Start recording to `path` (replaces any previous sink). */
+    void enable(const std::string &path);
+
+    /** Stop recording and drop buffered events without writing. */
+    void disable();
+
+    bool isEnabled() const { return detail::g_active; }
+    const std::string &path() const { return path_; }
+
+    /** Register a traced process (one per ApuDevice); returns pid. */
+    uint32_t registerProcess(const std::string &label);
+
+    /** Record a complete span. */
+    void complete(uint32_t pid, uint32_t tid, const char *name,
+                  const char *cat, double ts, double dur,
+                  double bytes = -1.0, double repeat = 1.0,
+                  int engines = 0);
+
+    /** Record an instant event. */
+    void instant(uint32_t pid, uint32_t tid, const char *name,
+                 double ts);
+
+    size_t eventCount() const { return events_.size(); }
+    const std::vector<Event> &events() const { return events_; }
+
+    /**
+     * Serialize buffered events as a Chrome trace JSON document
+     * (object form, "traceEvents" array plus metadata).
+     */
+    std::string renderJson() const;
+
+    /** Write renderJson() to `path_` and clear the buffer. */
+    void write();
+
+    ~Tracer();
+
+  private:
+    Tracer();
+
+    std::string path_;
+    std::vector<Event> events_;
+    std::vector<std::string> processes_;
+    uint32_t maxTid_ = 0;
+};
+
+/**
+ * RAII op annotation: while alive, cycles charged to any CycleStats
+ * carry this op name (and byte/engine attribution). Nested scopes
+ * override and restore, so composite ops attribute their inner
+ * charges to the innermost op. Cheap enough to leave unconditional:
+ * constructor and destructor are a few stores.
+ */
+class OpScope
+{
+  public:
+    explicit OpScope(const char *op, double bytes = -1.0,
+                     int engines = 0);
+    ~OpScope();
+
+    OpScope(const OpScope &) = delete;
+    OpScope &operator=(const OpScope &) = delete;
+
+  private:
+    const char *prevOp_;
+    double prevBytes_;
+    int prevEngines_;
+};
+
+/** Current op annotation (nullptr if none); see OpScope. */
+const char *currentOp();
+double currentBytes();
+int currentEngines();
+
+} // namespace cisram::trace
+
+#endif // CISRAM_COMMON_TRACE_HH

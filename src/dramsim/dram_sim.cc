@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
 
 namespace cisram::dram {
 
@@ -129,7 +131,11 @@ DramChannel::process(uint64_t bank_id, uint64_t row, bool write)
     return issue + cfg.tCL + occupancy;
 }
 
-DramSystem::DramSystem(DramConfig cfg) : cfg(std::move(cfg)) {}
+DramSystem::DramSystem(DramConfig cfg) : cfg(std::move(cfg))
+{
+    trace::Tracer::init();
+    metrics::initFromEnv();
+}
 
 namespace {
 
@@ -189,7 +195,46 @@ DramSystem::processTrace(const std::vector<Request> &reqs)
     double seconds = cycles / cfg.clockHz;
     lastBandwidth =
         seconds > 0 ? static_cast<double>(bytes) / seconds : 0.0;
+    if (metrics::enabled())
+        observeTrace(channels, seconds);
     return seconds;
+}
+
+void
+DramSystem::observeTrace(const std::vector<DramChannel> &channels,
+                         double seconds) const
+{
+    auto &reg = metrics::Registry::get();
+    metrics::Labels dev{{"dram", cfg.name}};
+    DramStats delta;
+    for (const auto &ch : channels)
+        delta += ch.stats();
+    reg.counter("dram.row_hits", dev).inc(
+        static_cast<double>(delta.rowHits));
+    reg.counter("dram.row_misses", dev).inc(
+        static_cast<double>(delta.rowMisses));
+    reg.counter("dram.activates", dev).inc(
+        static_cast<double>(delta.activates));
+    reg.counter("dram.reads", dev).inc(
+        static_cast<double>(delta.reads));
+    reg.counter("dram.writes", dev).inc(
+        static_cast<double>(delta.writes));
+    reg.gauge("dram.last_bandwidth_bytes_per_sec", dev)
+        .set(lastBandwidth);
+    reg.histogram("dram.trace_seconds", dev).observe(seconds);
+    // Per-channel utilization: bus-busy share of the trace and the
+    // per-channel request mix (bank conflicts surface as misses).
+    for (size_t c = 0; c < channels.size(); ++c) {
+        metrics::Labels ch{{"dram", cfg.name},
+                           {"channel", std::to_string(c)}};
+        const DramStats &s = channels[c].stats();
+        reg.counter("dram.channel.requests", ch)
+            .inc(static_cast<double>(s.reads + s.writes));
+        reg.counter("dram.channel.row_misses", ch)
+            .inc(static_cast<double>(s.rowMisses));
+        reg.counter("dram.channel.busy_cycles", ch)
+            .inc(static_cast<double>(channels[c].busyUntil()));
+    }
 }
 
 void

@@ -123,6 +123,10 @@ class DramSystem
     void appendRange(std::vector<Request> &reqs, uint64_t base,
                      uint64_t bytes, bool write) const;
 
+    /** Record one processed trace into the metrics registry. */
+    void observeTrace(const std::vector<DramChannel> &channels,
+                      double seconds) const;
+
     DramConfig cfg;
     DramStats stats_;
     double lastBandwidth = 0.0;

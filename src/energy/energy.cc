@@ -1,6 +1,7 @@
 #include "energy/energy.hh"
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 
 namespace cisram::energy {
 
@@ -22,6 +23,19 @@ ApuPowerModel::energy(const ApuActivity &a) const
     e.dramJ = cfg.dramPjPerBit * 8.0 * a.dramBytes * 1e-12;
     e.cacheJ = cfg.cachePjPerByte * a.cacheBytes * 1e-12;
     e.otherJ = cfg.otherWatts * a.totalSeconds;
+    if (metrics::enabled()) {
+        auto &reg = metrics::Registry::get();
+        auto rail = [&](const char *name) -> metrics::Counter & {
+            return reg.counter("energy.rail_joules",
+                               {{"rail", name}});
+        };
+        rail("static").inc(e.staticJ);
+        rail("compute").inc(e.computeJ);
+        rail("dram").inc(e.dramJ);
+        rail("cache").inc(e.cacheJ);
+        rail("other").inc(e.otherJ);
+        reg.histogram("energy.window_seconds").observe(a.totalSeconds);
+    }
     return e;
 }
 

@@ -10,6 +10,7 @@
 #include "common/fixedpoint.hh"
 #include "common/float16.hh"
 #include "common/gsifloat.hh"
+#include "common/trace.hh"
 
 namespace cisram::gvml {
 
@@ -64,6 +65,7 @@ Gvml::ewise1(Vr dst, Vr a, uint64_t cycles, uint16_t (*fn)(uint16_t))
 void
 Gvml::and16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.and16");
     ewise2(dst, a, b, core_.timing().compute.and16,
            [](uint16_t x, uint16_t y) -> uint16_t { return x & y; });
 }
@@ -71,6 +73,7 @@ Gvml::and16(Vr dst, Vr a, Vr b)
 void
 Gvml::or16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.or16");
     ewise2(dst, a, b, core_.timing().compute.or16,
            [](uint16_t x, uint16_t y) -> uint16_t { return x | y; });
 }
@@ -78,6 +81,7 @@ Gvml::or16(Vr dst, Vr a, Vr b)
 void
 Gvml::xor16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.xor16");
     ewise2(dst, a, b, core_.timing().compute.xor16,
            [](uint16_t x, uint16_t y) -> uint16_t { return x ^ y; });
 }
@@ -85,6 +89,7 @@ Gvml::xor16(Vr dst, Vr a, Vr b)
 void
 Gvml::not16(Vr dst, Vr a)
 {
+    trace::OpScope traceOp_("gvml.not16");
     ewise1(dst, a, core_.timing().compute.not16,
            [](uint16_t x) -> uint16_t {
                return static_cast<uint16_t>(~x);
@@ -94,6 +99,7 @@ Gvml::not16(Vr dst, Vr a)
 void
 Gvml::addU16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.addU16");
     ewise2(dst, a, b, core_.timing().compute.addU16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return static_cast<uint16_t>(x + y);
@@ -103,6 +109,7 @@ Gvml::addU16(Vr dst, Vr a, Vr b)
 void
 Gvml::addS16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.addS16");
     ewise2(dst, a, b, core_.timing().compute.addS16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return asU16(static_cast<int32_t>(asS16(x)) + asS16(y));
@@ -112,6 +119,7 @@ Gvml::addS16(Vr dst, Vr a, Vr b)
 void
 Gvml::subU16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.subU16");
     ewise2(dst, a, b, core_.timing().compute.subU16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return static_cast<uint16_t>(x - y);
@@ -121,6 +129,7 @@ Gvml::subU16(Vr dst, Vr a, Vr b)
 void
 Gvml::subS16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.subS16");
     ewise2(dst, a, b, core_.timing().compute.subS16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return asU16(static_cast<int32_t>(asS16(x)) - asS16(y));
@@ -130,6 +139,7 @@ Gvml::subS16(Vr dst, Vr a, Vr b)
 void
 Gvml::mulU16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.mulU16");
     ewise2(dst, a, b, core_.timing().compute.mulU16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return static_cast<uint16_t>(
@@ -140,6 +150,7 @@ Gvml::mulU16(Vr dst, Vr a, Vr b)
 void
 Gvml::mulS16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.mulS16");
     ewise2(dst, a, b, core_.timing().compute.mulS16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return asU16(static_cast<int32_t>(asS16(x)) * asS16(y));
@@ -149,6 +160,7 @@ Gvml::mulS16(Vr dst, Vr a, Vr b)
 void
 Gvml::divU16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.divU16");
     ewise2(dst, a, b, core_.timing().compute.divU16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return y == 0 ? 0xffff
@@ -159,6 +171,7 @@ Gvml::divU16(Vr dst, Vr a, Vr b)
 void
 Gvml::divS16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.divS16");
     ewise2(dst, a, b, core_.timing().compute.divS16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                int16_t sx = asS16(x);
@@ -174,6 +187,7 @@ Gvml::divS16(Vr dst, Vr a, Vr b)
 void
 Gvml::minU16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.minU16");
     ewise2(dst, a, b, core_.timing().compute.minU16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return x < y ? x : y;
@@ -183,6 +197,7 @@ Gvml::minU16(Vr dst, Vr a, Vr b)
 void
 Gvml::maxU16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.maxU16");
     ewise2(dst, a, b, core_.timing().compute.maxU16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return x > y ? x : y;
@@ -192,6 +207,7 @@ Gvml::maxU16(Vr dst, Vr a, Vr b)
 void
 Gvml::minS16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.minS16");
     ewise2(dst, a, b, core_.timing().compute.minU16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return asS16(x) < asS16(y) ? x : y;
@@ -201,6 +217,7 @@ Gvml::minS16(Vr dst, Vr a, Vr b)
 void
 Gvml::maxS16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.maxS16");
     ewise2(dst, a, b, core_.timing().compute.maxU16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return asS16(x) > asS16(y) ? x : y;
@@ -210,6 +227,7 @@ Gvml::maxS16(Vr dst, Vr a, Vr b)
 void
 Gvml::popcnt16(Vr dst, Vr a)
 {
+    trace::OpScope traceOp_("gvml.popcnt16");
     ewise1(dst, a, core_.timing().compute.popcnt16,
            [](uint16_t x) -> uint16_t {
                return static_cast<uint16_t>(__builtin_popcount(x));
@@ -219,6 +237,7 @@ Gvml::popcnt16(Vr dst, Vr a)
 void
 Gvml::ashImm16(Vr dst, Vr a, int sh)
 {
+    trace::OpScope traceOp_("gvml.ashImm16");
     core_.chargeVectorOp(core_.timing().compute.ashift);
     if (!core_.functional())
         return;
@@ -236,6 +255,7 @@ Gvml::ashImm16(Vr dst, Vr a, int sh)
 void
 Gvml::srImm16(Vr dst, Vr a, unsigned sh)
 {
+    trace::OpScope traceOp_("gvml.srImm16");
     core_.chargeVectorOp(core_.timing().compute.srImm);
     if (!core_.functional())
         return;
@@ -248,6 +268,7 @@ Gvml::srImm16(Vr dst, Vr a, unsigned sh)
 void
 Gvml::slImm16(Vr dst, Vr a, unsigned sh)
 {
+    trace::OpScope traceOp_("gvml.slImm16");
     core_.chargeVectorOp(core_.timing().compute.slImm);
     if (!core_.functional())
         return;
@@ -260,6 +281,7 @@ Gvml::slImm16(Vr dst, Vr a, unsigned sh)
 void
 Gvml::recipU16(Vr dst, Vr a)
 {
+    trace::OpScope traceOp_("gvml.recipU16");
     ewise1(dst, a, core_.timing().compute.recipU16,
            [](uint16_t x) -> uint16_t {
                return x == 0 ? 0xffff
@@ -270,6 +292,7 @@ Gvml::recipU16(Vr dst, Vr a)
 void
 Gvml::addF16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.addF16");
     // GVML prices f16 add like f16 multiply's cheaper sibling; the
     // public table lists only mul_f16, so reuse that cost class.
     ewise2(dst, a, b, core_.timing().compute.mulF16,
@@ -282,6 +305,7 @@ Gvml::addF16(Vr dst, Vr a, Vr b)
 void
 Gvml::mulF16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.mulF16");
     ewise2(dst, a, b, core_.timing().compute.mulF16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return (Float16::fromBits(x) * Float16::fromBits(y))
@@ -292,6 +316,7 @@ Gvml::mulF16(Vr dst, Vr a, Vr b)
 void
 Gvml::expF16(Vr dst, Vr a)
 {
+    trace::OpScope traceOp_("gvml.expF16");
     ewise1(dst, a, core_.timing().compute.expF16,
            [](uint16_t x) -> uint16_t {
                float v = Float16::fromBits(x).toFloat();
@@ -302,6 +327,7 @@ Gvml::expF16(Vr dst, Vr a)
 void
 Gvml::mulGf16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.mulGf16");
     ewise2(dst, a, b, core_.timing().compute.mulF16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return (GsiFloat16::fromBits(x) * GsiFloat16::fromBits(y))
@@ -312,6 +338,7 @@ Gvml::mulGf16(Vr dst, Vr a, Vr b)
 void
 Gvml::addGf16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.addGf16");
     ewise2(dst, a, b, core_.timing().compute.mulF16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return (GsiFloat16::fromBits(x) + GsiFloat16::fromBits(y))
@@ -322,6 +349,7 @@ Gvml::addGf16(Vr dst, Vr a, Vr b)
 void
 Gvml::orderGf16(Vr dst, Vr src, Vr scratch, Vr scratch2)
 {
+    trace::OpScope traceOp_("gvml.orderGf16");
     // negative -> ~bits; non-negative -> bits | 0x8000.
     cpyImm16(scratch2, 0x8000);
     or16(dst, src, scratch2);       // non-negative image
@@ -333,6 +361,7 @@ Gvml::orderGf16(Vr dst, Vr src, Vr scratch, Vr scratch2)
 void
 Gvml::sinFx(Vr dst, Vr phase)
 {
+    trace::OpScope traceOp_("gvml.sinFx");
     ewise1(dst, phase, core_.timing().compute.sinFx,
            [](uint16_t x) -> uint16_t {
                return asU16(cisram::sinFx(x));
@@ -342,6 +371,7 @@ Gvml::sinFx(Vr dst, Vr phase)
 void
 Gvml::cosFx(Vr dst, Vr phase)
 {
+    trace::OpScope traceOp_("gvml.cosFx");
     ewise1(dst, phase, core_.timing().compute.cosFx,
            [](uint16_t x) -> uint16_t {
                return asU16(cisram::cosFx(x));
@@ -367,6 +397,7 @@ Gvml::ewise2Msk(Vr dst, Vr a, Vr b, Vr mark, uint64_t cycles,
 void
 Gvml::addU16Msk(Vr dst, Vr a, Vr b, Vr mark)
 {
+    trace::OpScope traceOp_("gvml.addU16Msk");
     ewise2Msk(dst, a, b, mark, core_.timing().compute.addU16,
               [](uint16_t x, uint16_t y) -> uint16_t {
                   return static_cast<uint16_t>(x + y);
@@ -376,6 +407,7 @@ Gvml::addU16Msk(Vr dst, Vr a, Vr b, Vr mark)
 void
 Gvml::subU16Msk(Vr dst, Vr a, Vr b, Vr mark)
 {
+    trace::OpScope traceOp_("gvml.subU16Msk");
     ewise2Msk(dst, a, b, mark, core_.timing().compute.subU16,
               [](uint16_t x, uint16_t y) -> uint16_t {
                   return static_cast<uint16_t>(x - y);
@@ -385,6 +417,7 @@ Gvml::subU16Msk(Vr dst, Vr a, Vr b, Vr mark)
 void
 Gvml::mulU16Msk(Vr dst, Vr a, Vr b, Vr mark)
 {
+    trace::OpScope traceOp_("gvml.mulU16Msk");
     ewise2Msk(dst, a, b, mark, core_.timing().compute.mulU16,
               [](uint16_t x, uint16_t y) -> uint16_t {
                   return static_cast<uint16_t>(
@@ -395,6 +428,7 @@ Gvml::mulU16Msk(Vr dst, Vr a, Vr b, Vr mark)
 void
 Gvml::minU16Msk(Vr dst, Vr a, Vr b, Vr mark)
 {
+    trace::OpScope traceOp_("gvml.minU16Msk");
     ewise2Msk(dst, a, b, mark, core_.timing().compute.minU16,
               [](uint16_t x, uint16_t y) -> uint16_t {
                   return x < y ? x : y;
@@ -404,6 +438,7 @@ Gvml::minU16Msk(Vr dst, Vr a, Vr b, Vr mark)
 void
 Gvml::maxU16Msk(Vr dst, Vr a, Vr b, Vr mark)
 {
+    trace::OpScope traceOp_("gvml.maxU16Msk");
     ewise2Msk(dst, a, b, mark, core_.timing().compute.maxU16,
               [](uint16_t x, uint16_t y) -> uint16_t {
                   return x > y ? x : y;
@@ -413,6 +448,7 @@ Gvml::maxU16Msk(Vr dst, Vr a, Vr b, Vr mark)
 void
 Gvml::eq16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.eq16");
     ewise2(dst, a, b, core_.timing().compute.eq16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return x == y ? 1 : 0;
@@ -422,6 +458,7 @@ Gvml::eq16(Vr dst, Vr a, Vr b)
 void
 Gvml::gtU16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.gtU16");
     ewise2(dst, a, b, core_.timing().compute.gtU16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return x > y ? 1 : 0;
@@ -431,6 +468,7 @@ Gvml::gtU16(Vr dst, Vr a, Vr b)
 void
 Gvml::ltU16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.ltU16");
     ewise2(dst, a, b, core_.timing().compute.ltU16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return x < y ? 1 : 0;
@@ -440,6 +478,7 @@ Gvml::ltU16(Vr dst, Vr a, Vr b)
 void
 Gvml::geU16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.geU16");
     ewise2(dst, a, b, core_.timing().compute.geU16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return x >= y ? 1 : 0;
@@ -449,6 +488,7 @@ Gvml::geU16(Vr dst, Vr a, Vr b)
 void
 Gvml::leU16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.leU16");
     ewise2(dst, a, b, core_.timing().compute.leU16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return x <= y ? 1 : 0;
@@ -458,6 +498,7 @@ Gvml::leU16(Vr dst, Vr a, Vr b)
 void
 Gvml::gtS16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.gtS16");
     ewise2(dst, a, b, core_.timing().compute.gtU16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return asS16(x) > asS16(y) ? 1 : 0;
@@ -467,6 +508,7 @@ Gvml::gtS16(Vr dst, Vr a, Vr b)
 void
 Gvml::ltS16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.ltS16");
     ewise2(dst, a, b, core_.timing().compute.ltU16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return asS16(x) < asS16(y) ? 1 : 0;
@@ -476,6 +518,7 @@ Gvml::ltS16(Vr dst, Vr a, Vr b)
 void
 Gvml::ltGf16(Vr dst, Vr a, Vr b)
 {
+    trace::OpScope traceOp_("gvml.ltGf16");
     ewise2(dst, a, b, core_.timing().compute.ltGf16,
            [](uint16_t x, uint16_t y) -> uint16_t {
                return GsiFloat16::fromBits(x) < GsiFloat16::fromBits(y)

@@ -6,12 +6,14 @@
 #include "gvml/gvml.hh"
 
 #include "common/bitutils.hh"
+#include "common/trace.hh"
 
 namespace cisram::gvml {
 
 void
 Gvml::cpy16(Vr dst, Vr src)
 {
+    trace::OpScope traceOp_("gvml.cpy16");
     core_.chargeVectorOp(core_.timing().move.cpy);
     if (core_.functional())
         core_.vr()[dst.idx] = core_.vr()[src.idx];
@@ -20,6 +22,7 @@ Gvml::cpy16(Vr dst, Vr src)
 void
 Gvml::cpyImm16(Vr dst, uint16_t imm)
 {
+    trace::OpScope traceOp_("gvml.cpyImm16");
     core_.chargeVectorOp(core_.timing().move.cpyImm);
     if (core_.functional()) {
         auto &d = core_.vr()[dst.idx];
@@ -30,6 +33,7 @@ Gvml::cpyImm16(Vr dst, uint16_t imm)
 void
 Gvml::cpy16Msk(Vr dst, Vr src, Vr mark)
 {
+    trace::OpScope traceOp_("gvml.cpy16Msk");
     core_.chargeVectorOp(core_.timing().compute.selectMsk);
     if (!core_.functional())
         return;
@@ -44,6 +48,7 @@ Gvml::cpy16Msk(Vr dst, Vr src, Vr mark)
 void
 Gvml::cpyImm16Msk(Vr dst, uint16_t imm, Vr mark)
 {
+    trace::OpScope traceOp_("gvml.cpyImm16Msk");
     core_.chargeVectorOp(core_.timing().compute.selectMsk);
     if (!core_.functional())
         return;
@@ -57,6 +62,7 @@ Gvml::cpyImm16Msk(Vr dst, uint16_t imm, Vr mark)
 uint32_t
 Gvml::cpyFromMrk16(Vr dst, Vr src, Vr mark)
 {
+    trace::OpScope traceOp_("gvml.cpyFromMrk16");
     // The compaction runs on the bit processors with a prefix-count
     // network; priced like two masked copies.
     core_.chargeVectorOp(2 * core_.timing().compute.selectMsk);
@@ -77,6 +83,7 @@ void
 Gvml::cpySubgrp16Grp(Vr dst, Vr src, size_t grp, size_t subgrp,
                      size_t which)
 {
+    trace::OpScope traceOp_("gvml.cpySubgrp16Grp");
     cisram_assert(grp > 0 && subgrp > 0 && grp % subgrp == 0,
                   "subgroup must divide group");
     cisram_assert(length() % grp == 0, "group must divide VR length");
@@ -96,6 +103,7 @@ Gvml::cpySubgrp16Grp(Vr dst, Vr src, size_t grp, size_t subgrp,
 void
 Gvml::createGrpIndexU16(Vr dst, size_t grp)
 {
+    trace::OpScope traceOp_("gvml.createGrpIndexU16");
     cisram_assert(grp > 0 && length() % grp == 0);
     core_.chargeVectorOp(core_.timing().compute.createGrpIndex);
     if (!core_.functional())
@@ -108,6 +116,7 @@ Gvml::createGrpIndexU16(Vr dst, size_t grp)
 void
 Gvml::createIndexU16(Vr dst)
 {
+    trace::OpScope traceOp_("gvml.createIndexU16");
     core_.chargeVectorOp(core_.timing().compute.createGrpIndex);
     if (!core_.functional())
         return;
@@ -119,6 +128,7 @@ Gvml::createIndexU16(Vr dst)
 void
 Gvml::shiftE(Vr dst, Vr src, int64_t k)
 {
+    trace::OpScope traceOp_("gvml.shiftE");
     uint64_t mag = static_cast<uint64_t>(k < 0 ? -k : k);
     const auto &mv = core_.timing().move;
     uint64_t cost;

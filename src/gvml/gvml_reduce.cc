@@ -7,12 +7,14 @@
 #include "gvml/gvml.hh"
 
 #include "common/bitutils.hh"
+#include "common/trace.hh"
 
 namespace cisram::gvml {
 
 void
 Gvml::addSubgrpS16(Vr dst, Vr src, size_t grp, size_t subgrp)
 {
+    trace::OpScope traceOp_("gvml.addSubgrpS16");
     cisram_assert(isPow2(grp) && isPow2(subgrp),
                   "subgroup reduction requires power-of-two sizes");
     cisram_assert(subgrp <= grp && grp <= length(),
@@ -62,6 +64,7 @@ Gvml::addSubgrpS16(Vr dst, Vr src, size_t grp, size_t subgrp)
 uint32_t
 Gvml::countM(Vr mark)
 {
+    trace::OpScope traceOp_("gvml.countM");
     core_.chargeVectorOp(core_.timing().compute.countM);
     if (!core_.functional())
         return 0;
@@ -89,6 +92,7 @@ searchStepCycles(const apu::TimingParams &t)
 Gvml::MaxResult
 Gvml::maxIndexU16(Vr src)
 {
+    trace::OpScope traceOp_("gvml.maxIndexU16");
     const auto &t = core_.timing();
     // 16 bit-serial refinement steps, then one serial index fetch.
     for (int b = 0; b < 16; ++b)
@@ -125,6 +129,7 @@ Gvml::maxIndexU16(Vr src)
 Gvml::MaxResult
 Gvml::minIndexU16(Vr src)
 {
+    trace::OpScope traceOp_("gvml.minIndexU16");
     const auto &t = core_.timing();
     for (int b = 0; b < 16; ++b)
         core_.chargeVectorOp(searchStepCycles(t));
