@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <sys/stat.h>
 
 #include "common/logging.hh"
 #include "common/metrics.hh"
@@ -52,6 +53,13 @@ BenchReport::path() const
 {
     const char *dir = std::getenv("CISRAM_BENCH_DIR");
     std::string out = dir && *dir ? dir : ".";
+    // A misspelled or stale CISRAM_BENCH_DIR must fail loudly: a
+    // silently skipped report poisons a bench trajectory just as
+    // badly as a truncated one.
+    struct stat st;
+    if (stat(out.c_str(), &st) != 0 || !S_ISDIR(st.st_mode))
+        cisram_fatal("CISRAM_BENCH_DIR '", out,
+                     "' is not an existing directory");
     if (out.back() != '/')
         out += '/';
     out += "BENCH_" + name_ + ".json";
@@ -66,13 +74,21 @@ BenchReport::write()
     std::string doc = root_.dump(2);
     doc += '\n';
     std::string file = path();
-    std::FILE *f = std::fopen(file.c_str(), "w");
+    // Write-then-rename so a crash mid-write can never leave a
+    // truncated, unparseable BENCH_*.json behind.
+    std::string tmp = file + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
     if (!f) {
-        cisram_warn("bench report: cannot open ", file);
+        cisram_warn("bench report: cannot open ", tmp);
         return;
     }
-    std::fwrite(doc.data(), 1, doc.size(), f);
-    std::fclose(f);
+    size_t put = std::fwrite(doc.data(), 1, doc.size(), f);
+    bool flushed = std::fclose(f) == 0 && put == doc.size();
+    if (!flushed || std::rename(tmp.c_str(), file.c_str()) != 0) {
+        cisram_warn("bench report: failed to finalize ", file);
+        std::remove(tmp.c_str());
+        return;
+    }
     cisram_inform("bench report: wrote ", file);
 }
 

@@ -21,7 +21,10 @@
  * Constructing a report arms detailed metrics collection
  * (metrics::setEnabled), so the snapshot includes per-op counters.
  * The file lands in $CISRAM_BENCH_DIR (default: the working
- * directory) when write() is called or the report is destroyed.
+ * directory) when write() is called or the report is destroyed. The
+ * write is atomic (temp file + rename), and a CISRAM_BENCH_DIR that
+ * does not name an existing directory is a fatal error rather than a
+ * silently skipped report.
  */
 
 #ifndef CISRAM_BENCH_BENCH_REPORT_HH

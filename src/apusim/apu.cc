@@ -20,14 +20,15 @@ noteDmaBusy(double burst_cycles, int engines, double repeat)
 {
     if (!metrics::enabled())
         return;
+    // Resolve per call: Registry::get() may return a per-core shard
+    // inside runOnAllCores, so cached references would dangle once
+    // the shard is merged and destroyed.
     auto &reg = metrics::Registry::get();
-    static auto &e0 =
-        reg.counter("apu.dma.engine_busy_cycles", {{"engine", "0"}});
-    static auto &e1 =
-        reg.counter("apu.dma.engine_busy_cycles", {{"engine", "1"}});
-    e0.inc(burst_cycles * repeat);
+    reg.counter("apu.dma.engine_busy_cycles", {{"engine", "0"}})
+        .inc(burst_cycles * repeat);
     if (engines > 1)
-        e1.inc(burst_cycles * repeat);
+        reg.counter("apu.dma.engine_busy_cycles", {{"engine", "1"}})
+            .inc(burst_cycles * repeat);
 }
 
 } // namespace

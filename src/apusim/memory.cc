@@ -2,21 +2,62 @@
 
 #include <algorithm>
 
+#include "common/bitutils.hh"
+
 namespace cisram::apu {
+
+DeviceDram::DeviceDram(uint64_t capacity)
+    : capacity_(capacity),
+      dir_(divCeil(divCeil(capacity, pageBytes), chunkPages))
+{
+    for (auto &c : dir_)
+        c.store(nullptr, std::memory_order_relaxed);
+}
+
+DeviceDram::~DeviceDram()
+{
+    for (auto &slot : dir_) {
+        Chunk *c = slot.load(std::memory_order_relaxed);
+        if (!c)
+            continue;
+        for (auto &p : c->pages)
+            delete[] p.load(std::memory_order_relaxed);
+        delete c;
+    }
+}
 
 uint8_t *
 DeviceDram::pageFor(uint64_t addr, bool create) const
 {
     uint64_t page = addr / pageBytes;
-    auto it = pages.find(page);
-    if (it != pages.end())
-        return it->second.get();
-    if (!create)
-        return nullptr;
-    auto mem = std::make_unique<uint8_t[]>(pageBytes);
-    std::fill_n(mem.get(), pageBytes, 0);
-    uint8_t *raw = mem.get();
-    pages.emplace(page, std::move(mem));
+    std::atomic<Chunk *> &cslot = dir_[page / chunkPages];
+    Chunk *c = cslot.load(std::memory_order_acquire);
+    if (!c) {
+        if (!create)
+            return nullptr;
+        // First touch of this 256 MB span: install a zeroed chunk; a
+        // racing core may win the CAS, in which case ours is dropped.
+        Chunk *freshChunk = new Chunk();
+        if (cslot.compare_exchange_strong(c, freshChunk,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire))
+            c = freshChunk;
+        else
+            delete freshChunk;
+    }
+    std::atomic<uint8_t *> &slot = c->pages[page % chunkPages];
+    uint8_t *raw = slot.load(std::memory_order_acquire);
+    if (raw || !create)
+        return raw;
+    // First touch: allocate a zeroed page; same CAS discipline.
+    uint8_t *fresh = new uint8_t[pageBytes]();
+    if (slot.compare_exchange_strong(raw, fresh,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+        resident_.fetch_add(1, std::memory_order_relaxed);
+        return fresh;
+    }
+    delete[] fresh;
     return raw;
 }
 

@@ -13,9 +13,12 @@
 #ifndef CISRAM_APUSIM_MEMORY_HH
 #define CISRAM_APUSIM_MEMORY_HH
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -29,11 +32,25 @@ namespace cisram::apu {
  *
  * Pages are allocated on first write; reads of untouched pages return
  * zero. Addresses are device addresses (offsets into the 16 GB space).
+ *
+ * Thread safety: the page table is a two-level array of atomic
+ * pointers (a small directory of lazily created chunks, each a fixed
+ * array of page pointers), so concurrent cores may read and write
+ * *disjoint* device regions without locks — a losing racer on
+ * first-touch chunk or page creation just frees its copy and uses the
+ * winner's. The directory keeps construction O(capacity / 256 MB)
+ * instead of O(pages), which matters for timing-only runs that build
+ * a 16 GB device and never touch its DRAM. Overlapping concurrent
+ * writes are a race in the simulated program, as on real hardware.
  */
 class DeviceDram
 {
   public:
-    explicit DeviceDram(uint64_t capacity) : capacity_(capacity) {}
+    explicit DeviceDram(uint64_t capacity);
+    ~DeviceDram();
+
+    DeviceDram(const DeviceDram &) = delete;
+    DeviceDram &operator=(const DeviceDram &) = delete;
 
     uint64_t capacity() const { return capacity_; }
 
@@ -58,19 +75,40 @@ class DeviceDram
     }
 
     /** Number of resident pages (for tests / footprint checks). */
-    size_t residentPages() const { return pages.size(); }
+    size_t
+    residentPages() const
+    {
+        return resident_.load(std::memory_order_relaxed);
+    }
 
     static constexpr size_t pageBytes = 64 * 1024;
+    /** Page pointers per directory chunk (256 MB of address span). */
+    static constexpr size_t chunkPages = 4096;
 
   private:
+    struct Chunk
+    {
+        std::atomic<uint8_t *> pages[chunkPages];
+    };
+
     uint8_t *pageFor(uint64_t addr, bool create) const;
 
     uint64_t capacity_;
-    mutable std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>>
-        pages;
+    mutable std::vector<std::atomic<Chunk *>> dir_;
+    mutable std::atomic<size_t> resident_{0};
 };
 
-/** Simple linear allocator over the device DRAM address space. */
+/**
+ * Linear allocator over the device DRAM address space with
+ * exact-size block recycling.
+ *
+ * alloc() bumps a cursor; free() returns the block to a size-keyed
+ * free list that alloc() consults first, so steady-state serving
+ * loops (same-size query buffers allocated and freed per request)
+ * run in constant device footprint. Live allocations are tracked so
+ * GdlContext can detect leaks at teardown. All operations are
+ * thread-safe (mutex; allocation is far off the simulator hot path).
+ */
 class DramAllocator
 {
   public:
@@ -80,19 +118,77 @@ class DramAllocator
     uint64_t
     alloc(uint64_t n, uint64_t align = 512)
     {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto range = freeBySize_.equal_range(n);
+        for (auto it = range.first; it != range.second; ++it) {
+            if (it->second % align == 0) {
+                uint64_t base = it->second;
+                freeBySize_.erase(it);
+                live_.emplace(base, n);
+                return base;
+            }
+        }
         uint64_t base = (cursor + align - 1) & ~(align - 1);
         cisram_assert(base + n <= capacity_, "device DRAM exhausted");
         cursor = base + n;
+        live_.emplace(base, n);
         return base;
     }
 
-    void reset() { cursor = 0; }
+    /** Return a block obtained from alloc(); double-free panics. */
+    void
+    free(uint64_t base)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = live_.find(base);
+        cisram_assert(it != live_.end(),
+                      "freeing unallocated device address ", base);
+        freeBySize_.emplace(it->second, base);
+        live_.erase(it);
+    }
 
-    uint64_t used() const { return cursor; }
+    /** Drop every allocation and recycle list; cursor back to 0. */
+    void
+    reset()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        cursor = 0;
+        live_.clear();
+        freeBySize_.clear();
+    }
+
+    uint64_t
+    used() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return cursor;
+    }
+
+    /** Outstanding (allocated, not freed) blocks. */
+    size_t
+    liveCount() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return live_.size();
+    }
+
+    /** Outstanding bytes. */
+    uint64_t
+    liveBytes() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        uint64_t total = 0;
+        for (const auto &kv : live_)
+            total += kv.second;
+        return total;
+    }
 
   private:
     uint64_t capacity_;
     uint64_t cursor = 0;
+    mutable std::mutex mu_;
+    std::unordered_map<uint64_t, uint64_t> live_; ///< base -> size
+    std::multimap<uint64_t, uint64_t> freeBySize_; ///< size -> base
 };
 
 /** Flat on-chip SRAM buffer (used for both L2 and L3). */

@@ -1,0 +1,56 @@
+#include "apusim/multicore.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/metrics.hh"
+#include "common/threadpool.hh"
+#include "common/trace.hh"
+
+namespace cisram::apu::detail {
+
+MultiCoreResult
+runOnAllCoresImpl(ApuDevice &dev, const CoreFn &fn)
+{
+    const unsigned n = dev.numCores();
+    MultiCoreResult r;
+    r.perCore.assign(n, 0.0);
+
+    // Per-core observability shards. Installed unconditionally (even
+    // in serial mode and with observability off) so that serial and
+    // threaded runs take the identical record/merge path — the key
+    // to bit-identical traces and registry snapshots.
+    std::vector<std::unique_ptr<metrics::Registry>> regShards(n);
+    std::vector<std::vector<trace::Event>> evShards(n);
+
+    SimThreadPool::get().parallelFor(n, [&](size_t c) {
+        regShards[c] = metrics::Registry::makeShard();
+        metrics::ShardScope ms(regShards[c].get());
+        trace::EventSinkScope es(&evShards[c]);
+        ApuCore &core = dev.core(static_cast<unsigned>(c));
+        double before = core.stats().cycles();
+        fn(core, static_cast<unsigned>(c), n);
+        r.perCore[c] = core.stats().cycles() - before;
+    });
+
+    // Merge in core order: the accumulation sequence — including
+    // non-associative float adds — is fixed regardless of how the
+    // host scheduler interleaved the workers. (Unreached when a
+    // functor threw: parallelFor rethrows and the failed batch's
+    // shards are discarded with this frame.)
+    auto &global = metrics::Registry::global();
+    auto &tracer = trace::Tracer::get();
+    for (unsigned c = 0; c < n; ++c) {
+        if (regShards[c])
+            global.mergeFrom(*regShards[c]);
+        tracer.mergeEvents(std::move(evShards[c]));
+    }
+
+    for (unsigned c = 0; c < n; ++c) {
+        r.totalCycles += r.perCore[c];
+        r.maxCycles = std::max(r.maxCycles, r.perCore[c]);
+    }
+    return r;
+}
+
+} // namespace cisram::apu::detail

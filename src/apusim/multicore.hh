@@ -1,19 +1,37 @@
 /**
  * @file
- * Four-core execution helper.
+ * Four-core parallel execution helper.
  *
  * The device's cores are independent engines sharing only L4; a
  * data-parallel kernel shards its tiles across them and the
  * wall-clock latency is the slowest core's. This helper runs a shard
- * functor on every core (serially -- the simulator is
- * single-threaded by design) and reports per-core and critical-path
- * cycles, validating the tiles/numCores accounting the timed kernels
- * use.
+ * functor on every core — on worker threads from the simulator pool
+ * (common/threadpool.hh), sized by CISRAM_SIM_THREADS — and reports
+ * per-core and critical-path cycles, validating the tiles/numCores
+ * accounting the timed kernels use.
+ *
+ * Determinism: results are bit-identical to a serial run for any
+ * thread count. Per-core state (cycle ledger, register files, L1-L3)
+ * is private, so cores never contend on it. Shared observability
+ * (the metrics registry and the tracer) is redirected to per-core
+ * shards while functors run — both in serial and threaded mode, so
+ * the float accumulation order is the same path either way — and the
+ * shards are merged into the globals in core order after all
+ * functors return. A functor exception is captured per core and the
+ * lowest-index one is rethrown on the calling thread after every
+ * core has finished (shards from a failed batch are discarded).
+ *
+ * Functors may use the shared L4 (dev.l4()) concurrently: reads and
+ * writes to *disjoint* regions are safe (the backing store uses an
+ * atomic page table, see apusim/memory.hh). Writes to overlapping
+ * regions are a data race in the simulated program itself, exactly
+ * as they would be on the hardware.
  */
 
 #ifndef CISRAM_APUSIM_MULTICORE_HH
 #define CISRAM_APUSIM_MULTICORE_HH
 
+#include <functional>
 #include <vector>
 
 #include "apusim/apu.hh"
@@ -41,25 +59,25 @@ struct MultiCoreResult
     }
 };
 
+namespace detail {
+
+using CoreFn = std::function<void(ApuCore &, unsigned, unsigned)>;
+
+MultiCoreResult runOnAllCoresImpl(ApuDevice &dev, const CoreFn &fn);
+
+} // namespace detail
+
 /**
- * Run `fn(core, core_idx, num_cores)` on every core of the device.
- * The functor is responsible for processing its 1/num_cores share.
+ * Run `fn(core, core_idx, num_cores)` on every core of the device,
+ * in parallel when CISRAM_SIM_THREADS allows (see file comment for
+ * the determinism guarantees). The functor is responsible for
+ * processing its 1/num_cores share.
  */
 template <typename Fn>
 MultiCoreResult
 runOnAllCores(ApuDevice &dev, Fn fn)
 {
-    MultiCoreResult r;
-    for (unsigned c = 0; c < dev.numCores(); ++c) {
-        ApuCore &core = dev.core(c);
-        double before = core.stats().cycles();
-        fn(core, c, dev.numCores());
-        double cycles = core.stats().cycles() - before;
-        r.perCore.push_back(cycles);
-        r.totalCycles += cycles;
-        r.maxCycles = std::max(r.maxCycles, cycles);
-    }
-    return r;
+    return detail::runOnAllCoresImpl(dev, detail::CoreFn(fn));
 }
 
 /** Contiguous shard [begin, end) of `total` items for one core. */

@@ -1,12 +1,18 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstring>
 #include <exception>
 #include <iostream>
+#include <mutex>
 
 namespace cisram {
 
 namespace {
+
+// Serializes message emission so lines from concurrent simulator
+// workers never interleave mid-line.
+std::mutex g_logMu;
 
 LogLevel
 levelFromEnv()
@@ -28,10 +34,10 @@ levelFromEnv()
     return LogLevel::Info;
 }
 
-LogLevel &
+std::atomic<LogLevel> &
 currentLevel()
 {
-    static LogLevel level = levelFromEnv();
+    static std::atomic<LogLevel> level{levelFromEnv()};
     return level;
 }
 
@@ -40,28 +46,34 @@ currentLevel()
 LogLevel
 logLevel()
 {
-    return currentLevel();
+    return currentLevel().load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    currentLevel() = level;
+    currentLevel().store(level, std::memory_order_relaxed);
 }
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lk(g_logMu);
+        std::cerr << "panic: " << msg << "\n  at " << file << ":"
+                  << line << std::endl;
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lk(g_logMu);
+        std::cerr << "fatal: " << msg << "\n  at " << file << ":"
+                  << line << std::endl;
+    }
     std::exit(1);
 }
 
@@ -70,6 +82,7 @@ warnImpl(const std::string &msg)
 {
     if (!logEnabled(LogLevel::Warn))
         return;
+    std::lock_guard<std::mutex> lk(g_logMu);
     std::cerr << "warn: " << msg << std::endl;
 }
 
@@ -78,12 +91,14 @@ informImpl(const std::string &msg)
 {
     if (!logEnabled(LogLevel::Info))
         return;
+    std::lock_guard<std::mutex> lk(g_logMu);
     std::cerr << "info: " << msg << std::endl;
 }
 
 void
 debugImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lk(g_logMu);
     std::cerr << "debug: " << msg << std::endl;
 }
 

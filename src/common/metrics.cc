@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <mutex>
 
 #include "common/logging.hh"
 
@@ -9,26 +10,32 @@ namespace cisram::metrics {
 
 namespace detail {
 
-bool g_enabled = false;
+std::atomic<bool> g_enabled{false};
 
 } // namespace detail
+
+namespace {
+
+/** Shard redirect installed by ShardScope; see Registry::get(). */
+thread_local Registry *t_shard = nullptr;
+
+} // namespace
 
 void
 setEnabled(bool on)
 {
-    detail::g_enabled = on;
+    detail::g_enabled.store(on, std::memory_order_release);
 }
 
 void
 initFromEnv()
 {
-    static bool done = false;
-    if (done)
-        return;
-    done = true;
-    const char *env = std::getenv("CISRAM_METRICS");
-    if (env && *env && *env != '0')
-        detail::g_enabled = true;
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const char *env = std::getenv("CISRAM_METRICS");
+        if (env && *env && *env != '0')
+            setEnabled(true);
+    });
 }
 
 void
@@ -58,12 +65,51 @@ Histogram::zero()
         b = 0;
 }
 
+void
+Histogram::mergeFrom(const Histogram &o)
+{
+    if (o.count_ == 0)
+        return;
+    if (count_ == 0 || o.min_ < min_)
+        min_ = o.min_;
+    if (count_ == 0 || o.max_ > max_)
+        max_ = o.max_;
+    count_ += o.count_;
+    sum_ += o.sum_;
+    for (int i = 0; i < numBuckets; ++i)
+        buckets_[i] += o.buckets_[i];
+}
+
 Registry &
-Registry::get()
+Registry::global()
 {
     static Registry instance;
     initFromEnv();
     return instance;
+}
+
+Registry &
+Registry::get()
+{
+    if (t_shard)
+        return *t_shard;
+    return global();
+}
+
+std::unique_ptr<Registry>
+Registry::makeShard()
+{
+    return std::unique_ptr<Registry>(new Registry());
+}
+
+ShardScope::ShardScope(Registry *shard) : prev_(t_shard)
+{
+    t_shard = shard;
+}
+
+ShardScope::~ShardScope()
+{
+    t_shard = prev_;
 }
 
 std::string
@@ -131,6 +177,31 @@ Registry::opCounters(const char *op)
     auto *ptr = bundle.get();
     opCache_.emplace(op, std::move(bundle));
     return *ptr;
+}
+
+namespace {
+
+template <typename T>
+void
+mergeStore(std::map<std::string, std::unique_ptr<T>> &into,
+           const std::map<std::string, std::unique_ptr<T>> &from)
+{
+    for (const auto &kv : from) {
+        auto it = into.find(kv.first);
+        if (it == into.end())
+            it = into.emplace(kv.first, std::make_unique<T>()).first;
+        it->second->mergeFrom(*kv.second);
+    }
+}
+
+} // namespace
+
+void
+Registry::mergeFrom(const Registry &other)
+{
+    mergeStore(counters_, other.counters_);
+    mergeStore(gauges_, other.gauges_);
+    mergeStore(histograms_, other.histograms_);
 }
 
 void

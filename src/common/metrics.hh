@@ -13,13 +13,24 @@
  * caches by string-literal identity). Bumping a held series is a
  * single add. Per-charge instrumentation in the simulator is further
  * gated behind metrics::enabled() so a run that never opts in pays
- * only a global bool test. The simulator is single-threaded by
- * design (see apusim/multicore.hh); the registry is not locked.
+ * only a relaxed atomic-bool test.
+ *
+ * Threading model: the registry itself is not locked. Instead, each
+ * worker thread in the multi-core pool runs under a ShardScope — a
+ * thread-local redirect that makes Registry::get() return a private
+ * shard registry — and the pool merges the shards into the global
+ * registry *in core order* after the join (see apusim/multicore.hh).
+ * Merging in a fixed order makes every float accumulation sequence
+ * identical between serial and threaded runs, so snapshots are
+ * bit-identical for any CISRAM_SIM_THREADS. Code that holds a series
+ * reference across a shard boundary must re-resolve it per call
+ * (references into a shard die with the shard).
  */
 
 #ifndef CISRAM_COMMON_METRICS_HH
 #define CISRAM_COMMON_METRICS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -42,6 +53,7 @@ class Counter
     void inc(double d = 1.0) { value_ += d; }
     double value() const { return value_; }
     void zero() { value_ = 0.0; }
+    void mergeFrom(const Counter &o) { value_ += o.value_; }
 
   private:
     double value_ = 0.0;
@@ -54,6 +66,8 @@ class Gauge
     void set(double v) { value_ = v; }
     double value() const { return value_; }
     void zero() { value_ = 0.0; }
+    /** Merge = adopt the shard's value (last writer wins). */
+    void mergeFrom(const Gauge &o) { value_ = o.value_; }
 
   private:
     double value_ = 0.0;
@@ -84,6 +98,9 @@ class Histogram
 
     void zero();
 
+    /** Fold another histogram's observations into this one. */
+    void mergeFrom(const Histogram &o);
+
   private:
     uint64_t count_ = 0;
     double sum_ = 0.0;
@@ -103,7 +120,22 @@ struct OpCounters
 class Registry
 {
   public:
+    /**
+     * The registry for the calling thread: the installed shard when
+     * running under a ShardScope, else the process-wide instance.
+     */
     static Registry &get();
+
+    /** The process-wide instance, ignoring any shard redirect. */
+    static Registry &global();
+
+    /**
+     * A fresh private registry for one worker's observations; merge
+     * it into the global registry with mergeFrom() once the worker
+     * has joined. Shards are plain registries: series references
+     * resolved against a shard are valid only for its lifetime.
+     */
+    static std::unique_ptr<Registry> makeShard();
 
     Counter &counter(const std::string &name,
                      const Labels &labels = {});
@@ -114,9 +146,18 @@ class Registry
     /**
      * Cached per-op bundle keyed by the string literal's identity;
      * `op` must be a pointer that stays valid for the process
-     * lifetime (string literals qualify).
+     * lifetime (string literals qualify). The cache is per registry
+     * instance, so shard bundles never leak across shards.
      */
     OpCounters &opCounters(const char *op);
+
+    /**
+     * Fold every series of `other` into this registry: counters add,
+     * gauges adopt the shard value, histograms merge moments and
+     * buckets. Call in a deterministic order (core 0, 1, ...) so
+     * float accumulation is reproducible.
+     */
+    void mergeFrom(const Registry &other);
 
     /**
      * Zero every registered series. References handed out earlier
@@ -148,8 +189,27 @@ class Registry
         opCache_;
 };
 
+/**
+ * RAII redirect: while alive, Registry::get() on *this thread*
+ * resolves to `shard`. The multi-core pool installs one per core
+ * task so workers never touch the global registry concurrently; the
+ * shards are merged in core order after the join.
+ */
+class ShardScope
+{
+  public:
+    explicit ShardScope(Registry *shard);
+    ~ShardScope();
+
+    ShardScope(const ShardScope &) = delete;
+    ShardScope &operator=(const ShardScope &) = delete;
+
+  private:
+    Registry *prev_;
+};
+
 namespace detail {
-extern bool g_enabled;
+extern std::atomic<bool> g_enabled;
 } // namespace detail
 
 /**
@@ -157,20 +217,22 @@ extern bool g_enabled;
  * default; enabled by CISRAM_METRICS=1, by the bench stats sink, or
  * programmatically. Coarse per-call metrics (DRAM trace summaries,
  * energy breakdowns) are recorded unconditionally. Inline (a single
- * global load) so the charge hot path stays fully inlineable.
+ * relaxed atomic load) so the charge hot path stays fully
+ * inlineable.
  */
 inline bool
 enabled()
 {
-    return detail::g_enabled;
+    return detail::g_enabled.load(std::memory_order_relaxed);
 }
 
 /** Turn detailed collection on or off for the rest of the process. */
 void setEnabled(bool on);
 
 /**
- * Read CISRAM_METRICS once and apply it. Idempotent; called by the
- * subsystem constructors so plain env-var usage needs no code.
+ * Read CISRAM_METRICS once and apply it. Idempotent and thread-safe;
+ * called by the subsystem constructors so plain env-var usage needs
+ * no code.
  */
 void initFromEnv();
 

@@ -1,0 +1,190 @@
+#include "common/threadpool.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace cisram {
+
+namespace {
+
+/** Worker-context flag: nested parallelFor calls run inline. */
+thread_local bool t_inWorker = false;
+
+std::atomic<int> g_threadOverride{-1}; // -1 = use the environment
+
+unsigned
+threadsFromEnv()
+{
+    const char *env = std::getenv("CISRAM_SIM_THREADS");
+    if (!env || !*env)
+        return 0;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v < 0) {
+        cisram_warn("ignoring malformed CISRAM_SIM_THREADS '", env,
+                    "' (expected a non-negative integer)");
+        return 0;
+    }
+    return static_cast<unsigned>(v);
+}
+
+} // namespace
+
+unsigned
+simThreads()
+{
+    int ov = g_threadOverride.load(std::memory_order_acquire);
+    if (ov >= 0)
+        return static_cast<unsigned>(ov);
+    static const unsigned fromEnv = threadsFromEnv();
+    return fromEnv;
+}
+
+void
+setSimThreads(unsigned n)
+{
+    g_threadOverride.store(static_cast<int>(n),
+                           std::memory_order_release);
+}
+
+SimThreadPool &
+SimThreadPool::get()
+{
+    static SimThreadPool pool;
+    return pool;
+}
+
+SimThreadPool::~SimThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cvWork_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+unsigned
+SimThreadPool::workerCount() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return static_cast<unsigned>(workers_.size());
+}
+
+void
+SimThreadPool::ensureWorkers(unsigned count)
+{
+    // Caller holds mu_.
+    while (workers_.size() < count)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+SimThreadPool::runTasks(Job &job)
+{
+    size_t i;
+    while ((i = job.next.fetch_add(1, std::memory_order_relaxed)) <
+           job.n) {
+        try {
+            (*job.fn)(i);
+        } catch (...) {
+            job.errors[i] = std::current_exception();
+        }
+        if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            job.n) {
+            std::lock_guard<std::mutex> lk(mu_);
+            cvDone_.notify_all();
+        }
+    }
+}
+
+void
+SimThreadPool::workerLoop()
+{
+    t_inWorker = true;
+    uint64_t seen = 0;
+    for (;;) {
+        Job *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cvWork_.wait(lk, [&] {
+                return stop_ || (job_ != nullptr && jobGen_ != seen);
+            });
+            if (stop_)
+                return;
+            seen = jobGen_;
+            job = job_;
+            ++job->refs; // keep the batch alive while we touch it
+        }
+        runTasks(*job);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (--job->refs == 0)
+                cvDone_.notify_all();
+        }
+    }
+}
+
+void
+SimThreadPool::parallelFor(size_t n,
+                           const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+
+    unsigned setting = simThreads();
+    size_t threads = setting == 0 ? n : setting;
+    if (threads > n)
+        threads = n;
+
+    // Serial mode, single task, or a nested call from inside a
+    // worker: run inline (exceptions propagate naturally).
+    if (threads <= 1 || t_inWorker) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    Job job;
+    job.fn = &fn;
+    job.n = n;
+    job.errors.resize(n);
+
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        cisram_assert(job_ == nullptr,
+                      "concurrent parallelFor batches on one pool");
+        ensureWorkers(static_cast<unsigned>(threads) - 1);
+        job_ = &job;
+        ++jobGen_;
+    }
+    cvWork_.notify_all();
+
+    // The calling thread works the same queue. It is batch context
+    // for the duration: a nested parallelFor from a task it executes
+    // must run inline, exactly as it would on a worker, rather than
+    // trying to submit a second concurrent batch.
+    t_inWorker = true;
+    runTasks(job);
+    t_inWorker = false;
+
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        // Wait for every task to finish AND for every worker that
+        // picked up the batch pointer to let go of it; the Job lives
+        // on this stack frame.
+        cvDone_.wait(lk, [&] {
+            return job.done.load(std::memory_order_acquire) == n &&
+                job.refs == 0;
+        });
+        job_ = nullptr;
+    }
+
+    for (size_t i = 0; i < n; ++i)
+        if (job.errors[i])
+            std::rethrow_exception(job.errors[i]);
+}
+
+} // namespace cisram

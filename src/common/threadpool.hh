@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Simulator worker-thread pool.
+ *
+ * The device's cores are independent engines sharing only L4, so a
+ * data-parallel kernel sharded across them can also be *executed* in
+ * parallel on the host without changing any cycle accounting: each
+ * core's ledger, register files, and SRAM levels are private, and the
+ * observability layer shards per core and merges deterministically
+ * (see apusim/multicore.hh).
+ *
+ * Concurrency is controlled by CISRAM_SIM_THREADS:
+ *   unset / 0  -> one host thread per task (default: device cores)
+ *   1          -> serial execution on the calling thread
+ *   N > 1      -> at most N host threads run tasks concurrently
+ * and can be overridden programmatically with setSimThreads() (used
+ * by the determinism tests to compare serial and threaded runs in
+ * one process).
+ *
+ * parallelFor() never deadlocks on nesting: a parallelFor issued
+ * from inside a worker task runs inline on that worker. Exceptions
+ * thrown by tasks are captured per index and the lowest-index one is
+ * rethrown on the calling thread after every task has finished, so
+ * failure behavior is deterministic regardless of interleaving.
+ */
+
+#ifndef CISRAM_COMMON_THREADPOOL_HH
+#define CISRAM_COMMON_THREADPOOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cisram {
+
+/**
+ * Effective thread setting: CISRAM_SIM_THREADS (cached on first use)
+ * unless overridden by setSimThreads(). 0 means "one thread per
+ * task".
+ */
+unsigned simThreads();
+
+/** Override the thread count for the rest of the process. */
+void setSimThreads(unsigned n);
+
+class SimThreadPool
+{
+  public:
+    /** The process-wide pool (workers are spawned on demand). */
+    static SimThreadPool &get();
+
+    /**
+     * Run `fn(0) .. fn(n-1)` with at most simThreads() host threads
+     * (the calling thread participates). Returns after every task
+     * has finished; rethrows the lowest-index captured exception.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /** Workers currently spawned (for tests / introspection). */
+    unsigned workerCount() const;
+
+    ~SimThreadPool();
+
+    SimThreadPool(const SimThreadPool &) = delete;
+    SimThreadPool &operator=(const SimThreadPool &) = delete;
+
+  private:
+    SimThreadPool() = default;
+
+    struct Job
+    {
+        const std::function<void(size_t)> *fn = nullptr;
+        size_t n = 0;
+        std::atomic<size_t> next{0};
+        std::atomic<size_t> done{0};
+        size_t refs = 0; ///< workers holding the job (guarded by mu_)
+        std::vector<std::exception_ptr> errors;
+    };
+
+    void workerLoop();
+    void runTasks(Job &job);
+    void ensureWorkers(unsigned count);
+
+    mutable std::mutex mu_;
+    std::condition_variable cvWork_;
+    std::condition_variable cvDone_;
+    std::vector<std::thread> workers_;
+    Job *job_ = nullptr;       ///< current batch, null when idle
+    uint64_t jobGen_ = 0;      ///< bumped per batch so workers wake once
+    bool stop_ = false;
+};
+
+} // namespace cisram
+
+#endif // CISRAM_COMMON_THREADPOOL_HH

@@ -1,5 +1,6 @@
 #include "common/trace.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -9,50 +10,65 @@
 namespace cisram::trace {
 
 namespace detail {
-bool g_active = false;
+std::atomic<bool> g_active{false};
 } // namespace detail
 
 namespace {
 
-// Current op annotation (see OpScope). The simulator is
-// single-threaded by design, so plain globals suffice.
-const char *g_op = nullptr;
-double g_bytes = -1.0;
-int g_engines = 0;
+// Current op annotation (see OpScope). Thread-local: each host
+// thread (and therefore each concurrently simulated core) carries
+// its own annotation stack.
+thread_local const char *t_op = nullptr;
+thread_local double t_bytes = -1.0;
+thread_local int t_engines = 0;
+
+// Per-thread event sink redirect (see EventSinkScope).
+thread_local std::vector<Event> *t_sink = nullptr;
 
 } // namespace
 
 OpScope::OpScope(const char *op, double bytes, int engines)
-    : prevOp_(g_op), prevBytes_(g_bytes), prevEngines_(g_engines)
+    : prevOp_(t_op), prevBytes_(t_bytes), prevEngines_(t_engines)
 {
-    g_op = op;
-    g_bytes = bytes;
-    g_engines = engines;
+    t_op = op;
+    t_bytes = bytes;
+    t_engines = engines;
 }
 
 OpScope::~OpScope()
 {
-    g_op = prevOp_;
-    g_bytes = prevBytes_;
-    g_engines = prevEngines_;
+    t_op = prevOp_;
+    t_bytes = prevBytes_;
+    t_engines = prevEngines_;
 }
 
 const char *
 currentOp()
 {
-    return g_op;
+    return t_op;
 }
 
 double
 currentBytes()
 {
-    return g_bytes;
+    return t_bytes;
 }
 
 int
 currentEngines()
 {
-    return g_engines;
+    return t_engines;
+}
+
+EventSinkScope::EventSinkScope(std::vector<Event> *sink)
+    : prev_(t_sink)
+{
+    t_sink = sink;
+}
+
+EventSinkScope::~EventSinkScope()
+{
+    t_sink = prev_;
 }
 
 Tracer::Tracer()
@@ -65,7 +81,7 @@ Tracer::Tracer()
 
 Tracer::~Tracer()
 {
-    if (detail::g_active && !path_.empty())
+    if (active() && !path().empty())
         write();
 }
 
@@ -79,24 +95,44 @@ Tracer::get()
 void
 Tracer::enable(const std::string &path)
 {
-    path_ = path;
-    detail::g_active = true;
-    cisram_debug("trace: recording to ", path_);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        path_ = path;
+    }
+    detail::g_active.store(true, std::memory_order_release);
+    cisram_debug("trace: recording to ", path);
 }
 
 void
 Tracer::disable()
 {
-    detail::g_active = false;
+    detail::g_active.store(false, std::memory_order_release);
+    std::lock_guard<std::mutex> lk(mu_);
     events_.clear();
     path_.clear();
+}
+
+std::string
+Tracer::path() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return path_;
 }
 
 uint32_t
 Tracer::registerProcess(const std::string &label)
 {
+    std::lock_guard<std::mutex> lk(mu_);
     processes_.push_back(label);
     return static_cast<uint32_t>(processes_.size() - 1);
+}
+
+void
+Tracer::noteTid(uint32_t tid)
+{
+    // Caller holds mu_.
+    if (tid > maxTid_)
+        maxTid_ = tid;
 }
 
 void
@@ -104,24 +140,60 @@ Tracer::complete(uint32_t pid, uint32_t tid, const char *name,
                  const char *cat, double ts, double dur, double bytes,
                  double repeat, int engines)
 {
-    if (!detail::g_active)
+    if (!active())
         return;
-    if (tid > maxTid_)
-        maxTid_ = tid;
-    events_.push_back(Event{'X', pid, tid, ts, dur, name, cat, bytes,
-                            repeat, engines});
+    Event e{'X', pid, tid, ts, dur, name, cat, bytes, repeat,
+            engines};
+    if (t_sink) {
+        t_sink->push_back(std::move(e));
+        return;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    noteTid(tid);
+    events_.push_back(std::move(e));
 }
 
 void
 Tracer::instant(uint32_t pid, uint32_t tid, const char *name,
                 double ts)
 {
-    if (!detail::g_active)
+    if (!active())
         return;
-    if (tid > maxTid_)
-        maxTid_ = tid;
-    events_.push_back(Event{'i', pid, tid, ts, 0.0, name, "instant",
-                            -1.0, 1.0, 0});
+    Event e{'i', pid, tid, ts, 0.0, name, "instant", -1.0, 1.0, 0};
+    if (t_sink) {
+        t_sink->push_back(std::move(e));
+        return;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    noteTid(tid);
+    events_.push_back(std::move(e));
+}
+
+void
+Tracer::mergeEvents(std::vector<Event> &&events)
+{
+    if (events.empty())
+        return;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto &e : events) {
+        noteTid(e.tid);
+        events_.push_back(std::move(e));
+    }
+    events.clear();
+}
+
+size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return events_.size();
+}
+
+std::vector<Event>
+Tracer::events() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return events_;
 }
 
 namespace {
@@ -187,23 +259,44 @@ appendMetaJson(std::string &out, const char *kind, uint32_t pid,
 std::string
 Tracer::renderJson() const
 {
+    std::vector<Event> sorted;
+    std::vector<std::string> processes;
+    uint32_t maxTid;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        sorted = events_;
+        processes = processes_;
+        maxTid = maxTid_;
+    }
+    // Deterministic export order regardless of how recording threads
+    // interleaved; stable so same-timestamp events keep their merged
+    // (core-order) relative order.
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Event &a, const Event &b) {
+                         if (a.pid != b.pid)
+                             return a.pid < b.pid;
+                         if (a.tid != b.tid)
+                             return a.tid < b.tid;
+                         return a.ts < b.ts;
+                     });
+
     std::string out;
-    out.reserve(events_.size() * 120 + 1024);
+    out.reserve(sorted.size() * 120 + 1024);
     out += "{\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n";
     bool first = true;
-    for (uint32_t pid = 0; pid < processes_.size(); ++pid) {
+    for (uint32_t pid = 0; pid < processes.size(); ++pid) {
         if (!first)
             out += ",\n";
         first = false;
-        appendMetaJson(out, "process_name", pid, -1, processes_[pid]);
-        for (uint32_t tid = 0; tid <= maxTid_; ++tid) {
+        appendMetaJson(out, "process_name", pid, -1, processes[pid]);
+        for (uint32_t tid = 0; tid <= maxTid; ++tid) {
             out += ",\n";
             appendMetaJson(out, "thread_name", pid,
                            static_cast<int>(tid),
                            "core" + std::to_string(tid));
         }
     }
-    for (const auto &e : events_) {
+    for (const auto &e : sorted) {
         if (!first)
             out += ",\n";
         first = false;
@@ -217,18 +310,23 @@ Tracer::renderJson() const
 void
 Tracer::write()
 {
-    cisram_assert(!path_.empty(), "trace write without a sink path");
+    std::string sink = path();
+    cisram_assert(!sink.empty(), "trace write without a sink path");
     std::string doc = renderJson();
-    std::FILE *f = std::fopen(path_.c_str(), "w");
+    std::FILE *f = std::fopen(sink.c_str(), "w");
     if (!f) {
-        cisram_warn("trace: cannot open ", path_, " for writing");
+        cisram_warn("trace: cannot open ", sink, " for writing");
         return;
     }
     std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);
-    cisram_inform("trace: wrote ", events_.size(), " events to ",
-                  path_);
-    events_.clear();
+    size_t n;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        n = events_.size();
+        events_.clear();
+    }
+    cisram_inform("trace: wrote ", n, " events to ", sink);
 }
 
 } // namespace cisram::trace

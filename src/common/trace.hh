@@ -15,31 +15,44 @@
  * cycle ledger, so span totals per category always match CycleStats
  * tag totals.
  *
- * Cost: off by default; the per-charge hook is a single global bool
- * test (see cycle_stats.hh). Enable by setting CISRAM_TRACE=out.json
- * in the environment (activated when the first ApuDevice/DramSystem
- * is constructed) or programmatically via Tracer::enable(). The file
- * is written when the process exits or on an explicit write().
+ * Threading model: the op annotation (OpScope) is thread-local, so
+ * concurrent cores never see each other's annotations. Recording
+ * threads either append to the shared buffer (mutex-guarded; the
+ * cold single-threaded path) or, inside the multi-core pool, to a
+ * per-core buffer installed with EventSinkScope and merged in core
+ * order afterwards (see apusim/multicore.hh). Exports additionally
+ * sort events by (pid, tid, timestamp), so the rendered trace is
+ * bit-identical run-to-run regardless of CISRAM_SIM_THREADS or how
+ * the host scheduler interleaved the workers.
+ *
+ * Cost: off by default; the per-charge hook is a single relaxed
+ * atomic-bool test (see cycle_stats.hh). Enable by setting
+ * CISRAM_TRACE=out.json in the environment (activated when the first
+ * ApuDevice/DramSystem is constructed) or programmatically via
+ * Tracer::enable(). The file is written when the process exits or on
+ * an explicit write().
  */
 
 #ifndef CISRAM_COMMON_TRACE_HH
 #define CISRAM_COMMON_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace cisram::trace {
 
 namespace detail {
-extern bool g_active;
+extern std::atomic<bool> g_active;
 } // namespace detail
 
 /** True when events are being recorded (hot-path gate). */
 inline bool
 active()
 {
-    return detail::g_active;
+    return detail::g_active.load(std::memory_order_relaxed);
 }
 
 /** One recorded event (complete span or instant). */
@@ -75,8 +88,8 @@ class Tracer
     /** Stop recording and drop buffered events without writing. */
     void disable();
 
-    bool isEnabled() const { return detail::g_active; }
-    const std::string &path() const { return path_; }
+    bool isEnabled() const { return active(); }
+    std::string path() const;
 
     /** Register a traced process (one per ApuDevice); returns pid. */
     uint32_t registerProcess(const std::string &label);
@@ -91,12 +104,23 @@ class Tracer
     void instant(uint32_t pid, uint32_t tid, const char *name,
                  double ts);
 
-    size_t eventCount() const { return events_.size(); }
-    const std::vector<Event> &events() const { return events_; }
+    /**
+     * Append a batch of externally buffered events (a per-core shard
+     * recorded under EventSinkScope). Shards must be merged in core
+     * order for run-to-run determinism; runOnAllCores does this.
+     */
+    void mergeEvents(std::vector<Event> &&events);
+
+    size_t eventCount() const;
+
+    /** Snapshot of the buffered events, in merged order. */
+    std::vector<Event> events() const;
 
     /**
      * Serialize buffered events as a Chrome trace JSON document
-     * (object form, "traceEvents" array plus metadata).
+     * (object form, "traceEvents" array plus metadata). Events are
+     * emitted sorted by (pid, tid, ts) — deterministic for any
+     * thread count.
      */
     std::string renderJson() const;
 
@@ -108,6 +132,9 @@ class Tracer
   private:
     Tracer();
 
+    void noteTid(uint32_t tid);
+
+    mutable std::mutex mu_;
     std::string path_;
     std::vector<Event> events_;
     std::vector<std::string> processes_;
@@ -115,11 +142,33 @@ class Tracer
 };
 
 /**
+ * RAII redirect: while alive, events recorded *by this thread* are
+ * appended to `sink` instead of the tracer's shared buffer. The
+ * multi-core pool installs one per core task and merges the buffers
+ * in core order after the join, which keeps the merged stream
+ * independent of the host thread interleaving.
+ */
+class EventSinkScope
+{
+  public:
+    explicit EventSinkScope(std::vector<Event> *sink);
+    ~EventSinkScope();
+
+    EventSinkScope(const EventSinkScope &) = delete;
+    EventSinkScope &operator=(const EventSinkScope &) = delete;
+
+  private:
+    std::vector<Event> *prev_;
+};
+
+/**
  * RAII op annotation: while alive, cycles charged to any CycleStats
  * carry this op name (and byte/engine attribution). Nested scopes
  * override and restore, so composite ops attribute their inner
- * charges to the innermost op. Cheap enough to leave unconditional:
- * constructor and destructor are a few stores.
+ * charges to the innermost op. The annotation is thread-local:
+ * worker threads running different cores never observe each other's
+ * scopes. Cheap enough to leave unconditional: constructor and
+ * destructor are a few thread-local stores.
  */
 class OpScope
 {

@@ -4,10 +4,41 @@
 
 namespace cisram::gdl {
 
+GdlContext::~GdlContext()
+{
+    if (owned_.empty())
+        return;
+    uint64_t bytes = 0;
+    for (const auto &kv : owned_)
+        bytes += kv.second;
+#ifdef NDEBUG
+    cisram_warn("GdlContext torn down with ", owned_.size(),
+                " outstanding device allocation(s), ", bytes,
+                " bytes leaked");
+#else
+    cisram_panic("GdlContext torn down with ", owned_.size(),
+                 " outstanding device allocation(s), ", bytes,
+                 " bytes leaked");
+#endif
+}
+
 MemHandle
 GdlContext::memAllocAligned(uint64_t bytes, uint64_t align)
 {
-    return MemHandle{dev_.allocator().alloc(bytes, align)};
+    MemHandle h{dev_.allocator().alloc(bytes, align)};
+    owned_.emplace(h.addr, bytes);
+    return h;
+}
+
+void
+GdlContext::memFree(MemHandle h)
+{
+    auto it = owned_.find(h.addr);
+    cisram_assert(it != owned_.end(),
+                  "memFree of a handle not allocated by this "
+                  "context: ", h.addr);
+    owned_.erase(it);
+    dev_.allocator().free(h.addr);
 }
 
 void
@@ -34,7 +65,14 @@ GdlContext::memCpyFromDev(void *dst, MemHandle src, uint64_t bytes)
 int
 GdlContext::runTask(const std::function<int(apu::ApuCore &)> &task)
 {
-    apu::ApuCore &core = dev_.core(0);
+    return runTaskOn(0, task);
+}
+
+int
+GdlContext::runTaskOn(unsigned core_idx,
+                      const std::function<int(apu::ApuCore &)> &task)
+{
+    apu::ApuCore &core = dev_.core(core_idx);
     double before = core.stats().cycles();
     int rc = task(core);
     double cycles = core.stats().cycles() - before;

@@ -8,6 +8,13 @@
  * gdl_run_task_timeout). This module reproduces that API surface on
  * the simulator, including PCIe transfer timing and task-invocation
  * overhead, so host programs read like the paper's.
+ *
+ * Allocation discipline: every memAllocAligned must be balanced by a
+ * memFree on the same context (or wrapped in a DeviceBuffer, which
+ * does it for you). A context that is torn down with outstanding
+ * allocations panics in debug builds and warns in release builds —
+ * the real library leaks device DRAM silently in this case, which is
+ * exactly the serving-loop bug this check exists to catch.
  */
 
 #ifndef CISRAM_GDL_GDL_HH
@@ -15,6 +22,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 
 #include "apusim/apu.hh"
 
@@ -52,16 +60,32 @@ struct HostStats
 /**
  * One host "calling context" bound to a device, mirroring the GDL
  * session the paper's host code initializes.
+ *
+ * A context is single-threaded (its stats are unsynchronized);
+ * concurrent host threads should each hold their own context, as
+ * concurrent processes each hold a GDL session on the real device.
  */
 class GdlContext
 {
   public:
     explicit GdlContext(apu::ApuDevice &dev) : dev_(dev) {}
 
+    /** Checks the allocation ledger; see file comment. */
+    ~GdlContext();
+
+    GdlContext(const GdlContext &) = delete;
+    GdlContext &operator=(const GdlContext &) = delete;
+
     apu::ApuDevice &device() { return dev_; }
 
     /** gdl_mem_alloc_aligned: allocate device DRAM. */
     MemHandle memAllocAligned(uint64_t bytes, uint64_t align = 512);
+
+    /** gdl_mem_free: release device DRAM obtained from this context. */
+    void memFree(MemHandle h);
+
+    /** Allocations obtained from this context and not yet freed. */
+    size_t outstandingAllocs() const { return owned_.size(); }
 
     /** gdl_mem_cpy_to_dev: host -> device DRAM over PCIe. */
     void memCpyToDev(MemHandle dst, const void *src, uint64_t bytes);
@@ -79,6 +103,10 @@ class GdlContext
      */
     int runTask(const std::function<int(apu::ApuCore &)> &task);
 
+    /** runTask pinned to a specific core (multi-core serving). */
+    int runTaskOn(unsigned core_idx,
+                  const std::function<int(apu::ApuCore &)> &task);
+
     const HostStats &stats() const { return stats_; }
     void resetStats() { stats_ = HostStats{}; }
 
@@ -90,6 +118,46 @@ class GdlContext
   private:
     apu::ApuDevice &dev_;
     HostStats stats_;
+    std::unordered_map<uint64_t, uint64_t> owned_; ///< addr -> bytes
+};
+
+/**
+ * RAII device allocation: memAllocAligned in the constructor,
+ * memFree in the destructor. The context must outlive the buffer.
+ */
+class DeviceBuffer
+{
+  public:
+    DeviceBuffer(GdlContext &ctx, uint64_t bytes, uint64_t align = 512)
+        : ctx_(ctx), handle_(ctx.memAllocAligned(bytes, align)),
+          bytes_(bytes)
+    {}
+
+    ~DeviceBuffer() { ctx_.memFree(handle_); }
+
+    DeviceBuffer(const DeviceBuffer &) = delete;
+    DeviceBuffer &operator=(const DeviceBuffer &) = delete;
+
+    MemHandle handle() const { return handle_; }
+    uint64_t addr() const { return handle_.addr; }
+    uint64_t size() const { return bytes_; }
+
+    void
+    toDev(const void *src, uint64_t bytes)
+    {
+        ctx_.memCpyToDev(handle_, src, bytes);
+    }
+
+    void
+    fromDev(void *dst, uint64_t bytes) const
+    {
+        ctx_.memCpyFromDev(dst, handle_, bytes);
+    }
+
+  private:
+    GdlContext &ctx_;
+    MemHandle handle_;
+    uint64_t bytes_;
 };
 
 } // namespace cisram::gdl

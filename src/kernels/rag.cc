@@ -145,11 +145,38 @@ extractTopK(Gvml &g, ApuCore &core, Vr score, size_t k,
 } // namespace
 
 RagRetriever::RagRetriever(ApuDevice &dev, dram::DramSystem &hbm,
-                           RagCorpusSpec corpus, size_t top_k)
-    : dev(dev), hbm(hbm), corpus_(corpus), topK(top_k)
+                           RagCorpusSpec corpus, size_t top_k,
+                           unsigned core_idx)
+    : dev(dev), hbm(hbm), corpus_(corpus), topK(top_k),
+      coreIdx_(core_idx)
 {
     cisram_assert(top_k >= 1 && top_k <= 64, "unreasonable top-k");
     cisram_assert(isPow2(dev.spec().vrLength));
+    cisram_assert(core_idx < dev.numCores(), "core index OOB");
+    // The return-topk stage stages result ids here (one slot per
+    // batch lane) for the host to read back over PCIe.
+    idsAddr_ = dev.allocator().alloc(
+        8 * topK * sizeof(uint32_t), 512);
+}
+
+RagRetriever::~RagRetriever()
+{
+    dev.allocator().free(idsAddr_);
+}
+
+void
+RagRetriever::publishTopkIds(RagRunResult &res, size_t slot)
+{
+    res.topkIdsAddr =
+        idsAddr_ + slot * topK * sizeof(uint32_t);
+    res.topkIdsCount = res.hits.size();
+    if (res.hits.empty())
+        return;
+    std::vector<uint32_t> ids(res.hits.size());
+    for (size_t i = 0; i < res.hits.size(); ++i)
+        ids[i] = static_cast<uint32_t>(res.hits[i].id);
+    dev.l4().write(res.topkIdsAddr, ids.data(),
+                   ids.size() * sizeof(uint32_t));
 }
 
 RagRunResult
@@ -177,7 +204,7 @@ RagRetriever::retrieveGf16(const std::vector<int16_t> &query,
                            uint64_t corpus_seed)
 {
     cisram_assert(query.size() == corpus_.dim, "query dim mismatch");
-    ApuCore &core = dev.core(0);
+    ApuCore &core = dev.core(coreIdx_);
     Gvml g(core);
     const auto &t = dev.timing();
     size_t l = dev.spec().vrLength;
@@ -274,8 +301,11 @@ RagRetriever::retrieveGf16(const std::vector<int16_t> &query,
     core.chargeRaw(returnTopkCycles);
     res.stages.returnTopk = dev.cyclesToSeconds(timer.lap());
 
-    if (fnl)
+    if (fnl) {
         res.hits = mergeHits(std::move(candidates), topK);
+        dev.allocator().free(emb_addr);
+    }
+    publishTopkIds(res, 0);
     return res;
 }
 
@@ -291,7 +321,7 @@ RagRetriever::retrieveBatch(
     for (const auto &q : queries)
         cisram_assert(q.size() == corpus_.dim, "query dim mismatch");
 
-    ApuCore &core = dev.core(0);
+    ApuCore &core = dev.core(coreIdx_);
     Gvml g(core);
     const auto &t = dev.timing();
     size_t l = dev.spec().vrLength;
@@ -399,7 +429,10 @@ RagRetriever::retrieveBatch(
         r.cacheBytes = 2.0 * shared_dram / b;
         if (fnl)
             r.hits = mergeHits(std::move(candidates[q2]), topK);
+        publishTopkIds(r, q2);
     }
+    if (fnl)
+        dev.allocator().free(emb_addr);
     return results;
 }
 
@@ -408,7 +441,7 @@ RagRetriever::retrieveSpatial(const std::vector<int16_t> &query,
                               bool coalesce, bool bf_query,
                               uint64_t corpus_seed)
 {
-    ApuCore &core = dev.core(0);
+    ApuCore &core = dev.core(coreIdx_);
     Gvml g(core);
     const auto &t = dev.timing();
     size_t l = dev.spec().vrLength;
@@ -558,8 +591,12 @@ RagRetriever::retrieveSpatial(const std::vector<int16_t> &query,
     core.chargeRaw(returnTopkCycles);
     res.stages.returnTopk = dev.cyclesToSeconds(timer.lap());
 
-    if (fnl)
+    if (fnl) {
         res.hits = mergeHits(std::move(candidates), topK);
+        dev.allocator().free(emb_addr);
+        dev.allocator().free(q_addr);
+    }
+    publishTopkIds(res, 0);
     return res;
 }
 
@@ -568,7 +605,7 @@ RagRetriever::retrieveTemporal(const std::vector<int16_t> &query,
                                bool coalesce, bool bf_query,
                                uint64_t corpus_seed)
 {
-    ApuCore &core = dev.core(0);
+    ApuCore &core = dev.core(coreIdx_);
     Gvml g(core);
     const auto &t = dev.timing();
     size_t l = dev.spec().vrLength;
@@ -674,8 +711,12 @@ RagRetriever::retrieveTemporal(const std::vector<int16_t> &query,
     core.chargeRaw(returnTopkCycles);
     res.stages.returnTopk = dev.cyclesToSeconds(timer.lap());
 
-    if (fnl)
+    if (fnl) {
         res.hits = mergeHits(std::move(candidates), topK);
+        dev.allocator().free(emb_addr);
+        dev.allocator().free(q_addr);
+    }
+    publishTopkIds(res, 0);
     return res;
 }
 

@@ -70,6 +70,16 @@ struct RagRunResult
     /** Functional mode: the exact top-k hits (score = int dot). */
     std::vector<baseline::Hit> hits;
 
+    /**
+     * Device address of the staged top-k result ids (u32 each, in
+     * rank order) for the return-topk stage. Host code reads the
+     * ids back from *this* buffer over PCIe — not from the query
+     * buffer. topkIdsCount is 0 in TimingOnly mode (no functional
+     * results exist to stage).
+     */
+    uint64_t topkIdsAddr = 0;
+    size_t topkIdsCount = 0;
+
     // Activity for the energy model (Fig. 15).
     double computeSeconds = 0; ///< VXU-active time
     double dramBytes = 0;      ///< off-chip bytes streamed
@@ -82,9 +92,20 @@ class RagRetriever
     /**
      * @param hbm The off-chip memory model used for embedding
      *        streaming (typically hbm2eConfig()).
+     * @param core_idx The device core this retriever executes on.
+     *        A serving loop sharded with runOnAllCores constructs
+     *        one retriever per core; retrievers on distinct cores
+     *        may run concurrently (each needs its own DramSystem —
+     *        the HBM model is stateful).
      */
     RagRetriever(apu::ApuDevice &dev, dram::DramSystem &hbm,
-                 baseline::RagCorpusSpec corpus, size_t top_k = 5);
+                 baseline::RagCorpusSpec corpus, size_t top_k = 5,
+                 unsigned core_idx = 0);
+
+    ~RagRetriever();
+
+    RagRetriever(const RagRetriever &) = delete;
+    RagRetriever &operator=(const RagRetriever &) = delete;
 
     /**
      * Serve one query.
@@ -134,10 +155,15 @@ class RagRetriever
                                   bool coalesce, bool bf_query,
                                   uint64_t corpus_seed);
 
+    /** Stage res.hits' ids into the device id buffer (slot 0..7). */
+    void publishTopkIds(RagRunResult &res, size_t slot);
+
     apu::ApuDevice &dev;
     dram::DramSystem &hbm;
     baseline::RagCorpusSpec corpus_;
     size_t topK;
+    unsigned coreIdx_;
+    uint64_t idsAddr_; ///< 8 batch slots of topK u32 ids each
 };
 
 } // namespace cisram::kernels

@@ -32,6 +32,7 @@ TEST(Gdl, MemRoundTrip)
     EXPECT_EQ(ctx.stats().bytesToDevice, data.size());
     EXPECT_EQ(ctx.stats().bytesFromDevice, data.size());
     EXPECT_GT(ctx.stats().pcieSeconds, 0.0);
+    ctx.memFree(h);
 }
 
 TEST(Gdl, HandleOffsetArithmetic)
@@ -45,6 +46,7 @@ TEST(Gdl, HandleOffsetArithmetic)
     uint32_t back = 0;
     ctx.memCpyFromDev(&back, base.offset(1024), sizeof(back));
     EXPECT_EQ(back, v);
+    ctx.memFree(base);
 }
 
 TEST(Gdl, RunTaskAccountsDeviceTime)
@@ -100,4 +102,60 @@ TEST(Gdl, EndToEndVecAdd)
     EXPECT_EQ(ctx.stats().bytesToDevice, 2 * n * 2);
     EXPECT_EQ(ctx.stats().bytesFromDevice, n * 2);
     EXPECT_GT(ctx.stats().totalSeconds(), 0.0);
+    ctx.memFree(buf);
+}
+
+TEST(Gdl, DeviceBufferFreesOnScopeExit)
+{
+    apu::ApuDevice dev;
+    GdlContext ctx(dev);
+    uint32_t v = 0x1234abcd, back = 0;
+    {
+        DeviceBuffer buf(ctx, 4096);
+        EXPECT_EQ(ctx.outstandingAllocs(), 1u);
+        buf.toDev(&v, sizeof(v));
+        buf.fromDev(&back, sizeof(back));
+    }
+    EXPECT_EQ(back, v);
+    EXPECT_EQ(ctx.outstandingAllocs(), 0u);
+}
+
+TEST(Gdl, AllocatorRecyclesFreedBlocks)
+{
+    // A steady-state serving loop (alloc/free the same size per
+    // request) must not grow the device footprint.
+    apu::ApuDevice dev;
+    GdlContext ctx(dev);
+    MemHandle first = ctx.memAllocAligned(2048);
+    ctx.memFree(first);
+    uint64_t watermark = dev.allocator().used();
+    for (int i = 0; i < 100; ++i) {
+        MemHandle h = ctx.memAllocAligned(2048);
+        EXPECT_EQ(h.addr, first.addr);
+        ctx.memFree(h);
+    }
+    EXPECT_EQ(dev.allocator().used(), watermark);
+}
+
+TEST(GdlDeathTest, TeardownPanicsOnLeakedAllocation)
+{
+#ifdef NDEBUG
+    GTEST_SKIP() << "leak check only panics in debug builds";
+#else
+    EXPECT_DEATH(
+        {
+            apu::ApuDevice dev;
+            GdlContext ctx(dev);
+            ctx.memAllocAligned(1024);
+        },
+        "outstanding device allocation");
+#endif
+}
+
+TEST(GdlDeathTest, FreeOfForeignHandlePanics)
+{
+    apu::ApuDevice dev;
+    GdlContext ctx(dev);
+    EXPECT_DEATH(ctx.memFree(MemHandle{12345}),
+                 "not allocated by this context");
 }

@@ -104,6 +104,9 @@ TEST(Integration, HostPipelineWithGdlAndRvv)
     host.memCpyFromDev(c.data(), hc, n * 2);
     for (size_t i = 0; i < n; ++i)
         ASSERT_EQ(c[i], std::max(a[i], b[i])) << i;
+    host.memFree(ha);
+    host.memFree(hb);
+    host.memFree(hc);
 }
 
 TEST(Integration, FrameworkEndToEndOnForeignDevice)

@@ -2,15 +2,23 @@
  * @file
  * Multi-core execution tests: a functionally sharded kernel across
  * all four cores produces the sequential result, balances load, and
- * matches the tiles/numCores accounting used by the timed kernels.
+ * matches the tiles/numCores accounting used by the timed kernels —
+ * and does all of that identically whether the cores run serially
+ * (CISRAM_SIM_THREADS=1) or on worker threads (=4): MultiCoreResult,
+ * metrics registry snapshots, and exported traces must be
+ * bit-identical across thread counts.
  */
 
 #include <array>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
 #include "apusim/multicore.hh"
+#include "common/metrics.hh"
 #include "common/rng.hh"
+#include "common/threadpool.hh"
+#include "common/trace.hh"
 #include "gvml/gvml.hh"
 
 using namespace cisram;
@@ -19,14 +27,18 @@ using namespace cisram::gvml;
 
 namespace {
 
-/** A miniature sharded histogram over u16 values (16 bins). */
+/**
+ * A miniature sharded histogram over u16 values (16 bins). Each core
+ * accumulates into its own partial bins (workers may run
+ * concurrently); partials merge in core order afterwards.
+ */
 std::array<uint32_t, 16>
 shardedHistogram(ApuDevice &dev, const std::vector<uint16_t> &data,
                  MultiCoreResult &mc)
 {
     size_t l = dev.spec().vrLength;
     size_t tiles = (data.size() + l - 1) / l;
-    std::array<uint32_t, 16> bins{};
+    std::array<std::array<uint32_t, 16>, 4> partial{};
 
     mc = runOnAllCores(dev, [&](ApuCore &core, unsigned idx,
                                 unsigned n) {
@@ -47,14 +59,25 @@ shardedHistogram(ApuDevice &dev, const std::vector<uint16_t> &data,
             for (uint16_t b = 0; b < 16; ++b) {
                 g.cpyImm16(Vr(2), b);
                 g.eq16(Vr(3), Vr(1), Vr(2));
-                bins[b] += g.countM(Vr(3));
+                partial[idx][b] += g.countM(Vr(3));
             }
         }
     });
+    std::array<uint32_t, 16> bins{};
+    for (const auto &p : partial)
+        for (size_t b = 0; b < 16; ++b)
+            bins[b] += p[b];
     // Padding lands in bin 15 (0xffff >> 12); subtract it.
     bins[15] -= static_cast<uint32_t>(tiles * l - data.size());
     return bins;
 }
+
+/** Restore the thread override when a test ends. */
+struct ThreadSetting
+{
+    explicit ThreadSetting(unsigned n) { setSimThreads(n); }
+    ~ThreadSetting() { setSimThreads(0); }
+};
 
 } // namespace
 
@@ -117,4 +140,147 @@ TEST(MultiCore, CoresIsolated)
     });
     for (unsigned c = 0; c < 4; ++c)
         EXPECT_EQ(dev.core(c).vr()[0][0], 1000 + c);
+}
+
+TEST(MultiCore, ThreadedResultIdenticalToSerial)
+{
+    Rng rng(92);
+    std::vector<uint16_t> data(150000);
+    for (auto &v : data)
+        v = rng.nextU16();
+
+    ApuDevice dev;
+    MultiCoreResult serial, threaded;
+    std::array<uint32_t, 16> binsSerial, binsThreaded;
+    {
+        ThreadSetting one(1);
+        binsSerial = shardedHistogram(dev, data, serial);
+    }
+    for (unsigned c = 0; c < dev.numCores(); ++c)
+        dev.core(c).stats().reset();
+    {
+        ThreadSetting four(4);
+        binsThreaded = shardedHistogram(dev, data, threaded);
+    }
+
+    EXPECT_EQ(binsSerial, binsThreaded);
+    // Bit-identical, not approximately equal: the cycle ledgers are
+    // per-core, so threading must not perturb them at all.
+    EXPECT_EQ(serial.perCore, threaded.perCore);
+    EXPECT_EQ(serial.maxCycles, threaded.maxCycles);
+    EXPECT_EQ(serial.totalCycles, threaded.totalCycles);
+    EXPECT_EQ(serial.imbalance(), threaded.imbalance());
+}
+
+TEST(MultiCore, ThreadedMetricsSnapshotIdenticalToSerial)
+{
+    Rng rng(93);
+    std::vector<uint16_t> data(100000);
+    for (auto &v : data)
+        v = rng.nextU16();
+
+    ApuDevice dev;
+    metrics::setEnabled(true);
+    MultiCoreResult mc;
+
+    auto snapshot = [&](unsigned threads) {
+        ThreadSetting setting(threads);
+        metrics::Registry::global().zeroAll();
+        for (unsigned c = 0; c < dev.numCores(); ++c)
+            dev.core(c).stats().reset();
+        shardedHistogram(dev, data, mc);
+        return metrics::Registry::global().toJson().dump(2);
+    };
+
+    std::string serial = snapshot(1);
+    std::string threaded = snapshot(4);
+    metrics::setEnabled(false);
+
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, threaded);
+}
+
+TEST(MultiCore, ThreadedTraceExportIdenticalToSerial)
+{
+    Rng rng(94);
+    std::vector<uint16_t> data(60000);
+    for (auto &v : data)
+        v = rng.nextU16();
+
+    ApuDevice dev;
+    MultiCoreResult mc;
+    auto &tracer = trace::Tracer::get();
+
+    auto exportTrace = [&](unsigned threads) {
+        ThreadSetting setting(threads);
+        for (unsigned c = 0; c < dev.numCores(); ++c)
+            dev.core(c).stats().reset();
+        tracer.enable("/tmp/cisram_test_multicore_trace.json");
+        shardedHistogram(dev, data, mc);
+        std::string doc = tracer.renderJson();
+        tracer.disable();
+        return doc;
+    };
+
+    std::string serial = exportTrace(1);
+    std::string threaded = exportTrace(4);
+
+    EXPECT_GT(serial.size(), 1000u);
+    EXPECT_EQ(serial, threaded);
+}
+
+TEST(MultiCore, FunctorExceptionPropagatesDeterministically)
+{
+    ApuDevice dev;
+    for (unsigned threads : {1u, 4u}) {
+        ThreadSetting setting(threads);
+        // Cores 1 and 3 both throw; the lowest-index exception must
+        // surface on the calling thread regardless of interleaving.
+        try {
+            runOnAllCores(dev, [](ApuCore &, unsigned idx,
+                                  unsigned) {
+                if (idx == 1 || idx == 3)
+                    throw std::runtime_error(
+                        "core" + std::to_string(idx));
+            });
+            FAIL() << "expected runOnAllCores to rethrow";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "core1");
+        }
+    }
+}
+
+TEST(MultiCore, DeviceUsableAfterFunctorException)
+{
+    ApuDevice dev;
+    ThreadSetting four(4);
+    EXPECT_THROW(
+        runOnAllCores(dev,
+                      [](ApuCore &, unsigned, unsigned) {
+                          throw std::runtime_error("boom");
+                      }),
+        std::runtime_error);
+    // The pool and device survive a failed batch.
+    auto mc = runOnAllCores(dev, [](ApuCore &core, unsigned idx,
+                                    unsigned) {
+        core.vr()[1][0] = static_cast<uint16_t>(idx);
+    });
+    EXPECT_EQ(mc.perCore.size(), 4u);
+    for (unsigned c = 0; c < 4; ++c)
+        EXPECT_EQ(dev.core(c).vr()[1][0], c);
+}
+
+TEST(MultiCore, NestedRunOnAllCoresRunsInline)
+{
+    ApuDevice dev;
+    ThreadSetting four(4);
+    // A functor that itself calls parallelFor must not deadlock; the
+    // nested call runs inline on the worker.
+    std::array<unsigned, 4> seen{};
+    runOnAllCores(dev, [&](ApuCore &, unsigned idx, unsigned) {
+        SimThreadPool::get().parallelFor(
+            3, [&](size_t) { ++seen[idx]; });
+    });
+    for (unsigned c = 0; c < 4; ++c)
+        EXPECT_EQ(seen[c], 3u);
 }
