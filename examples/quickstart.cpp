@@ -3,18 +3,23 @@
  * Quickstart: vector addition with the host-accelerator programming
  * model, mirroring the paper's Fig. 5.
  *
- * The "host program" allocates device DRAM, copies the inputs in,
- * invokes the device kernel, and copies the result out. The "device
- * program" moves data from device memory to L1, computes on vector
- * registers through GVML, and writes the result back -- the same
- * structure as the paper's vec_add example.
+ * The "host program" holds a GDL session: it allocates device DRAM,
+ * copies the inputs in over PCIe, invokes the device kernel with
+ * gdl_run_task_timeout semantics, and copies the result out. The
+ * "device program" moves data from device memory to L1, computes on
+ * vector registers through GVML, and writes the result back -- the
+ * same structure as the paper's vec_add example. Every device call's
+ * status is checked: a nonzero task return or a failed transfer is a
+ * hard error here, not a silently dropped code.
  */
 
 #include <cstdio>
 #include <vector>
 
 #include "apusim/apu.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
+#include "gdl/gdl.hh"
 #include "gvml/gvml.hh"
 
 using namespace cisram;
@@ -25,24 +30,23 @@ namespace {
 /** The paper's program_data: device-memory handles. */
 struct ProgramData
 {
-    uint64_t memHndlVec1;
-    uint64_t memHndlVec2;
-    uint64_t memHndlOut;
+    gdl::MemHandle memHndlVec1;
+    gdl::MemHandle memHndlVec2;
+    gdl::MemHandle memHndlOut;
 };
 
 /** Device program (Fig. 5b): runs "on" the APU control processor. */
 int
-vecAddTask(apu::ApuDevice &dev, const ProgramData &data)
+vecAddTask(apu::ApuCore &core, const ProgramData &data)
 {
-    apu::ApuCore &core = dev.core(0);
     Gvml gvml(core);
 
     constexpr Vmr vm0{0}, vm1{1}, vm3{3};
     constexpr Vr vec1{0}, vec2{1}, result{2};
 
     // Move inputs from device DRAM (L4) to L1.
-    gvml.directDmaL4ToL1_32k(vm0, data.memHndlVec1);
-    gvml.directDmaL4ToL1_32k(vm1, data.memHndlVec2);
+    gvml.directDmaL4ToL1_32k(vm0, data.memHndlVec1.addr);
+    gvml.directDmaL4ToL1_32k(vm1, data.memHndlVec2.addr);
 
     // Load to vector registers, compute, store.
     gvml.load16(vec1, vm0);
@@ -51,7 +55,7 @@ vecAddTask(apu::ApuDevice &dev, const ProgramData &data)
     gvml.store16(vm3, result);
 
     // Move the result back to device DRAM.
-    gvml.directDmaL1ToL4_32k(data.memHndlOut, vm3);
+    gvml.directDmaL1ToL4_32k(data.memHndlOut.addr, vm3);
     return 0;
 }
 
@@ -62,6 +66,7 @@ main()
 {
     // ---- host program (Fig. 5a) ---------------------------------
     apu::ApuDevice dev;
+    gdl::GdlContext host(dev);
     const size_t length = dev.spec().vrLength;
     const uint64_t vec_bytes = length * sizeof(uint16_t);
 
@@ -73,18 +78,22 @@ main()
     }
 
     // Allocate device DRAM and copy inputs to the device.
-    uint64_t l4_buf = dev.allocator().alloc(3 * vec_bytes);
-    ProgramData cmd{l4_buf, l4_buf + vec_bytes,
-                    l4_buf + 2 * vec_bytes};
-    dev.l4().write(cmd.memHndlVec1, vec1_host.data(), vec_bytes);
-    dev.l4().write(cmd.memHndlVec2, vec2_host.data(), vec_bytes);
+    gdl::MemHandle l4_buf = host.memAllocAligned(3 * vec_bytes);
+    ProgramData cmd{l4_buf, l4_buf.offset(vec_bytes),
+                    l4_buf.offset(2 * vec_bytes)};
+    host.memCpyToDev(cmd.memHndlVec1, vec1_host.data(), vec_bytes);
+    host.memCpyToDev(cmd.memHndlVec2, vec2_host.data(), vec_bytes);
 
-    // Invoke the APU task.
-    vecAddTask(dev, cmd);
+    // Invoke the APU task; the return status must be acted on.
+    int rc = host.runTask([&](apu::ApuCore &core) {
+        return vecAddTask(core, cmd);
+    });
+    cisram_assert(rc == 0, "vec_add device task failed with status ",
+                  rc);
 
     // Copy the output from device DRAM.
     std::vector<uint16_t> out(length);
-    dev.l4().read(cmd.memHndlOut, out.data(), vec_bytes);
+    host.memCpyFromDev(out.data(), cmd.memHndlOut, vec_bytes);
 
     // Verify and report.
     size_t errors = 0;
@@ -98,7 +107,12 @@ main()
                 errors == 0 ? "PASS" : "FAIL");
     std::printf("device kernel: %.0f cycles = %.2f us at 500 MHz\n",
                 cycles, dev.cyclesToSeconds(cycles) * 1e6);
+    std::printf("host: %.1f us PCIe + %.1f us launch overhead\n",
+                host.stats().pcieSeconds * 1e6,
+                host.stats().invokeSeconds * 1e6);
     std::printf("out[0..3] = %u %u %u %u\n", out[0], out[1], out[2],
                 out[3]);
+
+    host.memFree(l4_buf);
     return errors == 0 ? 0 : 1;
 }

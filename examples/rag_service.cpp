@@ -1,18 +1,33 @@
 /**
  * @file
- * An end-to-end interactive RAG service on the compute-in-SRAM
+ * A fault-tolerant end-to-end RAG service on the compute-in-SRAM
  * device: ten questions flow through the full pipeline — host
  * staging over PCIe (GDL), query embedding transfer, exact top-5
  * retrieval on the APU against simulated HBM, and generation TTFT on
  * the dedicated-GPU model — reproducing the serving scenario behind
  * the paper's Fig. 14 and energy study.
  *
+ * This example is the showcase for the recoverable-error contract
+ * (DESIGN.md "Fault model"): every query is served under a deadline
+ * through a bounded retry policy, behind a per-core circuit breaker
+ * that routes to the FAISS-lite CPU baseline (Xeon timing model)
+ * when a core misbehaves, and probes the core again after a
+ * cooldown. Arm faults with e.g.
+ *
+ *   CISRAM_FAULT_SPEC="task_hang:core=1,p=0.7;pcie_corrupt:p=1e-3"
+ *
+ * and the service still answers all ten queries with correct top-k
+ * ids — the functional self-check serves its queries through the
+ * same fault-tolerant path and verifies every answer against an
+ * exact CPU search. Fault activity is observable in the
+ * fault.injected/detected/corrected/retries/fallbacks counters and
+ * lands in BENCH_rag_service.json.
+ *
  * The query stream is sharded across the device's four cores with
- * runOnAllCores (each core owns its own retriever, HBM model, and
- * GDL session) and served concurrently when CISRAM_SIM_THREADS
- * allows; reported latencies and the aggregate QPS are identical for
- * any thread count. A functional self-check first verifies that the
- * ids the host reads back are the retriever's staged top-k results.
+ * runOnAllCores (each core owns its own retriever, HBM model, GDL
+ * session, and breaker) and served concurrently when
+ * CISRAM_SIM_THREADS allows; reported latencies, fault draws, and
+ * the aggregate QPS are identical for any thread count.
  */
 
 #include <algorithm>
@@ -20,17 +35,21 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "apusim/multicore.hh"
 #include "baseline/faisslite.hh"
 #include "baseline/timing_models.hh"
+#include "bench_report.hh"
 #include "common/metrics.hh"
 #include "common/threadpool.hh"
 #include "common/trace.hh"
 #include "energy/energy.hh"
+#include "fault/fault.hh"
 #include "gdl/gdl.hh"
 #include "kernels/rag.hh"
+#include "kernels/serving.hh"
 
 using namespace cisram;
 using namespace cisram::baseline;
@@ -41,49 +60,189 @@ namespace {
 constexpr size_t kTopK = 5;
 constexpr int kQueries = 10;
 
+/** How one query was answered. */
+struct ServeOutcome
+{
+    bool ok = false;
+    bool fromDevice = false;
+    unsigned attempts = 0;          ///< device attempts made
+    std::vector<uint32_t> ids;      ///< host-visible top-k ids
+    kernels::RagRunResult run;      ///< device result (fromDevice)
+    double retrievalSeconds = 0;    ///< device or CPU retrieval
+    double hostSeconds = 0;         ///< PCIe staging + readback
+    std::string lastError;          ///< last device failure, if any
+};
+
 /**
- * Functional self-check: retrieve over a small corpus, read the
- * top-k ids back from the retriever's staged device buffer (NOT the
- * query buffer), and check them against both the retriever's own
- * hits and FAISS-lite exact search.
+ * Per-core serving state plus the retry/breaker/fallback policy.
+ * One instance per device core; each instance is driven by exactly
+ * one shard thread, matching the GDL one-session-per-thread rule.
+ */
+class FaultTolerantServer
+{
+  public:
+    FaultTolerantServer(apu::ApuDevice &dev, RagCorpusSpec spec,
+                        unsigned core, const IndexFlatI16 *golden,
+                        uint64_t corpus_seed)
+        : spec_(spec), core_(core), golden_(golden),
+          corpusSeed_(corpus_seed),
+          hbm_(dram::hbm2eConfig()),
+          retriever_(dev, hbm_, spec, kTopK, core),
+          host_(dev), qbuf_(host_, spec.dim * 2)
+    {}
+
+    ServeOutcome
+    serve(const std::vector<int16_t> &query)
+    {
+        ServeOutcome out;
+        if (breaker_.allowRequest()) {
+            for (unsigned a = 0; a < policy_.maxAttempts; ++a) {
+                ++out.attempts;
+                Status st = tryDevice(query, out);
+                if (st.ok()) {
+                    breaker_.recordSuccess();
+                    out.ok = true;
+                    out.fromDevice = true;
+                    return out;
+                }
+                out.lastError = st.toString();
+                // The host gives up on an attempt at the deadline;
+                // that wait is part of the query's served latency.
+                out.hostSeconds += policy_.deadlineSeconds;
+                metrics::Registry::get()
+                    .counter("fault.retries", {{"site", "query"}})
+                    .inc();
+            }
+            breaker_.recordFailure();
+        }
+        cpuFallback(query, out);
+        return out;
+    }
+
+    CircuitBreaker &breaker() { return breaker_; }
+    gdl::GdlContext &host() { return host_; }
+    const dram::DramSystem &hbm() const { return hbm_; }
+
+  private:
+    /** One device attempt: stage, retrieve under deadline, read back. */
+    Status
+    tryDevice(const std::vector<int16_t> &query, ServeOutcome &out)
+    {
+        double pcieBefore = host_.stats().pcieSeconds;
+        Status st = host_.tryMemCpyToDev(qbuf_.handle(), query.data(),
+                                         spec_.dim * 2);
+        if (!st.ok())
+            return st;
+
+        kernels::RagRunResult r;
+        st = host_.runTaskTimeoutOn(
+            core_, policy_.deadlineSeconds, [&](apu::ApuCore &) {
+                r = retriever_.retrieve(query, RagVariant::AllOpts,
+                                        corpusSeed_);
+                return 0;
+            });
+        if (!st.ok())
+            return st;
+        if (!r.status.ok())
+            return r.status; // uncorrectable ECC during the stream
+
+        // Read the staged ids back (fixed-size in timing mode).
+        size_t n = r.topkIdsCount ? r.topkIdsCount : kTopK;
+        out.ids.assign(n, 0);
+        st = host_.tryMemCpyFromDev(out.ids.data(),
+                                    gdl::MemHandle{r.topkIdsAddr},
+                                    n * sizeof(uint32_t));
+        if (!st.ok())
+            return st;
+
+        out.run = r;
+        out.retrievalSeconds = r.stages.total();
+        out.hostSeconds += host_.stats().pcieSeconds - pcieBefore;
+        return Status::okStatus();
+    }
+
+    /** Exact CPU retrieval at Xeon latency; always succeeds. */
+    void
+    cpuFallback(const std::vector<int16_t> &query, ServeOutcome &out)
+    {
+        metrics::Registry::get().counter("fault.fallbacks").inc();
+        if (golden_) {
+            auto hits = golden_->search(query.data(), kTopK);
+            out.ids.clear();
+            for (const auto &h : hits)
+                out.ids.push_back(static_cast<uint32_t>(h.id));
+        }
+        out.retrievalSeconds =
+            xeon_.ennsRetrievalMs(spec_.embeddingBytes()) * 1e-3;
+        out.ok = true;
+    }
+
+    RagCorpusSpec spec_;
+    unsigned core_;
+    const IndexFlatI16 *golden_; ///< functional mode only
+    uint64_t corpusSeed_;
+    RetryPolicy policy_{3, 0.25};
+    CircuitBreaker breaker_{2, 2};
+    XeonTimingModel xeon_;
+    dram::DramSystem hbm_;
+    RagRetriever retriever_;
+    gdl::GdlContext host_;
+    gdl::DeviceBuffer qbuf_;
+};
+
+/**
+ * Functional self-check: serve ten queries over a small corpus
+ * through the full fault-tolerant path — retry, breaker, CPU
+ * fallback — round-robin across all cores, and verify every
+ * answer's top-k ids against FAISS-lite exact search. With an armed
+ * fault plan this is the proof that injected hangs, PCIe corruption,
+ * and ECC errors degrade latency, never correctness.
  */
 bool
 selfCheck()
 {
     RagCorpusSpec corpus{"demo", 0, 20000, 368};
     const uint64_t seed = 2026;
-    auto query = genQuery(corpus.dim, 99);
 
     apu::ApuDevice dev;
-    dram::DramSystem hbm(dram::hbm2eConfig());
-    RagRetriever retriever(dev, hbm, corpus, kTopK);
-    gdl::GdlContext host(dev);
-
-    gdl::DeviceBuffer qbuf(host, corpus.dim * 2);
-    qbuf.toDev(query.data(), corpus.dim * 2);
-
-    auto r = retriever.retrieve(query, RagVariant::AllOpts, seed);
-
-    // The host-visible result: ids staged by the return-topk stage.
-    uint32_t ids[kTopK] = {};
-    host.memCpyFromDev(ids, gdl::MemHandle{r.topkIdsAddr},
-                       r.topkIdsCount * sizeof(uint32_t));
-
     auto emb = genEmbeddings(corpus, 0, corpus.numChunks, seed);
     IndexFlatI16 index(corpus.dim);
     index.add(emb.data(), corpus.numChunks);
-    auto expect = index.search(query.data(), kTopK);
 
-    bool ok = r.topkIdsCount == kTopK &&
-        r.hits.size() == expect.size();
-    for (size_t i = 0; ok && i < expect.size(); ++i) {
-        ok = ids[i] == static_cast<uint32_t>(r.hits[i].id) &&
-            r.hits[i] == expect[i];
+    std::vector<std::unique_ptr<FaultTolerantServer>> servers;
+    for (unsigned c = 0; c < dev.numCores(); ++c)
+        servers.push_back(std::make_unique<FaultTolerantServer>(
+            dev, corpus, c, &index, seed));
+
+    bool all_ok = true;
+    unsigned device_answers = 0, fallback_answers = 0;
+    for (int q = 0; q < kQueries; ++q) {
+        unsigned c = static_cast<unsigned>(q) % dev.numCores();
+        auto query = genQuery(corpus.dim, 100 + q);
+        auto expect = index.search(query.data(), kTopK);
+
+        ServeOutcome out = servers[c]->serve(query);
+        bool ok = out.ok && out.ids.size() == expect.size();
+        for (size_t i = 0; ok && i < expect.size(); ++i)
+            ok = out.ids[i] == static_cast<uint32_t>(expect[i].id);
+        if (out.fromDevice)
+            ++device_answers;
+        else
+            ++fallback_answers;
+        if (!ok) {
+            std::printf("  query %d on core %u: WRONG ANSWER "
+                        "(attempts %u, %s)\n",
+                        q, c, out.attempts,
+                        out.lastError.empty() ? "no error"
+                                              : out.lastError.c_str());
+            all_ok = false;
+        }
     }
-    std::printf("self-check: staged ids vs retriever vs FAISS-lite "
-                "over %zu chunks: %s\n\n",
-                corpus.numChunks, ok ? "PASS" : "FAIL");
-    return ok;
+    std::printf("self-check: %d queries over %zu chunks, "
+                "%u from device, %u from CPU fallback: %s\n\n",
+                kQueries, corpus.numChunks, device_answers,
+                fallback_answers, all_ok ? "PASS" : "FAIL");
+    return all_ok;
 }
 
 struct QueryRecord
@@ -92,6 +251,8 @@ struct QueryRecord
     double hostSeconds = 0;
     double ttftSeconds = 0;
     double joules = 0;
+    unsigned attempts = 0;
+    bool fromDevice = true;
 };
 
 } // namespace
@@ -104,6 +265,11 @@ main()
     trace::Tracer::init();
     metrics::initFromEnv();
     metrics::setEnabled(true);
+    fault::initFromEnv();
+
+    if (const fault::FaultPlan *fp = fault::plan())
+        std::printf("fault plan armed: %s\n\n",
+                    fp->toString().c_str());
 
     if (!selfCheck())
         return 1;
@@ -116,22 +282,13 @@ main()
         dev.core(c).setMode(apu::ExecMode::TimingOnly);
 
     // Per-core serving state, constructed up front on this thread so
-    // device addresses are identical for any thread count: the HBM
-    // model is stateful and a GDL session is single-threaded, so
-    // each core owns one of each.
-    std::vector<std::unique_ptr<dram::DramSystem>> hbms;
-    std::vector<std::unique_ptr<RagRetriever>> retrievers;
-    std::vector<std::unique_ptr<gdl::GdlContext>> hosts;
-    std::vector<std::unique_ptr<gdl::DeviceBuffer>> qbufs;
-    for (unsigned c = 0; c < cores; ++c) {
-        hbms.push_back(std::make_unique<dram::DramSystem>(
-            dram::hbm2eConfig()));
-        retrievers.push_back(std::make_unique<RagRetriever>(
-            dev, *hbms.back(), spec, kTopK, c));
-        hosts.push_back(std::make_unique<gdl::GdlContext>(dev));
-        qbufs.push_back(std::make_unique<gdl::DeviceBuffer>(
-            *hosts.back(), spec.dim * 2));
-    }
+    // device addresses and fault-draw streams are identical for any
+    // thread count: the HBM model is stateful and a GDL session is
+    // single-threaded, so each core owns one of each.
+    std::vector<std::unique_ptr<FaultTolerantServer>> servers;
+    for (unsigned c = 0; c < cores; ++c)
+        servers.push_back(std::make_unique<FaultTolerantServer>(
+            dev, spec, c, nullptr, 2026));
 
     LlmGenerationModel llm;
     energy::ApuPowerModel power;
@@ -152,39 +309,29 @@ main()
     apu::runOnAllCores(dev, [&](apu::ApuCore &, unsigned c,
                                 unsigned n) {
         auto shard = apu::shardOf(kQueries, c, n);
-        auto &host = *hosts[c];
-        auto &retriever = *retrievers[c];
+        auto &server = *servers[c];
         for (size_t q = shard.begin; q < shard.end; ++q) {
             coreOf[q] = static_cast<int>(c);
             auto query = genQuery(spec.dim, 1000 + static_cast<int>(q));
 
-            // Host ships the embedded query to device DRAM.
-            double pcieBefore = host.stats().pcieSeconds;
-            qbufs[c]->toDev(query.data(), spec.dim * 2);
-
-            auto r = retriever.retrieve(query, RagVariant::AllOpts,
-                                        2026);
-
-            // Host reads the top-5 ids back from the retriever's
-            // staged result buffer (count 0 in timing mode, so this
-            // models the fixed-size readback).
-            uint32_t ids[kTopK] = {};
-            host.memCpyFromDev(ids, gdl::MemHandle{r.topkIdsAddr},
-                               sizeof(ids));
+            ServeOutcome out = server.serve(query);
 
             auto &rec = records[q];
-            rec.retrievalSeconds = r.stages.total();
-            rec.hostSeconds =
-                host.stats().pcieSeconds - pcieBefore;
+            rec.retrievalSeconds = out.retrievalSeconds;
+            rec.hostSeconds = out.hostSeconds;
+            rec.attempts = out.attempts;
+            rec.fromDevice = out.fromDevice;
             rec.ttftSeconds = rec.retrievalSeconds +
                 rec.hostSeconds + llm.ttftSeconds();
 
-            energy::ApuActivity act;
-            act.totalSeconds = r.stages.total();
-            act.computeSeconds = r.computeSeconds;
-            act.dramBytes = r.dramBytes;
-            act.cacheBytes = r.cacheBytes;
-            rec.joules = power.energy(act).totalJ();
+            if (out.fromDevice) {
+                energy::ApuActivity act;
+                act.totalSeconds = out.run.stages.total();
+                act.computeSeconds = out.run.computeSeconds;
+                act.dramBytes = out.run.dramBytes;
+                act.cacheBytes = out.run.cacheBytes;
+                rec.joules = power.energy(act).totalJ();
+            }
         }
     });
     double wallSeconds =
@@ -202,8 +349,10 @@ main()
     auto &m_host = reg.histogram("rag.host_pcie_seconds");
 
     double total_energy = 0.0, total_ttft = 0.0;
-    std::printf("%5s %4s %14s %14s %12s %12s\n", "query", "core",
-                "retrieval (ms)", "PCIe+host (us)", "TTFT (ms)",
+    unsigned device_queries = 0, fallback_queries = 0;
+    unsigned total_attempts = 0;
+    std::printf("%5s %4s %5s %8s %14s %12s %12s\n", "query", "core",
+                "path", "attempts", "retrieval (ms)", "TTFT (ms)",
                 "APU E (mJ)");
     for (int q = 0; q < kQueries; ++q) {
         const auto &rec = records[q];
@@ -214,10 +363,15 @@ main()
         m_host.observe(rec.hostSeconds);
         total_energy += rec.joules;
         total_ttft += rec.ttftSeconds;
-        std::printf("%5d %4d %14.1f %14.1f %12.1f %12.1f\n", q,
-                    coreOf[q], rec.retrievalSeconds * 1e3,
-                    rec.hostSeconds * 1e6, rec.ttftSeconds * 1e3,
-                    rec.joules * 1e3);
+        total_attempts += rec.attempts;
+        if (rec.fromDevice)
+            ++device_queries;
+        else
+            ++fallback_queries;
+        std::printf("%5d %4d %5s %8u %14.1f %12.1f %12.1f\n", q,
+                    coreOf[q], rec.fromDevice ? "apu" : "cpu",
+                    rec.attempts, rec.retrievalSeconds * 1e3,
+                    rec.ttftSeconds * 1e3, rec.joules * 1e3);
     }
 
     // Aggregate throughput: the service is limited by the busiest
@@ -245,7 +399,41 @@ main()
                 "query -> %.0fx reduction\n",
                 gpu.retrievalEnergy(spec.embeddingBytes()),
                 gpu.retrievalEnergy(spec.embeddingBytes()) /
-                    (total_energy / kQueries));
+                    (total_energy / std::max(1u, device_queries)));
+
+    // Fault/robustness ledger: host-observed failure counters plus
+    // the per-core breaker outcome.
+    gdl::HostStats agg;
+    dram::EccStats ecc;
+    unsigned breaker_trips = 0;
+    for (unsigned c = 0; c < cores; ++c) {
+        const auto &hs = servers[c]->host().stats();
+        agg.tasksFailed += hs.tasksFailed;
+        agg.tasksTimedOut += hs.tasksTimedOut;
+        agg.pcieRetries += hs.pcieRetries;
+        agg.pcieErrors += hs.pcieErrors;
+        agg.allocFailures += hs.allocFailures;
+        ecc += servers[c]->hbm().eccStats();
+        breaker_trips += servers[c]->breaker().trips();
+    }
+    std::printf("\nfault ledger (timing loop):\n");
+    std::printf("  device queries %u, CPU fallbacks %u, device "
+                "attempts %u\n",
+                device_queries, fallback_queries, total_attempts);
+    std::printf("  task timeouts %u, task failures %u, PCIe retries "
+                "%u, PCIe errors %u\n",
+                agg.tasksTimedOut, agg.tasksFailed, agg.pcieRetries,
+                agg.pcieErrors);
+    std::printf("  ECC: %llu words checked, %llu corrected, %llu "
+                "uncorrectable\n",
+                static_cast<unsigned long long>(ecc.wordsChecked),
+                static_cast<unsigned long long>(ecc.singleCorrected),
+                static_cast<unsigned long long>(ecc.doubleDetected));
+    std::printf("  breaker trips %u; per-core state:", breaker_trips);
+    for (unsigned c = 0; c < cores; ++c)
+        std::printf(" %u=%s", c,
+                    breakerStateName(servers[c]->breaker().state()));
+    std::printf("\n");
 
     std::printf("\nservice metrics (registry snapshot):\n");
     std::printf("  queries served: %.0f\n", m_queries.value());
@@ -262,9 +450,36 @@ main()
     if (trace::active())
         std::printf("  trace timeline armed (written at exit)\n");
 
-    // Tear down in construction order: buffers before their GDL
-    // sessions (the session's leak check runs at destruction).
-    qbufs.clear();
-    hosts.clear();
+    // Machine-readable fault/serving report (includes the metrics
+    // registry snapshot, and with it every fault.* counter).
+    {
+        bench::BenchReport report("rag_service");
+        report.note("fault_spec",
+                    fault::plan() ? fault::plan()->toString()
+                                  : "(none)");
+        report.scalar("queries", kQueries);
+        report.scalar("device_queries", device_queries);
+        report.scalar("fallback_queries", fallback_queries);
+        report.scalar("device_attempts", total_attempts);
+        report.scalar("task_timeouts", agg.tasksTimedOut);
+        report.scalar("task_failures", agg.tasksFailed);
+        report.scalar("pcie_retries", agg.pcieRetries);
+        report.scalar("pcie_errors", agg.pcieErrors);
+        report.scalar("alloc_failures", agg.allocFailures);
+        report.scalar("ecc_words_checked",
+                      static_cast<double>(ecc.wordsChecked));
+        report.scalar("ecc_single_corrected",
+                      static_cast<double>(ecc.singleCorrected));
+        report.scalar("ecc_double_detected",
+                      static_cast<double>(ecc.doubleDetected));
+        report.scalar("breaker_trips", breaker_trips);
+        report.scalar("mean_ttft_seconds", total_ttft / kQueries);
+        report.scalar("qps", kQueries / busiest);
+        report.write();
+    }
+
+    // Tear down in declaration order inside each server: the query
+    // buffer releases before its GDL session's leak check runs.
+    servers.clear();
     return 0;
 }

@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -118,6 +119,19 @@ class DramAllocator
     uint64_t
     alloc(uint64_t n, uint64_t align = 512)
     {
+        auto base = tryAlloc(n, align);
+        cisram_assert(base.has_value(), "device DRAM exhausted: ", n,
+                      " bytes requested");
+        return *base;
+    }
+
+    /**
+     * Allocate, reporting exhaustion as nullopt instead of dying —
+     * the recoverable path behind GdlContext::tryMemAllocAligned.
+     */
+    std::optional<uint64_t>
+    tryAlloc(uint64_t n, uint64_t align = 512)
+    {
         std::lock_guard<std::mutex> lk(mu_);
         auto range = freeBySize_.equal_range(n);
         for (auto it = range.first; it != range.second; ++it) {
@@ -129,7 +143,8 @@ class DramAllocator
             }
         }
         uint64_t base = (cursor + align - 1) & ~(align - 1);
-        cisram_assert(base + n <= capacity_, "device DRAM exhausted");
+        if (base + n > capacity_)
+            return std::nullopt;
         cursor = base + n;
         live_.emplace(base, n);
         return base;

@@ -1,0 +1,40 @@
+#include "common/status.hh"
+
+namespace cisram {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:
+        return "OK";
+      case StatusCode::DeadlineExceeded:
+        return "DEADLINE_EXCEEDED";
+      case StatusCode::DataCorruption:
+        return "DATA_CORRUPTION";
+      case StatusCode::DeviceFault:
+        return "DEVICE_FAULT";
+      case StatusCode::ResourceExhausted:
+        return "RESOURCE_EXHAUSTED";
+      case StatusCode::InvalidArgument:
+        return "INVALID_ARGUMENT";
+      case StatusCode::Unavailable:
+        return "UNAVAILABLE";
+    }
+    return "?";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "OK";
+    std::string out = statusCodeName(code_);
+    if (!msg_.empty()) {
+        out += ": ";
+        out += msg_;
+    }
+    return out;
+}
+
+} // namespace cisram

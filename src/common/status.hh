@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Recoverable-error reporting: cisram::Status and StatusOr<T>.
+ *
+ * The repo draws a hard line between two failure classes (see
+ * DESIGN.md "Fault model and error-handling contract"):
+ *
+ *  - API *misuse* — out-of-bounds indices, shape mismatches,
+ *    double-frees — stays a loud death via cisram_assert/panic.
+ *    Those are bugs in the calling program; continuing would
+ *    corrupt simulation results silently.
+ *  - *Environmental* faults — a device task that hangs past its
+ *    deadline, a PCIe transfer corrupted in flight, an uncorrectable
+ *    DRAM ECC error, device-memory exhaustion under load — are
+ *    conditions a production host must detect, report, retry, and
+ *    degrade around. Those travel as Status values.
+ *
+ * Status mirrors the shape of absl::Status / gdl_status_t without
+ * the dependency: a small code plus a human-readable message.
+ * StatusOr<T> carries either a value or the error that prevented
+ * producing one.
+ */
+
+#ifndef CISRAM_COMMON_STATUS_HH
+#define CISRAM_COMMON_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace cisram {
+
+/** Failure classes a recoverable operation can report. */
+enum class StatusCode : uint8_t
+{
+    Ok = 0,
+    DeadlineExceeded,  ///< device task ran past its timeout
+    DataCorruption,    ///< CRC/ECC detected an unrecoverable error
+    DeviceFault,       ///< device task returned a nonzero status
+    ResourceExhausted, ///< device memory (or similar) unavailable
+    InvalidArgument,   ///< malformed configuration (fault spec)
+    Unavailable,       ///< transient refusal; retrying may succeed
+};
+
+/** Stable upper-case name, e.g. "DEADLINE_EXCEEDED". */
+const char *statusCodeName(StatusCode code);
+
+class Status
+{
+  public:
+    /** Default: OK. */
+    Status() = default;
+
+    Status(StatusCode code, std::string msg)
+        : code_(code), msg_(std::move(msg))
+    {}
+
+    static Status okStatus() { return Status(); }
+
+    static Status
+    deadlineExceeded(std::string msg)
+    {
+        return {StatusCode::DeadlineExceeded, std::move(msg)};
+    }
+
+    static Status
+    dataCorruption(std::string msg)
+    {
+        return {StatusCode::DataCorruption, std::move(msg)};
+    }
+
+    static Status
+    deviceFault(std::string msg)
+    {
+        return {StatusCode::DeviceFault, std::move(msg)};
+    }
+
+    static Status
+    resourceExhausted(std::string msg)
+    {
+        return {StatusCode::ResourceExhausted, std::move(msg)};
+    }
+
+    static Status
+    invalidArgument(std::string msg)
+    {
+        return {StatusCode::InvalidArgument, std::move(msg)};
+    }
+
+    static Status
+    unavailable(std::string msg)
+    {
+        return {StatusCode::Unavailable, std::move(msg)};
+    }
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return msg_; }
+
+    /** "DATA_CORRUPTION: <message>" (or "OK"). */
+    std::string toString() const;
+
+    bool
+    operator==(const Status &o) const
+    {
+        return code_ == o.code_ && msg_ == o.msg_;
+    }
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string msg_;
+};
+
+/**
+ * Either a T or the Status explaining its absence. Constructing from
+ * an OK status is a caller bug (there would be no value) and panics.
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    StatusOr(Status status) : status_(std::move(status))
+    {
+        cisram_assert(!status_.ok(),
+                      "StatusOr constructed from OK status without "
+                      "a value");
+    }
+
+    StatusOr(T value) : value_(std::move(value)) {}
+
+    bool ok() const { return status_.ok(); }
+    const Status &status() const { return status_; }
+
+    T &
+    value()
+    {
+        cisram_assert(status_.ok(), "StatusOr::value on error: ",
+                      status_.toString());
+        return *value_;
+    }
+
+    const T &
+    value() const
+    {
+        cisram_assert(status_.ok(), "StatusOr::value on error: ",
+                      status_.toString());
+        return *value_;
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace cisram
+
+#endif // CISRAM_COMMON_STATUS_HH

@@ -1,10 +1,12 @@
 #include "dramsim/dram_sim.hh"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "common/trace.hh"
+#include "fault/fault.hh"
 
 namespace cisram::dram {
 
@@ -131,10 +133,20 @@ DramChannel::process(uint64_t bank_id, uint64_t row, bool write)
     return issue + cfg.tCL + occupancy;
 }
 
-DramSystem::DramSystem(DramConfig cfg) : cfg(std::move(cfg))
+namespace {
+
+/** System serial counter: the per-system fault-draw stream id. */
+std::atomic<uint64_t> g_systemSerial{0};
+
+} // namespace
+
+DramSystem::DramSystem(DramConfig cfg)
+    : cfg(std::move(cfg)),
+      eccStream_(g_systemSerial.fetch_add(1, std::memory_order_relaxed))
 {
     trace::Tracer::init();
     metrics::initFromEnv();
+    fault::initFromEnv();
 }
 
 namespace {
@@ -197,7 +209,61 @@ DramSystem::processTrace(const std::vector<Request> &reqs)
         seconds > 0 ? static_cast<double>(bytes) / seconds : 0.0;
     if (metrics::enabled())
         observeTrace(channels, seconds);
+    if (const fault::FaultPlan *fp = fault::plan()) {
+        if (fp->clause(fault::Kind::DramFlip).enabled ||
+            fp->clause(fault::Kind::DramFlip2).enabled)
+            injectEccFaults(reqs);
+    }
     return seconds;
+}
+
+void
+DramSystem::injectEccFaults(const std::vector<Request> &reqs)
+{
+    const fault::FaultPlan *fp = fault::plan();
+    // SECDED protects 8-byte codewords; a burst carries several. One
+    // draw per read burst with word-scaled probability keeps the
+    // expected per-codeword flip rate while staying off the critical
+    // path (valid while words * p << 1, i.e. any realistic rate).
+    uint64_t words = cfg.burstBytes() / 8;
+    double scale = static_cast<double>(words);
+    for (const auto &r : reqs) {
+        if (r.write)
+            continue;
+        eccStats_.wordsChecked += words;
+        uint64_t index = eccSerial_++;
+        unsigned flips = fp->drawDramFlips(eccStream_, index, scale);
+        if (flips == 0)
+            continue;
+        auto &reg = metrics::Registry::get();
+        if (flips == 1) {
+            ++eccStats_.singleCorrected;
+            reg.counter("fault.injected", {{"kind", "dram_flip"}})
+                .inc();
+            reg.counter("fault.corrected", {{"kind", "dram_flip"}})
+                .inc();
+        } else {
+            ++eccStats_.doubleDetected;
+            reg.counter("fault.injected", {{"kind", "dram_flip2"}})
+                .inc();
+            reg.counter("fault.detected", {{"kind", "dram_flip2"}})
+                .inc();
+            if (faultStatus_.ok()) {
+                faultStatus_ = Status::deviceFault(detail::concat(
+                    "uncorrectable DRAM ECC error (double bit flip) "
+                    "in codeword #", index, " at device address ",
+                    r.addr));
+            }
+        }
+    }
+}
+
+Status
+DramSystem::takeFaultStatus()
+{
+    Status st = faultStatus_;
+    faultStatus_ = Status::okStatus();
+    return st;
 }
 
 void

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.hh"
 #include "dramsim/dram_config.hh"
 
 namespace cisram::dram {
@@ -45,6 +46,28 @@ struct DramStats
         rowHits += o.rowHits;
         rowMisses += o.rowMisses;
         refreshes += o.refreshes;
+    }
+};
+
+/**
+ * SECDED ECC ledger: every 8-byte codeword read through the
+ * controller is checked; transient single-bit flips (injected via a
+ * cisram::fault plan's dram_flip clause) are corrected inline,
+ * double flips (dram_flip2) are detected but uncorrectable. Only the
+ * simulated portion of a sampled stream is subject to injection.
+ */
+struct EccStats
+{
+    uint64_t wordsChecked = 0;    ///< 8-byte codewords read
+    uint64_t singleCorrected = 0; ///< transient flips fixed inline
+    uint64_t doubleDetected = 0;  ///< uncorrectable, surfaced as Status
+
+    void
+    operator+=(const EccStats &o)
+    {
+        wordsChecked += o.wordsChecked;
+        singleCorrected += o.singleCorrected;
+        doubleDetected += o.doubleDetected;
     }
 };
 
@@ -116,7 +139,24 @@ class DramSystem
     double lastEffectiveBandwidth() const { return lastBandwidth; }
 
     const DramStats &stats() const { return stats_; }
-    void resetStats() { stats_ = DramStats{}; }
+
+    void
+    resetStats()
+    {
+        stats_ = DramStats{};
+        eccStats_ = EccStats{};
+    }
+
+    /** SECDED ledger (all zero unless a fault plan injects flips). */
+    const EccStats &eccStats() const { return eccStats_; }
+
+    /**
+     * Take (and clear) the sticky fault status. Returns the first
+     * uncorrectable ECC error observed since the last take — sticky
+     * so a kernel can issue several stream calls and check once.
+     * OK when nothing uncorrectable happened.
+     */
+    Status takeFaultStatus();
 
   private:
     /** Append the burst requests of a contiguous range. */
@@ -127,9 +167,21 @@ class DramSystem
     void observeTrace(const std::vector<DramChannel> &channels,
                       double seconds) const;
 
+    /** Draw injected bit flips for the read bursts of one trace. */
+    void injectEccFaults(const std::vector<Request> &reqs);
+
     DramConfig cfg;
     DramStats stats_;
+    EccStats eccStats_;
+    Status faultStatus_ = Status::okStatus();
     double lastBandwidth = 0.0;
+
+    // Deterministic fault-draw coordinates (see src/fault/fault.hh):
+    // a per-system stream plus a running codeword serial. Instances
+    // are not thread-safe (as for the timing counters), so the serial
+    // advances in program order and draws are interleaving-free.
+    uint64_t eccStream_;
+    uint64_t eccSerial_ = 0;
 };
 
 /**

@@ -1,0 +1,302 @@
+#include "fault/fault.hh"
+
+#include <array>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cisram::fault {
+
+const char *
+kindName(Kind k)
+{
+    switch (k) {
+      case Kind::PcieCorrupt:
+        return "pcie_corrupt";
+      case Kind::TaskHang:
+        return "task_hang";
+      case Kind::DramFlip:
+        return "dram_flip";
+      case Kind::DramFlip2:
+        return "dram_flip2";
+      case Kind::DevOom:
+        return "dev_oom";
+      case Kind::kCount:
+        break;
+    }
+    return "?";
+}
+
+namespace {
+
+/** SplitMix64 finalizer: the per-coordinate mixing step. */
+uint64_t
+mix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+StatusOr<double>
+parseNumber(const std::string &clause, const std::string &text)
+{
+    const char *begin = text.c_str();
+    char *end = nullptr;
+    double v = std::strtod(begin, &end);
+    if (end == begin || *end != '\0') {
+        return Status::invalidArgument(
+            "fault spec clause '" + clause + "': bad number '" +
+            text + "'");
+    }
+    return v;
+}
+
+} // namespace
+
+StatusOr<FaultPlan>
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::stringstream clauses(spec);
+    std::string clause;
+    while (std::getline(clauses, clause, ';')) {
+        if (clause.empty())
+            continue;
+        size_t colon = clause.find(':');
+        std::string name = clause.substr(0, colon);
+        std::string params =
+            colon == std::string::npos ? "" : clause.substr(colon + 1);
+
+        if (name == "seed") {
+            auto v = parseNumber(clause, params);
+            if (!v.ok())
+                return v.status();
+            plan.seed_ = static_cast<uint64_t>(*v);
+            continue;
+        }
+
+        Kind kind = Kind::kCount;
+        for (unsigned k = 0;
+             k < static_cast<unsigned>(Kind::kCount); ++k) {
+            if (name == kindName(static_cast<Kind>(k)))
+                kind = static_cast<Kind>(k);
+        }
+        if (kind == Kind::kCount) {
+            return Status::invalidArgument(
+                "fault spec: unknown fault kind '" + name + "'");
+        }
+
+        Clause &c = plan.clauses_[static_cast<unsigned>(kind)];
+        c.enabled = true;
+        std::stringstream kvs(params);
+        std::string kv;
+        while (std::getline(kvs, kv, ',')) {
+            if (kv.empty())
+                continue;
+            size_t eq = kv.find('=');
+            if (eq == std::string::npos) {
+                return Status::invalidArgument(
+                    "fault spec clause '" + clause +
+                    "': expected key=value, got '" + kv + "'");
+            }
+            std::string key = kv.substr(0, eq);
+            auto v = parseNumber(clause, kv.substr(eq + 1));
+            if (!v.ok())
+                return v.status();
+            if (key == "p") {
+                if (*v < 0.0 || *v > 1.0) {
+                    return Status::invalidArgument(
+                        "fault spec clause '" + clause +
+                        "': p must be in [0, 1]");
+                }
+                c.p = *v;
+            } else if (key == "core") {
+                c.core = static_cast<int>(*v);
+            } else if (key == "nth") {
+                if (*v < 1.0) {
+                    return Status::invalidArgument(
+                        "fault spec clause '" + clause +
+                        "': nth is 1-based");
+                }
+                c.nth = static_cast<int64_t>(*v);
+            } else {
+                return Status::invalidArgument(
+                    "fault spec clause '" + clause +
+                    "': unknown key '" + key + "'");
+            }
+        }
+    }
+    return plan;
+}
+
+bool
+FaultPlan::any() const
+{
+    for (const Clause &c : clauses_)
+        if (c.enabled)
+            return true;
+    return false;
+}
+
+double
+FaultPlan::uniform(Kind k, uint64_t a, uint64_t b, uint64_t c) const
+{
+    uint64_t h = mix(seed_ ^
+                     (static_cast<uint64_t>(k) *
+                      0xd6e8feb86659fd93ull));
+    h = mix(h ^ a);
+    h = mix(h ^ b);
+    h = mix(h ^ c);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool
+FaultPlan::drawPcieCorrupt(uint64_t stream, uint64_t xfer,
+                           uint64_t attempt) const
+{
+    const Clause &c = clause(Kind::PcieCorrupt);
+    if (!c.enabled)
+        return false;
+    if (c.nth >= 0 && attempt == 0 &&
+        xfer + 1 == static_cast<uint64_t>(c.nth))
+        return true;
+    return c.p > 0.0 &&
+        uniform(Kind::PcieCorrupt, stream, xfer, attempt) < c.p;
+}
+
+bool
+FaultPlan::drawTaskHang(unsigned core, uint64_t invocation) const
+{
+    const Clause &c = clause(Kind::TaskHang);
+    if (!c.enabled)
+        return false;
+    if (c.core >= 0 && static_cast<unsigned>(c.core) != core)
+        return false;
+    if (c.nth >= 0 && invocation == static_cast<uint64_t>(c.nth))
+        return true;
+    return c.p > 0.0 &&
+        uniform(Kind::TaskHang, core, invocation, 0) < c.p;
+}
+
+unsigned
+FaultPlan::drawDramFlips(uint64_t stream, uint64_t codeword,
+                         double scale) const
+{
+    double p1 = clause(Kind::DramFlip).enabled
+        ? clause(Kind::DramFlip).p * scale : 0.0;
+    double p2 = clause(Kind::DramFlip2).enabled
+        ? clause(Kind::DramFlip2).p * scale : 0.0;
+    if (p1 <= 0.0 && p2 <= 0.0)
+        return 0;
+    double u = uniform(Kind::DramFlip, stream, codeword, 0);
+    if (u < p2)
+        return 2;
+    if (u < p2 + p1)
+        return 1;
+    return 0;
+}
+
+bool
+FaultPlan::drawDevOom(uint64_t stream, uint64_t alloc_index) const
+{
+    const Clause &c = clause(Kind::DevOom);
+    if (!c.enabled)
+        return false;
+    if (c.nth >= 0 && alloc_index == static_cast<uint64_t>(c.nth))
+        return true;
+    return c.p > 0.0 &&
+        uniform(Kind::DevOom, stream, alloc_index, 0) < c.p;
+}
+
+std::string
+FaultPlan::toString() const
+{
+    std::ostringstream out;
+    bool first = true;
+    for (unsigned k = 0; k < static_cast<unsigned>(Kind::kCount);
+         ++k) {
+        const Clause &c = clauses_[k];
+        if (!c.enabled)
+            continue;
+        if (!first)
+            out << ';';
+        first = false;
+        out << kindName(static_cast<Kind>(k)) << ":p=" << c.p;
+        if (c.core >= 0)
+            out << ",core=" << c.core;
+        if (c.nth >= 0)
+            out << ",nth=" << c.nth;
+    }
+    if (!first)
+        out << ";seed:" << seed_;
+    return out.str();
+}
+
+namespace detail {
+std::atomic<const FaultPlan *> g_plan{nullptr};
+} // namespace detail
+
+namespace {
+std::mutex g_armMu;
+FaultPlan g_armed; ///< storage behind detail::g_plan
+} // namespace
+
+void
+armPlan(const FaultPlan &plan)
+{
+    std::lock_guard<std::mutex> lk(g_armMu);
+    detail::g_plan.store(nullptr, std::memory_order_release);
+    g_armed = plan;
+    detail::g_plan.store(&g_armed, std::memory_order_release);
+}
+
+void
+disarm()
+{
+    std::lock_guard<std::mutex> lk(g_armMu);
+    detail::g_plan.store(nullptr, std::memory_order_release);
+}
+
+void
+initFromEnv()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const char *spec = std::getenv("CISRAM_FAULT_SPEC");
+        if (!spec || !*spec)
+            return;
+        auto plan = FaultPlan::parse(spec);
+        if (!plan.ok()) {
+            cisram_fatal("CISRAM_FAULT_SPEC: ",
+                         plan.status().toString());
+        }
+        armPlan(*plan);
+        cisram_inform("fault plan armed: ", plan->toString());
+    });
+}
+
+uint32_t
+crc32(const void *data, size_t n)
+{
+    static const auto table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c >> 1) ^ ((c & 1u) ? 0xedb88320u : 0u);
+            t[i] = c;
+        }
+        return t;
+    }();
+    uint32_t crc = 0xffffffffu;
+    const auto *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < n; ++i)
+        crc = (crc >> 8) ^ table[(crc ^ p[i]) & 0xffu];
+    return crc ^ 0xffffffffu;
+}
+
+} // namespace cisram::fault

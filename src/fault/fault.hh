@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Deterministic fault injection for the simulated device stack.
+ *
+ * The real GDL API the paper's host code programs against exposes
+ * failure as a first-class outcome (`gdl_run_task_timeout`, Fig. 5a):
+ * production devices hang, PCIe links corrupt TLPs, DRAM cells flip.
+ * This module injects those *environmental* faults into the
+ * simulator on demand so the recovery machinery above it — timeouts,
+ * CRC-checked transfers with retry, SECDED ECC, circuit breakers —
+ * can be exercised and tested deterministically.
+ *
+ * A FaultPlan is armed process-wide, either programmatically
+ * (fault::armPlan) or from the CISRAM_FAULT_SPEC environment
+ * variable. The spec grammar is `clause(;clause)*` with
+ * `clause = kind(:key=value(,key=value)*)?`:
+ *
+ *   pcie_corrupt:p=1e-3           corrupt host<->device transfers
+ *   task_hang:core=2,nth=5        hang the 5th task on core 2
+ *   task_hang:p=0.01              hang tasks with probability p
+ *   dram_flip:p=1e-6              single-bit flip per ECC codeword
+ *   dram_flip2:p=1e-9             double-bit flip per ECC codeword
+ *   dev_oom:nth=3                 fail the 3rd device allocation
+ *   seed:42                       seed for all probability draws
+ *
+ * e.g. CISRAM_FAULT_SPEC="pcie_corrupt:p=1e-3;task_hang:core=2,nth=5"
+ *
+ * Every draw is a pure hash of (seed, kind, stream, index, attempt):
+ * there is no shared RNG state, so outcomes are independent of host
+ * thread interleaving and identical for any CISRAM_SIM_THREADS.
+ * Streams are per-owner counters (a GdlContext's transfer serial, a
+ * DramSystem's codeword serial), each owned by exactly one simulated
+ * core, which keeps the injected fault sequence reproducible
+ * bit-for-bit.
+ *
+ * Cost contract: when no plan is armed, every hook in the stack is a
+ * single relaxed atomic load plus a null test (`fault::plan()`), and
+ * all simulated timing is bit-identical to a build without the
+ * subsystem — bench_fault_overhead pins <1% wall overhead.
+ * Arm/disarm is not synchronized against in-flight draws; arm the
+ * plan before the workload starts (main(), test SetUp).
+ */
+
+#ifndef CISRAM_FAULT_FAULT_HH
+#define CISRAM_FAULT_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.hh"
+
+namespace cisram::fault {
+
+/** Fault kinds a plan can inject. */
+enum class Kind : unsigned
+{
+    PcieCorrupt = 0, ///< host<->device transfer corrupted in flight
+    TaskHang,        ///< device task never retires
+    DramFlip,        ///< transient single-bit flip in a codeword
+    DramFlip2,       ///< transient double-bit flip in a codeword
+    DevOom,          ///< device-memory allocation failure
+    kCount,
+};
+
+/** Spec-grammar name of a fault kind ("pcie_corrupt", ...). */
+const char *kindName(Kind k);
+
+/** One armed clause of a plan. */
+struct Clause
+{
+    bool enabled = false;
+    double p = 0.0;   ///< per-event probability (0 = never by draw)
+    int core = -1;    ///< restrict to one core (-1 = any)
+    int64_t nth = -1; ///< fire on the nth occurrence (1-based)
+};
+
+/**
+ * An immutable, seed-driven injection plan. Thread-safe: all query
+ * methods are const and stateless (callers own their counters).
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    /**
+     * Parse the CISRAM_FAULT_SPEC grammar (see file comment).
+     * Unknown kinds, keys, or malformed numbers return
+     * InvalidArgument — a mistyped spec must never silently run the
+     * happy path.
+     */
+    static StatusOr<FaultPlan> parse(const std::string &spec);
+
+    const Clause &
+    clause(Kind k) const
+    {
+        return clauses_[static_cast<unsigned>(k)];
+    }
+
+    uint64_t seed() const { return seed_; }
+
+    /** True if any clause is armed. */
+    bool any() const;
+
+    /**
+     * Corrupt attempt `attempt` of transfer `xfer` on stream
+     * `stream`? Retries pass increasing attempts, so a p < 1 fault
+     * clears after a finite number of retries.
+     */
+    bool drawPcieCorrupt(uint64_t stream, uint64_t xfer,
+                         uint64_t attempt) const;
+
+    /** Hang invocation `invocation` (1-based) on `core`? */
+    bool drawTaskHang(unsigned core, uint64_t invocation) const;
+
+    /**
+     * Number of flipped bits (0, 1, or 2) in codeword `codeword` of
+     * stream `stream`: 1 with clause(DramFlip).p, 2 with
+     * clause(DramFlip2).p. `scale` multiplies both probabilities so
+     * a caller covering `scale` codewords with one draw (rare-event
+     * aggregation, valid while scale*p << 1) keeps the same expected
+     * flip count per codeword.
+     */
+    unsigned drawDramFlips(uint64_t stream, uint64_t codeword,
+                           double scale = 1.0) const;
+
+    /** Fail allocation `alloc_index` (1-based) on `stream`? */
+    bool drawDevOom(uint64_t stream, uint64_t alloc_index) const;
+
+    /** Canonical spec string of the armed clauses. */
+    std::string toString() const;
+
+  private:
+    /** Deterministic uniform in [0, 1) from the draw coordinates. */
+    double uniform(Kind k, uint64_t a, uint64_t b, uint64_t c) const;
+
+    Clause clauses_[static_cast<unsigned>(Kind::kCount)];
+    uint64_t seed_ = 1;
+};
+
+namespace detail {
+extern std::atomic<const FaultPlan *> g_plan;
+} // namespace detail
+
+/**
+ * The armed plan, or nullptr. This is the hot-path gate: a relaxed
+ * atomic load, nothing else.
+ */
+inline const FaultPlan *
+plan()
+{
+    return detail::g_plan.load(std::memory_order_relaxed);
+}
+
+/** Arm `plan` process-wide (copied; replaces any armed plan). */
+void armPlan(const FaultPlan &plan);
+
+/** Disarm: subsequent plan() calls return nullptr. */
+void disarm();
+
+/**
+ * Read CISRAM_FAULT_SPEC once and arm it if set. Idempotent and
+ * thread-safe; called from GdlContext / DramSystem construction so
+ * env-var usage needs no code. A malformed spec is fatal (a typo'd
+ * injection campaign must not silently measure the happy path).
+ */
+void initFromEnv();
+
+/**
+ * CRC-32 (IEEE 802.3, reflected) of `n` bytes — the link-layer
+ * checksum the PCIe retry path verifies transfers with.
+ */
+uint32_t crc32(const void *data, size_t n);
+
+} // namespace cisram::fault
+
+#endif // CISRAM_FAULT_FAULT_HH

@@ -1,8 +1,41 @@
 #include "gdl/gdl.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <vector>
+
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
+#include "fault/fault.hh"
 
 namespace cisram::gdl {
+
+namespace {
+
+/** Context serial counter: the per-context fault-draw stream id. */
+std::atomic<uint64_t> g_contextSerial{0};
+
+/** Record a fault event into the (shard-aware) metrics registry. */
+void
+countFault(const char *series, const char *kind)
+{
+    metrics::Registry::get()
+        .counter(series, {{"kind", kind}})
+        .inc();
+}
+
+} // namespace
+
+GdlContext::GdlContext(apu::ApuDevice &dev)
+    : dev_(dev),
+      faultStream_(
+          g_contextSerial.fetch_add(1, std::memory_order_relaxed)),
+      taskSerial_(dev.numCores(), 0)
+{
+    fault::initFromEnv();
+}
 
 GdlContext::~GdlContext()
 {
@@ -25,18 +58,47 @@ GdlContext::~GdlContext()
 MemHandle
 GdlContext::memAllocAligned(uint64_t bytes, uint64_t align)
 {
-    MemHandle h{dev_.allocator().alloc(bytes, align)};
-    owned_.emplace(h.addr, bytes);
-    return h;
+    auto h = tryMemAllocAligned(bytes, align);
+    cisram_assert(h.ok(), "memAllocAligned: ",
+                  h.status().toString());
+    return *h;
+}
+
+StatusOr<MemHandle>
+GdlContext::tryMemAllocAligned(uint64_t bytes, uint64_t align)
+{
+    uint64_t serial = ++allocSerial_;
+    if (const fault::FaultPlan *fp = fault::plan()) {
+        if (fp->drawDevOom(faultStream_, serial)) {
+            ++stats_.allocFailures;
+            countFault("fault.injected", "dev_oom");
+            return Status::resourceExhausted(
+                detail::concat("injected device OOM on allocation #",
+                               serial, " (", bytes, " bytes)"));
+        }
+    }
+    auto base = dev_.allocator().tryAlloc(bytes, align);
+    if (!base) {
+        ++stats_.allocFailures;
+        return Status::resourceExhausted(
+            detail::concat("device DRAM exhausted: ", bytes,
+                           " bytes requested, ",
+                           dev_.allocator().used(), " of ",
+                           dev_.l4().capacity(), " in use"));
+    }
+    owned_.emplace(*base, bytes);
+    return MemHandle{*base};
 }
 
 void
 GdlContext::memFree(MemHandle h)
 {
     auto it = owned_.find(h.addr);
-    cisram_assert(it != owned_.end(),
-                  "memFree of a handle not allocated by this "
-                  "context: ", h.addr);
+    if (it == owned_.end()) {
+        cisram_panic("GdlContext::memFree: device address ", h.addr,
+                     " is not owned by this context (double-free, "
+                     "or a handle from another context)");
+    }
     owned_.erase(it);
     dev_.allocator().free(h.addr);
 }
@@ -45,21 +107,129 @@ void
 GdlContext::memCpyToDev(MemHandle dst, const void *src,
                         uint64_t bytes)
 {
-    cisram_assert(src != nullptr || bytes == 0);
-    dev_.l4().write(dst.addr, src, bytes);
-    stats_.pcieSeconds +=
-        pcieLatency + static_cast<double>(bytes) / pcieBytesPerSec;
-    stats_.bytesToDevice += bytes;
+    Status st = tryMemCpyToDev(dst, src, bytes);
+    cisram_assert(st.ok(), "memCpyToDev: ", st.toString());
 }
 
 void
 GdlContext::memCpyFromDev(void *dst, MemHandle src, uint64_t bytes)
 {
+    Status st = tryMemCpyFromDev(dst, src, bytes);
+    cisram_assert(st.ok(), "memCpyFromDev: ", st.toString());
+}
+
+Status
+GdlContext::tryMemCpyToDev(MemHandle dst, const void *src,
+                           uint64_t bytes)
+{
+    cisram_assert(src != nullptr || bytes == 0);
+    const fault::FaultPlan *fp = fault::plan();
+    if (fp && fp->clause(fault::Kind::PcieCorrupt).enabled) {
+        Status st =
+            pcieDeliverChecked(true, dst.addr, src, nullptr, bytes);
+        if (!st.ok())
+            return st;
+    } else {
+        dev_.l4().write(dst.addr, src, bytes);
+        stats_.pcieSeconds += pcieLatency +
+            static_cast<double>(bytes) / pcieBytesPerSec;
+    }
+    stats_.bytesToDevice += bytes;
+    return Status::okStatus();
+}
+
+Status
+GdlContext::tryMemCpyFromDev(void *dst, MemHandle src,
+                             uint64_t bytes)
+{
     cisram_assert(dst != nullptr || bytes == 0);
-    dev_.l4().read(src.addr, dst, bytes);
-    stats_.pcieSeconds +=
-        pcieLatency + static_cast<double>(bytes) / pcieBytesPerSec;
+    const fault::FaultPlan *fp = fault::plan();
+    if (fp && fp->clause(fault::Kind::PcieCorrupt).enabled) {
+        Status st =
+            pcieDeliverChecked(false, src.addr, nullptr, dst, bytes);
+        if (!st.ok())
+            return st;
+    } else {
+        dev_.l4().read(src.addr, dst, bytes);
+        stats_.pcieSeconds += pcieLatency +
+            static_cast<double>(bytes) / pcieBytesPerSec;
+    }
     stats_.bytesFromDevice += bytes;
+    return Status::okStatus();
+}
+
+Status
+GdlContext::pcieDeliverChecked(bool to_dev, uint64_t dev_addr,
+                               const void *src, void *dst,
+                               uint64_t bytes)
+{
+    const fault::FaultPlan *fp = fault::plan();
+    uint64_t xfer = xferSerial_++;
+    double lane_seconds = pcieLatency +
+        static_cast<double>(bytes) / pcieBytesPerSec;
+
+    // A from-device read has to land somewhere before the CRC is
+    // checked; stage it so a corrupted attempt never reaches the
+    // caller's buffer.
+    std::vector<uint8_t> staged;
+    if (!to_dev)
+        staged.resize(bytes);
+
+    for (unsigned attempt = 0; attempt < pcieMaxAttempts;
+         ++attempt) {
+        if (attempt > 0) {
+            // Bounded exponential backoff before the resend.
+            stats_.pcieSeconds += pcieLatency *
+                static_cast<double>(1u << std::min(attempt - 1, 6u));
+        }
+        stats_.pcieSeconds += lane_seconds;
+
+        const uint8_t *payload;
+        if (to_dev) {
+            payload = static_cast<const uint8_t *>(src);
+        } else {
+            dev_.l4().read(dev_addr, staged.data(), bytes);
+            payload = staged.data();
+        }
+        uint32_t sent_crc = fault::crc32(payload, bytes);
+
+        bool corrupt =
+            fp && fp->drawPcieCorrupt(faultStream_, xfer, attempt);
+        if (corrupt && bytes > 0) {
+            // Flip one in-flight bit and let the link CRC catch it,
+            // exactly as the receiver would.
+            std::vector<uint8_t> wire(payload, payload + bytes);
+            wire[xfer % bytes] ^= 0x40;
+            uint32_t recv_crc = fault::crc32(wire.data(), bytes);
+            cisram_assert(recv_crc != sent_crc,
+                          "CRC-32 missed a single-bit error");
+            countFault("fault.injected", "pcie_corrupt");
+            countFault("fault.detected", "pcie_corrupt");
+            metrics::Registry::get()
+                .counter("fault.retries", {{"site", "pcie"}})
+                .inc();
+            ++stats_.pcieRetries;
+            if (trace::active()) {
+                trace::Tracer::get().instant(
+                    dev_.tracePid(), 0, "fault.pcie_corrupt",
+                    static_cast<double>(xfer));
+            }
+            continue;
+        }
+
+        // Clean delivery: commit the payload.
+        if (to_dev)
+            dev_.l4().write(dev_addr, src, bytes);
+        else
+            std::memcpy(dst, staged.data(), bytes);
+        return Status::okStatus();
+    }
+    ++stats_.pcieErrors;
+    return Status::dataCorruption(
+        detail::concat("PCIe transfer #", xfer, " (", bytes,
+                       " bytes ", to_dev ? "to" : "from",
+                       " device) corrupted on all ",
+                       pcieMaxAttempts, " attempts"));
 }
 
 int
@@ -79,7 +249,83 @@ GdlContext::runTaskOn(unsigned core_idx,
     stats_.deviceSeconds += dev_.cyclesToSeconds(cycles);
     stats_.invokeSeconds += taskLaunchSeconds;
     ++stats_.tasksRun;
+    if (rc != 0) {
+        // A nonzero device status is never silent: it is logged,
+        // counted, and returned for the caller to act on.
+        ++stats_.tasksFailed;
+        cisram_warn("device task on core ", core_idx,
+                    " returned nonzero status ", rc);
+    }
     return rc;
+}
+
+Status
+GdlContext::runTaskTimeout(
+    double deadline_seconds,
+    const std::function<int(apu::ApuCore &)> &task)
+{
+    return runTaskTimeoutOn(0, deadline_seconds, task);
+}
+
+Status
+GdlContext::runTaskTimeoutOn(
+    unsigned core_idx, double deadline_seconds,
+    const std::function<int(apu::ApuCore &)> &task)
+{
+    cisram_assert(deadline_seconds > 0.0,
+                  "runTaskTimeout requires a positive deadline");
+    apu::ApuCore &core = dev_.core(core_idx);
+    uint64_t invocation = ++taskSerial_.at(core_idx);
+
+    if (const fault::FaultPlan *fp = fault::plan()) {
+        if (fp->drawTaskHang(core_idx, invocation)) {
+            // The device never retires the task: the host polls
+            // until the timeout expires, then reports the loss.
+            stats_.invokeSeconds +=
+                taskLaunchSeconds + deadline_seconds;
+            ++stats_.tasksRun;
+            ++stats_.tasksTimedOut;
+            countFault("fault.injected", "task_hang");
+            countFault("fault.detected", "task_hang");
+            if (trace::active()) {
+                trace::Tracer::get().instant(
+                    dev_.tracePid(), core_idx, "fault.task_hang",
+                    core.stats().cycles());
+            }
+            return Status::deadlineExceeded(detail::concat(
+                "task invocation #", invocation, " on core ",
+                core_idx, " hung past its ",
+                deadline_seconds * 1e3, " ms deadline"));
+        }
+    }
+
+    double before = core.stats().cycles();
+    int rc = task(core);
+    double after = core.stats().cycles();
+    // Kernels may reset the core ledger mid-task; fall back to the
+    // absolute cycle count in that case.
+    double cycles = after >= before ? after - before : after;
+    double task_seconds = dev_.cyclesToSeconds(cycles);
+    stats_.deviceSeconds += task_seconds;
+    stats_.invokeSeconds += taskLaunchSeconds;
+    ++stats_.tasksRun;
+
+    if (task_seconds > deadline_seconds) {
+        ++stats_.tasksTimedOut;
+        return Status::deadlineExceeded(detail::concat(
+            "task invocation #", invocation, " on core ", core_idx,
+            " took ", task_seconds * 1e3, " ms against a ",
+            deadline_seconds * 1e3, " ms deadline"));
+    }
+    if (rc != 0) {
+        ++stats_.tasksFailed;
+        cisram_warn("device task on core ", core_idx,
+                    " returned nonzero status ", rc);
+        return Status::deviceFault(detail::concat(
+            "task invocation #", invocation, " on core ", core_idx,
+            " returned status ", rc));
+    }
+    return Status::okStatus();
 }
 
 } // namespace cisram::gdl

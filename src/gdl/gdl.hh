@@ -9,6 +9,17 @@
  * the simulator, including PCIe transfer timing and task-invocation
  * overhead, so host programs read like the paper's.
  *
+ * Error-handling contract (DESIGN.md "Fault model"): API misuse
+ * (freeing a foreign handle, OOB addresses) dies loudly via
+ * cisram_assert, while *environmental* faults — device task hangs
+ * bounded by runTaskTimeout, PCIe corruption caught by the
+ * CRC-checked transfer retry loop, device-memory exhaustion — are
+ * reported as cisram::Status through the try/timeout variants so a
+ * serving loop can retry or degrade. The unchecked void/returning
+ * variants remain for programs that treat any device failure as
+ * fatal. Faults only occur when a cisram::fault plan is armed; an
+ * unarmed run pays one relaxed atomic load per call.
+ *
  * Allocation discipline: every memAllocAligned must be balanced by a
  * memFree on the same context (or wrapped in a DeviceBuffer, which
  * does it for you). A context that is torn down with outstanding
@@ -23,8 +34,10 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "apusim/apu.hh"
+#include "common/status.hh"
 
 namespace cisram::gdl {
 
@@ -50,6 +63,14 @@ struct HostStats
     uint64_t bytesFromDevice = 0;
     unsigned tasksRun = 0;
 
+    // Failure accounting (all zero unless a fault plan is armed or a
+    // device task misbehaves).
+    unsigned tasksFailed = 0;   ///< nonzero task return values
+    unsigned tasksTimedOut = 0; ///< runTaskTimeout deadline misses
+    unsigned pcieRetries = 0;   ///< transfers resent after CRC error
+    unsigned pcieErrors = 0;    ///< transfers abandoned after retry
+    unsigned allocFailures = 0; ///< device-OOM allocation failures
+
     double
     totalSeconds() const
     {
@@ -68,7 +89,7 @@ struct HostStats
 class GdlContext
 {
   public:
-    explicit GdlContext(apu::ApuDevice &dev) : dev_(dev) {}
+    explicit GdlContext(apu::ApuDevice &dev);
 
     /** Checks the allocation ledger; see file comment. */
     ~GdlContext();
@@ -81,6 +102,14 @@ class GdlContext
     /** gdl_mem_alloc_aligned: allocate device DRAM. */
     MemHandle memAllocAligned(uint64_t bytes, uint64_t align = 512);
 
+    /**
+     * memAllocAligned that reports device-memory exhaustion (real or
+     * injected) as ResourceExhausted instead of dying, so serving
+     * loops can shed load instead of crashing.
+     */
+    StatusOr<MemHandle> tryMemAllocAligned(uint64_t bytes,
+                                           uint64_t align = 512);
+
     /** gdl_mem_free: release device DRAM obtained from this context. */
     void memFree(MemHandle h);
 
@@ -92,6 +121,21 @@ class GdlContext
 
     /** gdl_mem_cpy_from_dev: device DRAM -> host over PCIe. */
     void memCpyFromDev(void *dst, MemHandle src, uint64_t bytes);
+
+    /**
+     * CRC-checked memCpyToDev: each transfer attempt is verified
+     * with a link-layer CRC-32; a corrupted attempt (injected
+     * pcie_corrupt fault) is detected, charged, and resent with
+     * bounded exponential backoff, up to pcieMaxAttempts. Returns
+     * DataCorruption once retries are exhausted; device memory is
+     * only written by a clean attempt.
+     */
+    Status tryMemCpyToDev(MemHandle dst, const void *src,
+                          uint64_t bytes);
+
+    /** CRC-checked memCpyFromDev; see tryMemCpyToDev. */
+    Status tryMemCpyFromDev(void *dst, MemHandle src,
+                            uint64_t bytes);
 
     /**
      * gdl_run_task_timeout: invoke a device program on core 0. The
@@ -107,6 +151,26 @@ class GdlContext
     int runTaskOn(unsigned core_idx,
                   const std::function<int(apu::ApuCore &)> &task);
 
+    /**
+     * gdl_run_task_timeout: invoke a device program with a bound on
+     * how long the host will wait (simulated seconds). Outcomes:
+     *
+     *  - OK: the task retired within the deadline with status 0.
+     *  - DeadlineExceeded: the task hung (injected task_hang fault —
+     *    the host waits out the full deadline) or its simulated
+     *    runtime exceeded the deadline.
+     *  - DeviceFault: the task retired with a nonzero status.
+     *
+     * The device core is left in whatever state the task reached;
+     * a caller that retries is responsible for re-staging inputs.
+     */
+    Status runTaskTimeout(double deadline_seconds,
+                          const std::function<int(apu::ApuCore &)> &task);
+
+    /** runTaskTimeout pinned to a specific core. */
+    Status runTaskTimeoutOn(unsigned core_idx, double deadline_seconds,
+                            const std::function<int(apu::ApuCore &)> &task);
+
     const HostStats &stats() const { return stats_; }
     void resetStats() { stats_ = HostStats{}; }
 
@@ -115,10 +179,26 @@ class GdlContext
     double pcieLatency = 5.0e-6;
     double taskLaunchSeconds = 30.0e-6;
 
+    /** Transfer attempts before tryMemCpy* reports DataCorruption. */
+    unsigned pcieMaxAttempts = 4;
+
   private:
+    /** One CRC-checked PCIe delivery with retry (fault plan armed). */
+    Status pcieDeliverChecked(bool to_dev, uint64_t dev_addr,
+                              const void *src, void *dst,
+                              uint64_t bytes);
+
     apu::ApuDevice &dev_;
     HostStats stats_;
     std::unordered_map<uint64_t, uint64_t> owned_; ///< addr -> bytes
+
+    // Deterministic fault-draw coordinates: a per-context stream id
+    // plus per-context serials, so injected faults are independent
+    // of host thread interleaving (each context is single-threaded).
+    uint64_t faultStream_;
+    uint64_t xferSerial_ = 0;
+    uint64_t allocSerial_ = 0;
+    std::vector<uint64_t> taskSerial_; ///< per-core invocations
 };
 
 /**

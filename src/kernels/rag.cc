@@ -306,6 +306,7 @@ RagRetriever::retrieveGf16(const std::vector<int16_t> &query,
         dev.allocator().free(emb_addr);
     }
     publishTopkIds(res, 0);
+    res.status = hbm.takeFaultStatus();
     return res;
 }
 
@@ -433,6 +434,12 @@ RagRetriever::retrieveBatch(
     }
     if (fnl)
         dev.allocator().free(emb_addr);
+    // One corpus pass serves the whole batch, so an uncorrectable
+    // ECC error taints every result in it.
+    Status ecc = hbm.takeFaultStatus();
+    if (!ecc.ok())
+        for (auto &r : results)
+            r.status = ecc;
     return results;
 }
 
@@ -597,6 +604,7 @@ RagRetriever::retrieveSpatial(const std::vector<int16_t> &query,
         dev.allocator().free(q_addr);
     }
     publishTopkIds(res, 0);
+    res.status = hbm.takeFaultStatus();
     return res;
 }
 
@@ -717,6 +725,7 @@ RagRetriever::retrieveTemporal(const std::vector<int16_t> &query,
         dev.allocator().free(q_addr);
     }
     publishTopkIds(res, 0);
+    res.status = hbm.takeFaultStatus();
     return res;
 }
 

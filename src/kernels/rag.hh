@@ -84,6 +84,15 @@ struct RagRunResult
     double computeSeconds = 0; ///< VXU-active time
     double dramBytes = 0;      ///< off-chip bytes streamed
     double cacheBytes = 0;     ///< bytes through L2/L1
+
+    /**
+     * OK unless the embedding stream hit an uncorrectable DRAM ECC
+     * error (injected dram_flip2 fault), in which case the scores
+     * derived from it cannot be trusted and the serving loop should
+     * retry or fall back. Single-bit flips are corrected inline by
+     * SECDED and never surface here.
+     */
+    Status status = Status::okStatus();
 };
 
 class RagRetriever

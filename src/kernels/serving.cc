@@ -1,0 +1,69 @@
+#include "kernels/serving.hh"
+
+#include "common/logging.hh"
+#include "common/metrics.hh"
+
+namespace cisram::kernels {
+
+const char *
+breakerStateName(BreakerState s)
+{
+    switch (s) {
+      case BreakerState::Closed:   return "closed";
+      case BreakerState::Open:     return "open";
+      case BreakerState::HalfOpen: return "half-open";
+    }
+    cisram_panic("unknown breaker state");
+}
+
+bool
+CircuitBreaker::allowRequest()
+{
+    switch (state_) {
+      case BreakerState::Closed:
+        return true;
+      case BreakerState::HalfOpen:
+        // One probe at a time: further queries fall back until the
+        // probe's outcome is recorded.
+        return false;
+      case BreakerState::Open:
+        if (remainingCooldown_ > 1) {
+            --remainingCooldown_;
+            return false;
+        }
+        remainingCooldown_ = 0;
+        state_ = BreakerState::HalfOpen;
+        return true; // this query is the probe
+    }
+    cisram_panic("unknown breaker state");
+}
+
+void
+CircuitBreaker::recordSuccess()
+{
+    consecutive_ = 0;
+    state_ = BreakerState::Closed;
+}
+
+void
+CircuitBreaker::recordFailure()
+{
+    if (state_ == BreakerState::HalfOpen) {
+        trip(); // failed probe: back to Open, cooldown restarts
+        return;
+    }
+    ++consecutive_;
+    if (state_ == BreakerState::Closed && consecutive_ >= threshold_)
+        trip();
+}
+
+void
+CircuitBreaker::trip()
+{
+    state_ = BreakerState::Open;
+    remainingCooldown_ = cooldown_ > 0 ? cooldown_ : 1;
+    ++trips_;
+    metrics::Registry::get().counter("fault.breaker_trips").inc();
+}
+
+} // namespace cisram::kernels

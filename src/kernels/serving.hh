@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fault-tolerant serving primitives for the RAG loop.
+ *
+ * A production serving loop in front of the accelerator cannot treat
+ * a device fault as fatal: a hung task, a corrupted PCIe transfer, or
+ * an uncorrectable ECC error on one core must degrade that query, not
+ * the service. The pieces here encode the standard pattern:
+ *
+ *  - RetryPolicy: how many times to re-issue a failed device attempt
+ *    before giving up on the device for this query.
+ *  - CircuitBreaker (one per device core): after `failureThreshold`
+ *    consecutive query failures the breaker trips Open and queries
+ *    route straight to the CPU fallback without touching the device;
+ *    after `cooldownQueries` fallback queries it goes HalfOpen and
+ *    the next query probes the device once — success re-closes the
+ *    breaker, failure re-opens it and the cooldown restarts.
+ *
+ * Both are deterministic (no wall-clock anywhere: the cooldown is
+ * counted in queries, not seconds), so a serving run under an armed
+ * fault plan is reproducible bit-for-bit.
+ */
+
+#ifndef CISRAM_KERNELS_SERVING_HH
+#define CISRAM_KERNELS_SERVING_HH
+
+namespace cisram::kernels {
+
+/** Circuit-breaker state (DESIGN.md "Fault model"). */
+enum class BreakerState { Closed, Open, HalfOpen };
+
+const char *breakerStateName(BreakerState s);
+
+/** Per-query device retry budget. */
+struct RetryPolicy
+{
+    /** Device attempts per query before falling back to CPU. */
+    unsigned maxAttempts = 3;
+
+    /** Per-attempt device deadline, simulated seconds. */
+    double deadlineSeconds = 0.1;
+};
+
+/**
+ * One core's breaker. Not thread-safe: each serving shard owns the
+ * breaker of the core it drives, matching the one-session-per-core
+ * structure of the serving loop.
+ */
+class CircuitBreaker
+{
+  public:
+    explicit CircuitBreaker(unsigned failure_threshold = 3,
+                            unsigned cooldown_queries = 4)
+        : threshold_(failure_threshold), cooldown_(cooldown_queries)
+    {}
+
+    /**
+     * Gate one query: true to try the device (Closed, or the single
+     * HalfOpen probe), false to go straight to the CPU fallback.
+     * While Open, each call counts down the cooldown; the call that
+     * exhausts it transitions to HalfOpen and admits the probe.
+     */
+    bool allowRequest();
+
+    /** The admitted device query succeeded: close the breaker. */
+    void recordSuccess();
+
+    /**
+     * The admitted device query failed (after its retry budget).
+     * Closed: counts toward the trip threshold. HalfOpen: the probe
+     * failed, re-open and restart the cooldown.
+     */
+    void recordFailure();
+
+    BreakerState state() const { return state_; }
+    unsigned consecutiveFailures() const { return consecutive_; }
+
+    /** Times the breaker tripped Closed/HalfOpen -> Open. */
+    unsigned trips() const { return trips_; }
+
+  private:
+    void trip();
+
+    unsigned threshold_;
+    unsigned cooldown_;
+    BreakerState state_ = BreakerState::Closed;
+    unsigned consecutive_ = 0;
+    unsigned remainingCooldown_ = 0;
+    unsigned trips_ = 0;
+};
+
+} // namespace cisram::kernels
+
+#endif // CISRAM_KERNELS_SERVING_HH

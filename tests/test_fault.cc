@@ -1,0 +1,526 @@
+/**
+ * @file
+ * The fault-injection subsystem and the recoverable-error contract
+ * built on it: spec parsing, draw determinism, CRC-checked PCIe
+ * retry, task timeouts, device-OOM, SECDED ECC statistics against
+ * their analytical expectation, the circuit breaker, and the
+ * bit-identity of an armed-but-zero-probability plan with an
+ * unarmed run.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apusim/apu.hh"
+#include "common/status.hh"
+#include "dramsim/dram_sim.hh"
+#include "fault/fault.hh"
+#include "gdl/gdl.hh"
+#include "kernels/serving.hh"
+
+using namespace cisram;
+using namespace cisram::fault;
+
+namespace {
+
+/** Disarm on scope exit so no test leaks an armed plan. */
+struct PlanGuard
+{
+    explicit PlanGuard(const std::string &spec)
+    {
+        auto p = FaultPlan::parse(spec);
+        EXPECT_TRUE(p.ok()) << p.status().toString();
+        armPlan(*p);
+    }
+    ~PlanGuard() { disarm(); }
+};
+
+} // namespace
+
+// ---- Status / StatusOr --------------------------------------------------
+
+TEST(Status, CodesAndMessages)
+{
+    Status ok = Status::okStatus();
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.code(), StatusCode::Ok);
+
+    Status dl = Status::deadlineExceeded("waited 5 ms");
+    EXPECT_FALSE(dl.ok());
+    EXPECT_EQ(dl.code(), StatusCode::DeadlineExceeded);
+    EXPECT_EQ(dl.toString(), "DEADLINE_EXCEEDED: waited 5 ms");
+
+    EXPECT_STREQ(statusCodeName(StatusCode::DataCorruption),
+                 "DATA_CORRUPTION");
+    EXPECT_STREQ(statusCodeName(StatusCode::ResourceExhausted),
+                 "RESOURCE_EXHAUSTED");
+}
+
+TEST(Status, StatusOrHoldsValueOrError)
+{
+    StatusOr<int> v(42);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, 42);
+
+    StatusOr<int> e(Status::unavailable("device gone"));
+    ASSERT_FALSE(e.ok());
+    EXPECT_EQ(e.status().code(), StatusCode::Unavailable);
+}
+
+TEST(StatusDeathTest, ValueOfErrorDies)
+{
+    StatusOr<int> e(Status::deviceFault("boom"));
+    EXPECT_DEATH(e.value(), "boom");
+}
+
+// ---- Spec parsing -------------------------------------------------------
+
+TEST(FaultSpec, ParsesClausesAndSeed)
+{
+    auto p = FaultPlan::parse(
+        "pcie_corrupt:p=1e-3;task_hang:core=2,nth=5;seed:42");
+    ASSERT_TRUE(p.ok()) << p.status().toString();
+    EXPECT_TRUE(p->any());
+    EXPECT_EQ(p->seed(), 42u);
+
+    const Clause &pc = p->clause(Kind::PcieCorrupt);
+    EXPECT_TRUE(pc.enabled);
+    EXPECT_DOUBLE_EQ(pc.p, 1e-3);
+
+    const Clause &th = p->clause(Kind::TaskHang);
+    EXPECT_TRUE(th.enabled);
+    EXPECT_EQ(th.core, 2);
+    EXPECT_EQ(th.nth, 5);
+
+    EXPECT_FALSE(p->clause(Kind::DramFlip).enabled);
+    EXPECT_FALSE(p->clause(Kind::DevOom).enabled);
+}
+
+TEST(FaultSpec, ToStringRoundTrips)
+{
+    auto p = FaultPlan::parse(
+        "dram_flip:p=1e-6;dram_flip2:p=1e-9;dev_oom:nth=3;seed:7");
+    ASSERT_TRUE(p.ok());
+    auto q = FaultPlan::parse(p->toString());
+    ASSERT_TRUE(q.ok()) << q.status().toString();
+    EXPECT_EQ(p->toString(), q->toString());
+    EXPECT_EQ(q->seed(), 7u);
+    EXPECT_DOUBLE_EQ(q->clause(Kind::DramFlip).p, 1e-6);
+    EXPECT_EQ(q->clause(Kind::DevOom).nth, 3);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs)
+{
+    // A typo'd injection campaign must never silently run clean.
+    const char *bad[] = {
+        "frobnicate:p=1",      // unknown kind
+        "pcie_corrupt:q=1",    // unknown key
+        "pcie_corrupt:p=nan1", // malformed number
+        "pcie_corrupt:p=1.5",  // probability out of range
+        "pcie_corrupt:p=-0.1", // probability out of range
+        "task_hang:nth=0",     // nth is 1-based
+        "seed:banana",         // malformed seed
+    };
+    for (const char *spec : bad) {
+        auto p = FaultPlan::parse(spec);
+        EXPECT_FALSE(p.ok()) << "accepted: " << spec;
+        EXPECT_EQ(p.status().code(), StatusCode::InvalidArgument)
+            << spec;
+    }
+}
+
+TEST(FaultSpec, EmptySpecArmsNothing)
+{
+    auto p = FaultPlan::parse("");
+    ASSERT_TRUE(p.ok());
+    EXPECT_FALSE(p->any());
+}
+
+// ---- Draw determinism ---------------------------------------------------
+
+TEST(FaultDraws, PureFunctionOfCoordinates)
+{
+    auto a = FaultPlan::parse("pcie_corrupt:p=0.3;dram_flip:p=0.2;"
+                              "task_hang:p=0.1;seed:99");
+    auto b = FaultPlan::parse("pcie_corrupt:p=0.3;dram_flip:p=0.2;"
+                              "task_hang:p=0.1;seed:99");
+    ASSERT_TRUE(a.ok() && b.ok());
+    for (uint64_t i = 0; i < 2000; ++i) {
+        EXPECT_EQ(a->drawPcieCorrupt(3, i, 0),
+                  b->drawPcieCorrupt(3, i, 0));
+        EXPECT_EQ(a->drawDramFlips(5, i), b->drawDramFlips(5, i));
+        EXPECT_EQ(a->drawTaskHang(1, i), b->drawTaskHang(1, i));
+        // Repeated evaluation never changes the outcome.
+        EXPECT_EQ(a->drawPcieCorrupt(3, i, 0),
+                  a->drawPcieCorrupt(3, i, 0));
+    }
+}
+
+TEST(FaultDraws, SeedChangesTheSequence)
+{
+    auto a = FaultPlan::parse("dram_flip:p=0.5;seed:1");
+    auto b = FaultPlan::parse("dram_flip:p=0.5;seed:2");
+    ASSERT_TRUE(a.ok() && b.ok());
+    unsigned differing = 0;
+    for (uint64_t i = 0; i < 1000; ++i)
+        if (a->drawDramFlips(0, i) != b->drawDramFlips(0, i))
+            ++differing;
+    EXPECT_GT(differing, 100u);
+}
+
+TEST(FaultDraws, RetriesEventuallyClear)
+{
+    // The attempt index is part of the hash, so a p < 1 corruption
+    // cannot pin a transfer forever.
+    auto p = FaultPlan::parse("pcie_corrupt:p=0.9;seed:5");
+    ASSERT_TRUE(p.ok());
+    for (uint64_t xfer = 0; xfer < 50; ++xfer) {
+        bool cleared = false;
+        for (uint64_t attempt = 0; attempt < 64 && !cleared;
+             ++attempt)
+            cleared = !p->drawPcieCorrupt(0, xfer, attempt);
+        EXPECT_TRUE(cleared) << "transfer " << xfer;
+    }
+}
+
+// ---- CRC-32 -------------------------------------------------------------
+
+TEST(Crc32, KnownAnswerAndBitSensitivity)
+{
+    // IEEE 802.3 check value for the ASCII digits "123456789".
+    EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+    EXPECT_EQ(crc32("", 0), 0u);
+
+    uint8_t buf[64] = {};
+    uint32_t clean = crc32(buf, sizeof(buf));
+    for (int bit = 0; bit < 8; ++bit) {
+        buf[17] = static_cast<uint8_t>(1u << bit);
+        EXPECT_NE(crc32(buf, sizeof(buf)), clean);
+    }
+}
+
+// ---- GDL: PCIe retry ----------------------------------------------------
+
+TEST(GdlFault, NthTransferRetriesOnceAndDataSurvives)
+{
+    PlanGuard guard("pcie_corrupt:nth=1");
+    apu::ApuDevice dev;
+    gdl::GdlContext ctx(dev);
+
+    std::vector<uint32_t> data(256);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<uint32_t>(i * 2654435761u);
+
+    gdl::MemHandle h = ctx.memAllocAligned(data.size() * 4);
+    // Transfer #1: corrupted in flight once, CRC catches it, resend
+    // is clean.
+    Status st =
+        ctx.tryMemCpyToDev(h, data.data(), data.size() * 4);
+    EXPECT_TRUE(st.ok()) << st.toString();
+    EXPECT_EQ(ctx.stats().pcieRetries, 1u);
+    EXPECT_EQ(ctx.stats().pcieErrors, 0u);
+
+    std::vector<uint32_t> back(data.size());
+    st = ctx.tryMemCpyFromDev(back.data(), h, back.size() * 4);
+    EXPECT_TRUE(st.ok()) << st.toString();
+    EXPECT_EQ(back, data);
+    EXPECT_EQ(ctx.stats().pcieRetries, 1u);
+    ctx.memFree(h);
+}
+
+TEST(GdlFault, PersistentCorruptionExhaustsRetries)
+{
+    PlanGuard guard("pcie_corrupt:p=1");
+    apu::ApuDevice dev;
+    gdl::GdlContext ctx(dev);
+
+    std::vector<uint8_t> data(512, 0xa5);
+    gdl::MemHandle h = ctx.memAllocAligned(data.size());
+    Status st = ctx.tryMemCpyToDev(h, data.data(), data.size());
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::DataCorruption);
+    EXPECT_EQ(ctx.stats().pcieErrors, 1u);
+    EXPECT_EQ(ctx.stats().pcieRetries, ctx.pcieMaxAttempts);
+
+    // No clean attempt ever happened: device memory stays untouched.
+    std::vector<uint8_t> dev_bytes(data.size(), 0xff);
+    dev.l4().read(h.addr, dev_bytes.data(), dev_bytes.size());
+    for (uint8_t b : dev_bytes)
+        ASSERT_EQ(b, 0u);
+    ctx.memFree(h);
+}
+
+TEST(GdlFault, ArmedZeroProbabilityIsTimingIdentical)
+{
+    std::vector<uint16_t> data(4096, 7);
+
+    auto run = [&](bool armed) {
+        PlanGuard *guard = nullptr;
+        if (armed)
+            guard = new PlanGuard("pcie_corrupt:p=0");
+        apu::ApuDevice dev;
+        gdl::GdlContext ctx(dev);
+        gdl::MemHandle h = ctx.memAllocAligned(data.size() * 2);
+        ctx.memCpyToDev(h, data.data(), data.size() * 2);
+        std::vector<uint16_t> back(data.size());
+        ctx.memCpyFromDev(back.data(), h, back.size() * 2);
+        EXPECT_EQ(back, data);
+        double seconds = ctx.stats().pcieSeconds;
+        ctx.memFree(h);
+        delete guard;
+        return seconds;
+    };
+
+    double unarmed = run(false);
+    double armed_p0 = run(true);
+    EXPECT_EQ(unarmed, armed_p0); // bit-identical, not "close"
+}
+
+// ---- GDL: task timeout --------------------------------------------------
+
+TEST(GdlFault, InjectedHangMissesDeadlineThenRecovers)
+{
+    PlanGuard guard("task_hang:core=0,nth=1");
+    apu::ApuDevice dev;
+    gdl::GdlContext ctx(dev);
+
+    bool ran = false;
+    auto task = [&](apu::ApuCore &) {
+        ran = true;
+        return 0;
+    };
+
+    // Invocation 1 hangs: the host waits out the deadline and the
+    // task body never executes.
+    double before = ctx.stats().invokeSeconds;
+    Status st = ctx.runTaskTimeout(0.01, task);
+    EXPECT_EQ(st.code(), StatusCode::DeadlineExceeded);
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(ctx.stats().tasksTimedOut, 1u);
+    EXPECT_GE(ctx.stats().invokeSeconds - before, 0.01);
+
+    // The retry (invocation 2) goes through.
+    st = ctx.runTaskTimeout(0.01, task);
+    EXPECT_TRUE(st.ok()) << st.toString();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(ctx.stats().tasksTimedOut, 1u);
+}
+
+TEST(GdlFault, SlowTaskExceedsDeadlineWithoutInjection)
+{
+    // No plan armed: a genuinely slow task still trips the deadline.
+    apu::ApuDevice dev;
+    gdl::GdlContext ctx(dev);
+    Status st = ctx.runTaskTimeout(1e-5, [](apu::ApuCore &core) {
+        core.chargeRaw(1000000); // 2 ms at 500 MHz
+        return 0;
+    });
+    EXPECT_EQ(st.code(), StatusCode::DeadlineExceeded);
+    EXPECT_EQ(ctx.stats().tasksTimedOut, 1u);
+}
+
+TEST(GdlFault, NonzeroTaskStatusIsCountedAndReturned)
+{
+    apu::ApuDevice dev;
+    gdl::GdlContext ctx(dev);
+
+    int rc = ctx.runTask([](apu::ApuCore &) { return 7; });
+    EXPECT_EQ(rc, 7);
+    EXPECT_EQ(ctx.stats().tasksFailed, 1u);
+
+    Status st =
+        ctx.runTaskTimeout(1.0, [](apu::ApuCore &) { return 3; });
+    EXPECT_EQ(st.code(), StatusCode::DeviceFault);
+    EXPECT_EQ(ctx.stats().tasksFailed, 2u);
+}
+
+// ---- GDL: device OOM ----------------------------------------------------
+
+TEST(GdlFault, InjectedOomFailsOnceThenRecovers)
+{
+    PlanGuard guard("dev_oom:nth=1");
+    apu::ApuDevice dev;
+    gdl::GdlContext ctx(dev);
+
+    auto first = ctx.tryMemAllocAligned(1024);
+    ASSERT_FALSE(first.ok());
+    EXPECT_EQ(first.status().code(), StatusCode::ResourceExhausted);
+    EXPECT_EQ(ctx.stats().allocFailures, 1u);
+
+    auto second = ctx.tryMemAllocAligned(1024);
+    ASSERT_TRUE(second.ok()) << second.status().toString();
+    ctx.memFree(*second);
+}
+
+TEST(GdlFault, RealExhaustionSurfacesAsResourceExhausted)
+{
+    apu::ApuDevice dev;
+    gdl::GdlContext ctx(dev);
+    auto huge = ctx.tryMemAllocAligned(dev.l4().capacity() + 4096);
+    ASSERT_FALSE(huge.ok());
+    EXPECT_EQ(huge.status().code(), StatusCode::ResourceExhausted);
+    EXPECT_EQ(ctx.outstandingAllocs(), 0u);
+}
+
+TEST(GdlFaultDeathTest, UncheckedAllocDiesOnInjectedOom)
+{
+    PlanGuard guard("dev_oom:nth=1");
+    apu::ApuDevice dev;
+    gdl::GdlContext ctx(dev);
+    EXPECT_DEATH(ctx.memAllocAligned(1024), "injected device OOM");
+}
+
+// ---- DRAM ECC -----------------------------------------------------------
+
+TEST(DramEcc, SingleFlipsAllCorrectedAtAnalyticalRate)
+{
+    const double p = 2e-3;
+    PlanGuard guard("dram_flip:p=2e-3;seed:7");
+    dram::DramSystem sys(dram::hbm2eConfig());
+
+    sys.streamReadSeconds(0, 32ull << 20);
+    const auto &ecc = sys.eccStats();
+
+    // 32 MB / 8-byte codewords.
+    EXPECT_EQ(ecc.wordsChecked, (32ull << 20) / 8);
+    double expected = static_cast<double>(ecc.wordsChecked) * p;
+    EXPECT_GT(ecc.singleCorrected, 0u);
+    EXPECT_NEAR(static_cast<double>(ecc.singleCorrected), expected,
+                expected * 0.10);
+
+    // Corrected means corrected: nothing uncorrectable surfaced.
+    EXPECT_EQ(ecc.doubleDetected, 0u);
+    EXPECT_TRUE(sys.takeFaultStatus().ok());
+}
+
+TEST(DramEcc, DoubleFlipsAllDetectedAndSurfaceAsStatus)
+{
+    const double p2 = 1e-4;
+    PlanGuard guard("dram_flip2:p=1e-4;seed:11");
+    dram::DramSystem sys(dram::hbm2eConfig());
+
+    sys.streamReadSeconds(0, 32ull << 20);
+    const auto &ecc = sys.eccStats();
+
+    double expected = static_cast<double>(ecc.wordsChecked) * p2;
+    EXPECT_GT(ecc.doubleDetected, 0u);
+    EXPECT_NEAR(static_cast<double>(ecc.doubleDetected), expected,
+                expected * 0.35);
+    EXPECT_EQ(ecc.singleCorrected, 0u);
+
+    // The sticky status reports the first uncorrectable error, then
+    // clears on take.
+    Status st = sys.takeFaultStatus();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::DeviceFault);
+    EXPECT_NE(st.message().find("uncorrectable"), std::string::npos);
+    EXPECT_TRUE(sys.takeFaultStatus().ok());
+}
+
+TEST(DramEcc, WritesAreNotChecked)
+{
+    PlanGuard guard("dram_flip:p=0.5;seed:3");
+    dram::DramSystem sys(dram::hbm2eConfig());
+    sys.streamWriteSeconds(0, 4ull << 20);
+    EXPECT_EQ(sys.eccStats().wordsChecked, 0u);
+    EXPECT_EQ(sys.eccStats().singleCorrected, 0u);
+}
+
+TEST(DramEcc, ArmedZeroProbabilityKeepsTimingBitIdentical)
+{
+    auto run = [](bool armed) {
+        PlanGuard *guard = nullptr;
+        if (armed)
+            guard = new PlanGuard("dram_flip:p=0");
+        dram::DramSystem sys(dram::hbm2eConfig());
+        double s = sys.streamReadSeconds(0, 8ull << 20);
+        delete guard;
+        return s;
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+TEST(DramEcc, ResetStatsClearsTheLedger)
+{
+    PlanGuard guard("dram_flip:p=0.01;seed:13");
+    dram::DramSystem sys(dram::hbm2eConfig());
+    sys.streamReadSeconds(0, 1ull << 20);
+    EXPECT_GT(sys.eccStats().wordsChecked, 0u);
+    sys.resetStats();
+    EXPECT_EQ(sys.eccStats().wordsChecked, 0u);
+    EXPECT_EQ(sys.eccStats().singleCorrected, 0u);
+}
+
+// ---- Circuit breaker ----------------------------------------------------
+
+TEST(CircuitBreaker, TripsAfterConsecutiveFailures)
+{
+    kernels::CircuitBreaker br(/*failure_threshold=*/2,
+                               /*cooldown_queries=*/2);
+    EXPECT_EQ(br.state(), kernels::BreakerState::Closed);
+    EXPECT_TRUE(br.allowRequest());
+    br.recordFailure();
+    EXPECT_EQ(br.state(), kernels::BreakerState::Closed);
+
+    // A success in between resets the consecutive count.
+    br.recordSuccess();
+    br.recordFailure();
+    EXPECT_EQ(br.state(), kernels::BreakerState::Closed);
+    br.recordFailure();
+    EXPECT_EQ(br.state(), kernels::BreakerState::Open);
+    EXPECT_EQ(br.trips(), 1u);
+}
+
+TEST(CircuitBreaker, CooldownThenProbeThenClose)
+{
+    kernels::CircuitBreaker br(1, 2);
+    br.recordFailure(); // threshold 1: trips immediately
+    ASSERT_EQ(br.state(), kernels::BreakerState::Open);
+
+    EXPECT_FALSE(br.allowRequest()); // cooldown query 1
+    EXPECT_TRUE(br.allowRequest());  // cooldown done: the probe
+    EXPECT_EQ(br.state(), kernels::BreakerState::HalfOpen);
+    EXPECT_FALSE(br.allowRequest()); // one probe at a time
+
+    br.recordSuccess();
+    EXPECT_EQ(br.state(), kernels::BreakerState::Closed);
+    EXPECT_TRUE(br.allowRequest());
+}
+
+TEST(CircuitBreaker, FailedProbeReopens)
+{
+    kernels::CircuitBreaker br(1, 1);
+    br.recordFailure();
+    ASSERT_EQ(br.state(), kernels::BreakerState::Open);
+    EXPECT_TRUE(br.allowRequest()); // cooldown 1: probe immediately
+    br.recordFailure();             // probe fails
+    EXPECT_EQ(br.state(), kernels::BreakerState::Open);
+    EXPECT_EQ(br.trips(), 2u);
+}
+
+TEST(CircuitBreaker, StateNames)
+{
+    EXPECT_STREQ(breakerStateName(kernels::BreakerState::Closed),
+                 "closed");
+    EXPECT_STREQ(breakerStateName(kernels::BreakerState::Open),
+                 "open");
+    EXPECT_STREQ(breakerStateName(kernels::BreakerState::HalfOpen),
+                 "half-open");
+}
+
+// ---- Arming -------------------------------------------------------------
+
+TEST(FaultArming, ArmDisarmGatesThePlan)
+{
+    EXPECT_EQ(fault::plan(), nullptr);
+    {
+        PlanGuard guard("task_hang:p=0.5");
+        ASSERT_NE(fault::plan(), nullptr);
+        EXPECT_TRUE(
+            fault::plan()->clause(Kind::TaskHang).enabled);
+    }
+    EXPECT_EQ(fault::plan(), nullptr);
+}

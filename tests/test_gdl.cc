@@ -81,7 +81,7 @@ TEST(Gdl, EndToEndVecAdd)
     ctx.memCpyToDev(buf, a.data(), n * 2);
     ctx.memCpyToDev(buf.offset(n * 2), b.data(), n * 2);
 
-    ctx.runTask([&](apu::ApuCore &core) {
+    int rc = ctx.runTask([&](apu::ApuCore &core) {
         gvml::Gvml g(core);
         g.directDmaL4ToL1_32k(gvml::Vmr(0), buf.addr);
         g.directDmaL4ToL1_32k(gvml::Vmr(1), buf.addr + n * 2);
@@ -92,6 +92,7 @@ TEST(Gdl, EndToEndVecAdd)
         g.directDmaL1ToL4_32k(buf.addr + 2 * n * 2, gvml::Vmr(2));
         return 0;
     });
+    ASSERT_EQ(rc, 0);
 
     std::vector<uint16_t> out(n);
     ctx.memCpyFromDev(out.data(), buf.offset(2 * n * 2), n * 2);
@@ -156,6 +157,18 @@ TEST(GdlDeathTest, FreeOfForeignHandlePanics)
 {
     apu::ApuDevice dev;
     GdlContext ctx(dev);
+    // The diagnostic must name the offending device address.
     EXPECT_DEATH(ctx.memFree(MemHandle{12345}),
-                 "not allocated by this context");
+                 "memFree: device address 12345 is not owned by "
+                 "this context");
+}
+
+TEST(GdlDeathTest, DoubleFreePanicsWithAddress)
+{
+    apu::ApuDevice dev;
+    GdlContext ctx(dev);
+    MemHandle h = ctx.memAllocAligned(1024);
+    ctx.memFree(h);
+    EXPECT_DEATH(ctx.memFree(h), "is not owned by this context "
+                                 "\\(double-free");
 }

@@ -87,7 +87,7 @@ TEST(Integration, HostPipelineWithGdlAndRvv)
     host.memCpyToDev(ha, a.data(), n * 2);
     host.memCpyToDev(hb, b.data(), n * 2);
 
-    host.runTask([&](apu::ApuCore &core) {
+    int rc = host.runTask([&](apu::ApuCore &core) {
         core.dmaL4ToL1(0, ha.addr);
         core.dmaL4ToL1(1, hb.addr);
         rvv::RvvUnit v(core);
@@ -99,6 +99,7 @@ TEST(Integration, HostPipelineWithGdlAndRvv)
         core.dmaL1ToL4(hc.addr, 2);
         return 0;
     });
+    ASSERT_EQ(rc, 0);
 
     std::vector<uint16_t> c(n);
     host.memCpyFromDev(c.data(), hc, n * 2);
