@@ -1,31 +1,39 @@
 /**
  * @file
- * A fault-tolerant end-to-end RAG service on the compute-in-SRAM
- * device: ten questions flow through the full pipeline — host
- * staging over PCIe (GDL), query embedding transfer, exact top-5
- * retrieval on the APU against simulated HBM, and generation TTFT on
- * the dedicated-GPU model — reproducing the serving scenario behind
- * the paper's Fig. 14 and energy study.
+ * A fault-tolerant, batched end-to-end RAG service on the
+ * compute-in-SRAM device: queries flow through the full pipeline —
+ * admission into a per-core batch former, host staging over PCIe
+ * (GDL), one batched corpus pass on the APU against simulated HBM
+ * (with the embedding stream double-buffered behind distance
+ * compute), and generation TTFT on the dedicated-GPU model —
+ * reproducing the serving scenario behind the paper's Fig. 14 and
+ * energy study.
  *
- * This example is the showcase for the recoverable-error contract
- * (DESIGN.md "Fault model"): every query is served under a deadline
- * through a bounded retry policy, behind a per-core circuit breaker
- * that routes to the FAISS-lite CPU baseline (Xeon timing model)
- * when a core misbehaves, and probes the core again after a
- * cooldown. Arm faults with e.g.
+ * This example is the showcase for both serving-path contracts
+ * (DESIGN.md "Fault model" and "Serving pipeline"):
  *
- *   CISRAM_FAULT_SPEC="task_hang:core=1,p=0.7;pcie_corrupt:p=1e-3"
+ *  - Fault tolerance: every batch is served under a deadline through
+ *    a bounded retry policy, behind a per-core circuit breaker that
+ *    routes to the FAISS-lite CPU baseline (Xeon timing model) when a
+ *    core misbehaves, and probes the core again after a cooldown.
+ *    Arm faults with e.g.
  *
- * and the service still answers all ten queries with correct top-k
- * ids — the functional self-check serves its queries through the
- * same fault-tolerant path and verifies every answer against an
- * exact CPU search. Fault activity is observable in the
- * fault.injected/detected/corrected/retries/fallbacks counters and
- * lands in BENCH_rag_service.json.
+ *      CISRAM_FAULT_SPEC="task_hang:core=1,p=0.7;pcie_corrupt:p=1e-3"
+ *
+ *    and the service still answers every query with correct top-k
+ *    ids — the functional self-check serves its queries through the
+ *    same path and verifies every answer against an exact CPU search.
+ *
+ *  - Batched throughput: each core's DeviceServer coalesces up to
+ *    eight admitted queries into one retrieveBatch call, amortizing
+ *    the dominant HBM embedding stream across the batch, and overlaps
+ *    the next supertile's stream with the current one's compute.
+ *    Queue wait is part of every query's served latency; p50/p95/p99
+ *    come from the metrics histograms.
  *
  * The query stream is sharded across the device's four cores with
  * runOnAllCores (each core owns its own retriever, HBM model, GDL
- * session, and breaker) and served concurrently when
+ * session, breaker, and batch former) and served concurrently when
  * CISRAM_SIM_THREADS allows; reported latencies, fault draws, and
  * the aggregate QPS are identical for any thread count.
  */
@@ -58,142 +66,25 @@ using namespace cisram::kernels;
 namespace {
 
 constexpr size_t kTopK = 5;
-constexpr int kQueries = 10;
+constexpr int kQueries = 48;
 
-/** How one query was answered. */
-struct ServeOutcome
+ServerConfig
+servingConfig()
 {
-    bool ok = false;
-    bool fromDevice = false;
-    unsigned attempts = 0;          ///< device attempts made
-    std::vector<uint32_t> ids;      ///< host-visible top-k ids
-    kernels::RagRunResult run;      ///< device result (fromDevice)
-    double retrievalSeconds = 0;    ///< device or CPU retrieval
-    double hostSeconds = 0;         ///< PCIe staging + readback
-    std::string lastError;          ///< last device failure, if any
-};
+    ServerConfig cfg;
+    cfg.topK = kTopK;
+    cfg.retry = RetryPolicy{3, 0.5};
+    cfg.breakerThreshold = 2;
+    cfg.breakerCooldown = 2;
+    cfg.batch = BatchPolicy{8, 8};
+    cfg.overlapStream = true;
+    return cfg;
+}
 
 /**
- * Per-core serving state plus the retry/breaker/fallback policy.
- * One instance per device core; each instance is driven by exactly
- * one shard thread, matching the GDL one-session-per-thread rule.
- */
-class FaultTolerantServer
-{
-  public:
-    FaultTolerantServer(apu::ApuDevice &dev, RagCorpusSpec spec,
-                        unsigned core, const IndexFlatI16 *golden,
-                        uint64_t corpus_seed)
-        : spec_(spec), core_(core), golden_(golden),
-          corpusSeed_(corpus_seed),
-          hbm_(dram::hbm2eConfig()),
-          retriever_(dev, hbm_, spec, kTopK, core),
-          host_(dev), qbuf_(host_, spec.dim * 2)
-    {}
-
-    ServeOutcome
-    serve(const std::vector<int16_t> &query)
-    {
-        ServeOutcome out;
-        if (breaker_.allowRequest()) {
-            for (unsigned a = 0; a < policy_.maxAttempts; ++a) {
-                ++out.attempts;
-                Status st = tryDevice(query, out);
-                if (st.ok()) {
-                    breaker_.recordSuccess();
-                    out.ok = true;
-                    out.fromDevice = true;
-                    return out;
-                }
-                out.lastError = st.toString();
-                // The host gives up on an attempt at the deadline;
-                // that wait is part of the query's served latency.
-                out.hostSeconds += policy_.deadlineSeconds;
-                metrics::Registry::get()
-                    .counter("fault.retries", {{"site", "query"}})
-                    .inc();
-            }
-            breaker_.recordFailure();
-        }
-        cpuFallback(query, out);
-        return out;
-    }
-
-    CircuitBreaker &breaker() { return breaker_; }
-    gdl::GdlContext &host() { return host_; }
-    const dram::DramSystem &hbm() const { return hbm_; }
-
-  private:
-    /** One device attempt: stage, retrieve under deadline, read back. */
-    Status
-    tryDevice(const std::vector<int16_t> &query, ServeOutcome &out)
-    {
-        double pcieBefore = host_.stats().pcieSeconds;
-        Status st = host_.tryMemCpyToDev(qbuf_.handle(), query.data(),
-                                         spec_.dim * 2);
-        if (!st.ok())
-            return st;
-
-        kernels::RagRunResult r;
-        st = host_.runTaskTimeoutOn(
-            core_, policy_.deadlineSeconds, [&](apu::ApuCore &) {
-                r = retriever_.retrieve(query, RagVariant::AllOpts,
-                                        corpusSeed_);
-                return 0;
-            });
-        if (!st.ok())
-            return st;
-        if (!r.status.ok())
-            return r.status; // uncorrectable ECC during the stream
-
-        // Read the staged ids back (fixed-size in timing mode).
-        size_t n = r.topkIdsCount ? r.topkIdsCount : kTopK;
-        out.ids.assign(n, 0);
-        st = host_.tryMemCpyFromDev(out.ids.data(),
-                                    gdl::MemHandle{r.topkIdsAddr},
-                                    n * sizeof(uint32_t));
-        if (!st.ok())
-            return st;
-
-        out.run = r;
-        out.retrievalSeconds = r.stages.total();
-        out.hostSeconds += host_.stats().pcieSeconds - pcieBefore;
-        return Status::okStatus();
-    }
-
-    /** Exact CPU retrieval at Xeon latency; always succeeds. */
-    void
-    cpuFallback(const std::vector<int16_t> &query, ServeOutcome &out)
-    {
-        metrics::Registry::get().counter("fault.fallbacks").inc();
-        if (golden_) {
-            auto hits = golden_->search(query.data(), kTopK);
-            out.ids.clear();
-            for (const auto &h : hits)
-                out.ids.push_back(static_cast<uint32_t>(h.id));
-        }
-        out.retrievalSeconds =
-            xeon_.ennsRetrievalMs(spec_.embeddingBytes()) * 1e-3;
-        out.ok = true;
-    }
-
-    RagCorpusSpec spec_;
-    unsigned core_;
-    const IndexFlatI16 *golden_; ///< functional mode only
-    uint64_t corpusSeed_;
-    RetryPolicy policy_{3, 0.25};
-    CircuitBreaker breaker_{2, 2};
-    XeonTimingModel xeon_;
-    dram::DramSystem hbm_;
-    RagRetriever retriever_;
-    gdl::GdlContext host_;
-    gdl::DeviceBuffer qbuf_;
-};
-
-/**
- * Functional self-check: serve ten queries over a small corpus
- * through the full fault-tolerant path — retry, breaker, CPU
- * fallback — round-robin across all cores, and verify every
+ * Functional self-check: serve queries over a small corpus through
+ * the full batched fault-tolerant path — batch formation, retry,
+ * breaker, CPU fallback — sharded across all cores, and verify every
  * answer's top-k ids against FAISS-lite exact search. With an armed
  * fault plan this is the proof that injected hangs, PCIe corruption,
  * and ECC errors degrade latency, never correctness.
@@ -209,49 +100,66 @@ selfCheck()
     IndexFlatI16 index(corpus.dim);
     index.add(emb.data(), corpus.numChunks);
 
-    std::vector<std::unique_ptr<FaultTolerantServer>> servers;
+    ServerConfig cfg = servingConfig();
+    // Small batches keep the functional corpus pass cheap while
+    // still exercising the batched device path.
+    cfg.batch = BatchPolicy{4, 4};
+
+    std::vector<std::unique_ptr<DeviceServer>> servers;
     for (unsigned c = 0; c < dev.numCores(); ++c)
-        servers.push_back(std::make_unique<FaultTolerantServer>(
-            dev, corpus, c, &index, seed));
+        servers.push_back(std::make_unique<DeviceServer>(
+            dev, corpus, c, &index, seed, cfg));
+
+    constexpr int checkQueries = 16;
+    for (int q = 0; q < checkQueries; ++q) {
+        unsigned c = static_cast<unsigned>(q) % dev.numCores();
+        servers[c]->enqueue(static_cast<uint64_t>(q),
+                            genQuery(corpus.dim, 100 + q));
+    }
 
     bool all_ok = true;
     unsigned device_answers = 0, fallback_answers = 0;
-    for (int q = 0; q < kQueries; ++q) {
-        unsigned c = static_cast<unsigned>(q) % dev.numCores();
-        auto query = genQuery(corpus.dim, 100 + q);
-        auto expect = index.search(query.data(), kTopK);
-
-        ServeOutcome out = servers[c]->serve(query);
-        bool ok = out.ok && out.ids.size() == expect.size();
-        for (size_t i = 0; ok && i < expect.size(); ++i)
-            ok = out.ids[i] == static_cast<uint32_t>(expect[i].id);
-        if (out.fromDevice)
-            ++device_answers;
-        else
-            ++fallback_answers;
-        if (!ok) {
-            std::printf("  query %d on core %u: WRONG ANSWER "
-                        "(attempts %u, %s)\n",
-                        q, c, out.attempts,
-                        out.lastError.empty() ? "no error"
-                                              : out.lastError.c_str());
-            all_ok = false;
+    for (auto &server : servers) {
+        for (const ServeOutcome &out : server->drain()) {
+            int q = static_cast<int>(out.id);
+            auto query = genQuery(corpus.dim, 100 + q);
+            auto expect = index.search(query.data(), kTopK);
+            bool ok = out.ok && out.ids.size() == expect.size();
+            for (size_t i = 0; ok && i < expect.size(); ++i)
+                ok = out.ids[i] ==
+                    static_cast<uint32_t>(expect[i].id);
+            if (out.fromDevice)
+                ++device_answers;
+            else
+                ++fallback_answers;
+            if (!ok) {
+                std::printf(
+                    "  query %d (batch of %zu): WRONG ANSWER "
+                    "(attempts %u, %s)\n",
+                    q, out.batchSize, out.attempts,
+                    out.lastError.empty() ? "no error"
+                                          : out.lastError.c_str());
+                all_ok = false;
+            }
         }
     }
     std::printf("self-check: %d queries over %zu chunks, "
                 "%u from device, %u from CPU fallback: %s\n\n",
-                kQueries, corpus.numChunks, device_answers,
+                checkQueries, corpus.numChunks, device_answers,
                 fallback_answers, all_ok ? "PASS" : "FAIL");
     return all_ok;
 }
 
 struct QueryRecord
 {
+    double queueWaitSeconds = 0;
     double retrievalSeconds = 0;
     double hostSeconds = 0;
+    double servedSeconds = 0;
     double ttftSeconds = 0;
     double joules = 0;
     unsigned attempts = 0;
+    size_t batchSize = 1;
     bool fromDevice = true;
 };
 
@@ -281,14 +189,14 @@ main()
     for (unsigned c = 0; c < cores; ++c)
         dev.core(c).setMode(apu::ExecMode::TimingOnly);
 
-    // Per-core serving state, constructed up front on this thread so
+    // Per-core serving shards, constructed up front on this thread so
     // device addresses and fault-draw streams are identical for any
     // thread count: the HBM model is stateful and a GDL session is
     // single-threaded, so each core owns one of each.
-    std::vector<std::unique_ptr<FaultTolerantServer>> servers;
+    std::vector<std::unique_ptr<DeviceServer>> servers;
     for (unsigned c = 0; c < cores; ++c)
-        servers.push_back(std::make_unique<FaultTolerantServer>(
-            dev, spec, c, nullptr, 2026));
+        servers.push_back(std::make_unique<DeviceServer>(
+            dev, spec, c, nullptr, 2026, servingConfig()));
 
     LlmGenerationModel llm;
     energy::ApuPowerModel power;
@@ -298,9 +206,12 @@ main()
                 spec.embeddingBytes() / 1e9);
     std::printf("generation: Llama3.1-8B prefill on dedicated GPU "
                 "model\n");
-    std::printf("serving: %d queries sharded over %u cores, "
+    std::printf("serving: %d queries sharded over %u cores "
+                "(batch <= %zu, overlapped stream %s), "
                 "CISRAM_SIM_THREADS=%u\n\n",
-                kQueries, cores, simThreads());
+                kQueries, cores, servingConfig().batch.maxBatch,
+                servingConfig().overlapStream ? "on" : "off",
+                simThreads());
 
     std::vector<QueryRecord> records(kQueries);
     std::vector<int> coreOf(kQueries, 0);
@@ -310,20 +221,18 @@ main()
                                 unsigned n) {
         auto shard = apu::shardOf(kQueries, c, n);
         auto &server = *servers[c];
-        for (size_t q = shard.begin; q < shard.end; ++q) {
-            coreOf[q] = static_cast<int>(c);
-            auto query = genQuery(spec.dim, 1000 + static_cast<int>(q));
 
-            ServeOutcome out = server.serve(query);
-
-            auto &rec = records[q];
+        auto record = [&](const ServeOutcome &out) {
+            auto &rec = records[out.id];
+            coreOf[out.id] = static_cast<int>(c);
+            rec.queueWaitSeconds = out.queueWaitSeconds;
             rec.retrievalSeconds = out.retrievalSeconds;
             rec.hostSeconds = out.hostSeconds;
+            rec.servedSeconds = out.servedSeconds();
             rec.attempts = out.attempts;
+            rec.batchSize = out.batchSize;
             rec.fromDevice = out.fromDevice;
-            rec.ttftSeconds = rec.retrievalSeconds +
-                rec.hostSeconds + llm.ttftSeconds();
-
+            rec.ttftSeconds = rec.servedSeconds + llm.ttftSeconds();
             if (out.fromDevice) {
                 energy::ApuActivity act;
                 act.totalSeconds = out.run.stages.total();
@@ -332,7 +241,17 @@ main()
                 act.cacheBytes = out.run.cacheBytes;
                 rec.joules = power.energy(act).totalJ();
             }
-        }
+        };
+
+        // The shard arrives as one burst (every query admitted at
+        // the same server clock), so batches past the first pay a
+        // visible head-of-line queue wait; drain serves them all.
+        for (size_t q = shard.begin; q < shard.end; ++q)
+            server.enqueue(static_cast<uint64_t>(q),
+                           genQuery(spec.dim,
+                                    1000 + static_cast<int>(q)));
+        for (const auto &out : server.drain())
+            record(out);
     });
     double wallSeconds =
         std::chrono::duration<double>(
@@ -343,7 +262,8 @@ main()
     // snapshot is independent of worker interleaving.
     auto &reg = metrics::Registry::get();
     auto &m_queries = reg.counter("rag.queries");
-    auto &m_retrieval = reg.histogram("rag.retrieval_seconds");
+    auto &m_served = reg.histogram("rag.served_seconds");
+    auto &m_wait = reg.histogram("rag.queue_wait_seconds");
     auto &m_ttft = reg.histogram("rag.ttft_seconds");
     auto &m_energy = reg.histogram("rag.query_energy_joules");
     auto &m_host = reg.histogram("rag.host_pcie_seconds");
@@ -351,13 +271,14 @@ main()
     double total_energy = 0.0, total_ttft = 0.0;
     unsigned device_queries = 0, fallback_queries = 0;
     unsigned total_attempts = 0;
-    std::printf("%5s %4s %5s %8s %14s %12s %12s\n", "query", "core",
-                "path", "attempts", "retrieval (ms)", "TTFT (ms)",
-                "APU E (mJ)");
+    std::printf("%5s %4s %5s %5s %10s %12s %12s %12s\n", "query",
+                "core", "path", "batch", "wait (ms)", "served (ms)",
+                "TTFT (ms)", "APU E (mJ)");
     for (int q = 0; q < kQueries; ++q) {
         const auto &rec = records[q];
         m_queries.inc();
-        m_retrieval.observe(rec.retrievalSeconds);
+        m_served.observe(rec.servedSeconds);
+        m_wait.observe(rec.queueWaitSeconds);
         m_ttft.observe(rec.ttftSeconds);
         m_energy.observe(rec.joules);
         m_host.observe(rec.hostSeconds);
@@ -368,20 +289,19 @@ main()
             ++device_queries;
         else
             ++fallback_queries;
-        std::printf("%5d %4d %5s %8u %14.1f %12.1f %12.1f\n", q,
-                    coreOf[q], rec.fromDevice ? "apu" : "cpu",
-                    rec.attempts, rec.retrievalSeconds * 1e3,
-                    rec.ttftSeconds * 1e3, rec.joules * 1e3);
+        std::printf("%5d %4d %5s %5zu %10.1f %12.1f %12.1f %12.1f\n",
+                    q, coreOf[q], rec.fromDevice ? "apu" : "cpu",
+                    rec.batchSize, rec.queueWaitSeconds * 1e3,
+                    rec.servedSeconds * 1e3, rec.ttftSeconds * 1e3,
+                    rec.joules * 1e3);
     }
 
     // Aggregate throughput: the service is limited by the busiest
-    // core's simulated serving time (cores run concurrently).
-    std::vector<double> coreBusy(cores, 0.0);
-    for (int q = 0; q < kQueries; ++q)
-        coreBusy[coreOf[q]] += records[q].retrievalSeconds +
-            records[q].hostSeconds;
-    double busiest =
-        *std::max_element(coreBusy.begin(), coreBusy.end());
+    // core's simulated serving time (cores run concurrently; queue
+    // waits overlap with service and don't add to core busy time).
+    double busiest = 0.0;
+    for (unsigned c = 0; c < cores; ++c)
+        busiest = std::max(busiest, servers[c]->busySeconds());
     std::printf("\naggregate throughput: %.1f QPS over %u cores "
                 "(busiest core %.1f ms for its shard)\n",
                 kQueries / busiest, cores, busiest * 1e3);
@@ -406,6 +326,7 @@ main()
     gdl::HostStats agg;
     dram::EccStats ecc;
     unsigned breaker_trips = 0;
+    uint64_t batches = 0;
     for (unsigned c = 0; c < cores; ++c) {
         const auto &hs = servers[c]->host().stats();
         agg.tasksFailed += hs.tasksFailed;
@@ -415,11 +336,13 @@ main()
         agg.allocFailures += hs.allocFailures;
         ecc += servers[c]->hbm().eccStats();
         breaker_trips += servers[c]->breaker().trips();
+        batches += servers[c]->former().batchesFormed();
     }
     std::printf("\nfault ledger (timing loop):\n");
     std::printf("  device queries %u, CPU fallbacks %u, device "
-                "attempts %u\n",
-                device_queries, fallback_queries, total_attempts);
+                "attempts %u, batches %llu\n",
+                device_queries, fallback_queries, total_attempts,
+                static_cast<unsigned long long>(batches));
     std::printf("  task timeouts %u, task failures %u, PCIe retries "
                 "%u, PCIe errors %u\n",
                 agg.tasksTimedOut, agg.tasksFailed, agg.pcieRetries,
@@ -437,27 +360,34 @@ main()
 
     std::printf("\nservice metrics (registry snapshot):\n");
     std::printf("  queries served: %.0f\n", m_queries.value());
-    std::printf("  retrieval  p=mean %.1f ms  min %.1f  max %.1f\n",
-                m_retrieval.mean() * 1e3, m_retrieval.min() * 1e3,
-                m_retrieval.max() * 1e3);
-    std::printf("  TTFT       p=mean %.1f ms  min %.1f  max %.1f\n",
-                m_ttft.mean() * 1e3, m_ttft.min() * 1e3,
-                m_ttft.max() * 1e3);
-    std::printf("  energy     p=mean %.1f mJ  total %.1f mJ\n",
+    std::printf("  served     p50 %.1f ms  p95 %.1f  p99 %.1f  "
+                "max %.1f\n",
+                m_served.quantile(0.50) * 1e3,
+                m_served.quantile(0.95) * 1e3,
+                m_served.quantile(0.99) * 1e3, m_served.max() * 1e3);
+    std::printf("  queue wait p50 %.1f ms  p95 %.1f  max %.1f\n",
+                m_wait.quantile(0.50) * 1e3,
+                m_wait.quantile(0.95) * 1e3, m_wait.max() * 1e3);
+    std::printf("  TTFT       p50 %.1f ms  p95 %.1f  mean %.1f\n",
+                m_ttft.quantile(0.50) * 1e3,
+                m_ttft.quantile(0.95) * 1e3, m_ttft.mean() * 1e3);
+    std::printf("  energy     mean %.1f mJ  total %.1f mJ\n",
                 m_energy.mean() * 1e3, m_energy.sum() * 1e3);
-    std::printf("  host PCIe  p=mean %.1f us\n",
-                m_host.mean() * 1e6);
+    std::printf("  host PCIe  mean %.1f us\n", m_host.mean() * 1e6);
     if (trace::active())
         std::printf("  trace timeline armed (written at exit)\n");
 
     // Machine-readable fault/serving report (includes the metrics
-    // registry snapshot, and with it every fault.* counter).
+    // registry snapshot, and with it every fault.* counter and the
+    // serving histograms with their p50/p95/p99 summaries).
     {
         bench::BenchReport report("rag_service");
         report.note("fault_spec",
                     fault::plan() ? fault::plan()->toString()
                                   : "(none)");
         report.scalar("queries", kQueries);
+        report.scalar("batches",
+                      static_cast<double>(batches));
         report.scalar("device_queries", device_queries);
         report.scalar("fallback_queries", fallback_queries);
         report.scalar("device_attempts", total_attempts);
@@ -474,6 +404,9 @@ main()
                       static_cast<double>(ecc.doubleDetected));
         report.scalar("breaker_trips", breaker_trips);
         report.scalar("mean_ttft_seconds", total_ttft / kQueries);
+        report.scalar("served_p50_seconds", m_served.quantile(0.50));
+        report.scalar("served_p95_seconds", m_served.quantile(0.95));
+        report.scalar("served_p99_seconds", m_served.quantile(0.99));
         report.scalar("qps", kQueries / busiest);
         report.write();
     }

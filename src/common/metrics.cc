@@ -1,5 +1,6 @@
 #include "common/metrics.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <mutex>
@@ -48,12 +49,48 @@ Histogram::observe(double v)
     if (count_ == 1 || v > max_)
         max_ = v;
     int bucket = 0;
-    if (v >= 1.0) {
-        bucket = std::ilogb(v) + 1;
+    if (v >= std::ldexp(1.0, minExp)) {
+        bucket = std::ilogb(v) - minExp + 1;
         if (bucket >= numBuckets)
             bucket = numBuckets - 1;
     }
     ++buckets_[bucket];
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return min_;
+    if (q >= 1.0)
+        return max_;
+    double target = q * static_cast<double>(count_);
+    double cum = 0.0;
+    for (int i = 0; i < numBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        double next = cum + static_cast<double>(buckets_[i]);
+        if (target <= next) {
+            double frac =
+                (target - cum) / static_cast<double>(buckets_[i]);
+            // Bucket bounds, tightened by the observed extrema (the
+            // edge buckets are open-ended).
+            double lo = i == 0 ? min_
+                               : std::ldexp(1.0, minExp + i - 1);
+            double hi = i == numBuckets - 1
+                ? max_
+                : std::ldexp(1.0, minExp + i);
+            lo = std::max(lo, min_);
+            hi = std::min(hi, max_);
+            if (hi < lo)
+                return lo;
+            return lo + (hi - lo) * frac;
+        }
+        cum = next;
+    }
+    return max_;
 }
 
 void
@@ -238,6 +275,9 @@ Registry::toJson() const
         summary["min"] = h.min();
         summary["max"] = h.max();
         summary["mean"] = h.mean();
+        summary["p50"] = h.quantile(0.50);
+        summary["p95"] = h.quantile(0.95);
+        summary["p99"] = h.quantile(0.99);
         histograms[kv.first] = json::Value{std::move(summary)};
     }
     root["histograms"] = json::Value{std::move(histograms)};

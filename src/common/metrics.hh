@@ -75,13 +75,20 @@ class Gauge
 
 /**
  * Distribution summary: count/sum/min/max plus base-2 exponential
- * buckets (bucket i counts observations in [2^(i-1), 2^i), bucket 0
- * counts values < 1).
+ * buckets. Bucket i (for i >= 1) counts observations in
+ * [2^(minExp+i-1), 2^(minExp+i)); bucket 0 catches everything below
+ * 2^minExp (including zero and negatives). With minExp = -32 the
+ * resolved range spans ~2.3e-10 .. 2^31, which covers both
+ * sub-second latencies (the serving pipeline observes seconds) and
+ * cycle counts, at factor-of-two resolution.
  */
 class Histogram
 {
   public:
     static constexpr int numBuckets = 64;
+
+    /** Exponent of bucket 1's lower bound (see class comment). */
+    static constexpr int minExp = -32;
 
     void observe(double v);
 
@@ -93,6 +100,16 @@ class Histogram
     {
         return count_ ? sum_ / static_cast<double>(count_) : 0.0;
     }
+
+    /**
+     * Approximate quantile (q in [0, 1]) from the exponential
+     * buckets, interpolating linearly inside the bracketing bucket
+     * and clamping to the observed [min, max]. Exact at q=0 and q=1;
+     * elsewhere accurate to the bucket's factor-of-two width. Fully
+     * deterministic: shard merges sum the same buckets in the same
+     * order, so p50/p95/p99 are thread-count independent.
+     */
+    double quantile(double q) const;
 
     uint64_t bucketCount(int i) const { return buckets_[i]; }
 

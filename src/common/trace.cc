@@ -1,6 +1,7 @@
 #include "common/trace.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -216,14 +217,25 @@ appendEventJson(std::string &out, const Event &e)
     }
     out += ",\"args\":{";
     bool first = true;
+    // A non-finite bytes/repeat would print "inf"/"nan" through the
+    // raw printf formats and corrupt the whole trace document; emit
+    // null instead, matching json::appendNumber.
     if (e.bytes >= 0) {
-        std::snprintf(buf, sizeof(buf), "\"bytes\":%.0f", e.bytes);
+        if (std::isfinite(e.bytes))
+            std::snprintf(buf, sizeof(buf), "\"bytes\":%.0f",
+                          e.bytes);
+        else
+            std::snprintf(buf, sizeof(buf), "\"bytes\":null");
         out += buf;
         first = false;
     }
     if (e.repeat != 1.0) {
-        std::snprintf(buf, sizeof(buf), "%s\"repeat\":%g",
-                      first ? "" : ",", e.repeat);
+        if (std::isfinite(e.repeat))
+            std::snprintf(buf, sizeof(buf), "%s\"repeat\":%g",
+                          first ? "" : ",", e.repeat);
+        else
+            std::snprintf(buf, sizeof(buf), "%s\"repeat\":null",
+                          first ? "" : ",");
         out += buf;
         first = false;
     }

@@ -28,6 +28,12 @@ countFault(const char *series, const char *kind)
 
 } // namespace
 
+void
+resetFaultStreams()
+{
+    g_contextSerial.store(0, std::memory_order_relaxed);
+}
+
 GdlContext::GdlContext(apu::ApuDevice &dev)
     : dev_(dev),
       faultStream_(

@@ -41,6 +41,17 @@
 
 namespace cisram::gdl {
 
+/**
+ * Reset the process-global fault-draw stream serial (tests only).
+ *
+ * Each GdlContext takes the next serial as its fault-draw stream id,
+ * so an armed scenario replayed *within one process* would otherwise
+ * see different draws the second time. Tests that compare two
+ * replays (e.g. serial vs threaded serving) call this before each
+ * run so both assign identical streams.
+ */
+void resetFaultStreams();
+
 /** Opaque device-memory handle (a device address, as in GDL). */
 struct MemHandle
 {

@@ -46,6 +46,22 @@ enum class RagVariant { NoOpt, Opt1, Opt2, Opt3, AllOpts };
 
 const char *ragVariantName(RagVariant v);
 
+/** Options for retrieveBatch. */
+struct RagBatchOptions
+{
+    /**
+     * Double-buffer the per-supertile HBM embedding stream behind
+     * distance compute on the other DMA engine: while the VXU scores
+     * supertile st, the stream for supertile st+1 lands in the spare
+     * L4 buffer. Costed as max(stream, compute) per steady-state
+     * supertile plus one pipeSyncL4L1 per supertile, instead of
+     * stream + compute (see DESIGN.md "Overlapped corpus
+     * streaming"). Functional results are unaffected — only the
+     * timing ledger changes.
+     */
+    bool overlapStream = false;
+};
+
 /** Table 8 stage latencies, in seconds. */
 struct RagStageLatency
 {
@@ -55,11 +71,21 @@ struct RagStageLatency
     double topkAggregation = 0;
     double returnTopk = 0;
 
+    /**
+     * Seconds of the embedding stream hidden behind distance compute
+     * when the overlapped streaming mode is on (0 otherwise). Stage
+     * latencies above keep their full per-stage attribution so Table
+     * 8 breakdowns stay comparable across modes; total() subtracts
+     * the hidden portion to yield the critical-path latency
+     * max(stream, compute) + pipeline syncs instead of their sum.
+     */
+    double overlapHidden = 0;
+
     double
     total() const
     {
         return loadEmbedding + loadQuery + calcDistance +
-            topkAggregation + returnTopk;
+            topkAggregation + returnTopk - overlapHidden;
     }
 };
 
@@ -139,7 +165,7 @@ class RagRetriever
      */
     std::vector<RagRunResult>
     retrieveBatch(const std::vector<std::vector<int16_t>> &queries,
-                  uint64_t corpus_seed);
+                  uint64_t corpus_seed, RagBatchOptions opts = {});
 
     /**
      * GSI-float-scored retrieval (extension): embeddings and query

@@ -1,9 +1,15 @@
 #include "kernels/serving.hh"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/logging.hh"
 #include "common/metrics.hh"
 
 namespace cisram::kernels {
+
+using baseline::IndexFlatI16;
+using baseline::RagCorpusSpec;
 
 const char *
 breakerStateName(BreakerState s)
@@ -27,11 +33,12 @@ CircuitBreaker::allowRequest()
         // probe's outcome is recorded.
         return false;
       case BreakerState::Open:
-        if (remainingCooldown_ > 1) {
+        // Exactly `cooldown_` fallback queries pass while Open; the
+        // next call admits the probe.
+        if (remainingCooldown_ > 0) {
             --remainingCooldown_;
             return false;
         }
-        remainingCooldown_ = 0;
         state_ = BreakerState::HalfOpen;
         return true; // this query is the probe
     }
@@ -61,9 +68,268 @@ void
 CircuitBreaker::trip()
 {
     state_ = BreakerState::Open;
-    remainingCooldown_ = cooldown_ > 0 ? cooldown_ : 1;
+    remainingCooldown_ = cooldown_;
     ++trips_;
     metrics::Registry::get().counter("fault.breaker_trips").inc();
+}
+
+// ---------------------------------------------------------------------
+// BatchFormer
+
+BatchFormer::BatchFormer(BatchPolicy policy) : policy_(policy)
+{
+    cisram_assert(policy_.maxBatch >= 1 && policy_.maxBatch <= 8,
+                  "maxBatch must be 1..8 (one accumulator VR per "
+                  "query in retrieveBatch)");
+}
+
+void
+BatchFormer::admit(PendingQuery q)
+{
+    queue_.push_back(Entry{std::move(q), ++admissions_});
+}
+
+bool
+BatchFormer::batchReady() const
+{
+    if (queue_.empty())
+        return false;
+    if (queue_.size() >= policy_.maxBatch)
+        return true;
+    return admissions_ - queue_.front().serial >=
+        policy_.maxLingerAdmissions;
+}
+
+std::vector<PendingQuery>
+BatchFormer::takeBatch()
+{
+    size_t n = std::min(queue_.size(), policy_.maxBatch);
+    std::vector<PendingQuery> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        out.push_back(std::move(queue_.front().query));
+        queue_.pop_front();
+    }
+    if (n > 0)
+        ++batches_;
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// DeviceServer
+
+DeviceServer::DeviceServer(apu::ApuDevice &dev, RagCorpusSpec spec,
+                           unsigned core, const IndexFlatI16 *golden,
+                           uint64_t corpus_seed, ServerConfig cfg)
+    : spec_(spec), core_(core), golden_(golden),
+      corpusSeed_(corpus_seed), cfg_(cfg),
+      breaker_(cfg.breakerThreshold, cfg.breakerCooldown),
+      hbm_(dram::hbm2eConfig()),
+      retriever_(dev, hbm_, spec, cfg.topK, core), host_(dev),
+      qbuf_(host_, cfg.batch.maxBatch * spec.dim * 2),
+      former_(cfg.batch)
+{}
+
+void
+DeviceServer::enqueue(uint64_t id, std::vector<int16_t> embedding)
+{
+    cisram_assert(embedding.size() == spec_.dim,
+                  "query dim mismatch");
+    former_.admit(PendingQuery{id, std::move(embedding),
+                               busySeconds_});
+}
+
+std::vector<ServeOutcome>
+DeviceServer::pump()
+{
+    std::vector<ServeOutcome> served;
+    while (former_.batchReady()) {
+        auto outs = serveBatch(former_.takeBatch());
+        served.insert(served.end(),
+                      std::make_move_iterator(outs.begin()),
+                      std::make_move_iterator(outs.end()));
+    }
+    return served;
+}
+
+std::vector<ServeOutcome>
+DeviceServer::drain()
+{
+    std::vector<ServeOutcome> served = pump();
+    while (!former_.empty()) {
+        auto outs = serveBatch(former_.takeBatch());
+        served.insert(served.end(),
+                      std::make_move_iterator(outs.begin()),
+                      std::make_move_iterator(outs.end()));
+    }
+    return served;
+}
+
+ServeOutcome
+DeviceServer::serve(const std::vector<int16_t> &query)
+{
+    cisram_assert(query.size() == spec_.dim, "query dim mismatch");
+    std::vector<PendingQuery> one;
+    one.push_back(PendingQuery{0, query, busySeconds_});
+    return serveBatch(std::move(one))[0];
+}
+
+std::vector<ServeOutcome>
+DeviceServer::serveBatch(std::vector<PendingQuery> batch)
+{
+    size_t b = batch.size();
+    cisram_assert(b >= 1, "serveBatch needs at least one query");
+    std::vector<ServeOutcome> outs(b);
+    double start = busySeconds_;
+    auto &reg = metrics::Registry::get();
+    reg.histogram("serving.batch_size")
+        .observe(static_cast<double>(b));
+    for (size_t q = 0; q < b; ++q) {
+        outs[q].id = batch[q].id;
+        outs[q].batchSize = b;
+        outs[q].queueWaitSeconds = start - batch[q].admitSeconds;
+        reg.histogram("serving.queue_wait_seconds")
+            .observe(outs[q].queueWaitSeconds);
+    }
+
+    bool device_ok = false;
+    if (breaker_.allowRequest()) {
+        for (unsigned a = 0; a < cfg_.retry.maxAttempts; ++a) {
+            for (auto &o : outs)
+                ++o.attempts;
+            gdl::HostStats before = host_.stats();
+            Status st = tryDeviceBatch(batch, outs);
+            if (st.ok()) {
+                breaker_.recordSuccess();
+                double pcie =
+                    host_.stats().pcieSeconds - before.pcieSeconds;
+                double retrieval = 0;
+                for (const auto &o : outs)
+                    retrieval += o.run.stages.total();
+                for (auto &o : outs) {
+                    o.ok = true;
+                    o.fromDevice = true;
+                    // Every query in the batch waits for the whole
+                    // batch's corpus pass.
+                    o.retrievalSeconds = retrieval;
+                    o.hostSeconds += pcie;
+                }
+                device_ok = true;
+                break;
+            }
+            // Failed attempt: charge the simulated time the attempt
+            // actually consumed — PCIe transfers (including CRC
+            // retries), launch overhead, and device cycles capped at
+            // the deadline (the host abandons the task there, so
+            // only DeadlineExceeded attempts pay the full deadline;
+            // an immediate CRC mismatch or device OOM costs
+            // microseconds, not the 0.5 s budget).
+            const gdl::HostStats &hs = host_.stats();
+            double attempt =
+                (hs.pcieSeconds - before.pcieSeconds) +
+                (hs.invokeSeconds - before.invokeSeconds) +
+                std::min(hs.deviceSeconds - before.deviceSeconds,
+                         cfg_.retry.deadlineSeconds);
+            for (auto &o : outs) {
+                o.lastError = st.toString();
+                o.hostSeconds += attempt;
+            }
+            metrics::Registry::get()
+                .counter("fault.retries", {{"site", "query"}})
+                .inc();
+        }
+        if (!device_ok)
+            breaker_.recordFailure();
+    }
+
+    double elapsed = outs[0].hostSeconds;
+    if (device_ok) {
+        elapsed += outs[0].retrievalSeconds;
+    } else {
+        // The CPU serves the batch's queries one after another.
+        for (size_t q = 0; q < b; ++q) {
+            cpuFallback(batch[q].embedding, outs[q]);
+            elapsed += outs[q].retrievalSeconds;
+        }
+    }
+    busySeconds_ = start + elapsed;
+
+    auto &reg2 = metrics::Registry::get();
+    reg2.counter("serving.batches").inc();
+    for (const auto &o : outs)
+        reg2.histogram("serving.served_seconds")
+            .observe(o.servedSeconds());
+    return outs;
+}
+
+Status
+DeviceServer::tryDeviceBatch(const std::vector<PendingQuery> &batch,
+                             std::vector<ServeOutcome> &outs)
+{
+    size_t b = batch.size();
+    size_t dim = spec_.dim;
+
+    // Stage the batch's query vectors contiguously over PCIe.
+    std::vector<int16_t> staged(b * dim);
+    for (size_t q = 0; q < b; ++q)
+        std::copy(batch[q].embedding.begin(),
+                  batch[q].embedding.end(),
+                  staged.begin() + q * dim);
+    Status st = host_.tryMemCpyToDev(qbuf_.handle(), staged.data(),
+                                     b * dim * 2);
+    if (!st.ok())
+        return st;
+
+    std::vector<std::vector<int16_t>> queries(b);
+    for (size_t q = 0; q < b; ++q)
+        queries[q] = batch[q].embedding;
+
+    std::vector<RagRunResult> rs;
+    st = host_.runTaskTimeoutOn(
+        core_, cfg_.retry.deadlineSeconds, [&](apu::ApuCore &) {
+            rs = retriever_.retrieveBatch(
+                queries, corpusSeed_,
+                RagBatchOptions{cfg_.overlapStream});
+            return 0;
+        });
+    if (!st.ok())
+        return st;
+    // One corpus pass serves the whole batch, so an uncorrectable
+    // ECC error taints every result in it.
+    for (const auto &r : rs)
+        if (!r.status.ok())
+            return r.status;
+
+    // Read the staged ids back (fixed-size in timing mode).
+    for (size_t q = 0; q < b; ++q) {
+        size_t n =
+            rs[q].topkIdsCount ? rs[q].topkIdsCount : cfg_.topK;
+        outs[q].ids.assign(n, 0);
+        st = host_.tryMemCpyFromDev(
+            outs[q].ids.data(), gdl::MemHandle{rs[q].topkIdsAddr},
+            n * sizeof(uint32_t));
+        if (!st.ok())
+            return st;
+        outs[q].run = rs[q];
+    }
+    return Status::okStatus();
+}
+
+void
+DeviceServer::cpuFallback(const std::vector<int16_t> &query,
+                          ServeOutcome &out)
+{
+    metrics::Registry::get().counter("fault.fallbacks").inc();
+    if (golden_) {
+        auto hits = golden_->search(query.data(), cfg_.topK);
+        out.ids.clear();
+        for (const auto &h : hits)
+            out.ids.push_back(static_cast<uint32_t>(h.id));
+    }
+    out.retrievalSeconds =
+        xeon_.ennsRetrievalMs(spec_.embeddingBytes()) * 1e-3;
+    out.ok = true;
+    out.fromDevice = false;
 }
 
 } // namespace cisram::kernels

@@ -1,28 +1,58 @@
 /**
  * @file
- * Fault-tolerant serving primitives for the RAG loop.
+ * Serving primitives for the RAG loop: fault tolerance plus the
+ * asynchronous batched pipeline.
  *
  * A production serving loop in front of the accelerator cannot treat
  * a device fault as fatal: a hung task, a corrupted PCIe transfer, or
  * an uncorrectable ECC error on one core must degrade that query, not
- * the service. The pieces here encode the standard pattern:
+ * the service. And it cannot afford to run one query per corpus pass:
+ * `RagRetriever::retrieveBatch` amortizes the dominant embedding
+ * stream over up to eight queries, so the serving loop's job is to
+ * *form* those batches from an admission queue. The pieces here
+ * encode both patterns:
  *
  *  - RetryPolicy: how many times to re-issue a failed device attempt
- *    before giving up on the device for this query.
+ *    before giving up on the device for this query/batch.
  *  - CircuitBreaker (one per device core): after `failureThreshold`
  *    consecutive query failures the breaker trips Open and queries
  *    route straight to the CPU fallback without touching the device;
  *    after `cooldownQueries` fallback queries it goes HalfOpen and
  *    the next query probes the device once — success re-closes the
  *    breaker, failure re-opens it and the cooldown restarts.
+ *  - BatchFormer: a FIFO admission queue plus a deterministic batch
+ *    former. A batch ships when `maxBatch` queries are pending, or
+ *    when the oldest pending query has seen `maxLingerAdmissions`
+ *    later admissions (the linger bound is counted in admissions,
+ *    like the breaker's cooldown is counted in queries — no wall
+ *    clock anywhere).
+ *  - DeviceServer (one per device core): the full serving shard.
+ *    Owns the core's retriever, HBM model, GDL session, breaker, and
+ *    batch former; serves formed batches through one `retrieveBatch`
+ *    call under the retry/breaker/fallback policy, with queue wait
+ *    counted into each query's served latency.
  *
- * Both are deterministic (no wall-clock anywhere: the cooldown is
- * counted in queries, not seconds), so a serving run under an armed
- * fault plan is reproducible bit-for-bit.
+ * Everything is deterministic (no wall clock: cooldowns and linger
+ * are counted in queries, waits in simulated seconds), so a serving
+ * run — even under an armed fault plan, even threaded — is
+ * reproducible bit-for-bit.
  */
 
 #ifndef CISRAM_KERNELS_SERVING_HH
 #define CISRAM_KERNELS_SERVING_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "apusim/apu.hh"
+#include "baseline/faisslite.hh"
+#include "baseline/timing_models.hh"
+#include "baseline/workloads.hh"
+#include "dramsim/dram_sim.hh"
+#include "gdl/gdl.hh"
+#include "kernels/rag.hh"
 
 namespace cisram::kernels {
 
@@ -37,7 +67,11 @@ struct RetryPolicy
     /** Device attempts per query before falling back to CPU. */
     unsigned maxAttempts = 3;
 
-    /** Per-attempt device deadline, simulated seconds. */
+    /**
+     * Per-attempt device deadline, simulated seconds. For batched
+     * serving this bounds one whole-batch attempt, so size it for a
+     * full corpus pass at the configured batch size.
+     */
     double deadlineSeconds = 0.1;
 };
 
@@ -57,8 +91,9 @@ class CircuitBreaker
     /**
      * Gate one query: true to try the device (Closed, or the single
      * HalfOpen probe), false to go straight to the CPU fallback.
-     * While Open, each call counts down the cooldown; the call that
-     * exhausts it transitions to HalfOpen and admits the probe.
+     * While Open, exactly `cooldownQueries` calls fall back (each
+     * counting down the cooldown); the following call transitions to
+     * HalfOpen and admits the probe.
      */
     bool allowRequest();
 
@@ -87,6 +122,208 @@ class CircuitBreaker
     unsigned consecutive_ = 0;
     unsigned remainingCooldown_ = 0;
     unsigned trips_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Batched serving pipeline.
+
+/** One admitted query awaiting batch formation. */
+struct PendingQuery
+{
+    /** Caller-assigned id, carried through to the outcome. */
+    uint64_t id = 0;
+
+    std::vector<int16_t> embedding;
+
+    /**
+     * Core-local simulated time at admission (set by
+     * DeviceServer::enqueue); the batch former itself never reads
+     * it. Queue wait = service start time - this.
+     */
+    double admitSeconds = 0;
+};
+
+/** Deterministic batch-formation policy (no wall clock). */
+struct BatchPolicy
+{
+    /** Queries coalesced into one retrieveBatch call (1..8). */
+    size_t maxBatch = 8;
+
+    /**
+     * A pending query ships after at most this many *later*
+     * admissions, even if the batch is not full — the query-counted
+     * analogue of a batching timeout. 0 means every admission ships
+     * immediately (sequential serving).
+     */
+    size_t maxLingerAdmissions = 8;
+};
+
+/**
+ * Admission queue + batch former. FIFO, deterministic: batch
+ * boundaries depend only on the admission sequence, never on time or
+ * thread interleaving.
+ */
+class BatchFormer
+{
+  public:
+    explicit BatchFormer(BatchPolicy policy = {});
+
+    void admit(PendingQuery q);
+
+    /**
+     * True when a batch should ship now: `maxBatch` queries are
+     * pending, or the oldest pending query has lingered through
+     * `maxLingerAdmissions` later admissions.
+     */
+    bool batchReady() const;
+
+    /**
+     * Pop the next batch (up to `maxBatch` queries, FIFO order).
+     * Also used to flush the tail: callable regardless of
+     * batchReady(); returns an empty vector when nothing is pending.
+     */
+    std::vector<PendingQuery> takeBatch();
+
+    size_t depth() const { return queue_.size(); }
+    bool empty() const { return queue_.empty(); }
+    const BatchPolicy &policy() const { return policy_; }
+
+    uint64_t admitted() const { return admissions_; }
+    uint64_t batchesFormed() const { return batches_; }
+
+  private:
+    struct Entry
+    {
+        PendingQuery query;
+        uint64_t serial; ///< admission count when enqueued
+    };
+
+    BatchPolicy policy_;
+    std::deque<Entry> queue_;
+    uint64_t admissions_ = 0;
+    uint64_t batches_ = 0;
+};
+
+/** How one query was answered. */
+struct ServeOutcome
+{
+    uint64_t id = 0;           ///< PendingQuery id (0 for serve())
+    bool ok = false;
+    bool fromDevice = false;
+    unsigned attempts = 0;     ///< device attempts made (per batch)
+    size_t batchSize = 1;      ///< queries in the batch it shipped in
+    std::vector<uint32_t> ids; ///< host-visible top-k ids
+    RagRunResult run;          ///< device result (fromDevice only)
+
+    double queueWaitSeconds = 0; ///< simulated admission-queue wait
+    double retrievalSeconds = 0; ///< device or CPU retrieval (whole
+                                 ///< batch: the query waits for it)
+    double hostSeconds = 0;      ///< PCIe staging + failed attempts
+    std::string lastError;       ///< last device failure, if any
+
+    /** End-to-end served latency of this query, simulated seconds. */
+    double
+    servedSeconds() const
+    {
+        return queueWaitSeconds + retrievalSeconds + hostSeconds;
+    }
+};
+
+/** Per-core serving configuration. */
+struct ServerConfig
+{
+    size_t topK = 5;
+    RetryPolicy retry{3, 0.5};
+    unsigned breakerThreshold = 2;
+    unsigned breakerCooldown = 2;
+    BatchPolicy batch;
+
+    /** Double-buffer the HBM embedding stream behind compute. */
+    bool overlapStream = true;
+};
+
+/**
+ * One core's serving shard: admission queue, batch former, retriever,
+ * and the retry/breaker/fallback machinery, all core-private (the
+ * HBM model is stateful and a GDL session is single-threaded, so
+ * each core owns one of each). Driven by exactly one shard thread.
+ *
+ * Pipeline usage:
+ *   server.enqueue(id, embedding);     // admit
+ *   for (auto &o : server.pump()) ...  // serve ready batches
+ *   for (auto &o : server.drain()) ... // flush the tail
+ *
+ * serve() is the synchronous single-query path (no queue), used by
+ * probes and tests.
+ */
+class DeviceServer
+{
+  public:
+    /**
+     * @param golden Exact CPU index for fallback answers; may be
+     *        null (timing-only serving), in which case fallbacks
+     *        return no ids but still charge CPU latency.
+     */
+    DeviceServer(apu::ApuDevice &dev, baseline::RagCorpusSpec spec,
+                 unsigned core, const baseline::IndexFlatI16 *golden,
+                 uint64_t corpus_seed, ServerConfig cfg = {});
+
+    /** Admit one query into this core's queue. */
+    void enqueue(uint64_t id, std::vector<int16_t> embedding);
+
+    /** Serve every currently ready batch; outcomes in query order. */
+    std::vector<ServeOutcome> pump();
+
+    /** Serve everything still pending (tail flush). */
+    std::vector<ServeOutcome> drain();
+
+    /** Synchronous single-query serve (bypasses the queue). */
+    ServeOutcome serve(const std::vector<int16_t> &query);
+
+    /**
+     * Cumulative simulated seconds this core has spent serving
+     * (device attempts, PCIe, CPU fallbacks). Queue waits are
+     * measured against this clock; aggregate QPS = queries / the
+     * busiest core's busySeconds.
+     */
+    double busySeconds() const { return busySeconds_; }
+
+    CircuitBreaker &breaker() { return breaker_; }
+    const BatchFormer &former() const { return former_; }
+    gdl::GdlContext &host() { return host_; }
+    const dram::DramSystem &hbm() const { return hbm_; }
+    const ServerConfig &config() const { return cfg_; }
+
+  private:
+    /** Serve one formed batch through the fault-tolerant path. */
+    std::vector<ServeOutcome>
+    serveBatch(std::vector<PendingQuery> batch);
+
+    /**
+     * One whole-batch device attempt: stage the queries over PCIe,
+     * run retrieveBatch under the deadline, read the staged top-k
+     * ids back. On success fills outs[*].{ids,run}.
+     */
+    Status tryDeviceBatch(const std::vector<PendingQuery> &batch,
+                          std::vector<ServeOutcome> &outs);
+
+    /** Exact CPU retrieval at Xeon latency; always succeeds. */
+    void cpuFallback(const std::vector<int16_t> &query,
+                     ServeOutcome &out);
+
+    baseline::RagCorpusSpec spec_;
+    unsigned core_;
+    const baseline::IndexFlatI16 *golden_;
+    uint64_t corpusSeed_;
+    ServerConfig cfg_;
+    CircuitBreaker breaker_;
+    baseline::XeonTimingModel xeon_;
+    dram::DramSystem hbm_;
+    RagRetriever retriever_;
+    gdl::GdlContext host_;
+    gdl::DeviceBuffer qbuf_; ///< staging for maxBatch query vectors
+    BatchFormer former_;
+    double busySeconds_ = 0;
 };
 
 } // namespace cisram::kernels

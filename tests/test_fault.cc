@@ -481,6 +481,7 @@ TEST(CircuitBreaker, CooldownThenProbeThenClose)
     ASSERT_EQ(br.state(), kernels::BreakerState::Open);
 
     EXPECT_FALSE(br.allowRequest()); // cooldown query 1
+    EXPECT_FALSE(br.allowRequest()); // cooldown query 2
     EXPECT_TRUE(br.allowRequest());  // cooldown done: the probe
     EXPECT_EQ(br.state(), kernels::BreakerState::HalfOpen);
     EXPECT_FALSE(br.allowRequest()); // one probe at a time
@@ -495,10 +496,15 @@ TEST(CircuitBreaker, FailedProbeReopens)
     kernels::CircuitBreaker br(1, 1);
     br.recordFailure();
     ASSERT_EQ(br.state(), kernels::BreakerState::Open);
-    EXPECT_TRUE(br.allowRequest()); // cooldown 1: probe immediately
-    br.recordFailure();             // probe fails
+    EXPECT_FALSE(br.allowRequest()); // the one cooldown query
+    EXPECT_TRUE(br.allowRequest());  // cooldown done: the probe
+    br.recordFailure();              // probe fails
     EXPECT_EQ(br.state(), kernels::BreakerState::Open);
     EXPECT_EQ(br.trips(), 2u);
+
+    // The cooldown restarts in full after a failed probe.
+    EXPECT_FALSE(br.allowRequest());
+    EXPECT_TRUE(br.allowRequest());
 }
 
 TEST(CircuitBreaker, StateNames)

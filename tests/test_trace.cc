@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 
 #include "apusim/apu.hh"
 #include "apusim/cycle_stats.hh"
@@ -104,6 +105,32 @@ TEST(Json, RoundTrip)
     }
 }
 
+TEST(Json, NonFiniteNumbersSerializeAsNull)
+{
+    // A raw "inf"/"nan" token would corrupt the whole document for
+    // any standards-conforming reader (BENCH_*.json consumers,
+    // chrome://tracing), so the writer must degrade non-finite
+    // numbers to null — and the written document must parse back.
+    json::Value doc;
+    doc["ok"] = 2.5;
+    doc["pos_overflow"] = std::numeric_limits<double>::infinity();
+    doc["neg_overflow"] = -std::numeric_limits<double>::infinity();
+    doc["undefined"] = std::numeric_limits<double>::quiet_NaN();
+
+    for (int indent : {-1, 2}) {
+        std::string text = doc.dump(indent);
+        EXPECT_EQ(text.find("inf"), std::string::npos);
+        EXPECT_EQ(text.find("nan"), std::string::npos);
+
+        auto back = json::parseOrDie(text);
+        EXPECT_DOUBLE_EQ(back.asObject().find("ok")->asNumber(),
+                         2.5);
+        EXPECT_TRUE(back.asObject().find("pos_overflow")->isNull());
+        EXPECT_TRUE(back.asObject().find("neg_overflow")->isNull());
+        EXPECT_TRUE(back.asObject().find("undefined")->isNull());
+    }
+}
+
 TEST(Json, ObjectPreservesInsertionOrder)
 {
     json::Value doc;
@@ -154,6 +181,46 @@ TEST(Metrics, HistogramSummary)
     EXPECT_DOUBLE_EQ(h.min(), 1.0);
     EXPECT_DOUBLE_EQ(h.max(), 8.0);
     EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Metrics, HistogramQuantiles)
+{
+    metrics::Histogram h;
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0); // empty
+
+    // Quantiles are exact at the extremes and bucket-accurate in
+    // between; the serving pipeline's latencies (milliseconds) must
+    // land in resolved buckets, not a catch-all underflow bucket.
+    for (int i = 1; i <= 100; ++i)
+        h.observe(i * 1e-3); // 1..100 ms
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1e-3);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.1);
+
+    double p50 = h.quantile(0.50);
+    double p95 = h.quantile(0.95);
+    double p99 = h.quantile(0.99);
+    // Monotone and within the observed range.
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_GE(p50, 1e-3);
+    EXPECT_LE(p99, 0.1);
+    // Factor-of-two bucket accuracy around the true values.
+    EXPECT_NEAR(p50, 0.050, 0.032);
+    EXPECT_NEAR(p95, 0.095, 0.035);
+
+    // A single observation pins every quantile.
+    metrics::Histogram one;
+    one.observe(0.007);
+    EXPECT_DOUBLE_EQ(one.quantile(0.5), 0.007);
+    EXPECT_DOUBLE_EQ(one.quantile(0.99), 0.007);
+
+    // Sub-resolution values (below 2^minExp) fall into bucket 0 and
+    // still produce clamped, finite quantiles.
+    metrics::Histogram tiny;
+    tiny.observe(0.0);
+    tiny.observe(1e-12);
+    EXPECT_GE(tiny.quantile(0.5), 0.0);
+    EXPECT_LE(tiny.quantile(0.5), 1e-12);
 }
 
 TEST(Metrics, JsonSnapshot)
