@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Recovery storm (extension): quantify what a device reset costs a
+ * live serving pipeline. One core's DeviceServer runs three equal
+ * query phases at paper scale (200 GB corpus, TimingOnly):
+ *
+ *   before — steady-state batched serving (the pre-fault baseline);
+ *   during — the same load, but after the first batch is served the
+ *            device is force-reset mid-stream: the gdl session
+ *            re-allocates, the corpus shard re-stages over PCIe,
+ *            and every journaled in-flight query replays with its
+ *            original admission timestamp;
+ *   after  — steady-state again on the recovered core.
+ *
+ * The acceptance bar for the escalation ladder: a reset is a blip,
+ * not a regime change — post-reset QPS must be >= 0.95x the
+ * pre-fault QPS (the DramAllocator's size-keyed free lists hand the
+ * rebuilt session the same addresses, so the recovered core's
+ * timing ledger is bit-identical to the baseline), and every
+ * storm-phase query is delivered exactly once.
+ */
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baseline/workloads.hh"
+#include "bench_report.hh"
+#include "common/metrics.hh"
+#include "common/table.hh"
+#include "kernels/rag.hh"
+#include "kernels/serving.hh"
+
+using namespace cisram;
+using namespace cisram::baseline;
+using namespace cisram::kernels;
+
+namespace {
+
+constexpr int kQueries = 32; // per phase
+constexpr uint64_t kSeed = 2026;
+
+struct PhaseResult
+{
+    double qps = 0;
+    double p50 = 0, p99 = 0;
+    size_t delivered = 0;
+    bool exactlyOnce = true;
+    bool allOk = true;
+};
+
+ServerConfig
+stormConfig()
+{
+    ServerConfig cfg;
+    cfg.topK = 5;
+    cfg.batch = BatchPolicy{8, 8};
+    cfg.overlapStream = true;
+    cfg.health.enabled = true; // reset runs the full ladder
+    return cfg;
+}
+
+/**
+ * Serve kQueries through the server; when `resetAfterFirstBatch`,
+ * force the device reset once the first batch has been served, so
+ * the remaining journaled queries ride the reset + replay path.
+ * Phase QPS comes from the server's simulated busy-clock delta,
+ * which includes the reset + re-stage time.
+ */
+PhaseResult
+runPhase(DeviceServer &server, const RagCorpusSpec &spec,
+         uint64_t idBase, bool resetAfterFirstBatch,
+         gdl::ResetOutcome *resetOut)
+{
+    PhaseResult res;
+    double busy0 = server.busySeconds();
+
+    std::vector<ServeOutcome> outs;
+    auto admit = [&](int q) {
+        server.enqueue(idBase + static_cast<uint64_t>(q),
+                       genQuery(spec.dim,
+                                static_cast<int>(idBase) + q));
+    };
+    int q = 0;
+    if (resetAfterFirstBatch) {
+        // Serve one full batch in steady state, then admit the rest
+        // of the phase and reset mid-stream: those queries are
+        // outstanding in the admission journal and replay on the
+        // rebuilt session.
+        for (; q < 8; ++q)
+            admit(q);
+        for (ServeOutcome &out : server.pump())
+            outs.push_back(std::move(out));
+        for (; q < kQueries; ++q)
+            admit(q);
+        *resetOut = server.forceReset();
+    }
+    for (; q < kQueries; ++q)
+        admit(q);
+    for (ServeOutcome &out : server.drain())
+        outs.push_back(std::move(out));
+
+    metrics::Histogram served;
+    std::set<uint64_t> ids;
+    for (const ServeOutcome &out : outs) {
+        served.observe(out.servedSeconds());
+        res.exactlyOnce =
+            res.exactlyOnce && ids.insert(out.id).second;
+        res.allOk = res.allOk && out.ok && out.fromDevice;
+    }
+    res.delivered = outs.size();
+    res.exactlyOnce = res.exactlyOnce && outs.size() == kQueries;
+    res.qps = kQueries / (server.busySeconds() - busy0);
+    res.p50 = served.quantile(0.50);
+    res.p99 = served.quantile(0.99);
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Recovery storm: serving QPS across a forced "
+                "device reset ==\n");
+    const auto &spec = ragCorpora()[2]; // 200 GB
+    std::printf("corpus: %s (%zu chunks), %d queries per phase "
+                "through one core's pipeline (batch <= 8, "
+                "overlapped stream)\n\n",
+                spec.label, spec.numChunks, kQueries);
+
+    apu::ApuDevice dev;
+    dev.core(0).setMode(apu::ExecMode::TimingOnly);
+    DeviceServer server(dev, spec, 0, nullptr, kSeed,
+                        stormConfig());
+
+    gdl::ResetOutcome reset;
+    PhaseResult before =
+        runPhase(server, spec, 0, false, nullptr);
+    PhaseResult during =
+        runPhase(server, spec, 1000, true, &reset);
+    PhaseResult after =
+        runPhase(server, spec, 2000, false, nullptr);
+
+    AsciiTable table({"phase", "QPS", "served p50 (ms)",
+                      "served p99 (ms)", "delivered",
+                      "exactly-once"});
+    auto row = [&](const char *name, const PhaseResult &r) {
+        table.addRow({name, formatDouble(r.qps, 1),
+                      formatDouble(r.p50 * 1e3, 1),
+                      formatDouble(r.p99 * 1e3, 1),
+                      std::to_string(r.delivered) + "/" +
+                          std::to_string(kQueries),
+                      r.exactlyOnce && r.allOk ? "yes" : "NO"});
+    };
+    row("before", before);
+    row("during (forced reset)", during);
+    row("after", after);
+    table.print();
+
+    std::printf("\nreset: %.2f ms simulated (re-init + %.1f MB "
+                "shard re-staged over PCIe), %u reset(s), %llu "
+                "replayed quer%s\n",
+                reset.seconds * 1e3, reset.restagedBytes / 1e6,
+                server.resets(),
+                static_cast<unsigned long long>(
+                    server.replayedQueries()),
+                server.replayedQueries() == 1 ? "y" : "ies");
+
+    double post_ratio = after.qps / before.qps;
+    bool delivery_ok = before.exactlyOnce && before.allOk &&
+        during.exactlyOnce && during.allOk && after.exactlyOnce &&
+        after.allOk;
+    bool qps_ok = post_ratio >= 0.95;
+    std::printf("post-reset QPS is %.3fx the pre-fault QPS "
+                "(target >= 0.95x): %s\n",
+                post_ratio, qps_ok ? "PASS" : "FAIL");
+    std::printf("every query in every phase delivered exactly once "
+                "from the device: %s\n",
+                delivery_ok ? "PASS" : "FAIL");
+
+    bench::BenchReport report("recovery_storm");
+    report.scalar("queries_per_phase", kQueries);
+    report.scalar("qps_before", before.qps);
+    report.scalar("qps_during", during.qps);
+    report.scalar("qps_after", after.qps);
+    report.scalar("served_p99_before", before.p99);
+    report.scalar("served_p99_during", during.p99);
+    report.scalar("served_p99_after", after.p99);
+    report.scalar("reset_seconds", reset.seconds);
+    report.scalar("restaged_bytes",
+                  static_cast<double>(reset.restagedBytes));
+    report.scalar("replayed_queries",
+                  static_cast<double>(server.replayedQueries()));
+    report.scalar("resets", server.resets());
+    report.scalar("post_reset_qps_ratio", post_ratio);
+    report.scalar("exactly_once", delivery_ok ? 1 : 0);
+    report.write();
+
+    return (qps_ok && delivery_ok) ? 0 : 1;
+}

@@ -228,33 +228,93 @@ DramSystem::injectEccFaults(const std::vector<Request> &reqs)
     uint64_t words = cfg.burstBytes() / 8;
     double scale = static_cast<double>(words);
     for (const auto &r : reqs) {
-        if (r.write)
+        if (r.write) {
+            // A write re-encodes the codewords it covers, clearing
+            // any latent single resident there.
+            latent_.erase(r.addr);
             continue;
+        }
         eccStats_.wordsChecked += words;
+        scrubLo_ = std::min(scrubLo_, r.addr);
+        scrubHi_ = std::max(scrubHi_, r.addr);
         uint64_t index = eccSerial_++;
         unsigned flips = fp->drawDramFlips(eccStream_, index, scale);
-        if (flips == 0)
-            continue;
-        auto &reg = metrics::Registry::get();
-        if (flips == 1) {
-            ++eccStats_.singleCorrected;
-            reg.counter("fault.injected", {{"kind", "dram_flip"}})
-                .inc();
-            reg.counter("fault.corrected", {{"kind", "dram_flip"}})
-                .inc();
-        } else {
-            ++eccStats_.doubleDetected;
-            reg.counter("fault.injected", {{"kind", "dram_flip2"}})
-                .inc();
-            reg.counter("fault.detected", {{"kind", "dram_flip2"}})
-                .inc();
-            if (faultStatus_.ok()) {
-                faultStatus_ = Status::deviceFault(detail::concat(
-                    "uncorrectable DRAM ECC error (double bit flip) "
-                    "in codeword #", index, " at device address ",
-                    r.addr));
+        if (flips != 0) {
+            auto &reg = metrics::Registry::get();
+            if (flips == 1 && latent_.count(r.addr)) {
+                // The new flip landed on a codeword still holding a
+                // corrected-but-unrewritten single: two bad bits in
+                // storage — uncorrectable. This is the aging path
+                // the patrol scrubber exists to cut off.
+                ++eccStats_.doubleDetected;
+                reg.counter("fault.injected",
+                            {{"kind", "dram_flip"}}).inc();
+                reg.counter("fault.detected",
+                            {{"kind", "dram_flip_latent"}}).inc();
+                latent_.erase(r.addr);
+                if (faultStatus_.ok()) {
+                    faultStatus_ = Status::deviceFault(detail::concat(
+                        "uncorrectable DRAM ECC error in codeword #",
+                        index, " at device address ", r.addr,
+                        ": single-bit flip landed on an unscrubbed "
+                        "latent single (two bad bits in storage)"));
+                }
+            } else if (flips == 1) {
+                ++eccStats_.singleCorrected;
+                latent_.insert(r.addr);
+                reg.counter("fault.injected",
+                            {{"kind", "dram_flip"}}).inc();
+                reg.counter("fault.corrected",
+                            {{"kind", "dram_flip"}}).inc();
+            } else {
+                ++eccStats_.doubleDetected;
+                reg.counter("fault.injected",
+                            {{"kind", "dram_flip2"}}).inc();
+                reg.counter("fault.detected",
+                            {{"kind", "dram_flip2"}}).inc();
+                if (faultStatus_.ok()) {
+                    faultStatus_ = Status::deviceFault(detail::concat(
+                        "uncorrectable DRAM ECC error (double bit "
+                        "flip) in codeword #", index,
+                        " at device address ", r.addr));
+                }
             }
         }
+        if (scrub_.enabled &&
+            ++scrubClock_ >= scrub_.intervalReadBursts) {
+            scrubClock_ = 0;
+            scrubTick();
+        }
+    }
+}
+
+void
+DramSystem::scrubTick()
+{
+    if (scrubLo_ > scrubHi_)
+        return; // nothing demand-read yet: no region to patrol
+    uint64_t bb = cfg.burstBytes();
+    uint64_t corrected = 0;
+    for (uint64_t i = 0; i < scrub_.burstsPerTick; ++i) {
+        if (scrubCursor_ < scrubLo_ || scrubCursor_ > scrubHi_)
+            scrubCursor_ = scrubLo_;
+        auto it = latent_.find(scrubCursor_);
+        if (it != latent_.end()) {
+            // Correct-and-writeback: the codeword is clean again.
+            latent_.erase(it);
+            ++eccStats_.scrubCorrected;
+            ++corrected;
+        }
+        ++eccStats_.scrubReads;
+        ++stats_.reads; // scrub traffic is real traffic: energy model
+        scrubCursor_ += bb;
+    }
+    auto &reg = metrics::Registry::get();
+    reg.counter("recovery.scrub_reads")
+        .inc(static_cast<double>(scrub_.burstsPerTick));
+    if (corrected > 0) {
+        reg.counter("recovery.scrub_corrected")
+            .inc(static_cast<double>(corrected));
     }
 }
 

@@ -13,6 +13,7 @@
 #define CISRAM_DRAMSIM_DRAM_SIM_HH
 
 #include <cstdint>
+#include <set>
 #include <vector>
 
 #include "common/status.hh"
@@ -55,12 +56,21 @@ struct DramStats
  * cisram::fault plan's dram_flip clause) are corrected inline,
  * double flips (dram_flip2) are detected but uncorrectable. Only the
  * simulated portion of a sampled stream is subject to injection.
+ *
+ * Corrected singles are corrected *on the bus*, not in storage: the
+ * bad bit stays resident (a latent single) until a patrol-scrub pass
+ * rewrites the codeword or a write overwrites it. A second flip
+ * landing on a still-latent codeword makes two bad bits — an
+ * uncorrectable double — which is exactly the aging failure the
+ * scrubber exists to prevent.
  */
 struct EccStats
 {
     uint64_t wordsChecked = 0;    ///< 8-byte codewords read
     uint64_t singleCorrected = 0; ///< transient flips fixed inline
     uint64_t doubleDetected = 0;  ///< uncorrectable, surfaced as Status
+    uint64_t scrubReads = 0;      ///< patrol-scrub burst reads issued
+    uint64_t scrubCorrected = 0;  ///< latent singles scrubbed clean
 
     void
     operator+=(const EccStats &o)
@@ -68,7 +78,26 @@ struct EccStats
         wordsChecked += o.wordsChecked;
         singleCorrected += o.singleCorrected;
         doubleDetected += o.doubleDetected;
+        scrubReads += o.scrubReads;
+        scrubCorrected += o.scrubCorrected;
     }
+};
+
+/**
+ * Patrol-scrubber cadence, counted in demand read bursts so the
+ * schedule is deterministic and thread-count independent (no wall
+ * clock): every `intervalReadBursts` demand reads, the scrubber
+ * walks `burstsPerTick` consecutive burst addresses of the observed
+ * region, rewriting any latent single it passes. Scrub reads are
+ * charged to the DRAM read counters (and thus the energy model);
+ * they draw no faults, so the foreground fault sequence is
+ * bit-identical with the scrubber on or off.
+ */
+struct ScrubConfig
+{
+    bool enabled = false;
+    uint64_t intervalReadBursts = 4096; ///< demand reads per tick
+    uint64_t burstsPerTick = 256;       ///< region bursts per tick
 };
 
 /** One channel's banks and bus. */
@@ -150,6 +179,20 @@ class DramSystem
     /** SECDED ledger (all zero unless a fault plan injects flips). */
     const EccStats &eccStats() const { return eccStats_; }
 
+    /** Enable/configure the patrol scrubber (see ScrubConfig). */
+    void setScrubConfig(const ScrubConfig &c) { scrub_ = c; }
+    const ScrubConfig &scrubConfig() const { return scrub_; }
+
+    /** Codewords currently holding a corrected-but-unscrubbed flip. */
+    size_t latentSingles() const { return latent_.size(); }
+
+    /**
+     * Forget all latent singles — the storage was rewritten wholesale
+     * (a device reset re-staged the region), not scrubbed word by
+     * word, so nothing is counted as scrubCorrected.
+     */
+    void clearLatents() { latent_.clear(); }
+
     /**
      * Take (and clear) the sticky fault status. Returns the first
      * uncorrectable ECC error observed since the last take — sticky
@@ -170,11 +213,25 @@ class DramSystem
     /** Draw injected bit flips for the read bursts of one trace. */
     void injectEccFaults(const std::vector<Request> &reqs);
 
+    /** One patrol pass over burstsPerTick addresses at the cursor. */
+    void scrubTick();
+
     DramConfig cfg;
     DramStats stats_;
     EccStats eccStats_;
     Status faultStatus_ = Status::okStatus();
     double lastBandwidth = 0.0;
+
+    // Latent-error storage model: burst addresses whose codewords
+    // hold a corrected-on-the-bus single that was never rewritten.
+    // std::set keeps patrol order deterministic. The scrubber walks
+    // the observed demand-read window [scrubLo_, scrubHi_].
+    ScrubConfig scrub_;
+    std::set<uint64_t> latent_;
+    uint64_t scrubClock_ = 0;  ///< demand reads since last tick
+    uint64_t scrubCursor_ = 0; ///< next burst address to patrol
+    uint64_t scrubLo_ = ~0ull; ///< lowest read burst addr observed
+    uint64_t scrubHi_ = 0;     ///< highest read burst addr observed
 
     // Deterministic fault-draw coordinates (see src/fault/fault.hh):
     // a per-system stream plus a running codeword serial. Instances

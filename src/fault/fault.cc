@@ -61,6 +61,7 @@ StatusOr<FaultPlan>
 FaultPlan::parse(const std::string &spec)
 {
     FaultPlan plan;
+    bool seed_seen = false;
     std::stringstream clauses(spec);
     std::string clause;
     while (std::getline(clauses, clause, ';')) {
@@ -72,6 +73,11 @@ FaultPlan::parse(const std::string &spec)
             colon == std::string::npos ? "" : clause.substr(colon + 1);
 
         if (name == "seed") {
+            if (seed_seen) {
+                return Status::invalidArgument(
+                    "fault spec: duplicate clause 'seed'");
+            }
+            seed_seen = true;
             auto v = parseNumber(clause, params);
             if (!v.ok())
                 return v.status();
@@ -91,6 +97,12 @@ FaultPlan::parse(const std::string &spec)
         }
 
         Clause &c = plan.clauses_[static_cast<unsigned>(kind)];
+        if (c.enabled) {
+            // Two clauses for one kind would silently merge into a
+            // campaign nobody wrote down; make the typo loud.
+            return Status::invalidArgument(
+                "fault spec: duplicate clause '" + name + "'");
+        }
         c.enabled = true;
         std::stringstream kvs(params);
         std::string kv;
@@ -123,6 +135,8 @@ FaultPlan::parse(const std::string &spec)
                         "': nth is 1-based");
                 }
                 c.nth = static_cast<int64_t>(*v);
+            } else if (key == "sticky") {
+                c.sticky = *v != 0.0;
             } else {
                 return Status::invalidArgument(
                     "fault spec clause '" + clause +
@@ -230,6 +244,8 @@ FaultPlan::toString() const
             out << ",core=" << c.core;
         if (c.nth >= 0)
             out << ",nth=" << c.nth;
+        if (c.sticky)
+            out << ",sticky=1";
     }
     if (!first)
         out << ";seed:" << seed_;

@@ -18,10 +18,25 @@
  *   pcie_corrupt:p=1e-3           corrupt host<->device transfers
  *   task_hang:core=2,nth=5        hang the 5th task on core 2
  *   task_hang:p=0.01              hang tasks with probability p
+ *   task_hang:core=1,nth=3,sticky=1  ...and wedge the core: every
+ *                                 later task on it hangs until the
+ *                                 host resets the core (gdl resetCore)
  *   dram_flip:p=1e-6              single-bit flip per ECC codeword
  *   dram_flip2:p=1e-9             double-bit flip per ECC codeword
  *   dev_oom:nth=3                 fail the 3rd device allocation
  *   seed:42                       seed for all probability draws
+ *
+ * A clause may appear at most once; a duplicate clause (or a second
+ * seed) is rejected as InvalidArgument naming the repeated token —
+ * silently merging two task_hang clauses would measure a different
+ * campaign than the one written down.
+ *
+ * `sticky=1` marks a *persistent* fault: the draw decides when the
+ * fault first fires, and the injected component then stays broken —
+ * a wedged core keeps hanging, a wedged PCIe link corrupts every
+ * transfer — until the owning layer performs a device reset. The
+ * latch lives with the component model (GdlContext), not here: the
+ * plan stays immutable and the draws stay pure.
  *
  * e.g. CISRAM_FAULT_SPEC="pcie_corrupt:p=1e-3;task_hang:core=2,nth=5"
  *
@@ -73,6 +88,13 @@ struct Clause
     double p = 0.0;   ///< per-event probability (0 = never by draw)
     int core = -1;    ///< restrict to one core (-1 = any)
     int64_t nth = -1; ///< fire on the nth occurrence (1-based)
+
+    /**
+     * Persistent fault: once a draw fires, the faulted component
+     * stays broken until a device reset clears it (the latch is
+     * owned by the component model; see file comment).
+     */
+    bool sticky = false;
 };
 
 /**

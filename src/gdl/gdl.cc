@@ -38,7 +38,8 @@ GdlContext::GdlContext(apu::ApuDevice &dev)
     : dev_(dev),
       faultStream_(
           g_contextSerial.fetch_add(1, std::memory_order_relaxed)),
-      taskSerial_(dev.numCores(), 0)
+      taskSerial_(dev.numCores(), 0),
+      wedgedTask_(dev.numCores(), 0)
 {
     fault::initFromEnv();
 }
@@ -101,9 +102,31 @@ GdlContext::memFree(MemHandle h)
 {
     auto it = owned_.find(h.addr);
     if (it == owned_.end()) {
+        // Name everything quarantine debugging needs: the session's
+        // core, its live footprint, and — when the address points
+        // *into* an owned allocation — the owning block and its
+        // size, the classic freed-an-offset-handle bug.
+        uint64_t held = 0;
+        for (const auto &kv : owned_)
+            held += kv.second;
+        for (const auto &kv : owned_) {
+            if (h.addr > kv.first && h.addr < kv.first + kv.second) {
+                cisram_panic(
+                    "GdlContext::memFree: device address ", h.addr,
+                    " is not owned by this context (it points inside "
+                    "the ", kv.second, "-byte allocation at ",
+                    kv.first, " — freed with an offset handle?); "
+                    "session core ", coreHint_, ", ", owned_.size(),
+                    " outstanding allocation(s), ", held,
+                    " bytes held");
+            }
+        }
         cisram_panic("GdlContext::memFree: device address ", h.addr,
                      " is not owned by this context (double-free, "
-                     "or a handle from another context)");
+                     "or a handle from another context); session "
+                     "core ", coreHint_, ", ", owned_.size(),
+                     " outstanding allocation(s), ", held,
+                     " bytes held");
     }
     owned_.erase(it);
     dev_.allocator().free(h.addr);
@@ -130,7 +153,8 @@ GdlContext::tryMemCpyToDev(MemHandle dst, const void *src,
 {
     cisram_assert(src != nullptr || bytes == 0);
     const fault::FaultPlan *fp = fault::plan();
-    if (fp && fp->clause(fault::Kind::PcieCorrupt).enabled) {
+    if (wedgedLink_ ||
+        (fp && fp->clause(fault::Kind::PcieCorrupt).enabled)) {
         Status st =
             pcieDeliverChecked(true, dst.addr, src, nullptr, bytes);
         if (!st.ok())
@@ -150,7 +174,8 @@ GdlContext::tryMemCpyFromDev(void *dst, MemHandle src,
 {
     cisram_assert(dst != nullptr || bytes == 0);
     const fault::FaultPlan *fp = fault::plan();
-    if (fp && fp->clause(fault::Kind::PcieCorrupt).enabled) {
+    if (wedgedLink_ ||
+        (fp && fp->clause(fault::Kind::PcieCorrupt).enabled)) {
         Status st =
             pcieDeliverChecked(false, src.addr, nullptr, dst, bytes);
         if (!st.ok())
@@ -201,6 +226,14 @@ GdlContext::pcieDeliverChecked(bool to_dev, uint64_t dev_addr,
 
         bool corrupt =
             fp && fp->drawPcieCorrupt(faultStream_, xfer, attempt);
+        if (corrupt && fp->clause(fault::Kind::PcieCorrupt).sticky) {
+            // Persistent link fault: from this draw on, every
+            // transfer attempt corrupts until the session resets the
+            // device (the latch models a wedged SerDes/retimer, not
+            // a transient TLP hit).
+            wedgedLink_ = true;
+        }
+        corrupt = corrupt || wedgedLink_;
         if (corrupt && bytes > 0) {
             // Flip one in-flight bit and let the link CRC catch it,
             // exactly as the receiver would.
@@ -283,8 +316,33 @@ GdlContext::runTaskTimeoutOn(
     apu::ApuCore &core = dev_.core(core_idx);
     uint64_t invocation = ++taskSerial_.at(core_idx);
 
+    if (wedgedTask_.at(core_idx)) {
+        // A sticky task_hang already wedged this core: every launch
+        // hangs until resetCore clears the latch. No draw — the
+        // wedge is device state, not a new fault event.
+        stats_.invokeSeconds += taskLaunchSeconds + deadline_seconds;
+        ++stats_.tasksRun;
+        ++stats_.tasksTimedOut;
+        countFault("fault.detected", "task_hang");
+        if (trace::active()) {
+            trace::Tracer::get().instant(
+                dev_.tracePid(), core_idx, "fault.task_hang",
+                core.stats().cycles());
+        }
+        return Status::deadlineExceeded(detail::concat(
+            "task invocation #", invocation, " on wedged core ",
+            core_idx, " hung past its ", deadline_seconds * 1e3,
+            " ms deadline (core needs a reset)"));
+    }
+
     if (const fault::FaultPlan *fp = fault::plan()) {
         if (fp->drawTaskHang(core_idx, invocation)) {
+            if (fp->clause(fault::Kind::TaskHang).sticky) {
+                // Persistent fault: the core's task engine is now
+                // wedged — every later launch hangs until the host
+                // escalates to resetCore.
+                wedgedTask_.at(core_idx) = 1;
+            }
             // The device never retires the task: the host polls
             // until the timeout expires, then reports the loss.
             stats_.invokeSeconds +=
@@ -332,6 +390,73 @@ GdlContext::runTaskTimeoutOn(
             " returned status ", rc));
     }
     return Status::okStatus();
+}
+
+ResetOutcome
+GdlContext::releaseAndRestage(double reinit_seconds,
+                              uint64_t restage_bytes)
+{
+    ResetOutcome out;
+
+    // The session footprint does not survive a reset: release every
+    // allocation back through the DramAllocator. The allocator's
+    // size-keyed free lists hand identical addresses back to the
+    // re-allocations that follow, which is what keeps a replayed
+    // batch bit-identical to the un-faulted run.
+    for (const auto &kv : owned_) {
+        out.freedBytes += kv.second;
+        dev_.allocator().free(kv.first);
+    }
+    owned_.clear();
+
+    out.seconds = reinit_seconds;
+    stats_.resetSeconds += reinit_seconds;
+
+    if (restage_bytes > 0) {
+        // Re-stage the corpus shard over PCIe at the modeled link
+        // rate — the dominant reset cost at paper-scale corpora.
+        double stage_seconds = pcieLatency +
+            static_cast<double>(restage_bytes) / pcieBytesPerSec;
+        stats_.pcieSeconds += stage_seconds;
+        stats_.bytesToDevice += restage_bytes;
+        out.seconds += stage_seconds;
+        out.restagedBytes = restage_bytes;
+        metrics::Registry::get()
+            .counter("recovery.restaged_bytes")
+            .inc(static_cast<double>(restage_bytes));
+    }
+    return out;
+}
+
+ResetOutcome
+GdlContext::resetCore(unsigned core_idx, uint64_t restage_bytes)
+{
+    cisram_assert(core_idx < wedgedTask_.size(),
+                  "resetCore: core ", core_idx, " out of range");
+    wedgedTask_.at(core_idx) = 0;
+    wedgedLink_ = false;
+    ++stats_.coreResets;
+    metrics::Registry::get().counter("recovery.core_resets").inc();
+    if (trace::active()) {
+        trace::Tracer::get().instant(
+            dev_.tracePid(), core_idx, "recovery.core_reset",
+            dev_.core(core_idx).stats().cycles());
+    }
+    return releaseAndRestage(coreResetSeconds, restage_bytes);
+}
+
+ResetOutcome
+GdlContext::resetDevice(uint64_t restage_bytes)
+{
+    std::fill(wedgedTask_.begin(), wedgedTask_.end(), 0);
+    wedgedLink_ = false;
+    ++stats_.deviceResets;
+    metrics::Registry::get().counter("recovery.device_resets").inc();
+    if (trace::active()) {
+        trace::Tracer::get().instant(
+            dev_.tracePid(), 0, "recovery.device_reset", 0.0);
+    }
+    return releaseAndRestage(deviceResetSeconds, restage_bytes);
 }
 
 } // namespace cisram::gdl

@@ -82,11 +82,30 @@ struct HostStats
     unsigned pcieErrors = 0;    ///< transfers abandoned after retry
     unsigned allocFailures = 0; ///< device-OOM allocation failures
 
+    // Recovery accounting (resetCore / resetDevice).
+    double resetSeconds = 0;    ///< device re-init time (excl. PCIe)
+    unsigned coreResets = 0;    ///< resetCore calls
+    unsigned deviceResets = 0;  ///< resetDevice calls
+
     double
     totalSeconds() const
     {
-        return pcieSeconds + invokeSeconds + deviceSeconds;
+        return pcieSeconds + invokeSeconds + deviceSeconds +
+            resetSeconds;
     }
+};
+
+/** What one resetCore / resetDevice call cost and released. */
+struct ResetOutcome
+{
+    /** Total simulated seconds: re-init plus shard re-staging. */
+    double seconds = 0;
+
+    /** Device bytes this session held and lost to the reset. */
+    uint64_t freedBytes = 0;
+
+    /** Corpus-shard bytes re-staged over PCIe. */
+    uint64_t restagedBytes = 0;
 };
 
 /**
@@ -126,6 +145,14 @@ class GdlContext
 
     /** Allocations obtained from this context and not yet freed. */
     size_t outstandingAllocs() const { return owned_.size(); }
+
+    /**
+     * Tag this session with the device core it serves so diagnostics
+     * (memFree panics, reset traces) can name the owning core. A
+     * serving shard sets this to its core index; -1 means untagged.
+     */
+    void setCoreHint(int core) { coreHint_ = core; }
+    int coreHint() const { return coreHint_; }
 
     /** gdl_mem_cpy_to_dev: host -> device DRAM over PCIe. */
     void memCpyToDev(MemHandle dst, const void *src, uint64_t bytes);
@@ -182,6 +209,45 @@ class GdlContext
     Status runTaskTimeoutOn(unsigned core_idx, double deadline_seconds,
                             const std::function<int(apu::ApuCore &)> &task);
 
+    /**
+     * Reset one device core — the escalation step above retry when a
+     * fault is *persistent* (a sticky task_hang wedge, a sticky PCIe
+     * link wedge). Models what a real reset costs the session:
+     *
+     *  - Every allocation this context still holds is lost and
+     *    released back through the DramAllocator (the session's
+     *    L1–L4 footprint does not survive a reset); the caller
+     *    re-allocates and re-stages what it needs.
+     *  - The core's sticky fault latches (wedged task engine, wedged
+     *    link) are cleared — that is what a reset is *for*.
+     *  - The host pays `coreResetSeconds` of re-init plus the PCIe
+     *    time to re-stage `restage_bytes` of corpus shard (charged
+     *    to pcieSeconds at the modeled link rate, like any staging
+     *    transfer).
+     *
+     * Deterministic: no draws, and the fault-draw serials keep
+     * counting across the reset, so a reset never replays old draws.
+     */
+    ResetOutcome resetCore(unsigned core_idx,
+                           uint64_t restage_bytes = 0);
+
+    /**
+     * Full device reset: clears every core's latches and this
+     * session's footprint, at `deviceResetSeconds` re-init cost plus
+     * the shard re-stage. The bigger hammer behind resetCore.
+     */
+    ResetOutcome resetDevice(uint64_t restage_bytes = 0);
+
+    /** True if a sticky task_hang has wedged this core (unreset). */
+    bool
+    coreWedged(unsigned core_idx) const
+    {
+        return wedgedTask_.at(core_idx) != 0;
+    }
+
+    /** True if a sticky pcie_corrupt has wedged the session's link. */
+    bool linkWedged() const { return wedgedLink_; }
+
     const HostStats &stats() const { return stats_; }
     void resetStats() { stats_ = HostStats{}; }
 
@@ -193,6 +259,12 @@ class GdlContext
     /** Transfer attempts before tryMemCpy* reports DataCorruption. */
     unsigned pcieMaxAttempts = 4;
 
+    // Reset model parameters: firmware re-init of one core vs the
+    // whole device (the dominant reset cost is usually the PCIe
+    // re-stage of the corpus shard, charged separately).
+    double coreResetSeconds = 2.0e-3;
+    double deviceResetSeconds = 10.0e-3;
+
   private:
     /** One CRC-checked PCIe delivery with retry (fault plan armed). */
     Status pcieDeliverChecked(bool to_dev, uint64_t dev_addr,
@@ -202,6 +274,7 @@ class GdlContext
     apu::ApuDevice &dev_;
     HostStats stats_;
     std::unordered_map<uint64_t, uint64_t> owned_; ///< addr -> bytes
+    int coreHint_ = -1; ///< serving core this session is bound to
 
     // Deterministic fault-draw coordinates: a per-context stream id
     // plus per-context serials, so injected faults are independent
@@ -210,6 +283,19 @@ class GdlContext
     uint64_t xferSerial_ = 0;
     uint64_t allocSerial_ = 0;
     std::vector<uint64_t> taskSerial_; ///< per-core invocations
+
+    // Persistent-fault latches (sticky clauses): a wedged core hangs
+    // every task, a wedged link corrupts every transfer, until
+    // resetCore/resetDevice clears the latch. Draws stay pure — the
+    // latch is device-model state, set the moment a sticky draw
+    // fires, and deterministic like everything else on this
+    // (single-threaded) session.
+    std::vector<uint8_t> wedgedTask_; ///< per-core task-engine wedge
+    bool wedgedLink_ = false;         ///< session PCIe link wedge
+
+    /** Shared teardown of the session footprint for the resets. */
+    ResetOutcome releaseAndRestage(double reinit_seconds,
+                                   uint64_t restage_bytes);
 };
 
 /**

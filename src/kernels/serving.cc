@@ -48,6 +48,11 @@ CircuitBreaker::allowRequest()
 void
 CircuitBreaker::recordSuccess()
 {
+    if (state_ == BreakerState::HalfOpen) {
+        metrics::Registry::get()
+            .counter("breaker.probe_success")
+            .inc();
+    }
     consecutive_ = 0;
     state_ = BreakerState::Closed;
 }
@@ -56,6 +61,9 @@ void
 CircuitBreaker::recordFailure()
 {
     if (state_ == BreakerState::HalfOpen) {
+        metrics::Registry::get()
+            .counter("breaker.probe_failure")
+            .inc();
         trip(); // failed probe: back to Open, cooldown restarts
         return;
     }
@@ -121,22 +129,79 @@ BatchFormer::takeBatch()
 DeviceServer::DeviceServer(apu::ApuDevice &dev, RagCorpusSpec spec,
                            unsigned core, const IndexFlatI16 *golden,
                            uint64_t corpus_seed, ServerConfig cfg)
-    : spec_(spec), core_(core), golden_(golden),
+    : dev_(dev), spec_(spec), core_(core), golden_(golden),
       corpusSeed_(corpus_seed), cfg_(cfg),
       breaker_(cfg.breakerThreshold, cfg.breakerCooldown),
       hbm_(dram::hbm2eConfig()),
-      retriever_(dev, hbm_, spec, cfg.topK, core), host_(dev),
-      qbuf_(host_, cfg.batch.maxBatch * spec.dim * 2),
-      former_(cfg.batch)
-{}
+      retriever_(std::make_unique<RagRetriever>(dev, hbm_, spec,
+                                                cfg.topK, core)),
+      host_(dev),
+      qbuf_(std::in_place, host_,
+            cfg.batch.maxBatch * spec.dim * 2),
+      former_(cfg.batch), health_(core, cfg.health)
+{
+    host_.setCoreHint(static_cast<int>(core));
+    hbm_.setScrubConfig(cfg.scrub);
+}
 
-void
+Status
 DeviceServer::enqueue(uint64_t id, std::vector<int16_t> embedding)
 {
     cisram_assert(embedding.size() == spec_.dim,
                   "query dim mismatch");
+    auto &reg = metrics::Registry::get();
+
+    if (cfg_.health.enabled &&
+        health_.state() == recovery::CoreState::Quarantined) {
+        if (health_.observeShed() && resets_ < cfg_.maxResets) {
+            // The quarantine has aged out: pay the reset now, then
+            // admit — the core comes back Healthy.
+            performReset();
+        } else {
+            reg.counter("recovery.shed",
+                        {{"core", std::to_string(core_)},
+                         {"reason", "quarantine"}})
+                .inc();
+            return Status::resourceExhausted(detail::concat(
+                "core ", core_, " is quarantined: query #", id,
+                " shed (re-route or retry later)"));
+        }
+    }
+
+    if (cfg_.admission.maxQueueDepth > 0 &&
+        former_.depth() >= cfg_.admission.maxQueueDepth) {
+        reg.counter("recovery.shed",
+                    {{"core", std::to_string(core_)},
+                     {"reason", "depth"}})
+            .inc();
+        return Status::resourceExhausted(detail::concat(
+            "core ", core_, " admission queue full: ",
+            former_.depth(), " pending at the ",
+            cfg_.admission.maxQueueDepth, "-query cap, query #", id,
+            " shed"));
+    }
+    if (cfg_.admission.maxQueueDelaySeconds > 0 &&
+        batchSecondsEwma_ > 0) {
+        double batches_ahead = static_cast<double>(
+            former_.depth() / cfg_.batch.maxBatch + 1);
+        double predicted = batches_ahead * batchSecondsEwma_;
+        if (predicted > cfg_.admission.maxQueueDelaySeconds) {
+            reg.counter("recovery.shed",
+                        {{"core", std::to_string(core_)},
+                         {"reason", "deadline"}})
+                .inc();
+            return Status::resourceExhausted(detail::concat(
+                "core ", core_, " predicted queue delay ",
+                predicted * 1e3, " ms exceeds the ",
+                cfg_.admission.maxQueueDelaySeconds * 1e3,
+                " ms admission budget, query #", id, " shed"));
+        }
+    }
+
+    journal_.admit(id, embedding, busySeconds_);
     former_.admit(PendingQuery{id, std::move(embedding),
                                busySeconds_});
+    return Status::okStatus();
 }
 
 std::vector<ServeOutcome>
@@ -144,7 +209,7 @@ DeviceServer::pump()
 {
     std::vector<ServeOutcome> served;
     while (former_.batchReady()) {
-        auto outs = serveBatch(former_.takeBatch());
+        auto outs = serveBatch(former_.takeBatch(), true, true);
         served.insert(served.end(),
                       std::make_move_iterator(outs.begin()),
                       std::make_move_iterator(outs.end()));
@@ -156,13 +221,41 @@ std::vector<ServeOutcome>
 DeviceServer::drain()
 {
     std::vector<ServeOutcome> served = pump();
-    while (!former_.empty()) {
-        auto outs = serveBatch(former_.takeBatch());
-        served.insert(served.end(),
-                      std::make_move_iterator(outs.begin()),
-                      std::make_move_iterator(outs.end()));
+    // Escalation loop: serve the queue; if parked work remains on a
+    // quarantined core, reset + replay (bounded); past the reset
+    // budget, force the remainder through the CPU fallback. Every
+    // journaled query gets exactly one outcome before we return.
+    while (true) {
+        bool allow_park =
+            cfg_.health.enabled && resets_ < cfg_.maxResets;
+        while (!former_.empty()) {
+            auto outs =
+                serveBatch(former_.takeBatch(), true, allow_park);
+            served.insert(served.end(),
+                          std::make_move_iterator(outs.begin()),
+                          std::make_move_iterator(outs.end()));
+            if (allow_park &&
+                health_.state() ==
+                    recovery::CoreState::Quarantined)
+                break; // stop feeding a quarantined core
+        }
+        if (journal_.outstanding() == 0)
+            return served;
+        if (cfg_.health.enabled &&
+            health_.state() == recovery::CoreState::Quarantined &&
+            resets_ < cfg_.maxResets) {
+            performReset(); // re-admits the parked queries
+            continue;
+        }
+        // Reset budget exhausted (or health disabled): re-admit
+        // whatever is still parked and serve it without parking —
+        // the CPU fallback guarantees delivery.
+        auto pend = journal_.pending();
+        former_ = BatchFormer(cfg_.batch);
+        for (const auto *e : pend)
+            former_.admit(
+                PendingQuery{e->id, e->payload, e->admitSeconds});
     }
-    return served;
 }
 
 ServeOutcome
@@ -171,17 +264,92 @@ DeviceServer::serve(const std::vector<int16_t> &query)
     cisram_assert(query.size() == spec_.dim, "query dim mismatch");
     std::vector<PendingQuery> one;
     one.push_back(PendingQuery{0, query, busySeconds_});
-    return serveBatch(std::move(one))[0];
+    return serveBatch(std::move(one), false, false)[0];
+}
+
+uint64_t
+DeviceServer::restageBytes() const
+{
+    uint64_t cores = dev_.numCores();
+    uint64_t shard = spec_.embeddingBytes() / cores;
+    uint64_t resident = dev_.l4().capacity() / (4 * cores);
+    return std::min(shard, resident);
+}
+
+gdl::ResetOutcome
+DeviceServer::performReset()
+{
+    if (cfg_.health.enabled) {
+        if (health_.state() != recovery::CoreState::Quarantined)
+            health_.forceQuarantine();
+        health_.beginReset();
+    }
+    auto pend = journal_.pending();
+
+    // Tear down the device footprint in reverse allocation order,
+    // then rebuild in the original order: the DramAllocator's
+    // size-keyed free lists hand the same addresses back, so the
+    // replayed batches run against a bit-identical layout.
+    qbuf_.reset();
+    retriever_.reset();
+    gdl::ResetOutcome out = host_.resetCore(core_, restageBytes());
+    busySeconds_ += out.seconds;
+    hbm_.clearLatents(); // the re-staged shard is freshly encoded
+    retriever_ = std::make_unique<RagRetriever>(dev_, hbm_, spec_,
+                                                cfg_.topK, core_);
+    qbuf_.emplace(host_, cfg_.batch.maxBatch * spec_.dim * 2);
+
+    // A reset core has no failure history: fresh breaker, and the
+    // parked queries go back through batch formation with their
+    // original admission timestamps (exactly-once: they are still
+    // journaled, and only delivery completes them).
+    breaker_ = CircuitBreaker(cfg_.breakerThreshold,
+                              cfg_.breakerCooldown);
+    former_ = BatchFormer(cfg_.batch);
+    for (const auto *e : pend)
+        former_.admit(PendingQuery{e->id, e->payload,
+                                   e->admitSeconds});
+    replayed_ += pend.size();
+    ++resets_;
+    metrics::Registry::get()
+        .counter("recovery.replayed_queries",
+                 {{"core", std::to_string(core_)}})
+        .inc(static_cast<double>(pend.size()));
+    if (cfg_.health.enabled)
+        health_.completeReset();
+    return out;
+}
+
+gdl::ResetOutcome
+DeviceServer::forceReset()
+{
+    return performReset();
 }
 
 std::vector<ServeOutcome>
-DeviceServer::serveBatch(std::vector<PendingQuery> batch)
+DeviceServer::serveBatch(std::vector<PendingQuery> batch,
+                         bool journaled, bool allow_park)
 {
     size_t b = batch.size();
     cisram_assert(b >= 1, "serveBatch needs at least one query");
     std::vector<ServeOutcome> outs(b);
     double start = busySeconds_;
     auto &reg = metrics::Registry::get();
+
+    bool quarantined =
+        cfg_.health.enabled &&
+        health_.state() == recovery::CoreState::Quarantined;
+    if (quarantined && journaled && allow_park) {
+        // The core is already known-bad: park the whole batch
+        // untouched (it stays outstanding in the journal) and let
+        // drain() escalate to the reset instead of burning retry
+        // deadlines or the slow CPU path.
+        reg.counter("recovery.parked_batches",
+                    {{"core", std::to_string(core_)}})
+            .inc();
+        return {};
+    }
+
     reg.histogram("serving.batch_size")
         .observe(static_cast<double>(b));
     for (size_t q = 0; q < b; ++q) {
@@ -191,13 +359,14 @@ DeviceServer::serveBatch(std::vector<PendingQuery> batch)
         reg.histogram("serving.queue_wait_seconds")
             .observe(outs[q].queueWaitSeconds);
     }
-
     bool device_ok = false;
-    if (breaker_.allowRequest()) {
+    bool parked = false;
+    if (!quarantined && breaker_.allowRequest()) {
         for (unsigned a = 0; a < cfg_.retry.maxAttempts; ++a) {
             for (auto &o : outs)
                 ++o.attempts;
             gdl::HostStats before = host_.stats();
+            uint64_t ecc_before = hbm_.eccStats().doubleDetected;
             Status st = tryDeviceBatch(batch, outs);
             if (st.ok()) {
                 breaker_.recordSuccess();
@@ -234,12 +403,42 @@ DeviceServer::serveBatch(std::vector<PendingQuery> batch)
                 o.lastError = st.toString();
                 o.hostSeconds += attempt;
             }
-            metrics::Registry::get()
-                .counter("fault.retries", {{"site", "query"}})
-                .inc();
+            reg.counter("fault.retries", {{"site", "query"}}).inc();
+
+            // Feed the watchdog this attempt's fault ledger delta;
+            // if it quarantines the core mid-retry, stop burning
+            // deadline budget on a wedged device.
+            if (cfg_.health.enabled) {
+                recovery::FaultLedgerDelta d;
+                d.taskTimeouts =
+                    hs.tasksTimedOut - before.tasksTimedOut;
+                d.pcieExhausted =
+                    hs.pcieErrors - before.pcieErrors;
+                d.eccDoubles = static_cast<unsigned>(
+                    hbm_.eccStats().doubleDetected - ecc_before);
+                health_.observeFaults(d);
+                if (health_.state() ==
+                        recovery::CoreState::Quarantined &&
+                    journaled && allow_park) {
+                    parked = true;
+                    break;
+                }
+            }
         }
-        if (!device_ok)
+        if (!device_ok && !parked)
             breaker_.recordFailure();
+    }
+
+    if (parked) {
+        // The batch stays outstanding in the journal; drain() will
+        // reset the core and replay it. Charge the time the failed
+        // attempts consumed — the clock must agree between the
+        // faulted run and its replayed continuation.
+        busySeconds_ = start + outs[0].hostSeconds;
+        reg.counter("recovery.parked_batches",
+                    {{"core", std::to_string(core_)}})
+            .inc();
+        return {};
     }
 
     double elapsed = outs[0].hostSeconds;
@@ -253,11 +452,23 @@ DeviceServer::serveBatch(std::vector<PendingQuery> batch)
         }
     }
     busySeconds_ = start + elapsed;
+    // Feed the admission-delay predictor: an EWMA of the batch
+    // service time, updated only from served batches (parked ones
+    // return above), so the enqueue-time delay estimate is a pure
+    // function of the admission/served sequence.
+    batchSecondsEwma_ = batchSecondsEwma_ == 0.0
+        ? elapsed
+        : 0.75 * batchSecondsEwma_ + 0.25 * elapsed;
 
-    auto &reg2 = metrics::Registry::get();
-    reg2.counter("serving.batches").inc();
+    if (journaled) {
+        for (const auto &o : outs)
+            journal_.complete(o.id);
+    }
+    health_.observeQueries(static_cast<unsigned>(b));
+
+    reg.counter("serving.batches").inc();
     for (const auto &o : outs)
-        reg2.histogram("serving.served_seconds")
+        reg.histogram("serving.served_seconds")
             .observe(o.servedSeconds());
     return outs;
 }
@@ -275,7 +486,7 @@ DeviceServer::tryDeviceBatch(const std::vector<PendingQuery> &batch,
         std::copy(batch[q].embedding.begin(),
                   batch[q].embedding.end(),
                   staged.begin() + q * dim);
-    Status st = host_.tryMemCpyToDev(qbuf_.handle(), staged.data(),
+    Status st = host_.tryMemCpyToDev(qbuf_->handle(), staged.data(),
                                      b * dim * 2);
     if (!st.ok())
         return st;
@@ -287,7 +498,7 @@ DeviceServer::tryDeviceBatch(const std::vector<PendingQuery> &batch,
     std::vector<RagRunResult> rs;
     st = host_.runTaskTimeoutOn(
         core_, cfg_.retry.deadlineSeconds, [&](apu::ApuCore &) {
-            rs = retriever_.retrieveBatch(
+            rs = retriever_->retrieveBatch(
                 queries, corpusSeed_,
                 RagBatchOptions{cfg_.overlapStream});
             return 0;

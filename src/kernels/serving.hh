@@ -30,7 +30,14 @@
  *    Owns the core's retriever, HBM model, GDL session, breaker, and
  *    batch former; serves formed batches through one `retrieveBatch`
  *    call under the retry/breaker/fallback policy, with queue wait
- *    counted into each query's served latency.
+ *    counted into each query's served latency. With a
+ *    recovery::HealthPolicy enabled it also owns the escalation
+ *    ladder above retry: a recovery::HealthMonitor quarantines a
+ *    persistently faulting core, admissions are shed
+ *    (ResourceExhausted) while quarantined, and drain() escalates to
+ *    a gdl core reset — re-allocate, re-stage the shard, replay the
+ *    admission journal with exactly-once outcomes (DESIGN.md
+ *    "Escalation ladder").
  *
  * Everything is deterministic (no wall clock: cooldowns and linger
  * are counted in queries, waits in simulated seconds), so a serving
@@ -43,6 +50,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,6 +62,8 @@
 #include "dramsim/dram_sim.hh"
 #include "gdl/gdl.hh"
 #include "kernels/rag.hh"
+#include "recovery/health.hh"
+#include "recovery/journal.hh"
 
 namespace cisram::kernels {
 
@@ -229,6 +240,27 @@ struct ServeOutcome
     }
 };
 
+/**
+ * Bounded-admission policy: overload is shed at the door with
+ * ResourceExhausted — never a silent drop — so a quarantined core's
+ * redirected load cannot collapse its siblings. Both bounds default
+ * to 0 (disabled): a server without an explicit policy admits
+ * everything, exactly as before this subsystem existed.
+ */
+struct AdmissionPolicy
+{
+    /** Pending queries the queue will hold (0 = unbounded). */
+    size_t maxQueueDepth = 0;
+
+    /**
+     * Shed an admission whose predicted queue delay (pending batches
+     * ahead x the EWMA batch service time, simulated seconds)
+     * exceeds this (0 = disabled). Deterministic: the estimate is a
+     * pure function of the admission sequence and served batches.
+     */
+    double maxQueueDelaySeconds = 0;
+};
+
 /** Per-core serving configuration. */
 struct ServerConfig
 {
@@ -240,6 +272,21 @@ struct ServerConfig
 
     /** Double-buffer the HBM embedding stream behind compute. */
     bool overlapStream = true;
+
+    /** Escalation-ladder policy (disabled by default). */
+    recovery::HealthPolicy health;
+
+    /** Admission bounds (disabled by default). */
+    AdmissionPolicy admission;
+
+    /** Patrol-scrub cadence for this core's HBM (off by default). */
+    dram::ScrubConfig scrub;
+
+    /**
+     * Core resets drain() may perform before it stops escalating and
+     * forces the remaining parked queries through the CPU fallback.
+     */
+    unsigned maxResets = 2;
 };
 
 /**
@@ -268,13 +315,27 @@ class DeviceServer
                  unsigned core, const baseline::IndexFlatI16 *golden,
                  uint64_t corpus_seed, ServerConfig cfg = {});
 
-    /** Admit one query into this core's queue. */
-    void enqueue(uint64_t id, std::vector<int16_t> embedding);
+    /**
+     * Admit one query into this core's queue. OK on admission;
+     * ResourceExhausted when the admission policy sheds it (queue
+     * full, predicted delay over budget) or the core is Quarantined
+     * — the caller re-routes or reports, but the query is never
+     * silently dropped. With the default (disabled) health and
+     * admission policies every call returns OK.
+     */
+    Status enqueue(uint64_t id, std::vector<int16_t> embedding);
 
     /** Serve every currently ready batch; outcomes in query order. */
     std::vector<ServeOutcome> pump();
 
-    /** Serve everything still pending (tail flush). */
+    /**
+     * Serve everything still pending, escalating as needed: parked
+     * batches on a Quarantined core trigger a core reset + journal
+     * replay (up to `maxResets`), after which anything still
+     * undelivered is forced through the CPU fallback. On return the
+     * admission journal is empty — every admitted query has exactly
+     * one outcome.
+     */
     std::vector<ServeOutcome> drain();
 
     /** Synchronous single-query serve (bypasses the queue). */
@@ -294,10 +355,50 @@ class DeviceServer
     const dram::DramSystem &hbm() const { return hbm_; }
     const ServerConfig &config() const { return cfg_; }
 
+    /** This core's health watchdog (ladder state, transitions). */
+    const recovery::HealthMonitor &health() const { return health_; }
+
+    /** Core resets performed so far. */
+    unsigned resets() const { return resets_; }
+
+    /** Journaled queries replayed across resets so far. */
+    uint64_t replayedQueries() const { return replayed_; }
+
+    /** Admitted queries whose outcome has not been delivered yet. */
+    size_t journalOutstanding() const
+    {
+        return journal_.outstanding();
+    }
+
+    /**
+     * Reset this core now (bench/chaos tooling): quarantine it if
+     * the health policy is enabled, then run the full reset +
+     * re-stage + replay choreography regardless.
+     */
+    gdl::ResetOutcome forceReset();
+
+    /**
+     * Corpus-shard bytes a reset must re-stage over PCIe: the core's
+     * slice of the embedding matrix, capped at its share of device
+     * DRAM (only the resident slice is lost — the stream beyond it
+     * was never device-resident).
+     */
+    uint64_t restageBytes() const;
+
   private:
-    /** Serve one formed batch through the fault-tolerant path. */
+    /**
+     * Serve one formed batch through the fault-tolerant path.
+     * `journaled` marks queries tracked in the admission journal
+     * (pipeline path); `allow_park` lets the batch park un-served
+     * when the core quarantines mid-retry (drain() escalates it).
+     * A parked batch returns no outcomes.
+     */
     std::vector<ServeOutcome>
-    serveBatch(std::vector<PendingQuery> batch);
+    serveBatch(std::vector<PendingQuery> batch, bool journaled,
+               bool allow_park);
+
+    /** The reset + re-stage + journal-replay choreography. */
+    gdl::ResetOutcome performReset();
 
     /**
      * One whole-batch device attempt: stage the queries over PCIe,
@@ -311,6 +412,7 @@ class DeviceServer
     void cpuFallback(const std::vector<int16_t> &query,
                      ServeOutcome &out);
 
+    apu::ApuDevice &dev_;
     baseline::RagCorpusSpec spec_;
     unsigned core_;
     const baseline::IndexFlatI16 *golden_;
@@ -319,11 +421,23 @@ class DeviceServer
     CircuitBreaker breaker_;
     baseline::XeonTimingModel xeon_;
     dram::DramSystem hbm_;
-    RagRetriever retriever_;
+
+    // Rebuilt by performReset (a reset loses the device footprint);
+    // unique_ptr/optional so teardown and re-construction run in the
+    // original allocation order, which the DramAllocator's free-list
+    // recycling turns into identical addresses — the replay
+    // bit-identity hinges on that.
+    std::unique_ptr<RagRetriever> retriever_;
     gdl::GdlContext host_;
-    gdl::DeviceBuffer qbuf_; ///< staging for maxBatch query vectors
+    std::optional<gdl::DeviceBuffer> qbuf_; ///< maxBatch query stage
+
     BatchFormer former_;
+    recovery::HealthMonitor health_;
+    recovery::ReplayJournal<std::vector<int16_t>> journal_;
     double busySeconds_ = 0;
+    double batchSecondsEwma_ = 0; ///< admission-delay predictor
+    unsigned resets_ = 0;
+    uint64_t replayed_ = 0;
 };
 
 } // namespace cisram::kernels

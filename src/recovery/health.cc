@@ -1,0 +1,138 @@
+#include "recovery/health.hh"
+
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
+
+namespace cisram::recovery {
+
+const char *
+coreStateName(CoreState s)
+{
+    switch (s) {
+      case CoreState::Healthy:
+        return "Healthy";
+      case CoreState::Degraded:
+        return "Degraded";
+      case CoreState::Quarantined:
+        return "Quarantined";
+      case CoreState::Resetting:
+        return "Resetting";
+    }
+    return "?";
+}
+
+HealthMonitor::HealthMonitor(unsigned core, HealthPolicy policy)
+    : core_(core), policy_(policy)
+{
+    cisram_assert(policy_.windowQueries > 0,
+                  "HealthPolicy.windowQueries must be positive");
+    cisram_assert(policy_.degradeThreshold > 0,
+                  "HealthPolicy.degradeThreshold must be positive");
+    cisram_assert(
+        policy_.quarantineThreshold >= policy_.degradeThreshold,
+        "HealthPolicy.quarantineThreshold below degradeThreshold");
+}
+
+void
+HealthMonitor::transitionTo(CoreState to)
+{
+    if (to == state_)
+        return;
+    history_.push_back({state_, to, queries_});
+    auto &reg = metrics::Registry::get();
+    reg.counter("recovery.transitions",
+                {{"core", std::to_string(core_)},
+                 {"from", coreStateName(state_)},
+                 {"to", coreStateName(to)}})
+        .inc();
+    reg.gauge("recovery.core_state",
+              {{"core", std::to_string(core_)}})
+        .set(static_cast<double>(to));
+    if (trace::active()) {
+        std::string name =
+            std::string("recovery.") + coreStateName(to);
+        trace::Tracer::get().instant(
+            0, core_, name.c_str(),
+            static_cast<double>(queries_));
+    }
+    state_ = to;
+}
+
+void
+HealthMonitor::observeQueries(unsigned n)
+{
+    if (!policy_.enabled)
+        return;
+    queries_ += n;
+    windowQueries_ += n;
+    while (windowQueries_ >= policy_.windowQueries) {
+        windowQueries_ -= policy_.windowQueries;
+        bool clean = windowFaults_ == 0;
+        windowFaults_ = 0;
+        if (clean && state_ == CoreState::Degraded)
+            transitionTo(CoreState::Healthy);
+    }
+}
+
+void
+HealthMonitor::observeFaults(const FaultLedgerDelta &delta)
+{
+    if (!policy_.enabled || state_ == CoreState::Resetting)
+        return;
+    unsigned n = delta.total();
+    if (n == 0)
+        return;
+    windowFaults_ += n;
+    if (windowFaults_ >= policy_.quarantineThreshold &&
+        state_ != CoreState::Quarantined) {
+        transitionTo(CoreState::Quarantined);
+        shedCount_ = 0;
+    } else if (windowFaults_ >= policy_.degradeThreshold &&
+               state_ == CoreState::Healthy) {
+        transitionTo(CoreState::Degraded);
+    }
+}
+
+bool
+HealthMonitor::observeShed()
+{
+    cisram_assert(state_ == CoreState::Quarantined,
+                  "observeShed on a core that is ",
+                  coreStateName(state_));
+    ++shedCount_;
+    return shedCount_ >= policy_.quarantineAdmissions;
+}
+
+void
+HealthMonitor::forceQuarantine()
+{
+    if (!policy_.enabled || state_ == CoreState::Quarantined ||
+        state_ == CoreState::Resetting)
+        return;
+    transitionTo(CoreState::Quarantined);
+    shedCount_ = 0;
+}
+
+void
+HealthMonitor::beginReset()
+{
+    cisram_assert(state_ == CoreState::Quarantined,
+                  "beginReset on a core that is ",
+                  coreStateName(state_));
+    transitionTo(CoreState::Resetting);
+}
+
+void
+HealthMonitor::completeReset()
+{
+    cisram_assert(state_ == CoreState::Resetting,
+                  "completeReset on a core that is ",
+                  coreStateName(state_));
+    windowQueries_ = 0;
+    windowFaults_ = 0;
+    shedCount_ = 0;
+    transitionTo(CoreState::Healthy);
+}
+
+} // namespace cisram::recovery

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Per-core health watchdog: the escalation ladder above retry.
+ *
+ * PR 3's transient-fault machinery (retry/backoff, circuit breaker,
+ * CPU fallback) has no answer to a *persistent* fault — a wedged
+ * task engine keeps hanging, an accumulating DRAM word keeps
+ * double-detecting, and the breaker parks traffic on the slow Xeon
+ * fallback forever. The HealthMonitor closes the ladder:
+ *
+ *     Healthy --faults >= degradeThreshold--> Degraded
+ *     Degraded --faults >= quarantineThreshold--> Quarantined
+ *     Degraded --clean window--> Healthy
+ *     Quarantined --quarantineAdmissions aged out--> Resetting
+ *     Resetting --completeReset()--> Healthy
+ *
+ * Each DeviceServer owns one monitor for its core and feeds it the
+ * per-batch fault ledger (task timeouts, CRC retries exhausted, ECC
+ * double-detects). Everything is counted in *queries/admissions*,
+ * never wall time, so transitions land on the same query for any
+ * CISRAM_SIM_THREADS — the determinism contract the serial-vs-
+ * threaded bit-identity tests pin.
+ *
+ * While Quarantined the server sheds admissions (ResourceExhausted,
+ * never a silent drop); each shed ages the quarantine, and after
+ * `quarantineAdmissions` sheds the monitor answers "reset now" —
+ * the caller performs the gdl resetCore + re-stage + journal replay
+ * and reports completeReset().
+ *
+ * Disabled by default (`HealthPolicy::enabled == false`): a server
+ * without an explicit policy behaves exactly as before this
+ * subsystem existed.
+ */
+
+#ifndef CISRAM_RECOVERY_HEALTH_HH
+#define CISRAM_RECOVERY_HEALTH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cisram::recovery {
+
+/** The per-core escalation states, in escalation order. */
+enum class CoreState : unsigned
+{
+    Healthy = 0, ///< serving normally
+    Degraded,    ///< faulting above the degrade threshold; watched
+    Quarantined, ///< shedding admissions; aging toward a reset
+    Resetting,   ///< reset + re-stage + replay in progress
+};
+
+/** Display name of a state ("Healthy", ...). */
+const char *coreStateName(CoreState s);
+
+/** Escalation thresholds, all counted in queries — never seconds. */
+struct HealthPolicy
+{
+    /** Master switch: false leaves the server's behavior untouched. */
+    bool enabled = false;
+
+    /** Tumbling observation window, in completed queries. */
+    unsigned windowQueries = 16;
+
+    /** Faults within one window that mark the core Degraded. */
+    unsigned degradeThreshold = 1;
+
+    /** Faults within one window that quarantine the core. */
+    unsigned quarantineThreshold = 3;
+
+    /**
+     * Shed admissions a quarantine must age before the monitor asks
+     * for a reset (gives a transient storm a chance to clear without
+     * paying the reset + re-stage cost).
+     */
+    unsigned quarantineAdmissions = 4;
+};
+
+/** One batch's fault ledger delta, as observed by the server. */
+struct FaultLedgerDelta
+{
+    unsigned taskTimeouts = 0;  ///< runTaskTimeout deadline misses
+    unsigned pcieExhausted = 0; ///< transfers dead after all retries
+    unsigned eccDoubles = 0;    ///< uncorrectable ECC detections
+
+    unsigned
+    total() const
+    {
+        return taskTimeouts + pcieExhausted + eccDoubles;
+    }
+};
+
+/** One recorded transition, for ledgers and tests. */
+struct Transition
+{
+    CoreState from;
+    CoreState to;
+    uint64_t atQuery; ///< completed-query count when it happened
+};
+
+/**
+ * The per-core state machine. Single-threaded, like the DeviceServer
+ * shard that owns it; determinism comes from counting queries.
+ */
+class HealthMonitor
+{
+  public:
+    HealthMonitor(unsigned core, HealthPolicy policy);
+
+    CoreState state() const { return state_; }
+    const HealthPolicy &policy() const { return policy_; }
+    unsigned core() const { return core_; }
+
+    /**
+     * Account `n` completed queries. Closing a window with zero
+     * faults heals a Degraded core back to Healthy; a window with
+     * faults below the degrade threshold leaves the state alone.
+     */
+    void observeQueries(unsigned n);
+
+    /**
+     * Account a batch's fault ledger delta. Escalates Healthy →
+     * Degraded → Quarantined as the in-window fault count crosses
+     * the thresholds. No-op when disabled or while Resetting.
+     */
+    void observeFaults(const FaultLedgerDelta &delta);
+
+    /**
+     * Account one shed admission while Quarantined. Returns true
+     * when the quarantine has aged out — the caller must now perform
+     * the reset (beginReset/completeReset). Returns false otherwise.
+     */
+    bool observeShed();
+
+    /** Quarantine immediately, regardless of window counts. */
+    void forceQuarantine();
+
+    /** Enter Resetting (must be Quarantined). */
+    void beginReset();
+
+    /** Reset finished: back to Healthy, counters cleared. */
+    void completeReset();
+
+    /** Every transition taken, in order. */
+    const std::vector<Transition> &transitions() const
+    {
+        return history_;
+    }
+
+    /** Faults accounted in the current window. */
+    unsigned windowFaults() const { return windowFaults_; }
+
+  private:
+    void transitionTo(CoreState to);
+
+    unsigned core_;
+    HealthPolicy policy_;
+    CoreState state_ = CoreState::Healthy;
+    uint64_t queries_ = 0;       ///< completed queries, lifetime
+    unsigned windowQueries_ = 0; ///< queries in the current window
+    unsigned windowFaults_ = 0;  ///< faults in the current window
+    unsigned shedCount_ = 0;     ///< sheds in the current quarantine
+    std::vector<Transition> history_;
+};
+
+} // namespace cisram::recovery
+
+#endif // CISRAM_RECOVERY_HEALTH_HH

@@ -132,6 +132,67 @@ TEST(FaultSpec, RejectsMalformedSpecs)
     }
 }
 
+TEST(FaultSpec, StickyKeyParsesAndRoundTrips)
+{
+    auto p = FaultPlan::parse(
+        "task_hang:core=1,nth=3,sticky=1;pcie_corrupt:p=1e-3;"
+        "seed:9");
+    ASSERT_TRUE(p.ok()) << p.status().toString();
+    EXPECT_TRUE(p->clause(Kind::TaskHang).sticky);
+    EXPECT_FALSE(p->clause(Kind::PcieCorrupt).sticky);
+    EXPECT_NE(p->toString().find("sticky=1"), std::string::npos);
+
+    auto q = FaultPlan::parse(p->toString());
+    ASSERT_TRUE(q.ok()) << q.status().toString();
+    EXPECT_EQ(p->toString(), q->toString());
+    EXPECT_TRUE(q->clause(Kind::TaskHang).sticky);
+
+    // sticky=0 is the explicit spelling of the default.
+    auto r = FaultPlan::parse("task_hang:p=0.5,sticky=0");
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->clause(Kind::TaskHang).sticky);
+}
+
+TEST(FaultSpec, DuplicateClausesAreRejectedNamingTheToken)
+{
+    // Two clauses for one kind would silently merge into a campaign
+    // nobody wrote down; the parser must refuse and say which token
+    // repeated.
+    struct Case
+    {
+        const char *spec;
+        const char *token;
+    } cases[] = {
+        {"task_hang:p=0.1;task_hang:nth=2", "task_hang"},
+        {"pcie_corrupt:p=1e-3;dram_flip:p=1e-6;pcie_corrupt:p=1e-2",
+         "pcie_corrupt"},
+        {"seed:1;task_hang:p=0.1;seed:2", "seed"},
+    };
+    for (const auto &c : cases) {
+        auto p = FaultPlan::parse(c.spec);
+        ASSERT_FALSE(p.ok()) << "accepted: " << c.spec;
+        EXPECT_EQ(p.status().code(), StatusCode::InvalidArgument)
+            << c.spec;
+        EXPECT_NE(p.status().message().find(
+                      std::string("duplicate clause '") + c.token),
+                  std::string::npos)
+            << p.status().toString();
+    }
+}
+
+TEST(FaultSpec, SeedWithoutAValueIsRejectedNamingSeed)
+{
+    for (const char *spec : {"seed", "seed:", "task_hang:p=1;seed"}) {
+        auto p = FaultPlan::parse(spec);
+        ASSERT_FALSE(p.ok()) << "accepted: " << spec;
+        EXPECT_EQ(p.status().code(), StatusCode::InvalidArgument)
+            << spec;
+        EXPECT_NE(p.status().message().find("seed"),
+                  std::string::npos)
+            << p.status().toString();
+    }
+}
+
 TEST(FaultSpec, EmptySpecArmsNothing)
 {
     auto p = FaultPlan::parse("");

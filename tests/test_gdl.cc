@@ -172,3 +172,31 @@ TEST(GdlDeathTest, DoubleFreePanicsWithAddress)
     EXPECT_DEATH(ctx.memFree(h), "is not owned by this context "
                                  "\\(double-free");
 }
+
+TEST(GdlDeathTest, BadFreeNamesTheSessionCoreAndFootprint)
+{
+    // During a quarantine post-mortem the panic has to say which
+    // serving core's session blew up and what it still held.
+    apu::ApuDevice dev;
+    GdlContext ctx(dev);
+    ctx.setCoreHint(3);
+    MemHandle h = ctx.memAllocAligned(1024);
+    EXPECT_DEATH(ctx.memFree(MemHandle{h.addr + 999999}),
+                 "session core 3, 1 outstanding allocation\\(s\\), "
+                 "1024 bytes held");
+    ctx.memFree(h);
+}
+
+TEST(GdlDeathTest, OffsetHandleFreeNamesTheOwningAllocation)
+{
+    // Freeing an interior address is the classic offset-handle bug:
+    // the diagnostic must point at the owning block, not just say
+    // "not owned".
+    apu::ApuDevice dev;
+    GdlContext ctx(dev);
+    MemHandle h = ctx.memAllocAligned(2048);
+    EXPECT_DEATH(ctx.memFree(h.offset(512)),
+                 "points inside the 2048-byte allocation at .* — "
+                 "freed with an offset handle\\?");
+    ctx.memFree(h);
+}

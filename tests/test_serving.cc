@@ -20,6 +20,7 @@
 #include "apusim/multicore.hh"
 #include "baseline/faisslite.hh"
 #include "baseline/workloads.hh"
+#include "common/metrics.hh"
 #include "common/status.hh"
 #include "common/threadpool.hh"
 #include "dramsim/dram_sim.hh"
@@ -97,6 +98,38 @@ TEST(ServingBreaker, FailedProbeRestartsFullCooldown)
         EXPECT_EQ(br.state(), BreakerState::Open);
     }
     EXPECT_EQ(br.trips(), 3u); // initial + two failed probes
+}
+
+TEST(ServingBreaker, ProbeOutcomesAreCounted)
+{
+    // Every half-open probe outcome lands in the metrics registry:
+    // operators watching breaker.probe_failure climb without a
+    // matching probe_success are looking at a persistent fault.
+    auto &succ =
+        metrics::Registry::get().counter("breaker.probe_success");
+    auto &fail =
+        metrics::Registry::get().counter("breaker.probe_failure");
+    double succ_before = succ.value();
+    double fail_before = fail.value();
+
+    CircuitBreaker br(1, 1);
+    br.recordFailure(); // trips Open
+    EXPECT_FALSE(br.allowRequest()); // cooldown
+    EXPECT_TRUE(br.allowRequest());  // probe admitted (HalfOpen)
+    br.recordFailure();              // probe fails: re-open
+    EXPECT_EQ(fail.value() - fail_before, 1.0);
+    EXPECT_EQ(succ.value() - succ_before, 0.0);
+
+    EXPECT_FALSE(br.allowRequest());
+    EXPECT_TRUE(br.allowRequest()); // second probe
+    br.recordSuccess();             // probe succeeds: close
+    EXPECT_EQ(succ.value() - succ_before, 1.0);
+    EXPECT_EQ(fail.value() - fail_before, 1.0);
+    EXPECT_EQ(br.state(), BreakerState::Closed);
+
+    // Success from a Closed breaker is not a probe: no counter move.
+    br.recordSuccess();
+    EXPECT_EQ(succ.value() - succ_before, 1.0);
 }
 
 // ---- Batch former -------------------------------------------------------
