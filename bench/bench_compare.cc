@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Bench regression gate: diff two BENCH_<name>.json snapshots.
+ *
+ * Usage:
+ *   bench_compare [opts] BASE.json CURRENT.json
+ *   bench_compare [opts] BASE_DIR CURRENT_DIR
+ *   bench_compare --degrade PCT IN.json OUT.json
+ *
+ * Options:
+ *   --threshold PCT   Regression gate, percent (default 10).
+ *   --min-count N     Skip histogram percentiles below N samples
+ *                     (default 2).
+ *   --all             Print unchanged rows too.
+ *
+ * Directory mode diffs every BENCH_*.json present in both
+ * directories; a snapshot missing from CURRENT_DIR fails the gate (a
+ * bench that stopped reporting is a regression of the trajectory
+ * itself), one missing from BASE_DIR is reported but passes (new
+ * benches appear as the repo grows).
+ *
+ * --degrade writes a copy of IN.json uniformly PCT percent worse in
+ * every gated direction — the fixture tests/CMakeLists.txt uses to
+ * prove this gate actually fires.
+ *
+ * Exit status: 0 clean, 1 regression detected, 2 usage/IO error.
+ * Only simulated quantities gate (wall-clock keys are informational),
+ * so the gate is deterministic for any machine and thread count.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/table.hh"
+#include "obs/bench_diff.hh"
+
+using namespace cisram;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: bench_compare [--threshold PCT] [--min-count N] "
+        "[--all] BASE CURRENT\n"
+        "       bench_compare --degrade PCT IN.json OUT.json\n"
+        "BASE/CURRENT are BENCH_*.json files or directories of "
+        "them.\n");
+    return 2;
+}
+
+bool
+isDirectory(const std::string &path)
+{
+    struct stat st;
+    return stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return true;
+}
+
+bool
+loadJson(const std::string &path, json::Value &out)
+{
+    std::string text;
+    if (!readFile(path, text)) {
+        std::fprintf(stderr, "bench_compare: cannot read '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    std::string err;
+    if (!json::parse(text, out, &err)) {
+        std::fprintf(stderr,
+                     "bench_compare: '%s' is not valid JSON: %s\n",
+                     path.c_str(), err.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::string>
+listBenchFiles(const std::string &dir)
+{
+    std::vector<std::string> out;
+    DIR *d = opendir(dir.c_str());
+    if (!d)
+        return out;
+    while (struct dirent *e = readdir(d)) {
+        std::string name = e->d_name;
+        if (name.rfind("BENCH_", 0) == 0 &&
+            name.size() > 5 + 6 &&
+            name.compare(name.size() - 5, 5, ".json") == 0)
+            out.push_back(name);
+    }
+    closedir(d);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string
+formatPct(double pct)
+{
+    if (pct == 0)
+        return "0.00%";
+    if (!(pct < 1e9) && !(pct > -1e9)) // inf either way
+        return pct > 0 ? "+inf%" : "-inf%";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.2f%%", pct);
+    return buf;
+}
+
+std::string
+formatValue(double v)
+{
+    char buf[32];
+    if (v == 0)
+        return "0";
+    double m = std::fabs(v);
+    if (m >= 1e6 || m < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.4g", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.4f", v);
+    return buf;
+}
+
+/** Diff one snapshot pair; prints the delta table. */
+bool
+diffOne(const std::string &label, const json::Value &base,
+        const json::Value &cur, const obs::BenchDiffOptions &opt,
+        bool show_all)
+{
+    obs::BenchDiffResult res =
+        obs::diffBenchReports(base, cur, opt);
+
+    std::printf("== %s ==\n",
+                res.bench.empty() ? label.c_str()
+                                  : res.bench.c_str());
+    AsciiTable table({"metric", "base", "current", "delta", "dir",
+                      "verdict"});
+    size_t hidden = 0;
+    for (const obs::BenchDelta &d : res.deltas) {
+        const char *verdict = "";
+        if (d.regression)
+            verdict = "REGRESSION";
+        else if (d.improvement)
+            verdict = "improved";
+        else if (d.onlyBase)
+            verdict = "missing now";
+        else if (d.onlyCurrent)
+            verdict = "new";
+        bool interesting = d.regression || d.improvement ||
+            d.onlyBase || d.onlyCurrent || d.deltaPct != 0;
+        if (!show_all && !interesting) {
+            ++hidden;
+            continue;
+        }
+        table.addRow({d.key, formatValue(d.base),
+                      formatValue(d.current),
+                      d.onlyBase || d.onlyCurrent
+                          ? "-"
+                          : formatPct(d.deltaPct),
+                      obs::directionName(d.direction), verdict});
+    }
+    table.print();
+    std::printf("%zu keys compared, %zu regression(s), %zu "
+                "improvement(s)%s\n\n",
+                res.compared, res.regressions, res.improvements,
+                hidden ? (" (" + std::to_string(hidden) +
+                          " unchanged rows hidden; --all shows "
+                          "them)")
+                             .c_str()
+                       : "");
+    return res.ok();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    obs::BenchDiffOptions opt;
+    bool show_all = false;
+    double degrade = 0;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--threshold" && i + 1 < argc) {
+            opt.thresholdPct = std::atof(argv[++i]);
+            if (opt.thresholdPct <= 0)
+                return usage();
+        } else if (arg == "--min-count" && i + 1 < argc) {
+            opt.minHistogramCount =
+                static_cast<uint64_t>(std::atoll(argv[++i]));
+        } else if (arg == "--degrade" && i + 1 < argc) {
+            degrade = std::atof(argv[++i]);
+            if (degrade <= 0)
+                return usage();
+        } else if (arg == "--all") {
+            show_all = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 2)
+        return usage();
+
+    if (degrade > 0) {
+        json::Value in;
+        if (!loadJson(paths[0], in))
+            return 2;
+        json::Value out = obs::degradeBenchReport(in, degrade);
+        std::string doc = out.dump(2);
+        doc += '\n';
+        std::FILE *f = std::fopen(paths[1].c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr,
+                         "bench_compare: cannot write '%s'\n",
+                         paths[1].c_str());
+            return 2;
+        }
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s: %s degraded by %.1f%%\n",
+                    paths[1].c_str(), paths[0].c_str(), degrade);
+        return 0;
+    }
+
+    bool ok = true;
+    if (isDirectory(paths[0]) && isDirectory(paths[1])) {
+        auto baseFiles = listBenchFiles(paths[0]);
+        auto curFiles = listBenchFiles(paths[1]);
+        if (baseFiles.empty()) {
+            std::fprintf(stderr,
+                         "bench_compare: no BENCH_*.json in '%s'\n",
+                         paths[0].c_str());
+            return 2;
+        }
+        for (const std::string &name : baseFiles) {
+            if (std::find(curFiles.begin(), curFiles.end(), name) ==
+                curFiles.end()) {
+                std::printf("== %s ==\nmissing from %s: a bench "
+                            "that stopped reporting fails the "
+                            "gate\n\n",
+                            name.c_str(), paths[1].c_str());
+                ok = false;
+                continue;
+            }
+            json::Value base, cur;
+            if (!loadJson(paths[0] + "/" + name, base) ||
+                !loadJson(paths[1] + "/" + name, cur))
+                return 2;
+            ok = diffOne(name, base, cur, opt, show_all) && ok;
+        }
+        for (const std::string &name : curFiles)
+            if (std::find(baseFiles.begin(), baseFiles.end(),
+                          name) == baseFiles.end())
+                std::printf("note: %s present only in %s (new "
+                            "bench, not gated)\n",
+                            name.c_str(), paths[1].c_str());
+    } else if (!isDirectory(paths[0]) && !isDirectory(paths[1])) {
+        json::Value base, cur;
+        if (!loadJson(paths[0], base) || !loadJson(paths[1], cur))
+            return 2;
+        ok = diffOne(paths[0], base, cur, opt, show_all);
+    } else {
+        std::fprintf(stderr,
+                     "bench_compare: BASE and CURRENT must both be "
+                     "files or both be directories\n");
+        return 2;
+    }
+
+    if (!ok) {
+        std::printf("bench_compare: REGRESSION past the %.1f%% "
+                    "threshold\n",
+                    opt.thresholdPct);
+        return 1;
+    }
+    std::printf("bench_compare: OK (no regression past %.1f%%)\n",
+                opt.thresholdPct);
+    return 0;
+}

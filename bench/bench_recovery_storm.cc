@@ -31,6 +31,8 @@
 #include "common/table.hh"
 #include "kernels/rag.hh"
 #include "kernels/serving.hh"
+#include "obs/flight.hh"
+#include "obs/slo.hh"
 
 using namespace cisram;
 using namespace cisram::baseline;
@@ -40,6 +42,14 @@ namespace {
 
 constexpr int kQueries = 32; // per phase
 constexpr uint64_t kSeed = 2026;
+
+/**
+ * Windowed SLO target for every phase: just above the steady-state
+ * served p99 (head-of-line queue wait included), so the pre/post
+ * phases burn ~0 error budget and the storm phase's burn rate is the
+ * SLO-granularity cost of the reset.
+ */
+constexpr double kSloTargetSeconds = 1.0;
 
 struct PhaseResult
 {
@@ -58,6 +68,10 @@ stormConfig()
     cfg.batch = BatchPolicy{8, 8};
     cfg.overlapStream = true;
     cfg.health.enabled = true; // reset runs the full ladder
+    // Record every query's span tree: the forced reset exercises the
+    // park → reset → replay path, and the reconciliation check below
+    // proves replayed queries still account bit-exactly.
+    cfg.flight.mode = obs::FlightConfig::Mode::On;
     return cfg;
 }
 
@@ -71,7 +85,8 @@ stormConfig()
 PhaseResult
 runPhase(DeviceServer &server, const RagCorpusSpec &spec,
          uint64_t idBase, bool resetAfterFirstBatch,
-         gdl::ResetOutcome *resetOut)
+         gdl::ResetOutcome *resetOut, obs::SloMonitor &slo,
+         const char *phase)
 {
     PhaseResult res;
     double busy0 = server.busySeconds();
@@ -105,6 +120,7 @@ runPhase(DeviceServer &server, const RagCorpusSpec &spec,
     std::set<uint64_t> ids;
     for (const ServeOutcome &out : outs) {
         served.observe(out.servedSeconds());
+        slo.observe(phase, out.servedSeconds());
         res.exactlyOnce =
             res.exactlyOnce && ids.insert(out.id).second;
         res.allOk = res.allOk && out.ok && out.fromDevice;
@@ -135,13 +151,24 @@ main()
     DeviceServer server(dev, spec, 0, nullptr, kSeed,
                         stormConfig());
 
+    // Per-phase tumbling SLO windows (one batch per window) against
+    // a shared steady-state target: the storm phase's burn rate is
+    // the reset's SLO cost.
+    obs::SloPolicy sloPolicy;
+    sloPolicy.windowQueries = 8;
+    for (const char *phase : {"before", "during", "after"})
+        sloPolicy.classes.push_back(
+            obs::SloClass{phase, kSloTargetSeconds, 0.99});
+    obs::SloMonitor slo(sloPolicy);
+
     gdl::ResetOutcome reset;
     PhaseResult before =
-        runPhase(server, spec, 0, false, nullptr);
+        runPhase(server, spec, 0, false, nullptr, slo, "before");
     PhaseResult during =
-        runPhase(server, spec, 1000, true, &reset);
+        runPhase(server, spec, 1000, true, &reset, slo, "during");
     PhaseResult after =
-        runPhase(server, spec, 2000, false, nullptr);
+        runPhase(server, spec, 2000, false, nullptr, slo, "after");
+    slo.flush();
 
     AsciiTable table({"phase", "QPS", "served p50 (ms)",
                       "served p99 (ms)", "delivered",
@@ -180,6 +207,34 @@ main()
                 "from the device: %s\n",
                 delivery_ok ? "PASS" : "FAIL");
 
+    // The flight recorder watched all three phases, including the
+    // park → reset → replay of the storm batch; every delivered
+    // query's final-round spans must reproduce its served latency
+    // bit-exactly.
+    const obs::FlightRecorder &fr = server.flightRecorder();
+    bool reconciled_ok = fr.completedCount() == 3 * kQueries &&
+        fr.reconciledCount() == fr.completedCount();
+    std::printf("flight-recorder reconciliation (%zu/%zu queries "
+                "bit-exact across the reset): %s\n",
+                fr.reconciledCount(), fr.completedCount(),
+                reconciled_ok ? "PASS" : "FAIL");
+
+    auto burnOf = [&](const char *phase) {
+        double worst = 0;
+        for (const auto &w : slo.windows())
+            if (w.cls == phase && w.burnRate > worst)
+                worst = w.burnRate;
+        return worst;
+    };
+    std::printf("SLO burn rate (target %.0f ms, %zu-query windows): "
+                "before %.2f, during %.2f, after %.2f; breached "
+                "windows %llu\n",
+                kSloTargetSeconds * 1e3,
+                static_cast<size_t>(sloPolicy.windowQueries),
+                burnOf("before"), burnOf("during"), burnOf("after"),
+                static_cast<unsigned long long>(
+                    slo.breachedWindows()));
+
     bench::BenchReport report("recovery_storm");
     report.scalar("queries_per_phase", kQueries);
     report.scalar("qps_before", before.qps);
@@ -196,7 +251,16 @@ main()
     report.scalar("resets", server.resets());
     report.scalar("post_reset_qps_ratio", post_ratio);
     report.scalar("exactly_once", delivery_ok ? 1 : 0);
+    report.scalar("flights_completed",
+                  static_cast<double>(fr.completedCount()));
+    report.scalar("flights_reconciled",
+                  static_cast<double>(fr.reconciledCount()));
+    report.scalar("slo_burn_before", burnOf("before"));
+    report.scalar("slo_burn_during", burnOf("during"));
+    report.scalar("slo_burn_after", burnOf("after"));
+    report.scalar("slo_breached_windows",
+                  static_cast<double>(slo.breachedWindows()));
     report.write();
 
-    return (qps_ok && delivery_ok) ? 0 : 1;
+    return (qps_ok && delivery_ok && reconciled_ok) ? 0 : 1;
 }

@@ -24,6 +24,8 @@
 #include "common/table.hh"
 #include "kernels/rag.hh"
 #include "kernels/serving.hh"
+#include "obs/flight.hh"
+#include "obs/slo.hh"
 
 using namespace cisram;
 using namespace cisram::baseline;
@@ -40,10 +42,20 @@ struct SweepPoint
     bool overlap;
     double qps = 0;
     double p50 = 0, p95 = 0, p99 = 0;
+    size_t flightsCompleted = 0;
+    size_t flightsReconciled = 0;
 };
 
+/**
+ * @param slo Fed this point's served latencies (completion order)
+ *     under class `sloClass` when non-null — the sweep's endpoints
+ *     (sequential B=1 and batched B=8 + overlap) each get a windowed
+ *     SLO verdict against their own budget.
+ */
 SweepPoint
-runPoint(const RagCorpusSpec &spec, size_t batch, bool overlap)
+runPoint(const RagCorpusSpec &spec, size_t batch, bool overlap,
+         obs::SloMonitor *slo = nullptr,
+         const char *sloClass = nullptr)
 {
     SweepPoint pt{batch, overlap};
 
@@ -54,19 +66,27 @@ runPoint(const RagCorpusSpec &spec, size_t batch, bool overlap)
     cfg.topK = 5;
     cfg.batch = BatchPolicy{batch, batch};
     cfg.overlapStream = overlap;
+    // Span trees for every query; the sweep doubles as a
+    // reconciliation check over the clean batched path.
+    cfg.flight.mode = obs::FlightConfig::Mode::On;
     DeviceServer server(dev, spec, 0, nullptr, kSeed, cfg);
 
     metrics::Histogram served;
     for (int q = 0; q < kQueries; ++q)
         server.enqueue(static_cast<uint64_t>(q),
                        genQuery(spec.dim, 1000 + q));
-    for (const ServeOutcome &out : server.drain())
+    for (const ServeOutcome &out : server.drain()) {
         served.observe(out.servedSeconds());
+        if (slo)
+            slo->observe(sloClass, out.servedSeconds());
+    }
 
     pt.qps = kQueries / server.busySeconds();
     pt.p50 = served.quantile(0.50);
     pt.p95 = served.quantile(0.95);
     pt.p99 = served.quantile(0.99);
+    pt.flightsCompleted = server.flightRecorder().completedCount();
+    pt.flightsReconciled = server.flightRecorder().reconciledCount();
     return pt;
 }
 
@@ -118,6 +138,18 @@ main()
                 "sequential): %s\n\n",
                 identical ? "PASS" : "FAIL");
 
+    // Windowed SLO verdicts at the sweep's endpoints: sequential
+    // serving pays head-of-line blocking for the whole stream (its
+    // budget is wide), the batched+overlapped pipeline is held to a
+    // tight one. Targets sit just above each mode's steady p99 so a
+    // pipeline regression shows up as burn, not noise.
+    obs::SloPolicy sloPolicy;
+    sloPolicy.windowQueries = 8;
+    sloPolicy.classes.push_back(
+        obs::SloClass{"sequential", 3.0, 0.99});
+    sloPolicy.classes.push_back(obs::SloClass{"batched", 1.0, 0.99});
+    obs::SloMonitor slo(sloPolicy);
+
     AsciiTable table({"batch", "overlap", "QPS", "served p50 (ms)",
                       "served p95 (ms)", "served p99 (ms)",
                       "speedup vs seq"});
@@ -125,7 +157,12 @@ main()
     double base_qps = 0;
     for (size_t batch : {1u, 2u, 4u, 8u}) {
         for (bool overlap : {false, true}) {
-            SweepPoint pt = runPoint(spec, batch, overlap);
+            bool seq_point = batch == 1 && !overlap;
+            bool best_point = batch == 8 && overlap;
+            SweepPoint pt = runPoint(
+                spec, batch, overlap,
+                seq_point || best_point ? &slo : nullptr,
+                seq_point ? "sequential" : "batched");
             if (batch == 1 && !overlap)
                 base_qps = pt.qps;
             table.addRow({std::to_string(batch),
@@ -145,6 +182,29 @@ main()
     std::printf("\nbatched (B=8) + overlapped streaming: %.2fx the "
                 "sequential single-query QPS (target >= 2x): %s\n",
                 speedup, speedup >= 2.0 ? "PASS" : "FAIL");
+
+    size_t completed = 0, reconciled = 0;
+    for (const SweepPoint &pt : points) {
+        completed += pt.flightsCompleted;
+        reconciled += pt.flightsReconciled;
+    }
+    bool reconciled_ok =
+        completed == points.size() * kQueries &&
+        reconciled == completed;
+    std::printf("flight-recorder reconciliation (%zu/%zu queries "
+                "across all %zu sweep points): %s\n",
+                reconciled, completed, points.size(),
+                reconciled_ok ? "PASS" : "FAIL");
+
+    slo.flush();
+    double worst_burn = slo.worstBurnRate();
+    std::printf("SLO burn (seq target 3.0 s, batched target 1.0 s, "
+                "%zu-query windows): worst %.2f, breached windows "
+                "%llu\n",
+                static_cast<size_t>(sloPolicy.windowQueries),
+                worst_burn,
+                static_cast<unsigned long long>(
+                    slo.breachedWindows()));
     std::printf("the embedding stream amortizes across the batch "
                 "and then hides behind the batch's MAC work; queue "
                 "wait (included in served latency) is the price of "
@@ -162,7 +222,14 @@ main()
         report.scalar("served_p99_" + key, pt.p99);
     }
     report.scalar("speedup_b8_overlap_vs_seq", speedup);
+    report.scalar("flights_completed",
+                  static_cast<double>(completed));
+    report.scalar("flights_reconciled",
+                  static_cast<double>(reconciled));
+    report.scalar("slo_worst_burn_rate", worst_burn);
+    report.scalar("slo_breached_windows",
+                  static_cast<double>(slo.breachedWindows()));
     report.write();
 
-    return (identical && speedup >= 2.0) ? 0 : 1;
+    return (identical && speedup >= 2.0 && reconciled_ok) ? 0 : 1;
 }

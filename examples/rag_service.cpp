@@ -51,6 +51,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -67,6 +68,8 @@
 #include "gdl/gdl.hh"
 #include "kernels/rag.hh"
 #include "kernels/serving.hh"
+#include "obs/flight.hh"
+#include "obs/slo.hh"
 #include "recovery/health.hh"
 
 using namespace cisram;
@@ -116,7 +119,32 @@ servingConfig()
     // Patrol-scrub the core's HBM so latent corrected singles are
     // rewritten before a second flip can escalate them.
     cfg.scrub.enabled = true;
+
+    // Always-on flight recorder: every query's span tree feeds the
+    // attribution table and the per-query reconciliation check; with
+    // CISRAM_TRACE armed the same spans land on the Perfetto
+    // timeline.
+    cfg.flight.mode = obs::FlightConfig::Mode::On;
     return cfg;
+}
+
+/**
+ * Per-class latency SLOs for the windowed monitor: device-served
+ * queries against a budget just above the worst clean batch (head-of-
+ * line queue wait included), CPU-fallback answers against the
+ * FAISS-lite budget. Window sized to one core's shard so each core
+ * contributes whole windows.
+ */
+obs::SloPolicy
+sloPolicy()
+{
+    obs::SloPolicy policy;
+    policy.windowQueries = 12;
+    policy.classes.push_back(
+        obs::SloClass{"device", 0.5, 0.99});
+    policy.classes.push_back(
+        obs::SloClass{"fallback", 5.0, 0.99});
+    return policy;
 }
 
 /**
@@ -261,6 +289,13 @@ struct LoopResult
     double resetSeconds = 0;
     std::vector<std::string> breakerStates;
 
+    // Flight-recorder ledger, aggregated over the per-core recorders:
+    // per-stage attribution plus the reconciliation tally (queries
+    // whose span-tree sum is bit-exactly their served latency).
+    std::map<std::string, double> attribution;
+    uint64_t flightsCompleted = 0;
+    uint64_t flightsReconciled = 0;
+
     double
     servedQuantile(double p) const
     {
@@ -385,6 +420,11 @@ runTimingLoop(const RagCorpusSpec &spec)
         res.sheds += shedsPerCore[c];
         res.breakerStates.push_back(
             breakerStateName(servers[c]->breaker().state()));
+        const auto &fr = servers[c]->flightRecorder();
+        res.flightsCompleted += fr.completedCount();
+        res.flightsReconciled += fr.reconciledCount();
+        for (const auto &kv : fr.attribution())
+            res.attribution[kv.first] += kv.second;
     }
     // Tear down in declaration order inside each server: the query
     // buffer releases before its GDL session's leak check runs.
@@ -456,6 +496,11 @@ main()
     auto &m_energy = reg.histogram("rag.query_energy_joules");
     auto &m_host = reg.histogram("rag.host_pcie_seconds");
 
+    // Windowed SLO monitor, fed in query order on this thread so the
+    // window boundaries (and with them the burn rates) are identical
+    // for any worker interleaving.
+    obs::SloMonitor slo(sloPolicy());
+
     double total_energy = 0.0, total_ttft = 0.0;
     unsigned device_queries = 0, fallback_queries = 0;
     unsigned total_attempts = 0;
@@ -470,6 +515,8 @@ main()
         m_ttft.observe(rec.ttftSeconds);
         m_energy.observe(rec.joules);
         m_host.observe(rec.hostSeconds);
+        slo.observe(rec.fromDevice ? "device" : "fallback",
+                    rec.servedSeconds);
         total_energy += rec.joules;
         total_ttft += rec.ttftSeconds;
         total_attempts += rec.attempts;
@@ -539,6 +586,54 @@ main()
                 loop.resets, loop.resetSeconds * 1e3,
                 static_cast<unsigned long long>(loop.replayed),
                 loop.sheds);
+
+    // Flight-recorder attribution: where every served second went,
+    // summed over the per-query span trees. The reconciliation
+    // invariant (DESIGN.md "Observability"): each query's spans sum
+    // bit-exactly to its served latency.
+    // Every journaled query must reconcile; a query every core shed
+    // is served synchronously outside the journal and is (by design)
+    // not recorded, so completed can trail kQueries under a fault
+    // plan — but never in a clean run.
+    bool reconciled_ok = loop.flightsCompleted > 0 &&
+        loop.flightsReconciled == loop.flightsCompleted;
+    double attributed = 0;
+    for (const auto &kv : loop.attribution)
+        if (kv.second > 0 &&
+            kv.first.rfind("device_compute.", 0) != 0)
+            attributed += kv.second;
+    std::printf("\nper-stage attribution (flight recorder, %llu/%llu "
+                "queries reconciled bit-exactly: %s):\n",
+                static_cast<unsigned long long>(
+                    loop.flightsReconciled),
+                static_cast<unsigned long long>(
+                    loop.flightsCompleted),
+                reconciled_ok ? "PASS" : "FAIL");
+    for (const auto &kv : loop.attribution) {
+        if (kv.second == 0)
+            continue;
+        bool detail = kv.first.rfind("device_compute.", 0) == 0;
+        if (detail)
+            std::printf("    %-24s %10.1f ms\n", kv.first.c_str(),
+                        kv.second * 1e3);
+        else
+            std::printf("  %-26s %10.1f ms  (%5.1f%%)\n",
+                        kv.first.c_str(), kv.second * 1e3,
+                        100.0 * kv.second / attributed);
+    }
+
+    // Close partial SLO windows and report burn rates.
+    slo.flush();
+    std::printf("SLO (windowed, %zu queries/window):\n",
+                slo.policy().windowQueries);
+    for (const auto &w : slo.windows())
+        std::printf("  class %-9s window %zu: %zu/%zu violations, "
+                    "burn %.2f%s%s\n",
+                    w.cls.c_str(), w.index, w.violations, w.queries,
+                    w.burnRate, w.breached ? "  BREACH" : "",
+                    w.partial ? " (partial)" : "");
+    std::printf("  breached windows %zu, worst burn rate %.2f\n",
+                slo.breachedWindows(), slo.worstBurnRate());
 
     double p99 = loop.servedQuantile(0.99);
     bool p99_ok = true;
@@ -616,8 +711,25 @@ main()
                           p99 / baseline_p99);
         }
         report.scalar("qps", kQueries / loop.busiest);
+
+        // Flight-recorder ledger: the per-stage attribution
+        // breakdown plus the reconciliation tally — a query that
+        // stops reconciling bit-exactly shows up as a drop in
+        // flights_reconciled and gates the bench_compare diff.
+        report.scalar("flights_completed",
+                      static_cast<double>(loop.flightsCompleted));
+        report.scalar("flights_reconciled",
+                      static_cast<double>(loop.flightsReconciled));
+        report.breakdown("stage_attribution_seconds",
+                         loop.attribution);
+
+        // Windowed SLO outcome (burn_rate and violations also land
+        // in the metrics snapshot under slo.* with class labels).
+        report.scalar("slo_breached_windows",
+                      static_cast<double>(slo.breachedWindows()));
+        report.scalar("slo_worst_burn_rate", slo.worstBurnRate());
         report.write();
     }
 
-    return p99_ok ? 0 : 1;
+    return (p99_ok && reconciled_ok) ? 0 : 1;
 }

@@ -108,6 +108,12 @@ class Histogram
      * elsewhere accurate to the bucket's factor-of-two width. Fully
      * deterministic: shard merges sum the same buckets in the same
      * order, so p50/p95/p99 are thread-count independent.
+     *
+     * Edge cases, pinned by tests/test_obs.cc (bench snapshots and
+     * the regression gate depend on them staying put): an empty
+     * histogram returns 0.0 for every q, and a single-sample
+     * histogram returns that sample for every q (the [min, max]
+     * clamp collapses the bucket interpolation to the one value).
      */
     double quantile(double q) const;
 
@@ -184,7 +190,10 @@ class Registry
 
     /**
      * Snapshot as JSON: {"counters": {...}, "gauges": {...},
-     * "histograms": {key: {count, sum, min, max, mean}}}.
+     * "histograms": {key: {count, sum, min, max, mean, p50, p95,
+     * p99}}}. `count` and `sum` are exported so downstream diffing
+     * (bench_compare) can weight percentile deltas by sample count
+     * and detect coverage loss, not just latency shifts.
      */
     json::Value toJson() const;
 

@@ -171,6 +171,26 @@ Tracer::instant(uint32_t pid, uint32_t tid, const char *name,
 }
 
 void
+Tracer::async(char phase, uint32_t pid, uint32_t tid,
+              const char *name, const char *cat, double ts,
+              uint64_t id)
+{
+    if (!active())
+        return;
+    cisram_assert(phase == 'b' || phase == 'e' || phase == 'n' ||
+                      phase == 's' || phase == 'f',
+                  "async: phase must be one of b/e/n/s/f");
+    Event e{phase, pid, tid, ts, 0.0, name, cat, -1.0, 1.0, 0, id};
+    if (t_sink) {
+        t_sink->push_back(std::move(e));
+        return;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    noteTid(tid);
+    events_.push_back(std::move(e));
+}
+
+void
 Tracer::mergeEvents(std::vector<Event> &&events)
 {
     if (events.empty())
@@ -214,6 +234,16 @@ appendEventJson(std::string &out, const Event &e)
     if (e.phase == 'X') {
         std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", e.dur);
         out += buf;
+    }
+    if (e.phase == 'b' || e.phase == 'e' || e.phase == 'n' ||
+        e.phase == 's' || e.phase == 'f') {
+        std::snprintf(buf, sizeof(buf), ",\"id\":\"0x%llx\"",
+                      static_cast<unsigned long long>(e.id));
+        out += buf;
+        // Bind a flow finish to the enclosing slice so the arrow
+        // lands on the consuming span, not the track header.
+        if (e.phase == 'f')
+            out += ",\"bp\":\"e\"";
     }
     out += ",\"args\":{";
     bool first = true;
@@ -325,13 +355,24 @@ Tracer::write()
     std::string sink = path();
     cisram_assert(!sink.empty(), "trace write without a sink path");
     std::string doc = renderJson();
-    std::FILE *f = std::fopen(sink.c_str(), "w");
-    if (!f) {
-        cisram_warn("trace: cannot open ", sink, " for writing");
-        return;
+    // Write-then-rename, like BenchReport: a crash mid-write can
+    // never leave a truncated, unparseable trace document behind.
+    // An unwritable CISRAM_TRACE target is fatal — a silently
+    // dropped trace is exactly the artifact someone armed the
+    // recorder to get.
+    std::string tmp = sink + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f)
+        cisram_fatal("trace: cannot open '", tmp,
+                     "' for writing — CISRAM_TRACE must name a "
+                     "creatable file in an existing directory");
+    size_t put = std::fwrite(doc.data(), 1, doc.size(), f);
+    bool flushed = std::fclose(f) == 0 && put == doc.size();
+    if (!flushed || std::rename(tmp.c_str(), sink.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        cisram_fatal("trace: failed to finalize '", sink,
+                     "' (disk full or target not writable)");
     }
-    std::fwrite(doc.data(), 1, doc.size(), f);
-    std::fclose(f);
     size_t n;
     {
         std::lock_guard<std::mutex> lk(mu_);

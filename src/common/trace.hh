@@ -55,10 +55,17 @@ active()
     return detail::g_active.load(std::memory_order_relaxed);
 }
 
-/** One recorded event (complete span or instant). */
+/**
+ * One recorded event. Phases follow the Chrome trace-event format:
+ * 'X' complete span, 'i' instant, 'b'/'e' async span begin/end (the
+ * flight recorder's query-lifecycle spans; paired by `id` within a
+ * category), 'n' async instant, and 's'/'f' flow start/finish (the
+ * causal arrows linking a replayed query back to its original
+ * admission).
+ */
 struct Event
 {
-    char phase;       ///< 'X' complete span, 'i' instant
+    char phase;       ///< 'X', 'i', 'b', 'e', 'n', 's', or 'f'
     uint32_t pid;     ///< device serial (0 = default/global)
     uint32_t tid;     ///< core id within the device
     double ts;        ///< start, in core cycles
@@ -68,6 +75,7 @@ struct Event
     double bytes;     ///< bytes moved, or < 0 if not applicable
     double repeat;    ///< repeat-scope factor when charged
     int engines;      ///< DMA engines involved, or 0
+    uint64_t id = 0;  ///< async/flow correlation id ('b'/'e'/'n'/'s'/'f')
 };
 
 class Tracer
@@ -103,6 +111,18 @@ class Tracer
     /** Record an instant event. */
     void instant(uint32_t pid, uint32_t tid, const char *name,
                  double ts);
+
+    /**
+     * Record an async-span or flow event (phase 'b', 'e', 'n', 's',
+     * or 'f'). Async spans with the same (cat, id) pair nest into
+     * one named track in Perfetto; flow events with the same id draw
+     * a causal arrow between the enclosing slices. The flight
+     * recorder (src/obs) uses both: one async span per query
+     * lifetime, flow arrows from a reset to each replayed query.
+     */
+    void async(char phase, uint32_t pid, uint32_t tid,
+               const char *name, const char *cat, double ts,
+               uint64_t id);
 
     /**
      * Append a batch of externally buffered events (a per-core shard

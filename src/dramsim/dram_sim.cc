@@ -251,6 +251,10 @@ DramSystem::injectEccFaults(const std::vector<Request> &reqs)
                             {{"kind", "dram_flip"}}).inc();
                 reg.counter("fault.detected",
                             {{"kind", "dram_flip_latent"}}).inc();
+                if (trace::active())
+                    trace::Tracer::get().instant(
+                        0, 0, "fault.ecc_double",
+                        static_cast<double>(index));
                 latent_.erase(r.addr);
                 if (faultStatus_.ok()) {
                     faultStatus_ = Status::deviceFault(detail::concat(
@@ -272,6 +276,10 @@ DramSystem::injectEccFaults(const std::vector<Request> &reqs)
                             {{"kind", "dram_flip2"}}).inc();
                 reg.counter("fault.detected",
                             {{"kind", "dram_flip2"}}).inc();
+                if (trace::active())
+                    trace::Tracer::get().instant(
+                        0, 0, "fault.ecc_double",
+                        static_cast<double>(index));
                 if (faultStatus_.ok()) {
                     faultStatus_ = Status::deviceFault(detail::concat(
                         "uncorrectable DRAM ECC error (double bit "
@@ -315,6 +323,13 @@ DramSystem::scrubTick()
     if (corrected > 0) {
         reg.counter("recovery.scrub_corrected")
             .inc(static_cast<double>(corrected));
+        // Mark the pass that cleaned a latent single: in a trace
+        // these line up against fault.ecc_double instants to show
+        // the scrubber racing the second flip.
+        if (trace::active())
+            trace::Tracer::get().instant(
+                0, 0, "recovery.scrub_corrected",
+                static_cast<double>(eccStats_.scrubReads));
     }
 }
 

@@ -26,6 +26,20 @@ countFault(const char *series, const char *kind)
         .inc();
 }
 
+/**
+ * Trace pid for host-side GDL activity (PCIe transfers, task
+ * launches, resets). Its own process track because the timestamps
+ * are simulated *microseconds* on the context's host timeline
+ * (HostStats::totalSeconds), not device cycles.
+ */
+uint32_t
+gdlTracePid()
+{
+    static uint32_t pid = trace::Tracer::get().registerProcess(
+        "gdl host (simulated us)");
+    return pid;
+}
+
 } // namespace
 
 void
@@ -152,6 +166,8 @@ GdlContext::tryMemCpyToDev(MemHandle dst, const void *src,
                            uint64_t bytes)
 {
     cisram_assert(src != nullptr || bytes == 0);
+    bool traced = trace::active();
+    double t0 = traced ? stats_.totalSeconds() : 0.0;
     const fault::FaultPlan *fp = fault::plan();
     if (wedgedLink_ ||
         (fp && fp->clause(fault::Kind::PcieCorrupt).enabled)) {
@@ -165,6 +181,11 @@ GdlContext::tryMemCpyToDev(MemHandle dst, const void *src,
             static_cast<double>(bytes) / pcieBytesPerSec;
     }
     stats_.bytesToDevice += bytes;
+    if (traced)
+        trace::Tracer::get().complete(
+            gdlTracePid(), traceTid(), "pcie.to_dev", "gdl.pcie",
+            t0 * 1e6, (stats_.totalSeconds() - t0) * 1e6,
+            static_cast<double>(bytes));
     return Status::okStatus();
 }
 
@@ -173,6 +194,8 @@ GdlContext::tryMemCpyFromDev(void *dst, MemHandle src,
                              uint64_t bytes)
 {
     cisram_assert(dst != nullptr || bytes == 0);
+    bool traced = trace::active();
+    double t0 = traced ? stats_.totalSeconds() : 0.0;
     const fault::FaultPlan *fp = fault::plan();
     if (wedgedLink_ ||
         (fp && fp->clause(fault::Kind::PcieCorrupt).enabled)) {
@@ -186,6 +209,11 @@ GdlContext::tryMemCpyFromDev(void *dst, MemHandle src,
             static_cast<double>(bytes) / pcieBytesPerSec;
     }
     stats_.bytesFromDevice += bytes;
+    if (traced)
+        trace::Tracer::get().complete(
+            gdlTracePid(), traceTid(), "pcie.from_dev", "gdl.pcie",
+            t0 * 1e6, (stats_.totalSeconds() - t0) * 1e6,
+            static_cast<double>(bytes));
     return Status::okStatus();
 }
 
@@ -315,6 +343,8 @@ GdlContext::runTaskTimeoutOn(
                   "runTaskTimeout requires a positive deadline");
     apu::ApuCore &core = dev_.core(core_idx);
     uint64_t invocation = ++taskSerial_.at(core_idx);
+    bool traced = trace::active();
+    double launch = traced ? stats_.totalSeconds() : 0.0;
 
     if (wedgedTask_.at(core_idx)) {
         // A sticky task_hang already wedged this core: every launch
@@ -324,10 +354,14 @@ GdlContext::runTaskTimeoutOn(
         ++stats_.tasksRun;
         ++stats_.tasksTimedOut;
         countFault("fault.detected", "task_hang");
-        if (trace::active()) {
+        if (traced) {
             trace::Tracer::get().instant(
                 dev_.tracePid(), core_idx, "fault.task_hang",
                 core.stats().cycles());
+            trace::Tracer::get().complete(
+                gdlTracePid(), core_idx, "task.hang", "gdl.task",
+                launch * 1e6,
+                (stats_.totalSeconds() - launch) * 1e6);
         }
         return Status::deadlineExceeded(detail::concat(
             "task invocation #", invocation, " on wedged core ",
@@ -351,10 +385,14 @@ GdlContext::runTaskTimeoutOn(
             ++stats_.tasksTimedOut;
             countFault("fault.injected", "task_hang");
             countFault("fault.detected", "task_hang");
-            if (trace::active()) {
+            if (traced) {
                 trace::Tracer::get().instant(
                     dev_.tracePid(), core_idx, "fault.task_hang",
                     core.stats().cycles());
+                trace::Tracer::get().complete(
+                    gdlTracePid(), core_idx, "task.hang",
+                    "gdl.task", launch * 1e6,
+                    (stats_.totalSeconds() - launch) * 1e6);
             }
             return Status::deadlineExceeded(detail::concat(
                 "task invocation #", invocation, " on core ",
@@ -373,6 +411,10 @@ GdlContext::runTaskTimeoutOn(
     stats_.deviceSeconds += task_seconds;
     stats_.invokeSeconds += taskLaunchSeconds;
     ++stats_.tasksRun;
+    if (traced)
+        trace::Tracer::get().complete(
+            gdlTracePid(), core_idx, "task.invoke", "gdl.task",
+            launch * 1e6, (stats_.totalSeconds() - launch) * 1e6);
 
     if (task_seconds > deadline_seconds) {
         ++stats_.tasksTimedOut;
@@ -437,12 +479,21 @@ GdlContext::resetCore(unsigned core_idx, uint64_t restage_bytes)
     wedgedLink_ = false;
     ++stats_.coreResets;
     metrics::Registry::get().counter("recovery.core_resets").inc();
-    if (trace::active()) {
+    bool traced = trace::active();
+    double t0 = traced ? stats_.totalSeconds() : 0.0;
+    if (traced) {
         trace::Tracer::get().instant(
             dev_.tracePid(), core_idx, "recovery.core_reset",
             dev_.core(core_idx).stats().cycles());
     }
-    return releaseAndRestage(coreResetSeconds, restage_bytes);
+    ResetOutcome out = releaseAndRestage(coreResetSeconds,
+                                         restage_bytes);
+    if (traced)
+        trace::Tracer::get().complete(
+            gdlTracePid(), core_idx, "core.reset", "gdl.reset",
+            t0 * 1e6, (stats_.totalSeconds() - t0) * 1e6,
+            static_cast<double>(out.restagedBytes));
+    return out;
 }
 
 ResetOutcome

@@ -154,6 +154,13 @@ class GdlContext
     void setCoreHint(int core) { coreHint_ = core; }
     int coreHint() const { return coreHint_; }
 
+    /** Trace tid for this session's host-side spans. */
+    uint32_t traceTid() const
+    {
+        return coreHint_ >= 0 ? static_cast<uint32_t>(coreHint_)
+                              : 0u;
+    }
+
     /** gdl_mem_cpy_to_dev: host -> device DRAM over PCIe. */
     void memCpyToDev(MemHandle dst, const void *src, uint64_t bytes);
 

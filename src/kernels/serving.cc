@@ -138,7 +138,8 @@ DeviceServer::DeviceServer(apu::ApuDevice &dev, RagCorpusSpec spec,
       host_(dev),
       qbuf_(std::in_place, host_,
             cfg.batch.maxBatch * spec.dim * 2),
-      former_(cfg.batch), health_(core, cfg.health)
+      former_(cfg.batch), health_(core, cfg.health),
+      flight_(core, cfg.flight)
 {
     host_.setCoreHint(static_cast<int>(core));
     hbm_.setScrubConfig(cfg.scrub);
@@ -162,6 +163,7 @@ DeviceServer::enqueue(uint64_t id, std::vector<int16_t> embedding)
                         {{"core", std::to_string(core_)},
                          {"reason", "quarantine"}})
                 .inc();
+            flight_.recordShed(id, busySeconds_, "quarantine");
             return Status::resourceExhausted(detail::concat(
                 "core ", core_, " is quarantined: query #", id,
                 " shed (re-route or retry later)"));
@@ -174,6 +176,7 @@ DeviceServer::enqueue(uint64_t id, std::vector<int16_t> embedding)
                     {{"core", std::to_string(core_)},
                      {"reason", "depth"}})
             .inc();
+        flight_.recordShed(id, busySeconds_, "depth");
         return Status::resourceExhausted(detail::concat(
             "core ", core_, " admission queue full: ",
             former_.depth(), " pending at the ",
@@ -190,6 +193,7 @@ DeviceServer::enqueue(uint64_t id, std::vector<int16_t> embedding)
                         {{"core", std::to_string(core_)},
                          {"reason", "deadline"}})
                 .inc();
+            flight_.recordShed(id, busySeconds_, "deadline");
             return Status::resourceExhausted(detail::concat(
                 "core ", core_, " predicted queue delay ",
                 predicted * 1e3, " ms exceeds the ",
@@ -199,6 +203,7 @@ DeviceServer::enqueue(uint64_t id, std::vector<int16_t> embedding)
     }
 
     journal_.admit(id, embedding, busySeconds_);
+    flight_.recordAdmit(id, busySeconds_);
     former_.admit(PendingQuery{id, std::move(embedding),
                                busySeconds_});
     return Status::okStatus();
@@ -285,6 +290,7 @@ DeviceServer::performReset()
         health_.beginReset();
     }
     auto pend = journal_.pending();
+    double resetStart = busySeconds_;
 
     // Tear down the device footprint in reverse allocation order,
     // then rebuild in the original order: the DramAllocator's
@@ -311,6 +317,17 @@ DeviceServer::performReset()
                                    e->admitSeconds});
     replayed_ += pend.size();
     ++resets_;
+    if (flight_.enabled()) {
+        // Reset time is charged to the core clock, not to any one
+        // query's served latency — it surfaces as queue wait in the
+        // replayed queries' final rounds. The flow arrows tie each
+        // replay back to the reset that caused it.
+        std::vector<uint64_t> ids;
+        ids.reserve(pend.size());
+        for (const auto *e : pend)
+            ids.push_back(e->id);
+        flight_.recordReset(resets_, resetStart, out.seconds, ids);
+    }
     metrics::Registry::get()
         .counter("recovery.replayed_queries",
                  {{"core", std::to_string(core_)}})
@@ -359,6 +376,18 @@ DeviceServer::serveBatch(std::vector<PendingQuery> batch,
         reg.histogram("serving.queue_wait_seconds")
             .observe(outs[q].queueWaitSeconds);
     }
+    bool record = journaled && flight_.enabled();
+    if (record) {
+        // One service round per query; the recorded wait duration is
+        // the exact double assigned to queueWaitSeconds above, so the
+        // ledger reconciles bit-for-bit (see obs/flight.hh).
+        for (size_t q = 0; q < b; ++q) {
+            flight_.beginRound(outs[q].id, start);
+            flight_.span(outs[q].id, obs::Stage::QueueWait, 0,
+                         batch[q].admitSeconds,
+                         outs[q].queueWaitSeconds);
+        }
+    }
     bool device_ok = false;
     bool parked = false;
     if (!quarantined && breaker_.allowRequest()) {
@@ -375,6 +404,52 @@ DeviceServer::serveBatch(std::vector<PendingQuery> batch,
                 double retrieval = 0;
                 for (const auto &o : outs)
                     retrieval += o.run.stages.total();
+                if (record) {
+                    // hostSeconds so far = prior failed attempts;
+                    // this attempt's PCIe staging starts there.
+                    double tA = start + outs[0].hostSeconds;
+                    double tC = tA + pcie;
+                    RagStageLatency sum;
+                    for (const auto &o : outs) {
+                        sum.loadEmbedding +=
+                            o.run.stages.loadEmbedding;
+                        sum.loadQuery += o.run.stages.loadQuery;
+                        sum.calcDistance +=
+                            o.run.stages.calcDistance;
+                        sum.topkAggregation +=
+                            o.run.stages.topkAggregation;
+                        sum.returnTopk += o.run.stages.returnTopk;
+                        sum.overlapHidden +=
+                            o.run.stages.overlapHidden;
+                    }
+                    for (const auto &o : outs) {
+                        flight_.span(o.id, obs::Stage::PcieStage,
+                                     a + 1, tA, pcie);
+                        flight_.span(o.id, obs::Stage::DeviceCompute,
+                                     a + 1, tC, retrieval);
+                        // Table 8 stage shares as children of the
+                        // compute span (whole-batch pass: every
+                        // query waits for all of it). Laid out
+                        // end-to-end; overlap_hidden is the slice
+                        // the double-buffer hid (total() subtracts
+                        // it).
+                        double tS = tC;
+                        auto child = [&](const char *dname,
+                                         double dur) {
+                            flight_.span(o.id,
+                                         obs::Stage::ComputeDetail,
+                                         0, tS, dur, dname);
+                            tS += dur;
+                        };
+                        child("load_embedding", sum.loadEmbedding);
+                        child("load_query", sum.loadQuery);
+                        child("calc_distance", sum.calcDistance);
+                        child("topk_aggregation",
+                              sum.topkAggregation);
+                        child("return_topk", sum.returnTopk);
+                        child("overlap_hidden", sum.overlapHidden);
+                    }
+                }
                 for (auto &o : outs) {
                     o.ok = true;
                     o.fromDevice = true;
@@ -399,6 +474,12 @@ DeviceServer::serveBatch(std::vector<PendingQuery> batch,
                 (hs.invokeSeconds - before.invokeSeconds) +
                 std::min(hs.deviceSeconds - before.deviceSeconds,
                          cfg_.retry.deadlineSeconds);
+            if (record) {
+                double tA = start + outs[0].hostSeconds;
+                for (const auto &o : outs)
+                    flight_.span(o.id, obs::Stage::DeviceAttempt,
+                                 a + 1, tA, attempt, st.toString());
+            }
             for (auto &o : outs) {
                 o.lastError = st.toString();
                 o.hostSeconds += attempt;
@@ -435,6 +516,12 @@ DeviceServer::serveBatch(std::vector<PendingQuery> batch,
         // attempts consumed — the clock must agree between the
         // faulted run and its replayed continuation.
         busySeconds_ = start + outs[0].hostSeconds;
+        if (record)
+            // The round's charges die with the park: the replay
+            // builds a fresh outcome. Keep the spans (abandoned) for
+            // the timeline, drop them from reconciliation.
+            for (const auto &o : outs)
+                flight_.park(o.id, busySeconds_);
         reg.counter("recovery.parked_batches",
                     {{"core", std::to_string(core_)}})
             .inc();
@@ -447,8 +534,12 @@ DeviceServer::serveBatch(std::vector<PendingQuery> batch,
     } else {
         // The CPU serves the batch's queries one after another.
         for (size_t q = 0; q < b; ++q) {
+            double tF = start + elapsed;
             cpuFallback(batch[q].embedding, outs[q]);
             elapsed += outs[q].retrievalSeconds;
+            if (record)
+                flight_.span(outs[q].id, obs::Stage::CpuFallback, 0,
+                             tF, outs[q].retrievalSeconds);
         }
     }
     busySeconds_ = start + elapsed;
@@ -464,6 +555,13 @@ DeviceServer::serveBatch(std::vector<PendingQuery> batch,
         for (const auto &o : outs)
             journal_.complete(o.id);
     }
+    if (record)
+        for (const auto &o : outs)
+            flight_.complete(o.id,
+                             obs::FlightCompletion{
+                                 busySeconds_, o.fromDevice,
+                                 o.attempts, o.batchSize,
+                                 o.servedSeconds()});
     health_.observeQueries(static_cast<unsigned>(b));
 
     reg.counter("serving.batches").inc();

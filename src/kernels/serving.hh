@@ -62,6 +62,7 @@
 #include "dramsim/dram_sim.hh"
 #include "gdl/gdl.hh"
 #include "kernels/rag.hh"
+#include "obs/flight.hh"
 #include "recovery/health.hh"
 #include "recovery/journal.hh"
 
@@ -283,6 +284,15 @@ struct ServerConfig
     dram::ScrubConfig scrub;
 
     /**
+     * Flight-recorder enablement (obs/flight.hh). Auto (default)
+     * records only when CISRAM_TRACE armed tracing before the server
+     * was built; On forces the attribution ledger even without a
+     * trace sink (tests, attribution studies). Recording never
+     * charges simulated time.
+     */
+    obs::FlightConfig flight;
+
+    /**
      * Core resets drain() may perform before it stops escalating and
      * forces the remaining parked queries through the CPU fallback.
      */
@@ -357,6 +367,16 @@ class DeviceServer
 
     /** This core's health watchdog (ladder state, transitions). */
     const recovery::HealthMonitor &health() const { return health_; }
+
+    /**
+     * This core's query-lifecycle flight recorder (span ledger for
+     * every journaled admission; see obs/flight.hh). Disabled unless
+     * cfg.flight says otherwise.
+     */
+    const obs::FlightRecorder &flightRecorder() const
+    {
+        return flight_;
+    }
 
     /** Core resets performed so far. */
     unsigned resets() const { return resets_; }
@@ -434,6 +454,7 @@ class DeviceServer
     BatchFormer former_;
     recovery::HealthMonitor health_;
     recovery::ReplayJournal<std::vector<int16_t>> journal_;
+    obs::FlightRecorder flight_;
     double busySeconds_ = 0;
     double batchSecondsEwma_ = 0; ///< admission-delay predictor
     unsigned resets_ = 0;

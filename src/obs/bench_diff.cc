@@ -1,0 +1,296 @@
+#include "obs/bench_diff.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace cisram::obs {
+
+namespace {
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+hasToken(const std::string &key, const char *token)
+{
+    return key.find(token) != std::string::npos;
+}
+
+bool
+hasAny(const std::string &key,
+       std::initializer_list<const char *> tokens)
+{
+    for (const char *t : tokens)
+        if (hasToken(key, t))
+            return true;
+    return false;
+}
+
+double
+relativeDeltaPct(double base, double current)
+{
+    if (base == current)
+        return 0.0;
+    if (base == 0.0)
+        // A metric appearing from zero has no finite relative
+        // delta; ±inf still orders correctly against any threshold.
+        return current > 0
+                   ? std::numeric_limits<double>::infinity()
+                   : -std::numeric_limits<double>::infinity();
+    return (current - base) / std::fabs(base) * 100.0;
+}
+
+/** Percentile summary fields of a histogram JSON object. */
+constexpr const char *kHistPercentiles[] = {"p50", "p95", "p99"};
+
+/** Value-typed histogram summary fields scaled by degrade(). */
+constexpr const char *kHistValueFields[] = {
+    "sum", "min", "max", "mean", "p50", "p95", "p99"};
+
+const json::Value *
+findSection(const json::Value &doc, const char *a,
+            const char *b = nullptr)
+{
+    if (!doc.isObject())
+        return nullptr;
+    const json::Value *v = doc.asObject().find(a);
+    if (v && b) {
+        if (!v->isObject())
+            return nullptr;
+        v = v->asObject().find(b);
+    }
+    return v;
+}
+
+void
+classifyDelta(BenchDelta &d, double thresholdPct)
+{
+    if (d.direction == MetricDirection::Informational)
+        return;
+    bool worse = d.direction == MetricDirection::LowerIsBetter
+                     ? d.deltaPct > 0
+                     : d.deltaPct < 0;
+    if (std::fabs(d.deltaPct) < thresholdPct)
+        return;
+    if (worse)
+        d.regression = true;
+    else
+        d.improvement = true;
+}
+
+} // namespace
+
+const char *
+directionName(MetricDirection d)
+{
+    switch (d) {
+    case MetricDirection::LowerIsBetter:
+        return "lower";
+    case MetricDirection::HigherIsBetter:
+        return "higher";
+    case MetricDirection::Informational:
+        return "info";
+    }
+    return "info";
+}
+
+MetricDirection
+scalarDirection(const std::string &key)
+{
+    std::string k = lowered(key);
+    // Host wall-clock and machine-shape numbers vary run to run and
+    // machine to machine; only simulated quantities gate.
+    if (hasAny(k, {"wall", "ns_per", "host", "hardware", "schema",
+                   "threads"}))
+        return MetricDirection::Informational;
+    // "degradation" wins over any embedded throughput token: more
+    // degradation is worse whatever was degraded.
+    if (hasToken(k, "degradation"))
+        return MetricDirection::LowerIsBetter;
+    if (hasAny(k, {"seconds", "latency", "_ms", "p50", "p95", "p99",
+                   "joule", "energy", "timeout", "retries", "errors",
+                   "shed", "fallback", "violation", "burn_rate",
+                   "wait", "breached"}))
+        return MetricDirection::LowerIsBetter;
+    if (hasAny(k, {"qps", "throughput", "speedup", "gflop", "gop",
+                   "recall", "bandwidth", "efficiency",
+                   "exactly_once", "identity", "delivered",
+                   "reconciled", "hit_rate"}))
+        return MetricDirection::HigherIsBetter;
+    return MetricDirection::Informational;
+}
+
+MetricDirection
+histogramDirection(const std::string &key)
+{
+    std::string k = lowered(key);
+    if (hasAny(k, {"seconds", "latency", "wait", "cycles"}))
+        return MetricDirection::LowerIsBetter;
+    return MetricDirection::Informational;
+}
+
+BenchDiffResult
+diffBenchReports(const json::Value &base, const json::Value &current,
+                 const BenchDiffOptions &opt)
+{
+    BenchDiffResult out;
+    if (const json::Value *name = findSection(base, "bench"))
+        if (name->isString())
+            out.bench = name->asString();
+
+    // --- Scalars -------------------------------------------------
+    const json::Value *bs = findSection(base, "scalars");
+    const json::Value *cs = findSection(current, "scalars");
+    if (bs && bs->isObject()) {
+        for (const auto &[key, bval] : bs->asObject()) {
+            if (!bval.isNumber())
+                continue;
+            BenchDelta d;
+            d.key = key;
+            d.base = bval.asNumber();
+            d.direction = scalarDirection(key);
+            const json::Value *cval =
+                cs && cs->isObject() ? cs->asObject().find(key)
+                                     : nullptr;
+            if (!cval || !cval->isNumber()) {
+                d.onlyBase = true;
+                out.deltas.push_back(std::move(d));
+                continue;
+            }
+            d.current = cval->asNumber();
+            d.deltaPct = relativeDeltaPct(d.base, d.current);
+            classifyDelta(d, opt.thresholdPct);
+            out.compared++;
+            out.deltas.push_back(std::move(d));
+        }
+    }
+    if (cs && cs->isObject()) {
+        for (const auto &[key, cval] : cs->asObject()) {
+            if (!cval.isNumber())
+                continue;
+            if (bs && bs->isObject() && bs->asObject().contains(key))
+                continue;
+            BenchDelta d;
+            d.key = key;
+            d.current = cval.asNumber();
+            d.direction = scalarDirection(key);
+            d.onlyCurrent = true;
+            out.deltas.push_back(std::move(d));
+        }
+    }
+
+    // --- Histogram percentiles ----------------------------------
+    const json::Value *bh =
+        findSection(base, "metrics", "histograms");
+    const json::Value *ch =
+        findSection(current, "metrics", "histograms");
+    if (bh && bh->isObject() && ch && ch->isObject()) {
+        for (const auto &[series, bsum] : bh->asObject()) {
+            const json::Value *csum = ch->asObject().find(series);
+            if (!csum || !csum->isObject() || !bsum.isObject())
+                continue;
+            const json::Value *bc = bsum.asObject().find("count");
+            const json::Value *cc = csum->asObject().find("count");
+            if (!bc || !cc || !bc->isNumber() || !cc->isNumber())
+                continue;
+            uint64_t bn = static_cast<uint64_t>(bc->asNumber());
+            uint64_t cn = static_cast<uint64_t>(cc->asNumber());
+            // Percentiles of a near-empty histogram are noise;
+            // count/sum still show up via the scalar-style rows of
+            // any bench that promotes them.
+            if (bn < opt.minHistogramCount ||
+                cn < opt.minHistogramCount)
+                continue;
+            MetricDirection dir = histogramDirection(series);
+            for (const char *p : kHistPercentiles) {
+                const json::Value *bp = bsum.asObject().find(p);
+                const json::Value *cp = csum->asObject().find(p);
+                if (!bp || !cp || !bp->isNumber() ||
+                    !cp->isNumber())
+                    continue;
+                BenchDelta d;
+                d.key = series + std::string("/") + p;
+                d.base = bp->asNumber();
+                d.current = cp->asNumber();
+                d.direction = dir;
+                d.weight = std::min(bn, cn);
+                d.deltaPct = relativeDeltaPct(d.base, d.current);
+                classifyDelta(d, opt.thresholdPct);
+                out.compared++;
+                out.deltas.push_back(std::move(d));
+            }
+        }
+    }
+
+    for (const BenchDelta &d : out.deltas) {
+        if (d.regression)
+            out.regressions++;
+        if (d.improvement)
+            out.improvements++;
+    }
+    return out;
+}
+
+json::Value
+degradeBenchReport(const json::Value &base, double pct)
+{
+    cisram_assert(pct > 0, "degrade: percentage must be positive");
+    double factor = 1.0 + pct / 100.0;
+    json::Value out = base;
+
+    if (out.isObject() && out.asObject().contains("scalars")) {
+        json::Value &scalars = out["scalars"];
+        // Rebuild from the source object: Object iteration is
+        // const, mutation goes through operator[] key writes.
+        if (const json::Value *src = findSection(base, "scalars")) {
+            for (const auto &[key, val] : src->asObject()) {
+                if (!val.isNumber())
+                    continue;
+                switch (scalarDirection(key)) {
+                case MetricDirection::LowerIsBetter:
+                    scalars[key] = val.asNumber() * factor;
+                    break;
+                case MetricDirection::HigherIsBetter:
+                    scalars[key] = val.asNumber() / factor;
+                    break;
+                case MetricDirection::Informational:
+                    break;
+                }
+            }
+        }
+    }
+
+    const json::Value *src =
+        findSection(base, "metrics", "histograms");
+    if (src && src->isObject()) {
+        json::Value &hists = out["metrics"]["histograms"];
+        for (const auto &[series, summary] : src->asObject()) {
+            if (!summary.isObject())
+                continue;
+            if (histogramDirection(series) !=
+                MetricDirection::LowerIsBetter)
+                continue;
+            json::Value &dst = hists[series];
+            for (const char *field : kHistValueFields) {
+                const json::Value *v =
+                    summary.asObject().find(field);
+                if (v && v->isNumber())
+                    dst[field] = v->asNumber() * factor;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace cisram::obs

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Bench snapshot diffing: the engine behind the `bench_compare`
+ * regression gate.
+ *
+ * A BENCH_<name>.json snapshot (bench/bench_report) carries scalars
+ * plus the full metrics dump, whose histogram summaries now include
+ * count and sum alongside p50/p95/p99. diffBenchReports() compares
+ * two snapshots key by key, classifies each key's *direction* from
+ * its name (latency seconds are lower-better, QPS is higher-better,
+ * wall-clock keys are informational — the simulator's simulated
+ * scalars are deterministic, host wall time is not), and flags any
+ * delta beyond the threshold in the bad direction as a regression.
+ * Keys present in only one snapshot are reported but never gate:
+ * the schema grows across PRs and a new metric must not fail the
+ * gate retroactively.
+ *
+ * degradeBenchReport() manufactures a snapshot that is uniformly
+ * `pct` percent worse in every gated direction — the fixture the
+ * ctest gate uses to prove the comparator actually fires (a gate
+ * that has never failed is a gate you know nothing about).
+ */
+
+#ifndef CISRAM_OBS_BENCH_DIFF_HH
+#define CISRAM_OBS_BENCH_DIFF_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+
+namespace cisram::obs {
+
+/** How a metric's delta maps to better/worse. */
+enum class MetricDirection
+{
+    LowerIsBetter,
+    HigherIsBetter,
+    Informational, ///< reported, never gated
+};
+
+const char *directionName(MetricDirection d);
+
+/**
+ * Classify a scalar key by name tokens. Wall-clock and host-rate
+ * keys are informational; latency/energy/failure keys gate lower;
+ * throughput/quality keys gate higher; anything unrecognized is
+ * informational (gates must not guess).
+ */
+MetricDirection scalarDirection(const std::string &key);
+
+/** Classify a histogram series key (gates only latency-like ones). */
+MetricDirection histogramDirection(const std::string &key);
+
+/** One compared key. */
+struct BenchDelta
+{
+    std::string key; ///< scalar name, or "<series>/p99" for hists
+    double base = 0;
+    double current = 0;
+    double deltaPct = 0; ///< (current − base) / base × 100
+    MetricDirection direction = MetricDirection::Informational;
+    uint64_t weight = 1; ///< min histogram count, 1 for scalars
+    bool regression = false;
+    bool improvement = false;
+    bool onlyBase = false;    ///< key missing from current
+    bool onlyCurrent = false; ///< key missing from base
+};
+
+struct BenchDiffOptions
+{
+    /** Gate at |delta| ≥ this, in the bad direction (percent). */
+    double thresholdPct = 10.0;
+    /** Skip histogram percentiles with fewer samples than this. */
+    uint64_t minHistogramCount = 2;
+};
+
+struct BenchDiffResult
+{
+    std::string bench; ///< snapshot's "bench" field, if present
+    std::vector<BenchDelta> deltas;
+    size_t compared = 0;
+    size_t regressions = 0;
+    size_t improvements = 0;
+
+    bool ok() const { return regressions == 0; }
+};
+
+/**
+ * Diff two parsed BENCH_<name>.json documents (base = the checked-in
+ * snapshot, current = this run).
+ */
+BenchDiffResult diffBenchReports(const json::Value &base,
+                                 const json::Value &current,
+                                 const BenchDiffOptions &opt = {});
+
+/**
+ * Return a copy of `base` degraded by `pct` percent in every gated
+ * direction: lower-is-better values scaled up, higher-is-better
+ * values scaled down, histogram value summaries (not counts) scaled
+ * up where latency-like. Informational keys pass through untouched.
+ */
+json::Value degradeBenchReport(const json::Value &base, double pct);
+
+} // namespace cisram::obs
+
+#endif // CISRAM_OBS_BENCH_DIFF_HH

@@ -1,0 +1,173 @@
+#include "obs/slo.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+#include "obs/flight.hh"
+
+namespace cisram::obs {
+
+SloMonitor::SloMonitor(SloPolicy policy)
+    : policy_(std::move(policy))
+{
+    cisram_assert(policy_.windowQueries > 0,
+                  "slo: windowQueries must be positive");
+    for (const SloClass &c : policy_.classes) {
+        cisram_assert(!c.name.empty(), "slo: unnamed class");
+        cisram_assert(c.targetSeconds > 0,
+                      "slo: class '", c.name,
+                      "' needs a positive latency target");
+        cisram_assert(c.objective > 0 && c.objective < 1,
+                      "slo: class '", c.name,
+                      "' objective must be in (0, 1)");
+        auto [it, fresh] = classes_.emplace(c.name, ClassState{});
+        cisram_assert(fresh, "slo: duplicate class '", c.name, "'");
+        it->second.cls = c;
+    }
+}
+
+void
+SloMonitor::observe(const std::string &cls, double servedSeconds)
+{
+    auto it = classes_.find(cls);
+    cisram_assert(it != classes_.end(),
+                  "slo: observation for unconfigured class '", cls,
+                  "'");
+    ClassState &st = it->second;
+    st.total++;
+    st.windowCount++;
+    st.lastSeconds = servedSeconds;
+    st.window.observe(servedSeconds);
+    if (servedSeconds > st.cls.targetSeconds) {
+        st.totalViolations++;
+        st.windowViolations++;
+    }
+    if (st.windowCount >= policy_.windowQueries)
+        closeWindow(st, /*partial=*/false);
+}
+
+void
+SloMonitor::closeWindow(ClassState &st, bool partial)
+{
+    SloWindow w;
+    w.cls = st.cls.name;
+    w.index = st.nextIndex++;
+    w.queries = st.windowCount;
+    w.violations = st.windowViolations;
+    w.violationFraction =
+        w.queries ? static_cast<double>(w.violations) /
+                        static_cast<double>(w.queries)
+                  : 0.0;
+    w.burnRate = w.violationFraction / (1.0 - st.cls.objective);
+    w.breached = w.burnRate > 1.0;
+    w.partial = partial;
+    w.p50 = st.window.quantile(0.50);
+    w.p95 = st.window.quantile(0.95);
+    w.p99 = st.window.quantile(0.99);
+    w.max = st.window.max();
+
+    auto &reg = metrics::Registry::get();
+    metrics::Labels labels{{"class", st.cls.name}};
+    reg.counter("slo.windows", labels).inc();
+    reg.counter("slo.violations", labels).inc(
+        static_cast<double>(w.violations));
+    reg.gauge("slo.burn_rate", labels).set(w.burnRate);
+    if (w.breached) {
+        reg.counter("slo.breached_windows", labels).inc();
+        // Stamped with the last served latency in the window — the
+        // monitor has no clock of its own, and that is when the
+        // breach became observable.
+        if (trace::active())
+            trace::Tracer::get().instant(servingTracePid(), 0,
+                                         "slo.window_breach",
+                                         st.lastSeconds * 1e6);
+    }
+
+    windows_.push_back(std::move(w));
+    st.windowCount = 0;
+    st.windowViolations = 0;
+    st.window.zero();
+}
+
+void
+SloMonitor::flush()
+{
+    for (auto &[name, st] : classes_)
+        if (st.windowCount > 0)
+            closeWindow(st, /*partial=*/true);
+}
+
+uint64_t
+SloMonitor::observed(const std::string &cls) const
+{
+    auto it = classes_.find(cls);
+    return it == classes_.end() ? 0 : it->second.total;
+}
+
+uint64_t
+SloMonitor::violations(const std::string &cls) const
+{
+    auto it = classes_.find(cls);
+    return it == classes_.end() ? 0 : it->second.totalViolations;
+}
+
+double
+SloMonitor::worstBurnRate() const
+{
+    double worst = 0.0;
+    for (const SloWindow &w : windows_)
+        worst = std::max(worst, w.burnRate);
+    return worst;
+}
+
+uint64_t
+SloMonitor::breachedWindows() const
+{
+    uint64_t n = 0;
+    for (const SloWindow &w : windows_)
+        if (w.breached)
+            ++n;
+    return n;
+}
+
+json::Value
+SloMonitor::toJson() const
+{
+    json::Value root;
+    root["window_queries"] = policy_.windowQueries;
+    json::Array classes;
+    for (const auto &[name, st] : classes_) {
+        json::Value c;
+        c["class"] = name;
+        c["target_seconds"] = st.cls.targetSeconds;
+        c["objective"] = st.cls.objective;
+        c["queries"] = st.total;
+        c["violations"] = st.totalViolations;
+        classes.push_back(std::move(c));
+    }
+    root["classes"] = json::Value(std::move(classes));
+    json::Array windows;
+    for (const SloWindow &w : windows_) {
+        json::Value v;
+        v["class"] = w.cls;
+        v["index"] = w.index;
+        v["queries"] = w.queries;
+        v["violations"] = w.violations;
+        v["burn_rate"] = w.burnRate;
+        v["breached"] = w.breached;
+        if (w.partial)
+            v["partial"] = true;
+        v["p50_seconds"] = w.p50;
+        v["p95_seconds"] = w.p95;
+        v["p99_seconds"] = w.p99;
+        v["max_seconds"] = w.max;
+        windows.push_back(std::move(v));
+    }
+    root["windows"] = json::Value(std::move(windows));
+    root["breached_windows"] = breachedWindows();
+    root["worst_burn_rate"] = worstBurnRate();
+    return root;
+}
+
+} // namespace cisram::obs

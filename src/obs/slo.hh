@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tumbling-window SLO monitor over served query latency.
+ *
+ * An SLO here is "at least `objective` of queries in a class finish
+ * within `targetSeconds`". The monitor evaluates it over tumbling
+ * windows of a fixed *query count* — the same deterministic
+ * windowing discipline as recovery::HealthMonitor — so window
+ * boundaries, burn rates, and breach events are bit-identical for
+ * any CISRAM_SIM_THREADS and never depend on wall-clock time.
+ *
+ * Per closed window the monitor reports the violation fraction and
+ * its **burn rate**: violationFraction / (1 − objective), i.e. how
+ * many times faster than "exactly on budget" the error budget is
+ * being consumed. Burn rate 1.0 means the window spent exactly its
+ * allowance; 2.0 means at this pace half the allowed violations
+ * remain after half the period; a breach (burn > 1) raises a trace
+ * instant and bumps the `slo.breached_windows` counter so serving
+ * benches can gate on it. Each window also carries its own
+ * metrics::Histogram, so per-window p50/p95/p99 come for free —
+ * exactly the windowed per-class telemetry ROADMAP items 4
+ * (autotuner) and 5 (open-loop SLO curves) block on.
+ */
+
+#ifndef CISRAM_OBS_SLO_HH
+#define CISRAM_OBS_SLO_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/metrics.hh"
+
+namespace cisram::obs {
+
+/** One latency class and its objective. */
+struct SloClass
+{
+    std::string name;          ///< e.g. "interactive", "batch"
+    double targetSeconds = 0;  ///< per-query latency target
+    double objective = 0.99;   ///< fraction that must meet target
+};
+
+/** Monitor-wide policy. */
+struct SloPolicy
+{
+    /** Queries per tumbling window (per class). */
+    uint64_t windowQueries = 64;
+    std::vector<SloClass> classes;
+};
+
+/** One closed (or flushed-partial) window's verdict. */
+struct SloWindow
+{
+    std::string cls;
+    uint64_t index = 0; ///< per-class window serial, from 0
+    uint64_t queries = 0;
+    uint64_t violations = 0;
+    double violationFraction = 0;
+    double burnRate = 0; ///< fraction / (1 − objective)
+    bool breached = false;
+    bool partial = false; ///< closed early by flush()
+    double p50 = 0, p95 = 0, p99 = 0, max = 0;
+};
+
+/**
+ * The monitor. Single-threaded: callers observe served latencies in
+ * a deterministic order (e.g. completion order on the main thread),
+ * which makes the emitted window sequence deterministic too.
+ */
+class SloMonitor
+{
+  public:
+    explicit SloMonitor(SloPolicy policy);
+
+    /**
+     * Record one served query. `cls` must name a configured class
+     * (dying otherwise — a typo here would silently exempt traffic
+     * from its objective).
+     */
+    void observe(const std::string &cls, double servedSeconds);
+
+    /**
+     * Close any partially filled windows (marked partial) so
+     * end-of-run totals include the tail. Idempotent until the next
+     * observe().
+     */
+    void flush();
+
+    /** All closed windows, in close order. */
+    const std::vector<SloWindow> &windows() const
+    {
+        return windows_;
+    }
+
+    const SloPolicy &policy() const { return policy_; }
+
+    uint64_t observed(const std::string &cls) const;
+    uint64_t violations(const std::string &cls) const;
+
+    /** Worst burn rate over all closed windows (0 if none). */
+    double worstBurnRate() const;
+
+    /** Closed windows with burnRate > 1. */
+    uint64_t breachedWindows() const;
+
+    /** Summary + per-window table, for bench reports. */
+    json::Value toJson() const;
+
+  private:
+    struct ClassState
+    {
+        SloClass cls;
+        uint64_t total = 0;
+        uint64_t totalViolations = 0;
+        uint64_t nextIndex = 0;
+        uint64_t windowCount = 0;
+        uint64_t windowViolations = 0;
+        double lastSeconds = 0; ///< latest observation (trace ts)
+        metrics::Histogram window;
+    };
+
+    void closeWindow(ClassState &st, bool partial);
+
+    SloPolicy policy_;
+    std::map<std::string, ClassState> classes_;
+    std::vector<SloWindow> windows_;
+};
+
+} // namespace cisram::obs
+
+#endif // CISRAM_OBS_SLO_HH
