@@ -5,11 +5,31 @@
  * micro-op engine, and DRAM-trace processing. These measure the
  * reproduction's own performance (simulation rate), not the modeled
  * device.
+ *
+ * Two modes:
+ *
+ *  - default: the usual google-benchmark CLI (wall-clock iteration
+ *    loops, --benchmark_filter and friends).
+ *
+ *  - `--report-only`: skips the timing loops and instead runs a small
+ *    fixed workload, emitting BENCH_sim_micro.json via BenchReport so
+ *    the bench_compare gate can track the micro-op engine. The gated
+ *    scalars (identity checks, plan-cache hit rate) are simulated
+ *    quantities and bit-identical on any machine; host timings are
+ *    reported under wall/host keys, which the gate classifies as
+ *    informational.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
 #include "apusim/apu.hh"
+#include "apusim/bitproc.hh"
+#include "apusim/vr_file.hh"
+#include "bench_report.hh"
 #include "dramsim/dram_sim.hh"
 #include "gvml/gvml.hh"
 #include "gvml/microcode.hh"
@@ -97,6 +117,27 @@ BM_MicrocodeAdd(benchmark::State &state)
 BENCHMARK(BM_MicrocodeAdd)->Unit(benchmark::kMillisecond);
 
 void
+BM_MicrocodeMulReplay(benchmark::State &state)
+{
+    // Warm-cache multiplier replay: items processed = micro-ops
+    // issued, so the report's items/s is the plan-replay uop rate.
+    apu::ApuDevice dev;
+    auto &vrs = dev.core(0).vr();
+    auto &bp = dev.core(0).bitproc();
+    Rng rng(3);
+    for (auto &v : vrs[0])
+        v = rng.nextU16();
+    for (auto &v : vrs[1])
+        v = rng.nextU16();
+    mcMulU16(bp, 2, 0, 1, 3, 4, 5, 6, 7); // prime the plan cache
+    uint64_t uops = 0;
+    for (auto _ : state)
+        uops += mcMulU16(bp, 2, 0, 1, 3, 4, 5, 6, 7);
+    state.SetItemsProcessed(static_cast<int64_t>(uops));
+}
+BENCHMARK(BM_MicrocodeMulReplay)->Unit(benchmark::kMillisecond);
+
+void
 BM_DramStream(benchmark::State &state)
 {
     dram::DramSystem sys(dram::hbm2eConfig());
@@ -122,4 +163,162 @@ BM_TimingOnlyBmmAllOpts(benchmark::State &state)
 }
 BENCHMARK(BM_TimingOnlyBmmAllOpts)->Unit(benchmark::kMillisecond);
 
+// ---- deterministic report mode (--report-only) -------------------
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * Fixed-workload run feeding BENCH_sim_micro.json. Every gated
+ * scalar is a simulated quantity (identity flag or cache hit rate)
+ * and must reproduce bit-for-bit on any host; everything wall-clock
+ * carries a host/wall key so bench_compare treats it as
+ * informational.
+ */
+int
+runSimMicroReport()
+{
+    bench::BenchReport report("sim_micro");
+    report.note("mode",
+                "--report-only: fixed deterministic workload, no "
+                "google-benchmark timing loops");
+
+    // Word-parallel engine vs retained scalar reference over the
+    // microcode suite (adder, multiplier, xor, reduction): same
+    // micro-op count, same final VR file.
+    {
+        apu::VrFile vw(8, 512, 4);
+        apu::VrFile vs(8, 512, 4);
+        for (unsigned r = 0; r < 2; ++r) {
+            Rng rng(11 + r);
+            for (auto &v : vw[r])
+                v = rng.nextU16();
+            Rng rng2(11 + r);
+            for (auto &v : vs[r])
+                v = rng2.nextU16();
+        }
+        apu::BitProcArray bw(vw);
+        apu::BitProcArray bs(vs);
+        bs.setScalarReference(true);
+        uint64_t uw = 0, us = 0;
+        uw += mcAddU16(bw, 2, 0, 1, 5, 6, 7);
+        us += mcAddU16(bs, 2, 0, 1, 5, 6, 7);
+        uw += mcXor16(bw, 3, 0, 1, 5);
+        us += mcXor16(bs, 3, 0, 1, 5);
+        uw += mcSubU16(bw, 4, 0, 1, 5, 6, 7, 2);
+        us += mcSubU16(bs, 4, 0, 1, 5, 6, 7, 2);
+        uw += mcMulU16(bw, 2, 0, 1, 3, 4, 5, 6, 7);
+        us += mcMulU16(bs, 2, 0, 1, 3, 4, 5, 6, 7);
+        uw += mcAllBitsSet(bw, 3, 2);
+        us += mcAllBitsSet(bs, 3, 2);
+        bool same = uw == us;
+        for (unsigned r = 0; r < 8 && same; ++r)
+            same = std::equal(vw[r].begin(), vw[r].end(),
+                              vs[r].begin());
+        report.scalar("wordparallel_identity", same ? 1.0 : 0.0);
+        report.scalar("mc_suite_uops_per_run",
+                      static_cast<double>(uw));
+    }
+
+    // Plan cache: 10 rounds of {add, mul} after a clear is 2 misses
+    // then 18 replays.
+    {
+        apu::VrFile vrs(8, 512, 4);
+        apu::BitProcArray bp(vrs);
+        mcPlanCacheClear();
+        for (int i = 0; i < 10; ++i) {
+            mcAddU16(bp, 2, 0, 1, 5, 6, 7);
+            mcMulU16(bp, 2, 0, 1, 3, 4, 5, 6, 7);
+        }
+        auto st = mcPlanCacheStats();
+        double total = static_cast<double>(st.hits + st.misses);
+        report.scalar("plan_cache_hit_rate",
+                      total ? static_cast<double>(st.hits) / total
+                            : 0.0);
+    }
+
+    // Fused MAC vs the unfused cpyImm/mul/add triple: identical
+    // cycles, uops, and VR state on two cores fed identical data.
+    {
+        apu::ApuDevice dev;
+        Gvml gf(dev.core(0));
+        Gvml gu(dev.core(1));
+        for (unsigned r = 0; r < 6; ++r) {
+            Rng rng(100 + r);
+            for (auto &v : dev.core(0).vr()[r])
+                v = rng.nextU16();
+            Rng rng2(100 + r);
+            for (auto &v : dev.core(1).vr()[r])
+                v = rng2.nextU16();
+        }
+        const uint16_t imms[3] = {0x0003, 0xfffe, 0x7f01};
+        const Vr accs[3] = {Vr(3), Vr(4), Vr(5)};
+        gf.macImmS16(Vr(0), Vr(1), Vr(2), accs, imms, 3);
+        for (int q = 0; q < 3; ++q) {
+            gu.cpyImm16(Vr(1), imms[q]);
+            gu.mulS16(Vr(2), Vr(0), Vr(1));
+            gu.addS16(accs[q], accs[q], Vr(2));
+        }
+        bool same =
+            dev.core(0).stats().cycles() ==
+                dev.core(1).stats().cycles() &&
+            dev.core(0).stats().uops() == dev.core(1).stats().uops();
+        for (unsigned r = 0; r < 6 && same; ++r)
+            same = std::equal(dev.core(0).vr()[r].begin(),
+                              dev.core(0).vr()[r].end(),
+                              dev.core(1).vr()[r].begin());
+        report.scalar("fused_mac_identity", same ? 1.0 : 0.0);
+        report.scalar("fused_mac_cycles",
+                      dev.core(0).stats().cycles());
+    }
+
+    // Host-side micro-op replay throughput (informational: varies by
+    // machine).
+    {
+        apu::ApuDevice dev;
+        auto &vrs = dev.core(0).vr();
+        auto &bp = dev.core(0).bitproc();
+        Rng rng(3);
+        for (auto &v : vrs[0])
+            v = rng.nextU16();
+        for (auto &v : vrs[1])
+            v = rng.nextU16();
+        mcMulU16(bp, 2, 0, 1, 3, 4, 5, 6, 7); // prime the cache
+        constexpr int iters = 4;
+        uint64_t uops = 0;
+        auto t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < iters; ++i)
+            uops += mcMulU16(bp, 2, 0, 1, 3, 4, 5, 6, 7);
+        double secs = elapsedSeconds(t0);
+        report.scalar("mc_mul_replay_host_wall_seconds", secs);
+        report.scalar("mc_mul_replay_host_muops_per_sec",
+                      secs > 0.0 ? static_cast<double>(uops) / secs /
+                                       1e6
+                                 : 0.0);
+    }
+
+    report.write();
+    std::printf("wrote %s\n", report.path().c_str());
+    return 0;
+}
+
 } // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--report-only") == 0)
+            return runSimMicroReport();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

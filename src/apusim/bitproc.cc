@@ -1,3 +1,5 @@
+#include <utility>
+
 #include "apusim/bitproc.hh"
 
 namespace cisram::apu {
@@ -5,10 +7,28 @@ namespace cisram::apu {
 BitProcArray::BitProcArray(VrFile &vrs)
     : vrs(vrs), gvlState(vrs.length())
 {
+    // Bank geometry invariant: every bank owns exactly bankElems()
+    // columns (VrFile asserts num_banks divides the length), so the
+    // edge positions cleared below and the GHL broadcast ranges are
+    // always in bounds — no ragged tail exists at the bank level.
+    cisram_assert(vrs.length() ==
+                      vrs.bankElems() * vrs.numBanks(),
+                  "VR length must tile exactly into banks");
     for (auto &plane : rlState)
         plane = BitVector(vrs.length());
     for (auto &bank : ghlState)
         bank.fill(false);
+
+    size_t words = (vrs.length() + 63) / 64;
+    edgeKeepW.assign(words, ~0ull);
+    edgeKeepE.assign(words, ~0ull);
+    size_t step = vrs.bankElems();
+    for (size_t edge = 0; edge < vrs.length(); edge += step) {
+        size_t lo = edge;            // bank's first column
+        size_t hi = edge + step - 1; // bank's last column
+        edgeKeepW[lo / 64] &= ~(1ull << (lo % 64));
+        edgeKeepE[hi / 64] &= ~(1ull << (hi % 64));
+    }
 }
 
 const BitVector &
@@ -26,7 +46,8 @@ BitProcArray::ghlBit(unsigned bank, unsigned slice) const
 }
 
 BitVector
-BitProcArray::maskBankEdges(BitVector plane, bool shifted_up) const
+BitProcArray::maskBankEdgesScalar(BitVector plane,
+                                  bool shifted_up) const
 {
     // After shifting the whole plane by one column, the bit that
     // entered each bank from the neighbouring bank must be cleared:
@@ -40,6 +61,32 @@ BitProcArray::maskBankEdges(BitVector plane, bool shifted_up) const
 }
 
 BitVector
+BitProcArray::maskBankEdges(BitVector plane, bool shifted_up) const
+{
+    if (scalarRef)
+        return maskBankEdgesScalar(std::move(plane), shifted_up);
+    const auto &keep = shifted_up ? edgeKeepW : edgeKeepE;
+    for (size_t w = 0; w < plane.numWords(); ++w)
+        plane.setWord(w, plane.word(w) & keep[w]);
+    return plane;
+}
+
+BitVector
+BitProcArray::resolveGhlScalar(unsigned slice) const
+{
+    // Broadcast each bank's horizontal latch to its columns.
+    BitVector out(vrs.length());
+    size_t step = vrs.bankElems();
+    for (unsigned b = 0; b < vrs.numBanks(); ++b) {
+        if (!ghlState[b][slice])
+            continue;
+        for (size_t i = 0; i < step; ++i)
+            out.set(b * step + i, true);
+    }
+    return out;
+}
+
+BitVector
 BitProcArray::resolveLatch(unsigned slice, LatchSrc src) const
 {
     switch (src) {
@@ -48,15 +95,15 @@ BitProcArray::resolveLatch(unsigned slice, LatchSrc src) const
       case LatchSrc::GVL:
         return gvlState;
       case LatchSrc::GHL: {
-        // Broadcast each bank's horizontal latch to its columns.
+        if (scalarRef)
+            return resolveGhlScalar(slice);
+        // Broadcast each bank's horizontal latch to its columns:
+        // one word-granular range fill per latched bank.
         BitVector out(vrs.length());
         size_t step = vrs.bankElems();
-        for (unsigned b = 0; b < vrs.numBanks(); ++b) {
-            if (!ghlState[b][slice])
-                continue;
-            for (size_t i = 0; i < step; ++i)
-                out.set(b * step + i, true);
-        }
+        for (unsigned b = 0; b < vrs.numBanks(); ++b)
+            if (ghlState[b][slice])
+                out.setRange(b * step, (b + 1) * step, true);
         return out;
       }
       case LatchSrc::RL_N:
@@ -75,13 +122,36 @@ BitProcArray::resolveLatch(unsigned slice, LatchSrc src) const
     cisram_panic("unknown latch source");
 }
 
+// --- RL <- VR reads -------------------------------------------------
+
+void
+BitProcArray::rlFromVrScalar(uint16_t slice_mask, unsigned vrs0)
+{
+    for (unsigned s = 0; s < 16; ++s)
+        if ((slice_mask >> s) & 1)
+            rlState[s] = vrs.slicePlane(vrs0, s);
+}
+
 void
 BitProcArray::rlFromVr(uint16_t slice_mask, unsigned vrs0)
 {
     ++uops;
-    for (unsigned s = 0; s < 16; ++s)
-        if ((slice_mask >> s) & 1)
+    if (scalarRef)
+        rlFromVrScalar(slice_mask, vrs0);
+    else
+        vrs.slicePlanes(vrs0, slice_mask, rlState);
+}
+
+void
+BitProcArray::rlFromVrAndVrScalar(uint16_t slice_mask, unsigned vrs0,
+                                  unsigned vrs1)
+{
+    for (unsigned s = 0; s < 16; ++s) {
+        if ((slice_mask >> s) & 1) {
             rlState[s] = vrs.slicePlane(vrs0, s);
+            rlState[s] &= vrs.slicePlane(vrs1, s);
+        }
+    }
 }
 
 void
@@ -89,12 +159,10 @@ BitProcArray::rlFromVrAndVr(uint16_t slice_mask, unsigned vrs0,
                             unsigned vrs1)
 {
     ++uops;
-    for (unsigned s = 0; s < 16; ++s) {
-        if ((slice_mask >> s) & 1) {
-            rlState[s] = vrs.slicePlane(vrs0, s);
-            rlState[s] &= vrs.slicePlane(vrs1, s);
-        }
-    }
+    if (scalarRef)
+        rlFromVrAndVrScalar(slice_mask, vrs0, vrs1);
+    else
+        vrs.slicePlanesAnd(vrs0, vrs1, slice_mask, rlState);
 }
 
 void
@@ -111,10 +179,10 @@ BitProcArray::rlFromLatch(uint16_t slice_mask, LatchSrc src)
 }
 
 void
-BitProcArray::rlFromVrOpLatch(uint16_t slice_mask, unsigned vrs0,
-                              BoolOp op, LatchSrc src)
+BitProcArray::rlFromVrOpLatchScalar(uint16_t slice_mask,
+                                    unsigned vrs0, BoolOp op,
+                                    LatchSrc src)
 {
-    ++uops;
     std::array<BitVector, 16> next;
     for (unsigned s = 0; s < 16; ++s) {
         if ((slice_mask >> s) & 1) {
@@ -128,12 +196,50 @@ BitProcArray::rlFromVrOpLatch(uint16_t slice_mask, unsigned vrs0,
 }
 
 void
-BitProcArray::rlOpVr(uint16_t slice_mask, BoolOp op, unsigned vrs0)
+BitProcArray::rlFromVrOpLatch(uint16_t slice_mask, unsigned vrs0,
+                              BoolOp op, LatchSrc src)
 {
     ++uops;
+    if (scalarRef) {
+        rlFromVrOpLatchScalar(slice_mask, vrs0, op, src);
+        return;
+    }
+    // Extract all planes in one sweep, combine with the latches
+    // (which may read rlState, hence combine-before-commit), then
+    // commit.
+    vrs.slicePlanes(vrs0, slice_mask, scratch);
+    for (unsigned s = 0; s < 16; ++s)
+        if ((slice_mask >> s) & 1)
+            apply(scratch[s], op, resolveLatch(s, src));
+    // Swap, not move: scratch keeps a correctly sized buffer for the
+    // next op to reuse (a moved-from plane would report the right
+    // size with no storage behind it).
+    for (unsigned s = 0; s < 16; ++s)
+        if ((slice_mask >> s) & 1)
+            std::swap(rlState[s], scratch[s]);
+}
+
+void
+BitProcArray::rlOpVrScalar(uint16_t slice_mask, BoolOp op,
+                           unsigned vrs0)
+{
     for (unsigned s = 0; s < 16; ++s)
         if ((slice_mask >> s) & 1)
             apply(rlState[s], op, vrs.slicePlane(vrs0, s));
+}
+
+void
+BitProcArray::rlOpVr(uint16_t slice_mask, BoolOp op, unsigned vrs0)
+{
+    ++uops;
+    if (scalarRef) {
+        rlOpVrScalar(slice_mask, op, vrs0);
+        return;
+    }
+    vrs.slicePlanes(vrs0, slice_mask, scratch);
+    for (unsigned s = 0; s < 16; ++s)
+        if ((slice_mask >> s) & 1)
+            apply(rlState[s], op, scratch[s]);
 }
 
 void
@@ -150,10 +256,10 @@ BitProcArray::rlOpLatch(uint16_t slice_mask, BoolOp op, LatchSrc src)
 }
 
 void
-BitProcArray::rlOpVrOpLatch(uint16_t slice_mask, BoolOp op,
-                            unsigned vrs0, BoolOp op2, LatchSrc src)
+BitProcArray::rlOpVrOpLatchScalar(uint16_t slice_mask, BoolOp op,
+                                  unsigned vrs0, BoolOp op2,
+                                  LatchSrc src)
 {
-    ++uops;
     std::array<BitVector, 16> operands;
     for (unsigned s = 0; s < 16; ++s) {
         if ((slice_mask >> s) & 1) {
@@ -167,10 +273,29 @@ BitProcArray::rlOpVrOpLatch(uint16_t slice_mask, BoolOp op,
 }
 
 void
-BitProcArray::writeVrFromRl(uint16_t slice_mask, unsigned vrs0,
-                            bool negate)
+BitProcArray::rlOpVrOpLatch(uint16_t slice_mask, BoolOp op,
+                            unsigned vrs0, BoolOp op2, LatchSrc src)
 {
     ++uops;
+    if (scalarRef) {
+        rlOpVrOpLatchScalar(slice_mask, op, vrs0, op2, src);
+        return;
+    }
+    vrs.slicePlanes(vrs0, slice_mask, scratch);
+    for (unsigned s = 0; s < 16; ++s)
+        if ((slice_mask >> s) & 1)
+            apply(scratch[s], op2, resolveLatch(s, src));
+    for (unsigned s = 0; s < 16; ++s)
+        if ((slice_mask >> s) & 1)
+            apply(rlState[s], op, scratch[s]);
+}
+
+// --- VR writes ------------------------------------------------------
+
+void
+BitProcArray::writeVrFromRlScalar(uint16_t slice_mask, unsigned vrs0,
+                                  bool negate)
+{
     for (unsigned s = 0; s < 16; ++s) {
         if ((slice_mask >> s) & 1) {
             if (negate) {
@@ -185,6 +310,17 @@ BitProcArray::writeVrFromRl(uint16_t slice_mask, unsigned vrs0,
 }
 
 void
+BitProcArray::writeVrFromRl(uint16_t slice_mask, unsigned vrs0,
+                            bool negate)
+{
+    ++uops;
+    if (scalarRef)
+        writeVrFromRlScalar(slice_mask, vrs0, negate);
+    else
+        vrs.setSlicePlanes(vrs0, slice_mask, rlState, negate);
+}
+
+void
 BitProcArray::rlFromImmediate(uint16_t slice_mask, bool value)
 {
     ++uops;
@@ -193,10 +329,11 @@ BitProcArray::rlFromImmediate(uint16_t slice_mask, bool value)
             rlState[s].fill(value);
 }
 
+// --- Global latches -------------------------------------------------
+
 void
-BitProcArray::loadGhlFromRl(uint16_t slice_mask)
+BitProcArray::loadGhlFromRlScalar(uint16_t slice_mask)
 {
-    ++uops;
     size_t step = vrs.bankElems();
     for (unsigned s = 0; s < 16; ++s) {
         if (!((slice_mask >> s) & 1))
@@ -207,6 +344,24 @@ BitProcArray::loadGhlFromRl(uint16_t slice_mask)
                 any = rlState[s].get(b * step + i);
             ghlState[b][s] = any;
         }
+    }
+}
+
+void
+BitProcArray::loadGhlFromRl(uint16_t slice_mask)
+{
+    ++uops;
+    if (scalarRef) {
+        loadGhlFromRlScalar(slice_mask);
+        return;
+    }
+    size_t step = vrs.bankElems();
+    for (unsigned s = 0; s < 16; ++s) {
+        if (!((slice_mask >> s) & 1))
+            continue;
+        for (unsigned b = 0; b < vrs.numBanks(); ++b)
+            ghlState[b][s] =
+                rlState[s].anyInRange(b * step, (b + 1) * step);
     }
 }
 

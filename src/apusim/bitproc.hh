@@ -50,10 +50,27 @@ class BitProcArray
     /** All 16 slices participate. */
     static constexpr uint16_t fullMask = 0xffff;
 
+    /**
+     * Requires vrs.length() == vrs.bankElems() * vrs.numBanks()
+     * (guaranteed by VrFile's own divisibility assert): every bank
+     * owns a full complement of columns, so the bank-edge masks and
+     * the GHL broadcast ranges always address existing positions and
+     * no ragged tail can arise (see maskBankEdges).
+     */
     BitProcArray(VrFile &vrs);
 
     /** Number of micro-operations issued (for Table 6 statistics). */
     uint64_t uopCount() const { return uops; }
+
+    /**
+     * Route every operation through the retained per-bit scalar
+     * reference implementation instead of the word-parallel fast
+     * path. The two are bit-identical (pinned exhaustively by
+     * tests/test_wordparallel.cc); the toggle exists only for those
+     * equivalence tests and for debugging the fast path.
+     */
+    void setScalarReference(bool on) { scalarRef = on; }
+    bool scalarReference() const { return scalarRef; }
 
     // --- Table 2 operations -------------------------------------
 
@@ -111,6 +128,23 @@ class BitProcArray
     /** Resolve a latch source for `slice` into a full-width plane. */
     BitVector resolveLatch(unsigned slice, LatchSrc src) const;
 
+    // Scalar reference bodies (the original per-bit loops), kept for
+    // the equivalence tests behind setScalarReference().
+    void rlFromVrScalar(uint16_t slice_mask, unsigned vrs0);
+    void rlFromVrAndVrScalar(uint16_t slice_mask, unsigned vrs0,
+                             unsigned vrs1);
+    void rlOpVrScalar(uint16_t slice_mask, BoolOp op, unsigned vrs0);
+    void rlFromVrOpLatchScalar(uint16_t slice_mask, unsigned vrs0,
+                               BoolOp op, LatchSrc src);
+    void rlOpVrOpLatchScalar(uint16_t slice_mask, BoolOp op,
+                             unsigned vrs0, BoolOp op2, LatchSrc src);
+    void writeVrFromRlScalar(uint16_t slice_mask, unsigned vrs0,
+                             bool negate);
+    void loadGhlFromRlScalar(uint16_t slice_mask);
+    BitVector resolveGhlScalar(unsigned slice) const;
+    BitVector maskBankEdgesScalar(BitVector plane,
+                                  bool shifted_up) const;
+
     static void
     apply(BitVector &dst, BoolOp op, const BitVector &src)
     {
@@ -135,6 +169,18 @@ class BitProcArray
     std::array<std::array<bool, 16>, 16> ghlState; // [bank][slice]
     BitVector gvlState;
     uint64_t uops = 0;
+    bool scalarRef = false;
+
+    // Precomputed per-word bank-edge keep masks: zeros at every
+    // bank's first column (edgeKeepW, for west shifts) or last column
+    // (edgeKeepE, for east shifts). One AND per word replaces one
+    // plane.set() per bank.
+    std::vector<uint64_t> edgeKeepW;
+    std::vector<uint64_t> edgeKeepE;
+
+    // Reusable plane scratch for the word-parallel op bodies (avoids
+    // a fresh allocation per micro-op).
+    std::array<BitVector, 16> scratch;
 };
 
 } // namespace cisram::apu

@@ -31,4 +31,154 @@ VrFile::setSlicePlane(unsigned vr, unsigned slice,
     }
 }
 
+namespace {
+
+/**
+ * Transpose one 16-element block: x[j] = element j's 16 bits on
+ * entry; x[s] = the block's 16 plane-s bits on return (bit j =
+ * element j's slice-s bit). The transpose is an involution, so the
+ * same call converts in both directions.
+ */
+inline void
+transposeBlock(uint16_t x[16])
+{
+    transpose16x16(x);
+}
+
+} // namespace
+
+void
+VrFile::slicePlanes(unsigned vr, uint16_t slice_mask,
+                    std::array<BitVector, 16> &out) const
+{
+    const auto &reg = (*this)[vr];
+    for (unsigned s = 0; s < 16; ++s) {
+        if (!((slice_mask >> s) & 1))
+            continue;
+        // Reuse the caller's buffer when the size matches (the
+        // bit-proc scratch planes), sparing an allocation per op.
+        if (out[s].size() == length_)
+            out[s].fill(false);
+        else
+            out[s] = BitVector(length_);
+    }
+
+    size_t full_blocks = length_ / 16;
+    uint16_t x[16];
+    for (size_t blk = 0; blk < full_blocks; ++blk) {
+        size_t base = blk * 16;
+        for (unsigned j = 0; j < 16; ++j)
+            x[j] = reg[base + j];
+        transposeBlock(x);
+        size_t w = base / 64;
+        unsigned shift = static_cast<unsigned>(base % 64);
+        for (unsigned s = 0; s < 16; ++s) {
+            if (!((slice_mask >> s) & 1))
+                continue;
+            out[s].setWord(w, out[s].word(w) |
+                                  (static_cast<uint64_t>(x[s])
+                                   << shift));
+        }
+    }
+    // Ragged tail (length not a multiple of 16): per-element.
+    for (size_t i = full_blocks * 16; i < length_; ++i) {
+        uint16_t v = reg[i];
+        for (unsigned s = 0; s < 16; ++s)
+            if (((slice_mask >> s) & 1) && ((v >> s) & 1u))
+                out[s].set(i, true);
+    }
+}
+
+void
+VrFile::slicePlanesAnd(unsigned vr_a, unsigned vr_b,
+                       uint16_t slice_mask,
+                       std::array<BitVector, 16> &out) const
+{
+    const auto &ra = (*this)[vr_a];
+    const auto &rb = (*this)[vr_b];
+    for (unsigned s = 0; s < 16; ++s) {
+        if (!((slice_mask >> s) & 1))
+            continue;
+        // Reuse the caller's buffer when the size matches (the
+        // bit-proc scratch planes), sparing an allocation per op.
+        if (out[s].size() == length_)
+            out[s].fill(false);
+        else
+            out[s] = BitVector(length_);
+    }
+
+    size_t full_blocks = length_ / 16;
+    uint16_t x[16];
+    for (size_t blk = 0; blk < full_blocks; ++blk) {
+        size_t base = blk * 16;
+        for (unsigned j = 0; j < 16; ++j)
+            x[j] = static_cast<uint16_t>(ra[base + j] &
+                                         rb[base + j]);
+        transposeBlock(x);
+        size_t w = base / 64;
+        unsigned shift = static_cast<unsigned>(base % 64);
+        for (unsigned s = 0; s < 16; ++s) {
+            if (!((slice_mask >> s) & 1))
+                continue;
+            out[s].setWord(w, out[s].word(w) |
+                                  (static_cast<uint64_t>(x[s])
+                                   << shift));
+        }
+    }
+    for (size_t i = full_blocks * 16; i < length_; ++i) {
+        uint16_t v = static_cast<uint16_t>(ra[i] & rb[i]);
+        for (unsigned s = 0; s < 16; ++s)
+            if (((slice_mask >> s) & 1) && ((v >> s) & 1u))
+                out[s].set(i, true);
+    }
+}
+
+void
+VrFile::setSlicePlanes(unsigned vr, uint16_t slice_mask,
+                       const std::array<BitVector, 16> &planes,
+                       bool negate)
+{
+    auto &reg = (*this)[vr];
+    for (unsigned s = 0; s < 16; ++s)
+        if ((slice_mask >> s) & 1)
+            cisram_assert(planes[s].size() == length_,
+                          "plane length mismatch");
+
+    uint16_t keep = static_cast<uint16_t>(~slice_mask);
+    size_t full_blocks = length_ / 16;
+    uint16_t x[16];
+    for (size_t blk = 0; blk < full_blocks; ++blk) {
+        size_t base = blk * 16;
+        size_t w = base / 64;
+        unsigned shift = static_cast<unsigned>(base % 64);
+        for (unsigned s = 0; s < 16; ++s) {
+            uint64_t bits = ((slice_mask >> s) & 1)
+                ? planes[s].word(w) >> shift
+                : 0;
+            x[s] = static_cast<uint16_t>(bits);
+            if (negate)
+                x[s] = static_cast<uint16_t>(~x[s]);
+        }
+        transposeBlock(x);
+        for (unsigned j = 0; j < 16; ++j) {
+            reg[base + j] = static_cast<uint16_t>(
+                (reg[base + j] & keep) | (x[j] & slice_mask));
+        }
+    }
+    for (size_t i = full_blocks * 16; i < length_; ++i) {
+        uint16_t v = 0;
+        for (unsigned s = 0; s < 16; ++s) {
+            if (!((slice_mask >> s) & 1))
+                continue;
+            bool bit = planes[s].get(i);
+            if (negate)
+                bit = !bit;
+            if (bit)
+                v |= static_cast<uint16_t>(1u << s);
+        }
+        reg[i] = static_cast<uint16_t>((reg[i] & keep) |
+                                       (v & slice_mask));
+    }
+}
+
 } // namespace cisram::apu

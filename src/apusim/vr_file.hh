@@ -11,6 +11,7 @@
 #ifndef CISRAM_APUSIM_VR_FILE_HH
 #define CISRAM_APUSIM_VR_FILE_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -62,6 +63,39 @@ class VrFile
     /** Overwrite bit plane `slice` of register `vr`. */
     void setSlicePlane(unsigned vr, unsigned slice,
                        const BitVector &plane);
+
+    // --- Word-parallel multi-plane fast paths ---------------------
+    // One sweep over the register converts between the word-major
+    // element storage and the plane-major bit-slice view via 16x16
+    // bit-matrix transposes (64 elements -> 16 plane-word fragments
+    // per four transposes), instead of one per-bit pass per slice.
+    // Bit-identical to slicePlane()/setSlicePlane() per slice; the
+    // equivalence is pinned by tests/test_wordparallel.cc.
+
+    /**
+     * Extract every plane selected by `slice_mask` into `out` in one
+     * sweep. Unselected entries of `out` are left untouched.
+     */
+    void slicePlanes(unsigned vr, uint16_t slice_mask,
+                     std::array<BitVector, 16> &out) const;
+
+    /**
+     * As slicePlanes, but extracts the planes of the element-wise
+     * AND of two registers (plane_s(a & b) == plane_s(a) &
+     * plane_s(b), so one fused sweep replaces two extractions).
+     */
+    void slicePlanesAnd(unsigned vr_a, unsigned vr_b,
+                        uint16_t slice_mask,
+                        std::array<BitVector, 16> &out) const;
+
+    /**
+     * Overwrite every plane selected by `slice_mask` from `planes`
+     * (optionally complemented) in one sweep; unselected bit
+     * positions of each element are preserved.
+     */
+    void setSlicePlanes(unsigned vr, uint16_t slice_mask,
+                        const std::array<BitVector, 16> &planes,
+                        bool negate = false);
 
   private:
     size_t length_;

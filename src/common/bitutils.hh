@@ -63,6 +63,49 @@ bit16(uint16_t v, unsigned pos)
 }
 
 /**
+ * Mask of the bits of 64-bit word `w` (covering bit indices
+ * [w*64, w*64+64)) that fall inside the half-open range [begin, end).
+ * Zero when the word and the range are disjoint.
+ */
+inline uint64_t
+rangeWordMask(size_t w, size_t begin, size_t end)
+{
+    size_t word_lo = w * 64;
+    size_t word_hi = word_lo + 64;
+    size_t lo = begin > word_lo ? begin : word_lo;
+    size_t hi = end < word_hi ? end : word_hi;
+    if (lo >= hi)
+        return 0;
+    size_t n = hi - lo;
+    uint64_t mask = n >= 64 ? ~0ull : ((1ull << n) - 1);
+    return mask << (lo - word_lo);
+}
+
+/**
+ * In-place transpose of a 16x16 bit matrix: on return, bit j of
+ * x[i] holds what bit i of x[j] held on entry. Applying it twice is
+ * the identity, so the same routine packs element words into bit
+ * planes and unpacks planes back into element words (the hot
+ * conversion between the VR file's word-major storage and the
+ * bit-slice engine's plane-major view).
+ */
+inline void
+transpose16x16(uint16_t x[16])
+{
+    // Hacker's-Delight style recursive block swap: exchange the
+    // off-diagonal 8x8, 4x4, 2x2, 1x1 sub-blocks.
+    uint16_t m = 0x00ff;
+    for (unsigned j = 8; j != 0; j >>= 1, m ^= m << j) {
+        for (unsigned k = 0; k < 16; k = (k + j + 1) & ~j) {
+            uint16_t t =
+                static_cast<uint16_t>(((x[k] >> j) ^ x[k + j]) & m);
+            x[k + j] = static_cast<uint16_t>(x[k + j] ^ t);
+            x[k] = static_cast<uint16_t>(x[k] ^ (t << j));
+        }
+    }
+}
+
+/**
  * Dense fixed-length bit vector backed by 64-bit words.
  *
  * Supports the boolean operations the APU bit processors perform on
@@ -162,6 +205,41 @@ class BitVector
         words[i] = v;
         if (i == words.size() - 1)
             trimTail();
+    }
+
+    /** Set every bit of the half-open range [begin, end) to `v`. */
+    void
+    setRange(size_t begin, size_t end, bool v)
+    {
+        cisram_assert(begin <= end && end <= numBits,
+                      "BitVector range OOB");
+        if (begin == end)
+            return;
+        size_t fw = begin / 64;
+        size_t lw = (end - 1) / 64;
+        for (size_t w = fw; w <= lw; ++w) {
+            uint64_t m = rangeWordMask(w, begin, end);
+            if (v)
+                words[w] |= m;
+            else
+                words[w] &= ~m;
+        }
+    }
+
+    /** True if any bit in the half-open range [begin, end) is set. */
+    bool
+    anyInRange(size_t begin, size_t end) const
+    {
+        cisram_assert(begin <= end && end <= numBits,
+                      "BitVector range OOB");
+        if (begin == end)
+            return false;
+        size_t fw = begin / 64;
+        size_t lw = (end - 1) / 64;
+        for (size_t w = fw; w <= lw; ++w)
+            if (words[w] & rangeWordMask(w, begin, end))
+                return true;
+        return false;
     }
 
     BitVector &

@@ -114,6 +114,11 @@ class Histogram
      * histogram returns 0.0 for every q, and a single-sample
      * histogram returns that sample for every q (the [min, max]
      * clamp collapses the bucket interpolation to the one value).
+     * When q * count lands exactly on a cumulative-count bucket
+     * boundary, the quantile belongs to the *lower* bucket with
+     * interpolation fraction 1 — i.e. it returns that bucket's upper
+     * edge (clamped to max), never a value from the next bucket's
+     * range (pinned by tests/test_wordparallel.cc).
      */
     double quantile(double q) const;
 

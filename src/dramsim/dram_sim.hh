@@ -12,7 +12,9 @@
 #ifndef CISRAM_DRAMSIM_DRAM_SIM_HH
 #define CISRAM_DRAMSIM_DRAM_SIM_HH
 
+#include <array>
 #include <cstdint>
+#include <map>
 #include <set>
 #include <vector>
 
@@ -206,9 +208,58 @@ class DramSystem
     void appendRange(std::vector<Request> &reqs, uint64_t base,
                      uint64_t bytes, bool write) const;
 
+    /**
+     * Everything a processed trace contributes to the system, as a
+     * pure value: elapsed seconds, effective bandwidth, the summed
+     * and per-channel counter deltas, and the refresh count. The
+     * bank-state simulation starts from idle channels each time, so
+     * this is a pure function of (config, request trace) — which is
+     * what makes the memoization below sound.
+     */
+    struct TraceTiming
+    {
+        double seconds = 0.0;
+        double bandwidth = 0.0;
+        DramStats delta;
+        uint64_t refreshes = 0;
+        std::vector<DramStats> perChannel;
+        std::vector<uint64_t> channelBusy;
+    };
+
+    /** Run the bank-state machines over one trace (no side effects). */
+    TraceTiming simulateTrace(const std::vector<Request> &reqs) const;
+
+    /** Fold one trace's contribution into counters and metrics. */
+    void applyTrace(const TraceTiming &t);
+
     /** Record one processed trace into the metrics registry. */
-    void observeTrace(const std::vector<DramChannel> &channels,
-                      double seconds) const;
+    void observeTrace(const TraceTiming &t) const;
+
+    /**
+     * Memoized range-pattern trace: the stream/strided helpers
+     * describe their request traces by a 5-word key (kind, base,
+     * geometry); repeated calls with the same key — the dominant
+     * pattern in the RAG benchmarks, which re-time the same corpus
+     * stream every batch and every data point — replay the cached
+     * TraceTiming instead of re-simulating up to a million
+     * bank-state steps. The cache is process-global (mutex-guarded)
+     * and additionally keyed by a fingerprint of every
+     * timing-relevant DramConfig field, so it survives the
+     * fresh-DramSystem-per-point structure of the benches and
+     * distinct configs never collide. Counter and metric updates
+     * are identical to a fresh simulation (applyTrace replays the
+     * same deltas), and when a fault plan arms DRAM flips the
+     * request list is rebuilt so the stateful ECC draw sequence
+     * (serials, latents, scrub cadence) advances exactly as
+     * uncached; tests/test_wordparallel.cc pins both. The public
+     * processTrace stays uncached (arbitrary traces).
+     */
+    template <typename BuildFn>
+    double cachedRangeTrace(const std::array<uint64_t, 5> &key,
+                            BuildFn build);
+
+    /** Fingerprint of the timing-relevant config fields (cached). */
+    uint64_t configFingerprint();
 
     /** Draw injected bit flips for the read bursts of one trace. */
     void injectEccFaults(const std::vector<Request> &reqs);
@@ -221,6 +272,7 @@ class DramSystem
     EccStats eccStats_;
     Status faultStatus_ = Status::okStatus();
     double lastBandwidth = 0.0;
+    uint64_t cfgFingerprint_ = 0; ///< 0 = not yet computed
 
     // Latent-error storage model: burst addresses whose codewords
     // hold a corrected-on-the-bus single that was never rewritten.

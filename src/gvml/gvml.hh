@@ -198,6 +198,40 @@ class Gvml
     /** Count of non-zero (marked) elements; scalar to the CP. */
     uint32_t countM(Vr mark);
 
+    // ---- fused retrieval primitives ------------------------------
+
+    /**
+     * Fused multiply-accumulate against per-query immediates: for
+     * each q in [0, n),
+     *
+     *   cpyImm16(scratch_q, imms[q]);
+     *   mulS16(scratch_t, emb, scratch_q);
+     *   addS16(accs[q], accs[q], scratch_t);
+     *
+     * exactly as if the three ops were issued separately — the same
+     * cycles are charged under the same op labels in the same order,
+     * and the VR file ends in the same state (scratch_q / scratch_t
+     * hold the last query's broadcast and products). Functionally,
+     * though, each query's three element passes collapse into one
+     * read-emb/update-acc pass, and the scratch registers are only
+     * materialized once at the end. This is the inner loop of the
+     * RAG retrieval kernels (one embedding plane against a batch of
+     * query scalars); equivalence is pinned by
+     * tests/test_wordparallel.cc.
+     *
+     * `emb`, `scratch_q`, `scratch_t`, and every `accs[q]` must be
+     * distinct registers.
+     */
+    void macImmS16(Vr emb, Vr scratch_q, Vr scratch_t,
+                   const Vr *accs, const uint16_t *imms, size_t n);
+
+    /**
+     * GSI-float variant of macImmS16 (cpyImm16 + mulGf16 + addGf16)
+     * for a single accumulator.
+     */
+    void macImmGf16(Vr emb, Vr scratch_q, Vr scratch_t, Vr acc,
+                    uint16_t imm);
+
     /**
      * Global maximum and its first index, found by the associative
      * bit-serial search the APU's GVL/GHL lines enable.

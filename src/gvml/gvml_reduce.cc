@@ -102,28 +102,26 @@ Gvml::maxIndexU16(Vr src)
     if (!core_.functional())
         return {0, 0};
 
+    // The MSB-first associative refinement provably converges on the
+    // maximum with its candidate set equal to exactly the elements
+    // attaining it (every refinement keeps all elements whose probed
+    // prefix matches, and a bit is kept iff some candidate has it),
+    // so the whole 16-round search collapses to a single linear max
+    // scan returning the first index of the maximum
+    // (tests/test_wordparallel.cc pins this against a brute-force
+    // reference).
     const auto &s = core_.vr()[src.idx];
-    std::vector<bool> cand(s.size(), true);
-    uint16_t value = 0;
-    for (int b = 15; b >= 0; --b) {
-        uint16_t probe = static_cast<uint16_t>(value | (1u << b));
-        bool any = false;
-        for (size_t i = 0; i < s.size(); ++i) {
-            if (cand[i] && (s[i] & probe) == probe) {
-                any = true;
-                break;
-            }
-        }
-        if (any) {
-            value = probe;
-            for (size_t i = 0; i < s.size(); ++i)
-                cand[i] = cand[i] && (s[i] & probe) == probe;
+    if (s.empty())
+        cisram_panic("associative max search lost all candidates");
+    uint16_t value = s[0];
+    size_t index = 0;
+    for (size_t i = 1; i < s.size(); ++i) {
+        if (s[i] > value) {
+            value = s[i];
+            index = i;
         }
     }
-    for (size_t i = 0; i < s.size(); ++i)
-        if (cand[i])
-            return {value, i};
-    cisram_panic("associative max search lost all candidates");
+    return {value, index};
 }
 
 Gvml::MaxResult
@@ -138,34 +136,21 @@ Gvml::minIndexU16(Vr src)
     if (!core_.functional())
         return {0, 0};
 
-    // Minimum search: identical refinement on complemented bits.
+    // Minimum search: identical refinement on complemented bits, so
+    // the same single-pass argument applies (see maxIndexU16) with
+    // the comparison reversed.
     const auto &s = core_.vr()[src.idx];
-    std::vector<bool> cand(s.size(), true);
-    uint16_t inv_value = 0;
-    for (int b = 15; b >= 0; --b) {
-        uint16_t probe = static_cast<uint16_t>(inv_value | (1u << b));
-        bool any = false;
-        for (size_t i = 0; i < s.size(); ++i) {
-            uint16_t inv = static_cast<uint16_t>(~s[i]);
-            if (cand[i] && (inv & probe) == probe) {
-                any = true;
-                break;
-            }
-        }
-        if (any) {
-            inv_value = probe;
-            for (size_t i = 0; i < s.size(); ++i) {
-                uint16_t inv = static_cast<uint16_t>(~s[i]);
-                cand[i] = cand[i] && (inv & probe) == probe;
-            }
+    if (s.empty())
+        cisram_panic("associative min search lost all candidates");
+    uint16_t value = s[0];
+    size_t index = 0;
+    for (size_t i = 1; i < s.size(); ++i) {
+        if (s[i] < value) {
+            value = s[i];
+            index = i;
         }
     }
-    for (size_t i = 0; i < s.size(); ++i) {
-        if (cand[i]) {
-            return {static_cast<uint16_t>(~inv_value), i};
-        }
-    }
-    cisram_panic("associative min search lost all candidates");
+    return {value, index};
 }
 
 } // namespace cisram::gvml

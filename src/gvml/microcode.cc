@@ -1,18 +1,155 @@
 #include "gvml/microcode.hh"
 
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
 namespace cisram::gvml {
 
 using apu::BitProcArray;
 using apu::BoolOp;
 using apu::LatchSrc;
 
-uint64_t
-mcAddU16(BitProcArray &bp, unsigned vr_dst, unsigned vr_a,
-         unsigned vr_b, unsigned vr_carry, unsigned vr_prop,
-         unsigned vr_gen)
-{
-    uint64_t start = bp.uopCount();
+namespace {
 
+// ---------------------------------------------------------------
+// Flattened micro-op plans.
+//
+// The routine bodies below are written once as templates over a
+// "sink" with the BitProcArray operation interface. Instantiated
+// with the real array they execute directly; instantiated with the
+// recorder they append one McInsn per micro-op. mc* entry points
+// look the plan up by (routine, args) and replay it.
+
+struct McInsn
+{
+    enum class Op : uint8_t
+    {
+        RlFromImm,
+        RlFromVr,
+        RlFromVrAndVr,
+        RlFromLatch,
+        RlOpVr,
+        RlOpLatch,
+        WriteVr,
+        LoadGvl,
+    };
+    Op op;
+    uint16_t mask;
+    uint8_t vr0 = 0, vr1 = 0;
+    BoolOp bop = BoolOp::And;
+    LatchSrc src = LatchSrc::RL;
+    bool flag = false; // immediate value / negated write
+};
+
+struct McProgram
+{
+    std::vector<McInsn> insns;
+
+    void
+    run(BitProcArray &bp) const
+    {
+        for (const McInsn &in : insns) {
+            switch (in.op) {
+              case McInsn::Op::RlFromImm:
+                bp.rlFromImmediate(in.mask, in.flag);
+                break;
+              case McInsn::Op::RlFromVr:
+                bp.rlFromVr(in.mask, in.vr0);
+                break;
+              case McInsn::Op::RlFromVrAndVr:
+                bp.rlFromVrAndVr(in.mask, in.vr0, in.vr1);
+                break;
+              case McInsn::Op::RlFromLatch:
+                bp.rlFromLatch(in.mask, in.src);
+                break;
+              case McInsn::Op::RlOpVr:
+                bp.rlOpVr(in.mask, in.bop, in.vr0);
+                break;
+              case McInsn::Op::RlOpLatch:
+                bp.rlOpLatch(in.mask, in.bop, in.src);
+                break;
+              case McInsn::Op::WriteVr:
+                bp.writeVrFromRl(in.mask, in.vr0, in.flag);
+                break;
+              case McInsn::Op::LoadGvl:
+                bp.loadGvlFromRl(in.mask);
+                break;
+            }
+        }
+    }
+};
+
+/** Recording sink: one appended McInsn per micro-op. */
+struct McRecorder
+{
+    std::vector<McInsn> insns;
+
+    void
+    rlFromImmediate(uint16_t mask, bool value)
+    {
+        insns.push_back({McInsn::Op::RlFromImm, mask, 0, 0,
+                         BoolOp::And, LatchSrc::RL, value});
+    }
+    void
+    rlFromVr(uint16_t mask, unsigned vr0)
+    {
+        insns.push_back({McInsn::Op::RlFromVr, mask,
+                         static_cast<uint8_t>(vr0), 0, BoolOp::And,
+                         LatchSrc::RL, false});
+    }
+    void
+    rlFromVrAndVr(uint16_t mask, unsigned vr0, unsigned vr1)
+    {
+        insns.push_back({McInsn::Op::RlFromVrAndVr, mask,
+                         static_cast<uint8_t>(vr0),
+                         static_cast<uint8_t>(vr1), BoolOp::And,
+                         LatchSrc::RL, false});
+    }
+    void
+    rlFromLatch(uint16_t mask, LatchSrc src)
+    {
+        insns.push_back({McInsn::Op::RlFromLatch, mask, 0, 0,
+                         BoolOp::And, src, false});
+    }
+    void
+    rlOpVr(uint16_t mask, BoolOp op, unsigned vr0)
+    {
+        insns.push_back({McInsn::Op::RlOpVr, mask,
+                         static_cast<uint8_t>(vr0), 0, op,
+                         LatchSrc::RL, false});
+    }
+    void
+    rlOpLatch(uint16_t mask, BoolOp op, LatchSrc src)
+    {
+        insns.push_back(
+            {McInsn::Op::RlOpLatch, mask, 0, 0, op, src, false});
+    }
+    void
+    writeVrFromRl(uint16_t mask, unsigned vr0, bool negate = false)
+    {
+        insns.push_back({McInsn::Op::WriteVr, mask,
+                         static_cast<uint8_t>(vr0), 0, BoolOp::And,
+                         LatchSrc::RL, negate});
+    }
+    void
+    loadGvlFromRl(uint16_t mask)
+    {
+        insns.push_back({McInsn::Op::LoadGvl, mask, 0, 0,
+                         BoolOp::And, LatchSrc::RL, false});
+    }
+};
+
+// ---------------------------------------------------------------
+// Routine bodies (shared by direct execution and recording).
+
+template <typename BP>
+void
+emitAddU16(BP &bp, unsigned vr_dst, unsigned vr_a, unsigned vr_b,
+           unsigned vr_carry, unsigned vr_prop, unsigned vr_gen)
+{
     // Clear the carry chain: slice 0's carry-in is zero.
     bp.rlFromImmediate(BitProcArray::fullMask, false);
     bp.writeVrFromRl(BitProcArray::fullMask, vr_carry);
@@ -48,15 +185,13 @@ mcAddU16(BitProcArray &bp, unsigned vr_dst, unsigned vr_a,
         bp.rlFromLatch(m_next, LatchSrc::RL_S);
         bp.writeVrFromRl(m_next, vr_carry);
     }
-
-    return bp.uopCount() - start;
 }
 
-uint64_t
-mcXor16(BitProcArray &bp, unsigned vr_dst, unsigned vr_a,
-        unsigned vr_b, unsigned vr_tmp)
+template <typename BP>
+void
+emitXor16(BP &bp, unsigned vr_dst, unsigned vr_a, unsigned vr_b,
+          unsigned vr_tmp)
 {
-    uint64_t start = bp.uopCount();
     // a ^ b == (a | b) & ~(a & b), composed from the read logic's
     // native AND/OR plus a negated write through WBLB.
     bp.rlFromVrAndVr(BitProcArray::fullMask, vr_a, vr_b);
@@ -65,27 +200,24 @@ mcXor16(BitProcArray &bp, unsigned vr_dst, unsigned vr_a,
     bp.rlOpVr(BitProcArray::fullMask, BoolOp::Or, vr_b);
     bp.rlOpVr(BitProcArray::fullMask, BoolOp::And, vr_tmp);
     bp.writeVrFromRl(BitProcArray::fullMask, vr_dst);
-    return bp.uopCount() - start;
 }
 
-uint64_t
-mcAllBitsSet(BitProcArray &bp, unsigned vr_dst, unsigned vr_a)
+template <typename BP>
+void
+emitAllBitsSet(BP &bp, unsigned vr_dst, unsigned vr_a)
 {
-    uint64_t start = bp.uopCount();
     bp.rlFromVr(BitProcArray::fullMask, vr_a);
     bp.loadGvlFromRl(BitProcArray::fullMask);
     bp.rlFromLatch(BitProcArray::fullMask, LatchSrc::GVL);
     bp.writeVrFromRl(BitProcArray::fullMask, vr_dst);
-    return bp.uopCount() - start;
 }
 
-uint64_t
-mcSubU16(BitProcArray &bp, unsigned vr_dst, unsigned vr_a,
-         unsigned vr_b, unsigned vr_carry, unsigned vr_prop,
-         unsigned vr_gen, unsigned vr_nb)
+template <typename BP>
+void
+emitSubU16(BP &bp, unsigned vr_dst, unsigned vr_a, unsigned vr_b,
+           unsigned vr_carry, unsigned vr_prop, unsigned vr_gen,
+           unsigned vr_nb)
 {
-    uint64_t start = bp.uopCount();
-
     // ~b through the negated write bit-line.
     bp.rlFromVr(BitProcArray::fullMask, vr_b);
     bp.writeVrFromRl(BitProcArray::fullMask, vr_nb, /*negate=*/true);
@@ -115,16 +247,14 @@ mcSubU16(BitProcArray &bp, unsigned vr_dst, unsigned vr_a,
         bp.rlFromLatch(m_next, LatchSrc::RL_S);
         bp.writeVrFromRl(m_next, vr_carry);
     }
-    return bp.uopCount() - start;
 }
 
-uint64_t
-mcMulU16(BitProcArray &bp, unsigned vr_dst, unsigned vr_a,
-         unsigned vr_b, unsigned vr_mask, unsigned vr_partial,
-         unsigned vr_carry, unsigned vr_prop, unsigned vr_gen)
+template <typename BP>
+void
+emitMulU16(BP &bp, unsigned vr_dst, unsigned vr_a, unsigned vr_b,
+           unsigned vr_mask, unsigned vr_partial, unsigned vr_carry,
+           unsigned vr_prop, unsigned vr_gen)
 {
-    uint64_t start = bp.uopCount();
-
     // dst = 0.
     bp.rlFromImmediate(BitProcArray::fullMask, false);
     bp.writeVrFromRl(BitProcArray::fullMask, vr_dst);
@@ -155,9 +285,173 @@ mcMulU16(BitProcArray &bp, unsigned vr_dst, unsigned vr_a,
         bp.writeVrFromRl(BitProcArray::fullMask, vr_partial);
 
         // --- dst += partial ----------------------------------------
-        mcAddU16(bp, vr_dst, vr_dst, vr_partial, vr_carry, vr_prop,
-                 vr_gen);
+        emitAddU16(bp, vr_dst, vr_dst, vr_partial, vr_carry, vr_prop,
+                   vr_gen);
     }
+}
+
+// ---------------------------------------------------------------
+// Plan cache.
+
+enum class Routine : uint8_t
+{
+    AddU16,
+    Xor16,
+    AllBitsSet,
+    SubU16,
+    MulU16,
+};
+
+struct PlanCache
+{
+    std::mutex mu;
+    std::unordered_map<uint64_t, std::shared_ptr<const McProgram>>
+        plans;
+    McPlanCacheStats stats;
+};
+
+PlanCache &
+planCache()
+{
+    static PlanCache cache;
+    return cache;
+}
+
+/**
+ * Pack (routine, up to 8 VR args) into the cache key. VR indices are
+ * < 24, so 5 bits each suffice and the whole key fits one u64.
+ */
+uint64_t
+planKey(Routine r, std::initializer_list<unsigned> args)
+{
+    uint64_t key = static_cast<uint64_t>(r);
+    for (unsigned a : args) {
+        cisram_assert(a < 32, "VR arg too large for plan key");
+        key = (key << 5) | a;
+    }
+    return key;
+}
+
+template <typename EmitFn>
+std::shared_ptr<const McProgram>
+planFor(Routine r, std::initializer_list<unsigned> args,
+        EmitFn &&emit)
+{
+    PlanCache &c = planCache();
+    uint64_t key = planKey(r, args);
+    {
+        std::lock_guard<std::mutex> lock(c.mu);
+        auto it = c.plans.find(key);
+        if (it != c.plans.end()) {
+            ++c.stats.hits;
+            return it->second;
+        }
+        ++c.stats.misses;
+    }
+    // Record outside the lock (emission touches no shared state);
+    // racing recorders produce identical programs, last one wins.
+    McRecorder rec;
+    emit(rec);
+    auto prog = std::make_shared<const McProgram>(
+        McProgram{std::move(rec.insns)});
+    std::lock_guard<std::mutex> lock(c.mu);
+    return c.plans.emplace(key, std::move(prog)).first->second;
+}
+
+} // namespace
+
+McPlanCacheStats
+mcPlanCacheStats()
+{
+    PlanCache &c = planCache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    return c.stats;
+}
+
+void
+mcPlanCacheClear()
+{
+    PlanCache &c = planCache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.plans.clear();
+    c.stats = McPlanCacheStats{};
+}
+
+uint64_t
+mcAddU16(BitProcArray &bp, unsigned vr_dst, unsigned vr_a,
+         unsigned vr_b, unsigned vr_carry, unsigned vr_prop,
+         unsigned vr_gen)
+{
+    uint64_t start = bp.uopCount();
+    auto plan = planFor(
+        Routine::AddU16,
+        {vr_dst, vr_a, vr_b, vr_carry, vr_prop, vr_gen},
+        [&](McRecorder &r) {
+            emitAddU16(r, vr_dst, vr_a, vr_b, vr_carry, vr_prop,
+                       vr_gen);
+        });
+    plan->run(bp);
+    return bp.uopCount() - start;
+}
+
+uint64_t
+mcXor16(BitProcArray &bp, unsigned vr_dst, unsigned vr_a,
+        unsigned vr_b, unsigned vr_tmp)
+{
+    uint64_t start = bp.uopCount();
+    auto plan =
+        planFor(Routine::Xor16, {vr_dst, vr_a, vr_b, vr_tmp},
+                [&](McRecorder &r) {
+                    emitXor16(r, vr_dst, vr_a, vr_b, vr_tmp);
+                });
+    plan->run(bp);
+    return bp.uopCount() - start;
+}
+
+uint64_t
+mcAllBitsSet(BitProcArray &bp, unsigned vr_dst, unsigned vr_a)
+{
+    uint64_t start = bp.uopCount();
+    auto plan = planFor(Routine::AllBitsSet, {vr_dst, vr_a},
+                        [&](McRecorder &r) {
+                            emitAllBitsSet(r, vr_dst, vr_a);
+                        });
+    plan->run(bp);
+    return bp.uopCount() - start;
+}
+
+uint64_t
+mcSubU16(BitProcArray &bp, unsigned vr_dst, unsigned vr_a,
+         unsigned vr_b, unsigned vr_carry, unsigned vr_prop,
+         unsigned vr_gen, unsigned vr_nb)
+{
+    uint64_t start = bp.uopCount();
+    auto plan = planFor(
+        Routine::SubU16,
+        {vr_dst, vr_a, vr_b, vr_carry, vr_prop, vr_gen, vr_nb},
+        [&](McRecorder &r) {
+            emitSubU16(r, vr_dst, vr_a, vr_b, vr_carry, vr_prop,
+                       vr_gen, vr_nb);
+        });
+    plan->run(bp);
+    return bp.uopCount() - start;
+}
+
+uint64_t
+mcMulU16(BitProcArray &bp, unsigned vr_dst, unsigned vr_a,
+         unsigned vr_b, unsigned vr_mask, unsigned vr_partial,
+         unsigned vr_carry, unsigned vr_prop, unsigned vr_gen)
+{
+    uint64_t start = bp.uopCount();
+    auto plan = planFor(
+        Routine::MulU16,
+        {vr_dst, vr_a, vr_b, vr_mask, vr_partial, vr_carry, vr_prop,
+         vr_gen},
+        [&](McRecorder &r) {
+            emitMulU16(r, vr_dst, vr_a, vr_b, vr_mask, vr_partial,
+                       vr_carry, vr_prop, vr_gen);
+        });
+    plan->run(bp);
     return bp.uopCount() - start;
 }
 

@@ -18,6 +18,35 @@
 namespace cisram::gvml {
 
 /**
+ * Memoized micro-op plans.
+ *
+ * Every mc* routine's micro-op stream is a pure function of its
+ * register arguments (the control flow never depends on data), so
+ * the first call records the stream as a flat McProgram and later
+ * calls with the same (routine, args) key replay it — a tight
+ * decode-free dispatch loop instead of re-walking the emitting C++
+ * (the mcMulU16 body alone re-derives ~2.8k micro-ops per call).
+ * Replay issues the identical micro-op sequence, so results, RL/GHL
+ * /GVL state, and uop counts are bit-identical to direct emission
+ * (pinned by tests/test_wordparallel.cc).
+ *
+ * The cache is process-global and guarded by a mutex; programs are
+ * immutable once recorded, so replays from concurrent cores share
+ * them safely.
+ */
+struct McPlanCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+};
+
+/** Snapshot of the plan-cache hit/miss counters. */
+McPlanCacheStats mcPlanCacheStats();
+
+/** Drop all cached plans and zero the counters (tests/bench). */
+void mcPlanCacheClear();
+
+/**
  * Bit-serial ripple-carry addition: vr_dst = vr_a + vr_b (mod 2^16).
  *
  * Uses three scratch VRs for the propagate, generate, and carry

@@ -268,11 +268,10 @@ RagRetriever::retrieveGf16(const std::vector<int16_t> &query,
                               slot.data(), l * 2);
             }
             g.load16(vrEmb, vmStage);
-            g.cpyImm16(vrQ, GsiFloat16::fromFloat(
-                                static_cast<float>(query[d]))
-                                .bits());
-            g.mulGf16(vrT, vrEmb, vrQ);
-            g.addGf16(vrAcc, vrAcc, vrT);
+            g.macImmGf16(vrEmb, vrQ, vrT, vrAcc,
+                         GsiFloat16::fromFloat(
+                             static_cast<float>(query[d]))
+                             .bits());
         });
         g.orderGf16(vrOrd, vrAcc, vrS1, vrS2);
 
@@ -387,6 +386,10 @@ RagRetriever::retrieveBatch(
 
         for (size_t q2 = 0; q2 < batch; ++q2)
             g.cpyImm16(acc(q2), 0);
+        std::vector<Vr> accs;
+        accs.reserve(batch);
+        for (size_t q2 = 0; q2 < batch; ++q2)
+            accs.push_back(acc(q2));
         timedLoop(core, dim, [&](size_t d) {
             core.chargeRaw(ingestCycles(t, true));
             if (fnl) {
@@ -395,12 +398,12 @@ RagRetriever::retrieveBatch(
                               slot.data(), l * 2);
             }
             g.load16(vrEmb, vmStage);
-            for (size_t q2 = 0; q2 < batch; ++q2) {
-                g.cpyImm16(vrQ, static_cast<uint16_t>(
-                                    queries[q2][d]));
-                g.mulS16(vrT, vrEmb, vrQ);
-                g.addS16(acc(q2), acc(q2), vrT);
-            }
+            uint16_t imms[8];
+            for (size_t q2 = 0; q2 < batch; ++q2)
+                imms[q2] =
+                    static_cast<uint16_t>(queries[q2][d]);
+            g.macImmS16(vrEmb, vrQ, vrT, accs.data(), imms,
+                        batch);
         });
 
         double before = core.stats().cycles();
@@ -724,12 +727,13 @@ RagRetriever::retrieveTemporal(const std::vector<int16_t> &query,
             }
             g.load16(vrEmb, vmStage);
             if (bf_query) {
-                g.cpyImm16(vrQ, static_cast<uint16_t>(query[d]));
+                uint16_t imm = static_cast<uint16_t>(query[d]);
+                g.macImmS16(vrEmb, vrQ, vrT, &vrAcc, &imm, 1);
             } else {
                 g.cpySubgrp16Grp(vrQ, vrQfull, l, 1, d);
+                g.mulS16(vrT, vrEmb, vrQ);
+                g.addS16(vrAcc, vrAcc, vrT);
             }
-            g.mulS16(vrT, vrEmb, vrQ);
-            g.addS16(vrAcc, vrAcc, vrT);
         });
         g.xor16(vrAcc, vrAcc, vrBias);
 

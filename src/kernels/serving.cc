@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/bitutils.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
 
@@ -185,8 +186,15 @@ DeviceServer::enqueue(uint64_t id, std::vector<int16_t> embedding)
     }
     if (cfg_.admission.maxQueueDelaySeconds > 0 &&
         batchSecondsEwma_ > 0) {
+        // Predicted wait = queued-batches x the service-time EWMA
+        // (DESIGN.md section 7): the `depth` queries ahead of this
+        // one drain in ceil(depth / maxBatch) batches. The previous
+        // floor-plus-one form overcounted a full batch whenever the
+        // depth was an exact multiple of maxBatch — including
+        // shedding on an idle server (depth 0) whose EWMA alone
+        // exceeded the budget.
         double batches_ahead = static_cast<double>(
-            former_.depth() / cfg_.batch.maxBatch + 1);
+            divCeil(former_.depth(), cfg_.batch.maxBatch));
         double predicted = batches_ahead * batchSecondsEwma_;
         if (predicted > cfg_.admission.maxQueueDelaySeconds) {
             reg.counter("recovery.shed",

@@ -432,11 +432,22 @@ TEST(ServingAdmission, PredictedDelayOverBudgetSheds)
     EXPECT_TRUE(server.enqueue(0, genQuery(spec.dim, 10)).ok());
     EXPECT_EQ(server.pump().size(), 1u);
 
-    // Any real batch takes far longer than a nanosecond: shed.
-    Status st = server.enqueue(1, genQuery(spec.dim, 11));
+    // An idle queue predicts zero wait (ceil(0/maxBatch) batches
+    // ahead), so even a nanosecond budget admits. The old floor+1
+    // predictor shed here — DESIGN.md §7 boundary, also pinned by
+    // tests/test_wordparallel.cc.
+    EXPECT_TRUE(server.enqueue(1, genQuery(spec.dim, 11)).ok());
+
+    // With one query already waiting, the next rides a full batch
+    // behind it — far longer than a nanosecond: shed.
+    Status st = server.enqueue(2, genQuery(spec.dim, 12));
     EXPECT_EQ(st.code(), StatusCode::ResourceExhausted);
     EXPECT_NE(st.message().find("admission budget"),
               std::string::npos);
+
+    // The admitted query is still delivered.
+    EXPECT_EQ(server.drain().size(), 1u);
+    EXPECT_EQ(server.journalOutstanding(), 0u);
 }
 
 // ---- DeviceServer: quarantine, shed, reset, replay ---------------------
