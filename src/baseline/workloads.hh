@@ -31,6 +31,18 @@ struct RagCorpusSpec
     size_t numChunks;     ///< 16,384-token segments
     size_t dim;           ///< embedding dimensionality
 
+    /**
+     * Global index of this spec's first chunk. 0 for a whole corpus;
+     * a fleet shard covering chunks [F, F+numChunks) of a larger
+     * corpus sets F so generation stays keyed by *global* chunk
+     * identity — the shard's embeddings are bit-identical to the
+     * same slice of the unsharded corpus, which is what makes a
+     * scatter-gather top-k merge reproduce the single-device answer
+     * exactly. Retrieval hit ids remain spec-local; the router adds
+     * firstChunk back when merging.
+     */
+    size_t firstChunk = 0;
+
     double
     embeddingBytes() const
     {

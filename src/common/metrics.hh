@@ -129,6 +129,16 @@ class Histogram
     /** Fold another histogram's observations into this one. */
     void mergeFrom(const Histogram &o);
 
+    /**
+     * Aggregation entry for cross-device rollups (the fleet router
+     * merges per-device latency histograms into one fleet series).
+     * Buckets add and moments combine, so the merged histogram's
+     * quantiles are identical to observing the pooled samples into
+     * one histogram directly — no bucket precision is lost
+     * (merged-vs-pooled equivalence is pinned in test_obs).
+     */
+    void merge(const Histogram &o) { mergeFrom(o); }
+
   private:
     uint64_t count_ = 0;
     double sum_ = 0.0;

@@ -387,7 +387,9 @@ DramSystem::injectEccFaults(const std::vector<Request> &reqs)
         scrubLo_ = std::min(scrubLo_, r.addr);
         scrubHi_ = std::max(scrubHi_, r.addr);
         uint64_t index = eccSerial_++;
-        unsigned flips = fp->drawDramFlips(eccStream_, index, scale);
+        unsigned flips =
+            fp->drawDramFlips(eccStream_, index, scale,
+                              deviceIndex_);
         if (flips != 0) {
             auto &reg = metrics::Registry::get();
             if (flips == 1 && latent_.count(r.addr)) {

@@ -185,6 +185,13 @@ class DramSystem
     void setScrubConfig(const ScrubConfig &c) { scrub_ = c; }
     const ScrubConfig &scrubConfig() const { return scrub_; }
 
+    /**
+     * Fleet device owning this HBM stack, for `device=N` fault
+     * clause scoping. Defaults to 0 (standalone single-device use).
+     */
+    void setDeviceIndex(unsigned d) { deviceIndex_ = d; }
+    unsigned deviceIndex() const { return deviceIndex_; }
+
     /** Codewords currently holding a corrected-but-unscrubbed flip. */
     size_t latentSingles() const { return latent_.size(); }
 
@@ -291,6 +298,7 @@ class DramSystem
     // advances in program order and draws are interleaving-free.
     uint64_t eccStream_;
     uint64_t eccSerial_ = 0;
+    unsigned deviceIndex_ = 0; ///< fault clause `device=` scope
 };
 
 /**

@@ -23,6 +23,10 @@ kindName(Kind k)
         return "dram_flip2";
       case Kind::DevOom:
         return "dev_oom";
+      case Kind::LinkDrop:
+        return "link_drop";
+      case Kind::LinkCorrupt:
+        return "link_corrupt";
       case Kind::kCount:
         break;
     }
@@ -104,6 +108,7 @@ FaultPlan::parse(const std::string &spec)
                 "fault spec: duplicate clause '" + name + "'");
         }
         c.enabled = true;
+        bool device_seen = false;
         std::stringstream kvs(params);
         std::string kv;
         while (std::getline(kvs, kv, ',')) {
@@ -119,7 +124,28 @@ FaultPlan::parse(const std::string &spec)
             auto v = parseNumber(clause, kv.substr(eq + 1));
             if (!v.ok())
                 return v.status();
-            if (key == "p") {
+            if (key == "device") {
+                // Two device scopes in one clause would silently
+                // narrow to whichever parsed last; make it loud,
+                // like a duplicate clause.
+                if (device_seen) {
+                    return Status::invalidArgument(
+                        "fault spec clause '" + clause +
+                        "': duplicate key '" + kv + "'");
+                }
+                device_seen = true;
+                if (*v < 0.0 ||
+                    *v != static_cast<double>(
+                              static_cast<int>(*v)) ||
+                    *v >= static_cast<double>(kMaxFaultDevices)) {
+                    return Status::invalidArgument(
+                        "fault spec clause '" + clause +
+                        "': device '" + kv.substr(eq + 1) +
+                        "' out of range [0, " +
+                        std::to_string(kMaxFaultDevices) + ")");
+                }
+                c.device = static_cast<int>(*v);
+            } else if (key == "p") {
                 if (*v < 0.0 || *v > 1.0) {
                     return Status::invalidArgument(
                         "fault spec clause '" + clause +
@@ -198,11 +224,11 @@ FaultPlan::drawTaskHang(unsigned core, uint64_t invocation) const
 
 unsigned
 FaultPlan::drawDramFlips(uint64_t stream, uint64_t codeword,
-                         double scale) const
+                         double scale, unsigned device) const
 {
-    double p1 = clause(Kind::DramFlip).enabled
+    double p1 = appliesTo(Kind::DramFlip, device)
         ? clause(Kind::DramFlip).p * scale : 0.0;
-    double p2 = clause(Kind::DramFlip2).enabled
+    double p2 = appliesTo(Kind::DramFlip2, device)
         ? clause(Kind::DramFlip2).p * scale : 0.0;
     if (p1 <= 0.0 && p2 <= 0.0)
         return 0;
@@ -226,6 +252,38 @@ FaultPlan::drawDevOom(uint64_t stream, uint64_t alloc_index) const
         uniform(Kind::DevOom, stream, alloc_index, 0) < c.p;
 }
 
+bool
+FaultPlan::drawLinkDrop(unsigned device, uint64_t msg,
+                        uint64_t attempt) const
+{
+    const Clause &c = clause(Kind::LinkDrop);
+    if (!c.enabled)
+        return false;
+    if (c.device >= 0 && static_cast<unsigned>(c.device) != device)
+        return false;
+    if (c.nth >= 0 && attempt == 0 &&
+        msg + 1 == static_cast<uint64_t>(c.nth))
+        return true;
+    return c.p > 0.0 &&
+        uniform(Kind::LinkDrop, device, msg, attempt) < c.p;
+}
+
+bool
+FaultPlan::drawLinkCorrupt(unsigned device, uint64_t msg,
+                           uint64_t attempt) const
+{
+    const Clause &c = clause(Kind::LinkCorrupt);
+    if (!c.enabled)
+        return false;
+    if (c.device >= 0 && static_cast<unsigned>(c.device) != device)
+        return false;
+    if (c.nth >= 0 && attempt == 0 &&
+        msg + 1 == static_cast<uint64_t>(c.nth))
+        return true;
+    return c.p > 0.0 &&
+        uniform(Kind::LinkCorrupt, device, msg, attempt) < c.p;
+}
+
 std::string
 FaultPlan::toString() const
 {
@@ -242,6 +300,8 @@ FaultPlan::toString() const
         out << kindName(static_cast<Kind>(k)) << ":p=" << c.p;
         if (c.core >= 0)
             out << ",core=" << c.core;
+        if (c.device >= 0)
+            out << ",device=" << c.device;
         if (c.nth >= 0)
             out << ",nth=" << c.nth;
         if (c.sticky)

@@ -24,7 +24,17 @@
  *   dram_flip:p=1e-6              single-bit flip per ECC codeword
  *   dram_flip2:p=1e-9             double-bit flip per ECC codeword
  *   dev_oom:nth=3                 fail the 3rd device allocation
+ *   link_drop:device=2,p=0.1      drop fabric messages to device 2
+ *   link_corrupt:p=1e-3           corrupt fabric payloads (any link)
  *   seed:42                       seed for all probability draws
+ *
+ * Any clause may carry `device=N` to scope it to one fleet device
+ * (default: all devices). The fleet fabric honors it for the link
+ * kinds and the per-device GDL/DRAM owners honor it for the rest. A
+ * negative, non-integral, or out-of-range device (>= 64 at parse
+ * time; >= the fleet size once a router validates the plan) is
+ * rejected as InvalidArgument naming the token, as is a duplicate
+ * `device=` key within one clause.
  *
  * A clause may appear at most once; a duplicate clause (or a second
  * seed) is rejected as InvalidArgument naming the repeated token —
@@ -75,8 +85,17 @@ enum class Kind : unsigned
     DramFlip,        ///< transient single-bit flip in a codeword
     DramFlip2,       ///< transient double-bit flip in a codeword
     DevOom,          ///< device-memory allocation failure
+    LinkDrop,        ///< fabric message lost (timeout, retransmit)
+    LinkCorrupt,     ///< fabric payload corrupted (CRC, retransmit)
     kCount,
 };
+
+/**
+ * Upper bound a `device=` clause is validated against at parse time
+ * (a fleet-size-aware bound is applied later by the fleet router,
+ * which knows how many devices actually exist).
+ */
+constexpr int kMaxFaultDevices = 64;
 
 /** Spec-grammar name of a fault kind ("pcie_corrupt", ...). */
 const char *kindName(Kind k);
@@ -87,6 +106,7 @@ struct Clause
     bool enabled = false;
     double p = 0.0;   ///< per-event probability (0 = never by draw)
     int core = -1;    ///< restrict to one core (-1 = any)
+    int device = -1;  ///< restrict to one fleet device (-1 = all)
     int64_t nth = -1; ///< fire on the nth occurrence (1-based)
 
     /**
@@ -126,6 +146,22 @@ class FaultPlan
     bool any() const;
 
     /**
+     * True when `k`'s clause is armed and in scope for `device`
+     * (clauses without a `device=` key apply everywhere). Component
+     * owners that belong to one fleet device gate their draws on
+     * this; standalone single-device code passes its default device
+     * index 0.
+     */
+    bool
+    appliesTo(Kind k, unsigned device) const
+    {
+        const Clause &c = clause(k);
+        return c.enabled &&
+            (c.device < 0 ||
+             static_cast<unsigned>(c.device) == device);
+    }
+
+    /**
      * Corrupt attempt `attempt` of transfer `xfer` on stream
      * `stream`? Retries pass increasing attempts, so a p < 1 fault
      * clears after a finite number of retries.
@@ -142,13 +178,28 @@ class FaultPlan
      * clause(DramFlip2).p. `scale` multiplies both probabilities so
      * a caller covering `scale` codewords with one draw (rare-event
      * aggregation, valid while scale*p << 1) keeps the same expected
-     * flip count per codeword.
+     * flip count per codeword. `device` is the owning fleet device:
+     * a flip clause scoped elsewhere contributes probability zero.
      */
     unsigned drawDramFlips(uint64_t stream, uint64_t codeword,
-                           double scale = 1.0) const;
+                           double scale = 1.0,
+                           unsigned device = 0) const;
 
     /** Fail allocation `alloc_index` (1-based) on `stream`? */
     bool drawDevOom(uint64_t stream, uint64_t alloc_index) const;
+
+    /**
+     * Drop attempt `attempt` of fabric message `msg` on the link to
+     * `device`? Like the PCIe draw, retries pass increasing attempts
+     * so a p < 1 fault clears after a finite number of retransmits;
+     * `nth` fires on the nth message's first attempt.
+     */
+    bool drawLinkDrop(unsigned device, uint64_t msg,
+                      uint64_t attempt) const;
+
+    /** Corrupt attempt `attempt` of message `msg` to `device`? */
+    bool drawLinkCorrupt(unsigned device, uint64_t msg,
+                         uint64_t attempt) const;
 
     /** Canonical spec string of the armed clauses. */
     std::string toString() const;

@@ -90,7 +90,8 @@ GdlContext::tryMemAllocAligned(uint64_t bytes, uint64_t align)
 {
     uint64_t serial = ++allocSerial_;
     if (const fault::FaultPlan *fp = fault::plan()) {
-        if (fp->drawDevOom(faultStream_, serial)) {
+        if (fp->appliesTo(fault::Kind::DevOom, deviceHint_) &&
+            fp->drawDevOom(faultStream_, serial)) {
             ++stats_.allocFailures;
             countFault("fault.injected", "dev_oom");
             return Status::resourceExhausted(
@@ -252,8 +253,9 @@ GdlContext::pcieDeliverChecked(bool to_dev, uint64_t dev_addr,
         }
         uint32_t sent_crc = fault::crc32(payload, bytes);
 
-        bool corrupt =
-            fp && fp->drawPcieCorrupt(faultStream_, xfer, attempt);
+        bool corrupt = fp &&
+            fp->appliesTo(fault::Kind::PcieCorrupt, deviceHint_) &&
+            fp->drawPcieCorrupt(faultStream_, xfer, attempt);
         if (corrupt && fp->clause(fault::Kind::PcieCorrupt).sticky) {
             // Persistent link fault: from this draw on, every
             // transfer attempt corrupts until the session resets the
@@ -370,7 +372,8 @@ GdlContext::runTaskTimeoutOn(
     }
 
     if (const fault::FaultPlan *fp = fault::plan()) {
-        if (fp->drawTaskHang(core_idx, invocation)) {
+        if (fp->appliesTo(fault::Kind::TaskHang, deviceHint_) &&
+            fp->drawTaskHang(core_idx, invocation)) {
             if (fp->clause(fault::Kind::TaskHang).sticky) {
                 // Persistent fault: the core's task engine is now
                 // wedged — every later launch hangs until the host

@@ -154,6 +154,15 @@ class GdlContext
     void setCoreHint(int core) { coreHint_ = core; }
     int coreHint() const { return coreHint_; }
 
+    /**
+     * Tag this session with the fleet device it drives so `device=N`
+     * fault clauses scope correctly. Standalone single-device code
+     * keeps the default index 0 (an unscoped clause behaves
+     * identically either way).
+     */
+    void setDeviceHint(unsigned device) { deviceHint_ = device; }
+    unsigned deviceHint() const { return deviceHint_; }
+
     /** Trace tid for this session's host-side spans. */
     uint32_t traceTid() const
     {
@@ -282,6 +291,7 @@ class GdlContext
     HostStats stats_;
     std::unordered_map<uint64_t, uint64_t> owned_; ///< addr -> bytes
     int coreHint_ = -1; ///< serving core this session is bound to
+    unsigned deviceHint_ = 0; ///< fleet device (fault clause scope)
 
     // Deterministic fault-draw coordinates: a per-context stream id
     // plus per-context serials, so injected faults are independent

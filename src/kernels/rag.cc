@@ -234,7 +234,8 @@ RagRetriever::retrieveGf16(const std::vector<int16_t> &query,
                 size_t valid = std::min(l, chunks - st * l);
                 for (size_t j = 0; j < valid; ++j) {
                     int16_t v = baseline::embeddingValue(
-                        st * l + j, d, corpus_seed);
+                        corpus_.firstChunk + st * l + j, d,
+                        corpus_seed);
                     plane[j] = GsiFloat16::fromFloat(
                                    static_cast<float>(v))
                                    .bits();
@@ -357,8 +358,9 @@ RagRetriever::retrieveBatch(
                 size_t valid = std::min(l, chunks - st * l);
                 for (size_t j = 0; j < valid; ++j)
                     plane[j] = static_cast<uint16_t>(
-                        baseline::embeddingValue(st * l + j, d,
-                                                 corpus_seed));
+                        baseline::embeddingValue(
+                            corpus_.firstChunk + st * l + j, d,
+                            corpus_seed));
                 dev.l4().write(emb_addr + (st * dim + d) * l * 2,
                                plane.data(), l * 2);
             }
@@ -521,8 +523,9 @@ RagRetriever::retrieveSpatial(const std::vector<int16_t> &query,
                     break;
                 for (size_t d = 0; d < corpus_.dim; ++d)
                     tile[c * pad + d] = static_cast<uint16_t>(
-                        baseline::embeddingValue(chunk, d,
-                                                 corpus_seed));
+                        baseline::embeddingValue(
+                            corpus_.firstChunk + chunk, d,
+                            corpus_seed));
             }
             dev.l4().write(emb_addr + tl * l * 2, tile.data(),
                            l * 2);
@@ -680,8 +683,9 @@ RagRetriever::retrieveTemporal(const std::vector<int16_t> &query,
                 size_t valid = std::min(l, chunks - st * l);
                 for (size_t j = 0; j < valid; ++j)
                     plane[j] = static_cast<uint16_t>(
-                        baseline::embeddingValue(st * l + j, d,
-                                                 corpus_seed));
+                        baseline::embeddingValue(
+                            corpus_.firstChunk + st * l + j, d,
+                            corpus_seed));
                 dev.l4().write(emb_addr + (st * dim + d) * l * 2,
                                plane.data(), l * 2);
             }

@@ -139,15 +139,25 @@ DeviceServer::DeviceServer(apu::ApuDevice &dev, RagCorpusSpec spec,
       host_(dev),
       qbuf_(std::in_place, host_,
             cfg.batch.maxBatch * spec.dim * 2),
-      former_(cfg.batch), health_(core, cfg.health),
+      former_(cfg.batch),
+      health_(core, cfg.health, cfg.deviceIndex),
       flight_(core, cfg.flight)
 {
     host_.setCoreHint(static_cast<int>(core));
+    host_.setDeviceHint(cfg.deviceIndex);
     hbm_.setScrubConfig(cfg.scrub);
+    hbm_.setDeviceIndex(cfg.deviceIndex);
 }
 
 Status
 DeviceServer::enqueue(uint64_t id, std::vector<int16_t> embedding)
+{
+    return enqueueAt(id, std::move(embedding), busySeconds_);
+}
+
+Status
+DeviceServer::enqueueAt(uint64_t id, std::vector<int16_t> embedding,
+                        double admit_seconds)
 {
     cisram_assert(embedding.size() == spec_.dim,
                   "query dim mismatch");
@@ -161,7 +171,9 @@ DeviceServer::enqueue(uint64_t id, std::vector<int16_t> embedding)
             performReset();
         } else {
             reg.counter("recovery.shed",
-                        {{"core", std::to_string(core_)},
+                        {{"device",
+                          std::to_string(cfg_.deviceIndex)},
+                         {"core", std::to_string(core_)},
                          {"reason", "quarantine"}})
                 .inc();
             flight_.recordShed(id, busySeconds_, "quarantine");
@@ -174,7 +186,8 @@ DeviceServer::enqueue(uint64_t id, std::vector<int16_t> embedding)
     if (cfg_.admission.maxQueueDepth > 0 &&
         former_.depth() >= cfg_.admission.maxQueueDepth) {
         reg.counter("recovery.shed",
-                    {{"core", std::to_string(core_)},
+                    {{"device", std::to_string(cfg_.deviceIndex)},
+                     {"core", std::to_string(core_)},
                      {"reason", "depth"}})
             .inc();
         flight_.recordShed(id, busySeconds_, "depth");
@@ -198,7 +211,9 @@ DeviceServer::enqueue(uint64_t id, std::vector<int16_t> embedding)
         double predicted = batches_ahead * batchSecondsEwma_;
         if (predicted > cfg_.admission.maxQueueDelaySeconds) {
             reg.counter("recovery.shed",
-                        {{"core", std::to_string(core_)},
+                        {{"device",
+                          std::to_string(cfg_.deviceIndex)},
+                         {"core", std::to_string(core_)},
                          {"reason", "deadline"}})
                 .inc();
             flight_.recordShed(id, busySeconds_, "deadline");
@@ -210,11 +225,41 @@ DeviceServer::enqueue(uint64_t id, std::vector<int16_t> embedding)
         }
     }
 
-    journal_.admit(id, embedding, busySeconds_);
-    flight_.recordAdmit(id, busySeconds_);
+    journal_.admit(id, embedding, admit_seconds);
+    flight_.recordAdmit(id, admit_seconds);
     former_.admit(PendingQuery{id, std::move(embedding),
-                               busySeconds_});
+                               admit_seconds});
     return Status::okStatus();
+}
+
+void
+DeviceServer::advanceClock(double t)
+{
+    busySeconds_ = std::max(busySeconds_, t);
+}
+
+std::vector<recovery::JournalEntry<std::vector<int16_t>>>
+DeviceServer::evacuate()
+{
+    auto handed = journal_.handOffPending();
+    former_ = BatchFormer(cfg_.batch);
+    auto &shed = metrics::Registry::get().counter(
+        "recovery.evacuated",
+        {{"device", std::to_string(cfg_.deviceIndex)},
+         {"core", std::to_string(core_)}});
+    for (const auto &e : handed) {
+        shed.inc();
+        flight_.recordShed(e.id, busySeconds_, "failover");
+    }
+    return handed;
+}
+
+void
+DeviceServer::forceQuarantine()
+{
+    cisram_assert(cfg_.health.enabled,
+                  "forceQuarantine needs an enabled health policy");
+    health_.forceQuarantine();
 }
 
 std::vector<ServeOutcome>
@@ -338,7 +383,8 @@ DeviceServer::performReset()
     }
     metrics::Registry::get()
         .counter("recovery.replayed_queries",
-                 {{"core", std::to_string(core_)}})
+                 {{"device", std::to_string(cfg_.deviceIndex)},
+                  {"core", std::to_string(core_)}})
         .inc(static_cast<double>(pend.size()));
     if (cfg_.health.enabled)
         health_.completeReset();
@@ -370,7 +416,8 @@ DeviceServer::serveBatch(std::vector<PendingQuery> batch,
         // drain() escalate to the reset instead of burning retry
         // deadlines or the slow CPU path.
         reg.counter("recovery.parked_batches",
-                    {{"core", std::to_string(core_)}})
+                    {{"device", std::to_string(cfg_.deviceIndex)},
+                     {"core", std::to_string(core_)}})
             .inc();
         return {};
     }
@@ -531,7 +578,8 @@ DeviceServer::serveBatch(std::vector<PendingQuery> batch,
             for (const auto &o : outs)
                 flight_.park(o.id, busySeconds_);
         reg.counter("recovery.parked_batches",
-                    {{"core", std::to_string(core_)}})
+                    {{"device", std::to_string(cfg_.deviceIndex)},
+                     {"core", std::to_string(core_)}})
             .inc();
         return {};
     }
@@ -642,6 +690,7 @@ DeviceServer::cpuFallback(const std::vector<int16_t> &query,
         out.ids.clear();
         for (const auto &h : hits)
             out.ids.push_back(static_cast<uint32_t>(h.id));
+        out.run.hits = std::move(hits);
     }
     out.retrievalSeconds =
         xeon_.ennsRetrievalMs(spec_.embeddingBytes()) * 1e-3;

@@ -225,7 +225,15 @@ struct ServeOutcome
     unsigned attempts = 0;     ///< device attempts made (per batch)
     size_t batchSize = 1;      ///< queries in the batch it shipped in
     std::vector<uint32_t> ids; ///< host-visible top-k ids
-    RagRunResult run;          ///< device result (fromDevice only)
+
+    /**
+     * Device result. In functional mode `run.hits` carries the exact
+     * scored top-k from *either* path (the device pass fills it; the
+     * CPU fallback copies the golden index's hits into it) so a
+     * scatter-gather merge can re-rank shard results by score
+     * without caring how the shard was answered.
+     */
+    RagRunResult run;
 
     double queueWaitSeconds = 0; ///< simulated admission-queue wait
     double retrievalSeconds = 0; ///< device or CPU retrieval (whole
@@ -266,6 +274,14 @@ struct AdmissionPolicy
 struct ServerConfig
 {
     size_t topK = 5;
+
+    /**
+     * Fleet device this shard belongs to, carried on every recovery
+     * metric series (shed/parked/replayed/transitions) and into the
+     * GDL session + HBM model for `device=N` fault clause scoping.
+     * 0 for standalone single-device serving.
+     */
+    unsigned deviceIndex = 0;
     RetryPolicy retry{3, 0.5};
     unsigned breakerThreshold = 2;
     unsigned breakerCooldown = 2;
@@ -334,6 +350,45 @@ class DeviceServer
      * admission policies every call returns OK.
      */
     Status enqueue(uint64_t id, std::vector<int16_t> embedding);
+
+    /**
+     * Admit with an explicit admission timestamp instead of this
+     * core's current busy clock — the failover path replays
+     * journaled queries on a replica with their *original* admit
+     * times, so queue-wait math (and therefore served latency) is
+     * identical to the run that never lost the device. Callers must
+     * advanceClock() past `admit_seconds` first if the replica's
+     * clock is behind the originating device's.
+     */
+    Status enqueueAt(uint64_t id, std::vector<int16_t> embedding,
+                     double admit_seconds);
+
+    /**
+     * Ratchet this core's busy clock forward to `t` (no-op if it is
+     * already past). The fleet router uses this to model the arrival
+     * of work dispatched at fabric time `t`: a replica that was idle
+     * until a failover cannot start serving before the hand-off
+     * reaches it.
+     */
+    void advanceClock(double t);
+
+    /**
+     * Evacuate every admitted-but-unserved query for replay
+     * elsewhere: pending journal entries (id, embedding, original
+     * admitSeconds) are handed off in admission order, the batch
+     * queue is cleared, and each evacuation is recorded as a
+     * non-silent shed (metrics + flight ledger). The caller owns
+     * re-admission under a fresh namespaced id.
+     */
+    std::vector<recovery::JournalEntry<std::vector<int16_t>>>
+    evacuate();
+
+    /**
+     * Quarantine this core now (fleet kill switch / chaos tooling):
+     * subsequent admissions shed until drain() escalates to a reset
+     * or the router evacuates. Requires an enabled health policy.
+     */
+    void forceQuarantine();
 
     /** Serve every currently ready batch; outcomes in query order. */
     std::vector<ServeOutcome> pump();

@@ -45,6 +45,14 @@ stageName(Stage s)
         return "cpu_fallback";
     case Stage::ComputeDetail:
         return "compute_detail";
+    case Stage::ShardGather:
+        return "shard_gather";
+    case Stage::TopkMerge:
+        return "topk_merge";
+    case Stage::Failover:
+        return "failover";
+    case Stage::ShardPath:
+        return "shard_path";
     }
     return "unknown";
 }
@@ -57,11 +65,15 @@ stageCategory(Stage s)
         return SpanCategory::Wait;
     case Stage::DeviceAttempt:
     case Stage::PcieStage:
+    case Stage::TopkMerge:
+    case Stage::Failover:
         return SpanCategory::Host;
     case Stage::DeviceCompute:
     case Stage::CpuFallback:
+    case Stage::ShardGather:
         return SpanCategory::Retrieval;
     case Stage::ComputeDetail:
+    case Stage::ShardPath:
         return SpanCategory::Detail;
     }
     return SpanCategory::Detail;

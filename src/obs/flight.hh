@@ -73,6 +73,14 @@ enum class Stage : unsigned
     DeviceCompute, ///< the batch's corpus pass on the device
     CpuFallback,   ///< exact CPU retrieval at Xeon latency
     ComputeDetail, ///< child of DeviceCompute: Table 8 stage share
+
+    // Fleet-router stages (the router owns its own recorder; the
+    // same reconciliation invariant holds against the router-level
+    // latency: (wait + gather) + merge/failover).
+    ShardGather,   ///< slowest shard's send+serve+return path
+    TopkMerge,     ///< scatter-gather top-k merge on the router
+    Failover,      ///< re-route charge when a replica takes over
+    ShardPath,     ///< child detail: one shard replica's full path
 };
 
 const char *stageName(Stage s);

@@ -22,8 +22,9 @@ coreStateName(CoreState s)
     return "?";
 }
 
-HealthMonitor::HealthMonitor(unsigned core, HealthPolicy policy)
-    : core_(core), policy_(policy)
+HealthMonitor::HealthMonitor(unsigned core, HealthPolicy policy,
+                             unsigned device)
+    : core_(core), device_(device), policy_(policy)
 {
     cisram_assert(policy_.windowQueries > 0,
                   "HealthPolicy.windowQueries must be positive");
@@ -42,12 +43,14 @@ HealthMonitor::transitionTo(CoreState to)
     history_.push_back({state_, to, queries_});
     auto &reg = metrics::Registry::get();
     reg.counter("recovery.transitions",
-                {{"core", std::to_string(core_)},
+                {{"device", std::to_string(device_)},
+                 {"core", std::to_string(core_)},
                  {"from", coreStateName(state_)},
                  {"to", coreStateName(to)}})
         .inc();
     reg.gauge("recovery.core_state",
-              {{"core", std::to_string(core_)}})
+              {{"device", std::to_string(device_)},
+               {"core", std::to_string(core_)}})
         .set(static_cast<double>(to));
     if (trace::active()) {
         std::string name =

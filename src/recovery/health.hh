@@ -104,11 +104,20 @@ struct Transition
 class HealthMonitor
 {
   public:
-    HealthMonitor(unsigned core, HealthPolicy policy);
+    /**
+     * @param device Fleet device index carried on every
+     *        `recovery.core_state` / `recovery.transitions` series —
+     *        without it a fleet run would collapse all devices'
+     *        same-numbered cores into one series. Standalone
+     *        single-device use keeps the default 0.
+     */
+    HealthMonitor(unsigned core, HealthPolicy policy,
+                  unsigned device = 0);
 
     CoreState state() const { return state_; }
     const HealthPolicy &policy() const { return policy_; }
     unsigned core() const { return core_; }
+    unsigned device() const { return device_; }
 
     /**
      * Account `n` completed queries. Closing a window with zero
@@ -153,6 +162,7 @@ class HealthMonitor
     void transitionTo(CoreState to);
 
     unsigned core_;
+    unsigned device_;
     HealthPolicy policy_;
     CoreState state_ = CoreState::Healthy;
     uint64_t queries_ = 0;       ///< completed queries, lifetime

@@ -37,6 +37,7 @@ struct JournalEntry
     Payload payload;
     double admitSeconds; ///< sim-clock admission time, preserved
     bool completed = false;
+    bool handedOff = false; ///< ownership moved to another journal
 };
 
 /**
@@ -66,6 +67,40 @@ class ReplayJournal
         cisram_assert(!e->completed,
                       "journal: double completion of query #", id);
         e->completed = true;
+    }
+
+    /**
+     * Evacuate every admitted-but-incomplete entry: returns copies
+     * (id, payload, original admitSeconds) in admission order and
+     * marks each handed off, which also completes it here —
+     * exactly-once responsibility now rests with whichever journal
+     * re-admits the entry (a replica device after a failover). The
+     * caller must re-admit under a *different* namespaced id, or the
+     * fleet-level ledger loses the one-outcome-per-query guarantee.
+     */
+    std::vector<JournalEntry<Payload>>
+    handOffPending()
+    {
+        std::vector<JournalEntry<Payload>> out;
+        for (auto &e : entries_) {
+            if (e.completed)
+                continue;
+            out.push_back(e);
+            e.completed = true;
+            e.handedOff = true;
+        }
+        return out;
+    }
+
+    /** Entries handed off to another journal, lifetime. */
+    size_t
+    handedOff() const
+    {
+        size_t n = 0;
+        for (const auto &e : entries_)
+            if (e.handedOff)
+                ++n;
+        return n;
     }
 
     /** Admitted-but-incomplete entries, in admission order. */

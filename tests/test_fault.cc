@@ -591,3 +591,128 @@ TEST(FaultArming, ArmDisarmGatesThePlan)
     }
     EXPECT_EQ(fault::plan(), nullptr);
 }
+
+// ---- device= scoping and the fabric fault kinds -------------------------
+
+TEST(FaultSpec, DeviceScopeParsesAndRoundTrips)
+{
+    auto p = FaultPlan::parse(
+        "link_drop:device=2,p=0.5;"
+        "link_corrupt:p=0.25,device=0,sticky=1;"
+        "pcie_corrupt:p=1e-3;seed:9");
+    ASSERT_TRUE(p.ok()) << p.status().toString();
+
+    const Clause &drop = p->clause(Kind::LinkDrop);
+    EXPECT_TRUE(drop.enabled);
+    EXPECT_EQ(drop.device, 2);
+    EXPECT_EQ(drop.p, 0.5);
+
+    const Clause &corrupt = p->clause(Kind::LinkCorrupt);
+    EXPECT_TRUE(corrupt.enabled);
+    EXPECT_EQ(corrupt.device, 0);
+    EXPECT_TRUE(corrupt.sticky);
+
+    // A clause without a device key scopes to every device.
+    EXPECT_EQ(p->clause(Kind::PcieCorrupt).device, -1);
+
+    // toString emits the scope and the result re-parses to the
+    // same plan (the grammar is its own serialization).
+    auto q = FaultPlan::parse(p->toString());
+    ASSERT_TRUE(q.ok()) << "round-trip rejected: " << p->toString();
+    EXPECT_EQ(q->toString(), p->toString());
+    EXPECT_EQ(q->clause(Kind::LinkDrop).device, 2);
+    EXPECT_EQ(q->clause(Kind::LinkCorrupt).device, 0);
+}
+
+TEST(FaultSpec, DeviceOutOfRangeIsRejectedNamingTheValue)
+{
+    // The parse-time bound is kMaxFaultDevices; the fleet router
+    // re-validates against the actual device count later. Either
+    // way a bad scope must be loud, not a clause that never fires.
+    struct Case
+    {
+        const char *spec;
+        const char *value;
+    } cases[] = {
+        {"link_drop:device=64,p=1", "64"},
+        {"link_drop:device=-1,p=1", "-1"},
+        {"pcie_corrupt:device=1.5,p=1", "1.5"},
+        {"dram_flip:p=1e-6,device=1000", "1000"},
+    };
+    for (const auto &c : cases) {
+        auto p = FaultPlan::parse(c.spec);
+        ASSERT_FALSE(p.ok()) << "accepted: " << c.spec;
+        EXPECT_EQ(p.status().code(), StatusCode::InvalidArgument)
+            << c.spec;
+        EXPECT_NE(p.status().message().find(
+                      std::string("device '") + c.value + "'"),
+                  std::string::npos)
+            << p.status().toString();
+    }
+}
+
+TEST(FaultSpec, DuplicateDeviceKeyIsRejectedNamingTheToken)
+{
+    auto p = FaultPlan::parse("link_drop:device=1,device=2,p=1");
+    ASSERT_FALSE(p.ok());
+    EXPECT_EQ(p.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(p.status().message().find("duplicate key 'device=2'"),
+              std::string::npos)
+        << p.status().toString();
+}
+
+TEST(FaultDraws, LinkDrawsHonorDeviceScope)
+{
+    auto p = FaultPlan::parse("link_drop:device=1,p=1;seed:3");
+    ASSERT_TRUE(p.ok());
+
+    // Certain on the scoped device, never elsewhere.
+    for (uint64_t msg = 0; msg < 8; ++msg) {
+        EXPECT_TRUE(p->drawLinkDrop(1, msg, 0));
+        EXPECT_FALSE(p->drawLinkDrop(0, msg, 0));
+        EXPECT_FALSE(p->drawLinkDrop(2, msg, 0));
+    }
+    EXPECT_TRUE(p->appliesTo(Kind::LinkDrop, 1));
+    EXPECT_FALSE(p->appliesTo(Kind::LinkDrop, 0));
+
+    // An unscoped clause applies to every device.
+    auto q = FaultPlan::parse("link_corrupt:p=1;seed:3");
+    ASSERT_TRUE(q.ok());
+    for (unsigned d = 0; d < 4; ++d) {
+        EXPECT_TRUE(q->appliesTo(Kind::LinkCorrupt, d));
+        EXPECT_TRUE(q->drawLinkCorrupt(d, 0, 0));
+    }
+}
+
+TEST(FaultDraws, LinkDrawsAreDeterministicAndSeedSensitive)
+{
+    auto a = FaultPlan::parse("link_drop:p=0.5;seed:11");
+    auto b = FaultPlan::parse("link_drop:p=0.5;seed:11");
+    auto c = FaultPlan::parse("link_drop:p=0.5;seed:12");
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+
+    unsigned agree = 0, differ = 0;
+    for (uint64_t msg = 0; msg < 256; ++msg) {
+        bool da = a->drawLinkDrop(0, msg, 0);
+        EXPECT_EQ(da, b->drawLinkDrop(0, msg, 0));
+        if (da != c->drawLinkDrop(0, msg, 0))
+            ++differ;
+        else
+            ++agree;
+    }
+    // Different seeds must give a genuinely different sequence.
+    EXPECT_GT(differ, 0u);
+    EXPECT_GT(agree, 0u);
+}
+
+TEST(FaultDraws, LinkNthFiresOnExactlyThatMessage)
+{
+    auto p = FaultPlan::parse("link_corrupt:nth=3;seed:1");
+    ASSERT_TRUE(p.ok());
+    for (uint64_t msg = 0; msg < 8; ++msg)
+        EXPECT_EQ(p->drawLinkCorrupt(0, msg, 0), msg + 1 == 3)
+            << "msg " << msg;
+    // Retries of the nth message are clean: the fault hit the wire
+    // once, not the message identity.
+    EXPECT_FALSE(p->drawLinkCorrupt(0, 2, 1));
+}

@@ -648,6 +648,50 @@ TEST(HistogramPins, SingleSampleQuantileIsThatSample)
         EXPECT_EQ(h.quantile(q), 0.42) << "q=" << q;
 }
 
+TEST(HistogramPins, MergedQuantilesEqualPooledObservation)
+{
+    // The fleet router rolls per-device latency histograms into one
+    // fleet series with Histogram::merge. Buckets add and moments
+    // combine, so merging shards must be *identical* — count, sum,
+    // min/max, and every quantile, bit-for-bit — to having observed
+    // the pooled samples into a single histogram.
+    metrics::Histogram shard[4];
+    metrics::Histogram pooled;
+    uint64_t x = 0x2545f4914f6cdd1dull;
+    for (int i = 0; i < 4096; ++i) {
+        // xorshift64*: deterministic, spans many buckets.
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        double v = 1e-6 *
+            (1.0 + static_cast<double>(x % 100000) / 100.0);
+        shard[i % 4].observe(v);
+        pooled.observe(v);
+    }
+
+    metrics::Histogram merged;
+    for (const auto &s : shard)
+        merged.merge(s);
+
+    EXPECT_EQ(merged.count(), pooled.count());
+    EXPECT_EQ(merged.sum(), pooled.sum());
+    EXPECT_EQ(merged.min(), pooled.min());
+    EXPECT_EQ(merged.max(), pooled.max());
+    for (int b = 0; b < metrics::Histogram::numBuckets; ++b)
+        ASSERT_EQ(merged.bucketCount(b), pooled.bucketCount(b))
+            << "bucket " << b;
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0})
+        EXPECT_EQ(merged.quantile(q), pooled.quantile(q))
+            << "q=" << q;
+
+    // Merging an empty histogram is a no-op.
+    metrics::Histogram empty;
+    double p99 = merged.quantile(0.99);
+    merged.merge(empty);
+    EXPECT_EQ(merged.quantile(0.99), p99);
+    EXPECT_EQ(merged.count(), pooled.count());
+}
+
 TEST(HistogramPins, SnapshotExportsCountAndSum)
 {
     auto &h = metrics::Registry::get().histogram(

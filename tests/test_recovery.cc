@@ -465,7 +465,8 @@ TEST(ServingRecovery, QuarantineShedsWithResourceExhausted)
     DeviceServer server(dev, spec, 0, nullptr, 1, cfg);
 
     auto &shed = metrics::Registry::get().counter(
-        "recovery.shed", {{"core", "0"}, {"reason", "quarantine"}});
+        "recovery.shed",
+        {{"device", "0"}, {"core", "0"}, {"reason", "quarantine"}});
     double shed_before = shed.value();
 
     // The first batch wedges the core mid-retry and parks.
@@ -729,4 +730,58 @@ TEST(ServingRecovery, BitIdenticalAcrossSimThreadCounts)
     }
     EXPECT_GE(total_resets, 1u);
     EXPECT_GE(total_replayed, 1u);
+}
+
+// ---- fleet device labels on the recovery series -------------------------
+
+TEST(HealthMonitor, MetricSeriesCarryTheDeviceIndex)
+{
+    // A fleet collapses without the device label: every device's
+    // core 0 would write one shared series. Transition a monitor
+    // built with device=3 and assert the fully-labeled series moved
+    // while the device=0 twin did not.
+    auto &reg = metrics::Registry::get();
+    auto &scoped = reg.counter("recovery.transitions",
+                               {{"device", "3"},
+                                {"core", "1"},
+                                {"from", "Healthy"},
+                                {"to", "Quarantined"}});
+    auto &unscoped = reg.counter("recovery.transitions",
+                                 {{"device", "0"},
+                                  {"core", "1"},
+                                  {"from", "Healthy"},
+                                  {"to", "Quarantined"}});
+    double scoped_before = scoped.value();
+    double unscoped_before = unscoped.value();
+
+    HealthMonitor hm(1, enabledPolicy(8, 1, 2, 3), 3);
+    EXPECT_EQ(hm.device(), 3u);
+    hm.observeFaults(FaultLedgerDelta{2, 0, 0});
+    EXPECT_EQ(hm.state(), CoreState::Quarantined);
+
+    EXPECT_EQ(scoped.value() - scoped_before, 1.0);
+    EXPECT_EQ(unscoped.value() - unscoped_before, 0.0);
+
+    EXPECT_EQ(reg.gauge("recovery.core_state",
+                        {{"device", "3"}, {"core", "1"}})
+                  .value(),
+              static_cast<double>(CoreState::Quarantined));
+}
+
+TEST(HealthMonitor, DefaultDeviceIndexIsZero)
+{
+    // Standalone single-device serving (every pre-fleet caller)
+    // lands on the device=0 series.
+    auto &reg = metrics::Registry::get();
+    auto &zero = reg.counter("recovery.transitions",
+                             {{"device", "0"},
+                              {"core", "7"},
+                              {"from", "Healthy"},
+                              {"to", "Degraded"}});
+    double before = zero.value();
+    HealthMonitor hm(7, enabledPolicy(8, 1, 3, 2));
+    EXPECT_EQ(hm.device(), 0u);
+    hm.observeFaults(FaultLedgerDelta{1, 0, 0});
+    EXPECT_EQ(hm.state(), CoreState::Degraded);
+    EXPECT_EQ(zero.value() - before, 1.0);
 }
