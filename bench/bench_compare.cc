@@ -59,6 +59,36 @@ usage()
     return 2;
 }
 
+/**
+ * Consume `flag`'s numeric value from argv[i + 1]. Fails loudly,
+ * naming the flag, when the value is missing or non-numeric —
+ * `--min-count --all` must not silently eat the next flag as a zero
+ * (atoll("--all") == 0 disabled the histogram floor and dropped
+ * --all on the floor with it).
+ */
+bool
+numericFlagValue(const char *flag, int argc, char **argv, int &i,
+                 double &out)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "bench_compare: %s requires a numeric value\n",
+                     flag);
+        return false;
+    }
+    const char *text = argv[++i];
+    char *end = nullptr;
+    out = std::strtod(text, &end);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr,
+                     "bench_compare: %s requires a numeric value, "
+                     "got '%s'\n",
+                     flag, text);
+        return false;
+    }
+    return true;
+}
+
 bool
 isDirectory(const std::string &path)
 {
@@ -206,17 +236,36 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--threshold" && i + 1 < argc) {
-            opt.thresholdPct = std::atof(argv[++i]);
-            if (opt.thresholdPct <= 0)
+        if (arg == "--threshold") {
+            double v;
+            if (!numericFlagValue("--threshold", argc, argv, i, v))
                 return usage();
-        } else if (arg == "--min-count" && i + 1 < argc) {
-            opt.minHistogramCount =
-                static_cast<uint64_t>(std::atoll(argv[++i]));
-        } else if (arg == "--degrade" && i + 1 < argc) {
-            degrade = std::atof(argv[++i]);
-            if (degrade <= 0)
+            if (v <= 0) {
+                std::fprintf(stderr, "bench_compare: --threshold "
+                                     "must be > 0\n");
                 return usage();
+            }
+            opt.thresholdPct = v;
+        } else if (arg == "--min-count") {
+            double v;
+            if (!numericFlagValue("--min-count", argc, argv, i, v))
+                return usage();
+            if (v < 0) {
+                std::fprintf(stderr, "bench_compare: --min-count "
+                                     "must be >= 0\n");
+                return usage();
+            }
+            opt.minHistogramCount = static_cast<uint64_t>(v);
+        } else if (arg == "--degrade") {
+            double v;
+            if (!numericFlagValue("--degrade", argc, argv, i, v))
+                return usage();
+            if (v <= 0) {
+                std::fprintf(stderr, "bench_compare: --degrade "
+                                     "must be > 0\n");
+                return usage();
+            }
+            degrade = v;
         } else if (arg == "--all") {
             show_all = true;
         } else if (!arg.empty() && arg[0] == '-') {

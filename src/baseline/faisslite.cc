@@ -8,11 +8,9 @@
 
 namespace cisram::baseline {
 
-namespace {
-
 /** Heap ordering: keep the k *best*; worst-of-the-best at the top. */
 bool
-worseThan(const Hit &a, const Hit &b)
+hitWorseThan(const Hit &a, const Hit &b)
 {
     if (a.score != b.score)
         return a.score < b.score;
@@ -21,15 +19,15 @@ worseThan(const Hit &a, const Hit &b)
 
 /** Push into a bounded max-k heap. */
 void
-heapPush(std::vector<Hit> &heap, size_t k, Hit h)
+hitHeapPush(std::vector<Hit> &heap, size_t k, Hit h)
 {
     auto cmp = [](const Hit &a, const Hit &b) {
-        return !worseThan(a, b); // min-heap on "goodness"
+        return !hitWorseThan(a, b); // min-heap on "goodness"
     };
     if (heap.size() < k) {
         heap.push_back(h);
         std::push_heap(heap.begin(), heap.end(), cmp);
-    } else if (worseThan(heap.front(), h)) {
+    } else if (hitWorseThan(heap.front(), h)) {
         std::pop_heap(heap.begin(), heap.end(), cmp);
         heap.back() = h;
         std::push_heap(heap.begin(), heap.end(), cmp);
@@ -38,27 +36,25 @@ heapPush(std::vector<Hit> &heap, size_t k, Hit h)
 
 /** Sort hits best-first with deterministic tie-breaking. */
 void
-finalize(std::vector<Hit> &hits)
+hitFinalize(std::vector<Hit> &hits)
 {
     std::sort(hits.begin(), hits.end(), [](const Hit &a, const Hit &b) {
-        return worseThan(b, a);
+        return hitWorseThan(b, a);
     });
 }
 
 /** Merge per-thread heaps into one top-k list. */
 std::vector<Hit>
-mergeHeaps(std::vector<std::vector<Hit>> &parts, size_t k)
+mergeHitHeaps(std::vector<std::vector<Hit>> &parts, size_t k)
 {
     std::vector<Hit> all;
     for (auto &p : parts)
         all.insert(all.end(), p.begin(), p.end());
-    finalize(all);
+    hitFinalize(all);
     if (all.size() > k)
         all.resize(k);
     return all;
 }
-
-} // namespace
 
 void
 IndexFlat::add(const float *vecs, size_t n)
@@ -91,7 +87,7 @@ IndexFlat::scanRange(const float *query, size_t k, size_t lo,
                      size_t hi, std::vector<Hit> &heap) const
 {
     for (size_t id = lo; id < hi; ++id)
-        heapPush(heap, k, {score(query, id), id});
+        hitHeapPush(heap, k, {score(query, id), id});
 }
 
 std::vector<Hit>
@@ -105,7 +101,7 @@ IndexFlat::search(const float *query, size_t k,
         std::vector<Hit> heap;
         heap.reserve(k + 1);
         scanRange(query, k, 0, count, heap);
-        finalize(heap);
+        hitFinalize(heap);
         return heap;
     }
     unsigned nt = std::min<unsigned>(
@@ -123,7 +119,7 @@ IndexFlat::search(const float *query, size_t k,
     }
     for (auto &w : workers)
         w.join();
-    return mergeHeaps(parts, k);
+    return mergeHitHeaps(parts, k);
 }
 
 void
@@ -153,7 +149,7 @@ IndexFlatI16::search(const int16_t *query, size_t k,
         return {};
     auto scan = [&](size_t lo, size_t hi, std::vector<Hit> &heap) {
         for (size_t id = lo; id < hi; ++id) {
-            heapPush(heap, k,
+            hitHeapPush(heap, k,
                      {static_cast<float>(dot(query, id)), id});
         }
     };
@@ -161,7 +157,7 @@ IndexFlatI16::search(const int16_t *query, size_t k,
         std::vector<Hit> heap;
         heap.reserve(k + 1);
         scan(0, count, heap);
-        finalize(heap);
+        hitFinalize(heap);
         return heap;
     }
     unsigned nt = std::min<unsigned>(
@@ -177,7 +173,7 @@ IndexFlatI16::search(const int16_t *query, size_t k,
     }
     for (auto &w : workers)
         w.join();
-    return mergeHeaps(parts, k);
+    return mergeHitHeaps(parts, k);
 }
 
 } // namespace cisram::baseline

@@ -37,6 +37,26 @@ struct Hit
 enum class Metric { InnerProduct, L2 };
 
 /**
+ * The one tie rule every answer producer must share: higher score is
+ * better; on equal scores the *smaller* id wins. Exposed (rather than
+ * file-local) so the IVF index, the fleet k-way merge, and tests all
+ * compare against the same boundary behaviour — a divergent tie rule
+ * only becomes observable once probing changes which ties reach the
+ * k boundary, which is exactly when bit-compare gates must not lie.
+ */
+bool hitWorseThan(const Hit &a, const Hit &b);
+
+/** Push into a bounded best-k heap ordered by hitWorseThan. */
+void hitHeapPush(std::vector<Hit> &heap, size_t k, Hit h);
+
+/** Sort hits best-first (score desc, id asc on ties). */
+void hitFinalize(std::vector<Hit> &hits);
+
+/** Merge several bounded heaps into one top-k list. */
+std::vector<Hit> mergeHitHeaps(std::vector<std::vector<Hit>> &parts,
+                               size_t k);
+
+/**
  * Flat (brute-force, exact) index over dense float vectors.
  *
  * Deterministic tie-breaking: equal scores order by ascending id.

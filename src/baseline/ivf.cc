@@ -1,0 +1,208 @@
+#include "baseline/ivf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cisram::baseline {
+
+namespace {
+
+/** int32-exact dot of two int16 rows. */
+int64_t
+rowDot(const int16_t *a, const int16_t *b, size_t dim)
+{
+    int64_t s = 0;
+    for (size_t d = 0; d < dim; ++d)
+        s += static_cast<int32_t>(a[d]) * b[d];
+    return s;
+}
+
+/** argmax_j dot(row, centroid_j); ties to the lowest j. */
+size_t
+bestList(const int16_t *row, const std::vector<int16_t> &centroids,
+         size_t k, size_t dim)
+{
+    size_t best = 0;
+    int64_t bestScore = rowDot(row, centroids.data(), dim);
+    for (size_t j = 1; j < k; ++j) {
+        int64_t s = rowDot(row, centroids.data() + j * dim, dim);
+        if (s > bestScore) { // strict: ties keep the lower id
+            bestScore = s;
+            best = j;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+IvfClustering
+IvfClustering::build(const RagCorpusSpec &spec, uint64_t seed,
+                     const IvfBuildConfig &cfg)
+{
+    cisram_assert(spec.numChunks > 0, "empty corpus");
+    size_t dim = spec.dim;
+    size_t k = std::max<size_t>(
+        1, std::min(cfg.numLists, spec.numChunks));
+
+    // Fixed-stride training sample: deterministic and spread across
+    // the whole id range (topics are hash-assigned, so a stride is as
+    // unbiased as a shuffle without needing RNG state).
+    size_t sampleCount =
+        std::max(k, std::min(cfg.trainSample, spec.numChunks));
+    sampleCount = std::min(sampleCount, spec.numChunks);
+    size_t stride = spec.numChunks / sampleCount;
+    std::vector<int16_t> sample(sampleCount * dim);
+    for (size_t i = 0; i < sampleCount; ++i)
+        genEmbeddingRow(spec, spec.firstChunk + i * stride, seed,
+                        sample.data() + i * dim);
+
+    // Init: evenly strided sample rows as the first centroids.
+    IvfClustering cl;
+    cl.dim_ = dim;
+    cl.centroids_.resize(k * dim);
+    for (size_t j = 0; j < k; ++j) {
+        const int16_t *row =
+            sample.data() + (j * sampleCount / k) * dim;
+        std::copy(row, row + dim, cl.centroids_.begin() + j * dim);
+    }
+
+    // Lloyd: max-IP assignment (the Phoenix kmeansApu idiom — the
+    // device scores candidates by inner product, so training with the
+    // same affinity keeps probe selection aligned with what the
+    // distance kernel will actually compute), rounded-mean update.
+    std::vector<size_t> assign(sampleCount);
+    std::vector<int64_t> sums(k * dim);
+    std::vector<size_t> counts(k);
+    for (size_t it = 0; it < cfg.iterations; ++it) {
+        std::fill(sums.begin(), sums.end(), 0);
+        std::fill(counts.begin(), counts.end(), 0);
+        for (size_t i = 0; i < sampleCount; ++i) {
+            const int16_t *row = sample.data() + i * dim;
+            size_t j = bestList(row, cl.centroids_, k, dim);
+            assign[i] = j;
+            ++counts[j];
+            for (size_t d = 0; d < dim; ++d)
+                sums[j * dim + d] += row[d];
+        }
+        for (size_t j = 0; j < k; ++j) {
+            if (counts[j] == 0)
+                continue; // empty list keeps its old centroid
+            for (size_t d = 0; d < dim; ++d)
+                cl.centroids_[j * dim + d] =
+                    static_cast<int16_t>(std::llround(
+                        static_cast<double>(sums[j * dim + d]) /
+                        static_cast<double>(counts[j])));
+        }
+    }
+
+    // Final assignment of every chunk, then list arrays. Scanning
+    // chunks in ascending id order makes ids ascend within each
+    // list — the device path's per-supertile top-k extraction is
+    // only tie-exact under that ordering.
+    cl.assign_.resize(spec.numChunks);
+    std::vector<uint64_t> listCounts(k, 0);
+    std::vector<int16_t> row(dim);
+    for (size_t c = 0; c < spec.numChunks; ++c) {
+        genEmbeddingRow(spec, spec.firstChunk + c, seed, row.data());
+        uint32_t j = static_cast<uint32_t>(
+            bestList(row.data(), cl.centroids_, k, dim));
+        cl.assign_[c] = j;
+        ++listCounts[j];
+    }
+    cl.offsets_.assign(k + 1, 0);
+    for (size_t j = 0; j < k; ++j)
+        cl.offsets_[j + 1] = cl.offsets_[j] + listCounts[j];
+    cl.order_.resize(spec.numChunks);
+    std::vector<uint64_t> cursor(cl.offsets_.begin(),
+                                 cl.offsets_.end() - 1);
+    for (size_t c = 0; c < spec.numChunks; ++c)
+        cl.order_[cursor[cl.assign_[c]]++] =
+            static_cast<uint32_t>(c);
+    return cl;
+}
+
+int64_t
+IvfClustering::centroidDot(const int16_t *query, size_t list) const
+{
+    cisram_assert(list < numLists(), "list id OOB");
+    return rowDot(query, centroids_.data() + list * dim_, dim_);
+}
+
+std::vector<uint32_t>
+IvfClustering::selectProbes(const int16_t *query,
+                            size_t nprobe) const
+{
+    size_t k = numLists();
+    nprobe = std::min(nprobe, k);
+    if (nprobe == 0)
+        return {};
+    // Hit's tie rule (score desc, id asc) is exactly the probe
+    // ordering contract; centroid dots fit a float exactly
+    // (|dot| <= 368 * 7 * 7 < 2^24).
+    std::vector<Hit> scored;
+    scored.reserve(k);
+    for (size_t j = 0; j < k; ++j)
+        scored.push_back(
+            {static_cast<float>(centroidDot(query, j)), j});
+    hitFinalize(scored);
+    std::vector<uint32_t> probes(nprobe);
+    for (size_t j = 0; j < nprobe; ++j)
+        probes[j] = static_cast<uint32_t>(scored[j].id);
+    return probes;
+}
+
+std::vector<Hit>
+searchFilteredFlat(const IndexFlatI16 &flat,
+                   const RagCorpusSpec &spec, uint64_t seed,
+                   const int16_t *query, size_t k,
+                   uint16_t filter_mask)
+{
+    std::vector<Hit> heap;
+    heap.reserve(k + 1);
+    for (size_t id = 0; id < flat.size(); ++id) {
+        if (filter_mask != kFilterAll &&
+            !passesFilter(filter_mask,
+                          chunkLabel(spec.firstChunk + id, seed)))
+            continue;
+        hitHeapPush(heap, k,
+                    {static_cast<float>(flat.dot(query, id)), id});
+    }
+    hitFinalize(heap);
+    return heap;
+}
+
+std::vector<Hit>
+IndexIvfI16::search(const int16_t *query, size_t k, size_t nprobe,
+                    uint16_t filter_mask) const
+{
+    if (nprobe == 0) // exhaustive mode: no coarse quantization
+        return searchFilteredFlat(flat_, spec_, seed_, query, k,
+                                  filter_mask);
+    cisram_assert(flat_.size() == clustering_.numChunks(),
+                  "clustering / index size mismatch");
+    auto probes = clustering_.selectProbes(query, nprobe);
+    std::vector<Hit> heap;
+    heap.reserve(k + 1);
+    const auto &offsets = clustering_.listOffsets();
+    const auto &order = clustering_.order();
+    for (uint32_t list : probes) {
+        for (uint64_t p = offsets[list]; p < offsets[list + 1]; ++p) {
+            size_t id = order[p];
+            if (filter_mask != kFilterAll &&
+                !passesFilter(filter_mask,
+                              chunkLabel(spec_.firstChunk + id,
+                                         seed_)))
+                continue;
+            hitHeapPush(
+                heap, k,
+                {static_cast<float>(flat_.dot(query, id)), id});
+        }
+    }
+    hitFinalize(heap);
+    return heap;
+}
+
+} // namespace cisram::baseline

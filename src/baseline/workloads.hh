@@ -43,6 +43,20 @@ struct RagCorpusSpec
      */
     size_t firstChunk = 0;
 
+    /**
+     * Topic count for the clustered corpus model. 0 (default) keeps
+     * the original i.i.d. hash embeddings — correct for latency
+     * characterization, but structureless, so no coarse quantizer
+     * can beat a random partition on it. With T > 0 each chunk
+     * belongs to a hash-assigned topic and its embedding is that
+     * topic's center plus per-element noise (still in [-7, 7], so
+     * dot products keep the int16 budget). Queries drawn near a
+     * topic center then have their true neighbours concentrated in
+     * one cluster, which is what gives an IVF index a real
+     * recall-vs-scan trade-off to measure.
+     */
+    size_t topics = 0;
+
     double
     embeddingBytes() const
     {
@@ -56,6 +70,44 @@ const std::vector<RagCorpusSpec> &ragCorpora();
 /** Deterministic embedding element in [-7, 7]. */
 int16_t embeddingValue(uint64_t chunk, uint64_t d, uint64_t seed);
 
+/** Topic of `chunk` under the clustered model (spec.topics > 0). */
+size_t chunkTopic(uint64_t chunk, uint64_t seed, size_t topics);
+
+/**
+ * Deterministic embedding element honoring the spec's corpus model:
+ * the plain hash for topics == 0, topic center + noise otherwise.
+ * `chunk` is a *global* chunk id (spec.firstChunk already applied).
+ */
+int16_t embeddingValueFor(const RagCorpusSpec &spec, uint64_t chunk,
+                          uint64_t d, uint64_t seed);
+
+/**
+ * Metadata labels for filtered search: every chunk carries one
+ * deterministic label in [0, kNumChunkLabels). A filter is a 16-bit
+ * mask of admitted labels; kFilterAll (all bits set) means
+ * unfiltered. Labels are keyed by global chunk id, so a shard sees
+ * the same labels as the unsharded corpus.
+ */
+constexpr size_t kNumChunkLabels = 8;
+constexpr uint16_t kFilterAll = 0xffff;
+
+uint16_t chunkLabel(uint64_t chunk, uint64_t seed);
+
+inline bool
+passesFilter(uint16_t filter_mask, uint16_t label)
+{
+    return (filter_mask >> label) & 1u;
+}
+
+/**
+ * Materialize one chunk's embedding row into `out` (dim elements).
+ * `chunk` is global. Equivalent to dim calls of embeddingValueFor but
+ * hoists the per-chunk topic lookup, which matters when an index
+ * build or ground-truth scan walks millions of chunks.
+ */
+void genEmbeddingRow(const RagCorpusSpec &spec, uint64_t chunk,
+                     uint64_t seed, int16_t *out);
+
 /** Materialize embeddings for chunks [first, first+count). */
 std::vector<int16_t> genEmbeddings(const RagCorpusSpec &spec,
                                    uint64_t first, uint64_t count,
@@ -63,6 +115,15 @@ std::vector<int16_t> genEmbeddings(const RagCorpusSpec &spec,
 
 /** Deterministic query vector in [-7, 7]. */
 std::vector<int16_t> genQuery(size_t dim, uint64_t seed);
+
+/**
+ * Query drawn near `topic`'s center (clustered corpus model):
+ * center plus small per-element jitter keyed by `seed`. Its exact
+ * nearest neighbours concentrate in that topic's chunks.
+ */
+std::vector<int16_t> genQueryForTopic(const RagCorpusSpec &spec,
+                                      size_t topic, uint64_t seed,
+                                      uint64_t corpus_seed);
 
 } // namespace cisram::baseline
 

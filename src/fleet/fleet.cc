@@ -229,7 +229,8 @@ Router::dispatchShard(QueryState &qs, unsigned shard,
             std::max(admit_seconds, not_before) + *tr;
         ss->server->advanceClock(arrival);
         Status est = ss->server->enqueueAt(
-            subQueryId(d, shard, qs.id), qs.query, arrival);
+            subQueryId(d, shard, qs.id), qs.query, arrival,
+            qs.search);
         if (!est.ok()) {
             // The send was spent but the replica shed it; hedge to
             // the next replica.
@@ -254,14 +255,20 @@ Router::dispatchShard(QueryState &qs, unsigned shard,
 
 Status
 Router::admit(uint64_t id, std::vector<int16_t> query,
-              double arrival_seconds)
+              double arrival_seconds,
+              kernels::RagSearchParams search)
 {
     cisram_assert(query.size() == corpus_.dim,
                   "fleet: query dim mismatch");
     cisram_assert(queryIndex_.find(id) == queryIndex_.end(),
                   "fleet: duplicate admission of query #", id);
+    cisram_assert(search.nprobe == 0 || cfg_.server.ivf.enabled,
+                  "fleet: query #", id, " requests nprobe=",
+                  search.nprobe,
+                  " but the fleet's servers have no IVF clustering");
 
-    ledger_.admit(id, query, arrival_seconds);
+    ledger_.admit(id, kernels::QueryPayload{query, search},
+                  arrival_seconds);
     flight_.recordAdmit(id, arrival_seconds);
 
     queryIndex_[id] = queries_.size();
@@ -269,6 +276,7 @@ Router::admit(uint64_t id, std::vector<int16_t> query,
     QueryState &qs = queries_.back();
     qs.id = id;
     qs.query = std::move(query);
+    qs.search = search;
     qs.admitSeconds = arrival_seconds;
     qs.subs.resize(shards_);
     qs.remaining = shards_;

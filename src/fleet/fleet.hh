@@ -162,9 +162,14 @@ class Router
      * healthy replica (router breaker + liveness gated, hedged to
      * the next replica on refusal). ResourceExhausted only when
      * every replica of some shard refuses — never a silent drop.
+     * `search` rides with the query through every hop — scatter,
+     * shard batching, failover replay — and each shard applies it
+     * against its own per-shard clustering (nprobe > 0 needs
+     * cfg.server.ivf.enabled).
      */
     Status admit(uint64_t id, std::vector<int16_t> query,
-                 double arrival_seconds = 0.0);
+                 double arrival_seconds = 0.0,
+                 kernels::RagSearchParams search = {});
 
     /** Serve ready batches fleet-wide; merged outcomes, id order. */
     std::vector<FleetOutcome> pump();
@@ -290,6 +295,7 @@ class Router
     {
         uint64_t id = 0;
         std::vector<int16_t> query;
+        kernels::RagSearchParams search;
         double admitSeconds = 0;
         std::vector<SubState> subs;
         size_t remaining = 0;
@@ -334,7 +340,7 @@ class Router
     Fabric fabric_;
     std::vector<FleetDevice> fleet_;
     std::vector<kernels::CircuitBreaker> routerBreakers_;
-    recovery::ReplayJournal<std::vector<int16_t>> ledger_;
+    recovery::ReplayJournal<kernels::QueryPayload> ledger_;
     obs::FlightRecorder flight_;
     std::vector<QueryState> queries_; ///< admission order
     std::unordered_map<uint64_t, size_t> queryIndex_;

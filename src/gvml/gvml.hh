@@ -149,6 +149,14 @@ class Gvml
     void cpyImm16Msk(Vr dst, uint16_t imm, Vr mark);
 
     /**
+     * Negated-mask immediate (GVML's _nmsk family):
+     * dst[i] = mark[i] ? dst[i] : imm. Lets a predicate bitmask
+     * knock *non-matching* lanes out in one op — the metadata-filter
+     * AND in the retrieval path — without first inverting the mark.
+     */
+    void cpyImm16Nmsk(Vr dst, uint16_t imm, Vr mark);
+
+    /**
      * Compacting copy (gvml_cpy_from_mrk_16_msk, used in Fig. 6):
      * the marked elements of src are written, in order, to the head
      * of dst; the tail is zero-filled. Returns the number of marked

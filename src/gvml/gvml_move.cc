@@ -59,6 +59,22 @@ Gvml::cpyImm16Msk(Vr dst, uint16_t imm, Vr mark)
             d[i] = imm;
 }
 
+void
+Gvml::cpyImm16Nmsk(Vr dst, uint16_t imm, Vr mark)
+{
+    trace::OpScope traceOp_("gvml.cpyImm16Nmsk");
+    // Same bit-processor select as the positive-mask form; the
+    // negation is free in the per-lane select logic.
+    core_.chargeVectorOp(core_.timing().compute.selectMsk);
+    if (!core_.functional())
+        return;
+    auto &d = core_.vr()[dst.idx];
+    const auto &m = core_.vr()[mark.idx];
+    for (size_t i = 0; i < d.size(); ++i)
+        if (!m[i])
+            d[i] = imm;
+}
+
 uint32_t
 Gvml::cpyFromMrk16(Vr dst, Vr src, Vr mark)
 {

@@ -39,8 +39,8 @@ ragVariantName(RagVariant v)
 namespace {
 
 constexpr Vr vrEmb{0}, vrQ{1}, vrT{2}, vrAcc{3}, vrBias{4},
-    vrQfull{5};
-constexpr Vmr vmStage{0};
+    vrQfull{5}, vrAdmit{6};
+constexpr Vmr vmStage{0}, vmAdmit{1};
 
 /** Fixed CP/host cost of returning the top-k over the RSP FIFO. */
 constexpr double returnTopkCycles = 7000.0;
@@ -142,6 +142,44 @@ extractTopK(Gvml &g, ApuCore &core, Vr score, size_t k,
     return out;
 }
 
+/**
+ * Seconds of the embedding stream hidden by double-buffered
+ * streaming (RagBatchOptions::overlapStream) over an n-supertile
+ * pass. With per-supertile stream time ps = stream/n and compute
+ * pc = calc/n, the overlapped schedule costs
+ *   stream/n + (n-1)*max(ps, pc) + calc/n + n*sync
+ * so the hidden portion is
+ *   hidden = stream + calc - overlapped
+ *          = (n-1)*min(ps, pc) - n*sync       (clamped at 0).
+ * Bound — why RagStageLatency::total()'s unclamped subtraction is
+ * safe at any n: (n-1)*min(ps, pc) <= (n-1)*ps < n*ps = stream, and
+ * symmetrically < calc; subtracting the sync term only shrinks it.
+ * In particular a single ragged supertile (n = 1, the common case
+ * for IVF's short probe-restricted streams) hides exactly 0.
+ */
+double
+overlapHiddenSeconds(ApuDevice &dev, const apu::TimingParams &t,
+                     double stream_s, double calc_s,
+                     size_t supertiles)
+{
+    if (supertiles == 0)
+        return 0.0;
+    double n = static_cast<double>(supertiles);
+    double per_stream = stream_s / n;
+    double per_calc = calc_s / n;
+    double sync =
+        dev.cyclesToSeconds(
+            static_cast<double>(t.move.pipeSyncL4L1)) *
+        n;
+    double overlapped = per_stream +
+        (n - 1.0) * std::max(per_stream, per_calc) + per_calc +
+        sync;
+    double hidden = std::max(0.0, stream_s + calc_s - overlapped);
+    cisram_assert(hidden <= stream_s && hidden <= calc_s,
+                  "overlap hides more than a stage it overlaps");
+    return hidden;
+}
+
 } // namespace
 
 RagRetriever::RagRetriever(ApuDevice &dev, dram::DramSystem &hbm,
@@ -233,8 +271,8 @@ RagRetriever::retrieveGf16(const std::vector<int16_t> &query,
                 std::fill(plane.begin(), plane.end(), 0);
                 size_t valid = std::min(l, chunks - st * l);
                 for (size_t j = 0; j < valid; ++j) {
-                    int16_t v = baseline::embeddingValue(
-                        corpus_.firstChunk + st * l + j, d,
+                    int16_t v = baseline::embeddingValueFor(
+                        corpus_, corpus_.firstChunk + st * l + j, d,
                         corpus_seed);
                     plane[j] = GsiFloat16::fromFloat(
                                    static_cast<float>(v))
@@ -322,6 +360,9 @@ RagRetriever::retrieveBatch(
     for (const auto &q : queries)
         cisram_assert(q.size() == corpus_.dim, "query dim mismatch");
 
+    if (opts.ivf != nullptr && opts.search.nprobe > 0)
+        return retrieveIvfBatch(queries, corpus_seed, opts);
+
     ApuCore &core = dev.core(coreIdx_);
     Gvml g(core);
     const auto &t = dev.timing();
@@ -330,6 +371,8 @@ RagRetriever::retrieveBatch(
     size_t chunks = corpus_.numChunks;
     size_t supertiles = divCeil(chunks, l);
     bool fnl = core.functional();
+    uint16_t filter = opts.search.filterMask;
+    bool filtered = filter != baseline::kFilterAll;
 
     // Accumulators live in VRs 8..15; working registers below.
     auto acc = [](size_t q2) {
@@ -337,33 +380,54 @@ RagRetriever::retrieveBatch(
     };
 
     std::vector<RagRunResult> results(batch);
+    // The predicate bitmask plane (one u16 mark per chunk) streams
+    // alongside the corpus when a filter is armed: 1/dim of the
+    // embedding bytes — the "nearly free" part of filtered search.
     double shared_dram = static_cast<double>(chunks) *
-        static_cast<double>(dim) * 2.0;
+        (static_cast<double>(dim) + (filtered ? 1.0 : 0.0)) * 2.0;
 
     // One pass over the corpus serves the whole batch.
     dram::DramSystem &mem = hbm;
     double load_emb = mem.streamReadSeconds(
         0, static_cast<uint64_t>(shared_dram));
 
-    uint64_t emb_addr = 0;
+    uint64_t emb_addr = 0, adm_addr = 0;
     if (fnl) {
         cisram_assert(chunks <= (size_t(1) << 21),
                       "functional corpus too large");
         emb_addr =
             dev.allocator().alloc(supertiles * dim * l * 2, 512);
+        adm_addr = dev.allocator().alloc(supertiles * l * 2, 512);
         std::vector<uint16_t> plane(l);
         for (size_t st = 0; st < supertiles; ++st) {
+            size_t valid = std::min(l, chunks - st * l);
             for (size_t d = 0; d < dim; ++d) {
                 std::fill(plane.begin(), plane.end(), 0);
-                size_t valid = std::min(l, chunks - st * l);
                 for (size_t j = 0; j < valid; ++j)
                     plane[j] = static_cast<uint16_t>(
-                        baseline::embeddingValue(
-                            corpus_.firstChunk + st * l + j, d,
-                            corpus_seed));
+                        baseline::embeddingValueFor(
+                            corpus_, corpus_.firstChunk + st * l + j,
+                            d, corpus_seed));
                 dev.l4().write(emb_addr + (st * dim + d) * l * 2,
                                plane.data(), l * 2);
             }
+            // Admit marks: lane validity AND the metadata predicate.
+            // Padding lanes are knocked out here so a ragged tail
+            // can never outrank real (possibly negative) scores
+            // with its biased-zero dot products.
+            std::fill(plane.begin(), plane.end(), 0);
+            for (size_t j = 0; j < valid; ++j) {
+                uint64_t chunk = corpus_.firstChunk + st * l + j;
+                plane[j] =
+                    (!filtered ||
+                     baseline::passesFilter(
+                         filter,
+                         baseline::chunkLabel(chunk, corpus_seed)))
+                    ? 1
+                    : 0;
+            }
+            dev.l4().write(adm_addr + st * l * 2, plane.data(),
+                           l * 2);
         }
     }
 
@@ -408,10 +472,24 @@ RagRetriever::retrieveBatch(
                         batch);
         });
 
+        // AND the admit plane (validity + metadata predicate) into
+        // the match mask: one negated-mask select per score VR
+        // writes the masked-out sentinel (biased 0x0000, a dot of
+        // -32768 no int16 embedding can produce) into excluded
+        // lanes, which extractTopK already skips.
+        core.chargeRaw(ingestCycles(t, true));
+        if (fnl) {
+            auto &slot = core.l1().slot(vmAdmit.idx);
+            dev.l4().read(adm_addr + st * l * 2, slot.data(),
+                          l * 2);
+        }
+        g.load16(vrAdmit, vmAdmit);
+
         double before = core.stats().cycles();
         size_t valid = fnl ? std::min(l, chunks - st * l) : l;
         for (size_t q2 = 0; q2 < batch; ++q2) {
             g.xor16(acc(q2), acc(q2), vrBias);
+            g.cpyImm16Nmsk(acc(q2), 0x0000, vrAdmit);
             auto part = extractTopK(g, core, acc(q2), topK, valid);
             for (auto &h : part)
                 h.id += st * l;
@@ -427,31 +505,15 @@ RagRetriever::retrieveBatch(
 
     // Overlapped corpus streaming: with both DMA engines active, the
     // HBM stream for supertile st+1 lands in the spare L4 buffer
-    // while the VXU scores supertile st. Supertile 0's stream and the
-    // last supertile's compute cannot be hidden, each hand-off costs
-    // one L4->L1 pipeline sync, and every steady-state supertile runs
-    // at the slower of its two halves:
-    //   overlapped = stream/n + (n-1)*max(stream/n, calc/n)
-    //              + calc/n + n*sync
-    // The stage latencies keep their full (sequential) attribution;
-    // only overlapHidden — the portion of the stream the pipeline
-    // hides, clamped so overlap never charges more than sequential —
-    // feeds back into total().
+    // while the VXU scores supertile st. The stage latencies keep
+    // their full (sequential) attribution; only overlapHidden — the
+    // portion of the stream the pipeline hides, provably bounded by
+    // both loadEmbedding and calcDistance (see overlapHiddenSeconds)
+    // — feeds back into total().
     double overlap_hidden = 0.0;
-    if (opts.overlapStream) {
-        double n = static_cast<double>(supertiles);
-        double per_stream = load_emb / n;
-        double per_calc = calc_s / n;
-        double sync =
-            dev.cyclesToSeconds(
-                static_cast<double>(t.move.pipeSyncL4L1)) *
-            n;
-        double overlapped = per_stream +
-            (n - 1.0) * std::max(per_stream, per_calc) + per_calc +
-            sync;
-        overlap_hidden =
-            std::max(0.0, load_emb + calc_s - overlapped);
-    }
+    if (opts.overlapStream)
+        overlap_hidden = overlapHiddenSeconds(dev, t, load_emb,
+                                              calc_s, supertiles);
 
     double b = static_cast<double>(batch);
     for (size_t q2 = 0; q2 < batch; ++q2) {
@@ -470,10 +532,305 @@ RagRetriever::retrieveBatch(
             r.hits = mergeHits(std::move(candidates[q2]), topK);
         publishTopkIds(r, q2);
     }
-    if (fnl)
+    if (fnl) {
         dev.allocator().free(emb_addr);
+        dev.allocator().free(adm_addr);
+    }
     // One corpus pass serves the whole batch, so an uncorrectable
     // ECC error taints every result in it.
+    Status ecc = hbm.takeFaultStatus();
+    if (!ecc.ok())
+        for (auto &r : results)
+            r.status = ecc;
+    return results;
+}
+
+std::vector<RagRunResult>
+RagRetriever::retrieveIvfBatch(
+    const std::vector<std::vector<int16_t>> &queries,
+    uint64_t corpus_seed, const RagBatchOptions &opts)
+{
+    const baseline::IvfClustering &cl = *opts.ivf;
+    size_t batch = queries.size();
+    ApuCore &core = dev.core(coreIdx_);
+    Gvml g(core);
+    const auto &t = dev.timing();
+    size_t l = dev.spec().vrLength;
+    size_t dim = corpus_.dim;
+    size_t K = cl.numLists();
+    size_t nprobe = std::min(opts.search.nprobe, K);
+    uint16_t filter = opts.search.filterMask;
+    bool filtered = filter != baseline::kFilterAll;
+    bool fnl = core.functional();
+
+    cisram_assert(cl.dim() == dim, "clustering dim mismatch");
+    cisram_assert(cl.numChunks() == corpus_.numChunks,
+                  "clustering built for a different corpus");
+    cisram_assert(K <= l, "centroid table exceeds one VR");
+
+    auto acc = [](size_t q2) {
+        return Vr(8 + static_cast<unsigned>(q2));
+    };
+
+    // CP-side probe selection mirror of the golden index. The
+    // device's coarse pass below runs the same selection on the VXU;
+    // in functional mode the two are asserted identical, which is
+    // what makes the device-vs-golden bit-compare meaningful.
+    std::vector<std::vector<uint32_t>> probes(batch);
+    for (size_t q2 = 0; q2 < batch; ++q2)
+        probes[q2] = cl.selectProbes(queries[q2].data(), nprobe);
+
+    // Union of probed lists in ascending list order; each list
+    // streams once per batch and only its probing queries extract.
+    std::vector<std::vector<size_t>> byList(K);
+    for (size_t q2 = 0; q2 < batch; ++q2)
+        for (uint32_t list : probes[q2])
+            byList[list].push_back(q2);
+    std::vector<uint32_t> lists;
+    for (uint32_t j = 0; j < K; ++j)
+        if (!byList[j].empty())
+            lists.push_back(j);
+
+    const auto &offsets = cl.listOffsets();
+    const auto &order = cl.order();
+    uint64_t probed_chunks = 0;
+    size_t total_supertiles = 0;
+    for (uint32_t list : lists) {
+        probed_chunks += cl.listSize(list);
+        total_supertiles += divCeil(cl.listSize(list), l);
+    }
+
+    std::vector<RagRunResult> results(batch);
+    // Stream budget: centroid table + the probed lists' embeddings,
+    // plus their predicate planes when a filter is armed. The
+    // exhaustive pass streams chunks*dim*2; the ratio is the scan
+    // reduction bench_ivf_recall reports.
+    double shared_dram =
+        (static_cast<double>(K) * dim +
+         static_cast<double>(probed_chunks) *
+             (static_cast<double>(dim) + (filtered ? 1.0 : 0.0))) *
+        2.0;
+    double load_emb = hbm.streamReadSeconds(
+        0, static_cast<uint64_t>(shared_dram));
+
+    // Functional staging: centroid planes (+ a lane-validity plane
+    // for the coarse pass), then each probed list's ragged supertile
+    // planes with admit marks. Chunk j of supertile st of a list is
+    // order[offsets[list] + st*l + j] — ascending within the list,
+    // which keeps per-supertile tie extraction exact.
+    uint64_t cent_addr = 0, cval_addr = 0, emb_addr = 0,
+             adm_addr = 0;
+    if (fnl) {
+        cisram_assert(corpus_.numChunks <= (size_t(1) << 21),
+                      "functional corpus too large");
+        cent_addr = dev.allocator().alloc(dim * l * 2, 512);
+        cval_addr = dev.allocator().alloc(l * 2, 512);
+        std::vector<uint16_t> plane(l);
+        const auto &cents = cl.centroids();
+        for (size_t d = 0; d < dim; ++d) {
+            std::fill(plane.begin(), plane.end(), 0);
+            for (size_t j = 0; j < K; ++j)
+                plane[j] = static_cast<uint16_t>(cents[j * dim + d]);
+            dev.l4().write(cent_addr + d * l * 2, plane.data(),
+                           l * 2);
+        }
+        std::fill(plane.begin(), plane.end(), 0);
+        for (size_t j = 0; j < K; ++j)
+            plane[j] = 1;
+        dev.l4().write(cval_addr, plane.data(), l * 2);
+
+        size_t st_alloc = std::max<size_t>(1, total_supertiles);
+        emb_addr =
+            dev.allocator().alloc(st_alloc * dim * l * 2, 512);
+        adm_addr = dev.allocator().alloc(st_alloc * l * 2, 512);
+        size_t gst = 0;
+        std::vector<int16_t> rows;
+        for (uint32_t list : lists) {
+            size_t lsz = cl.listSize(list);
+            for (size_t st = 0; st < divCeil(lsz, l); ++st, ++gst) {
+                size_t valid = std::min(l, lsz - st * l);
+                rows.resize(valid * dim);
+                for (size_t j = 0; j < valid; ++j)
+                    baseline::genEmbeddingRow(
+                        corpus_,
+                        corpus_.firstChunk +
+                            order[offsets[list] + st * l + j],
+                        corpus_seed, rows.data() + j * dim);
+                for (size_t d = 0; d < dim; ++d) {
+                    std::fill(plane.begin(), plane.end(), 0);
+                    for (size_t j = 0; j < valid; ++j)
+                        plane[j] = static_cast<uint16_t>(
+                            rows[j * dim + d]);
+                    dev.l4().write(
+                        emb_addr + (gst * dim + d) * l * 2,
+                        plane.data(), l * 2);
+                }
+                std::fill(plane.begin(), plane.end(), 0);
+                for (size_t j = 0; j < valid; ++j) {
+                    uint64_t chunk = corpus_.firstChunk +
+                        order[offsets[list] + st * l + j];
+                    plane[j] =
+                        (!filtered ||
+                         baseline::passesFilter(
+                             filter, baseline::chunkLabel(
+                                         chunk, corpus_seed)))
+                        ? 1
+                        : 0;
+                }
+                dev.l4().write(adm_addr + gst * l * 2,
+                               plane.data(), l * 2);
+            }
+        }
+    }
+
+    core.stats().reset();
+    StageTimer timer(core);
+
+    core.dmaL4ToL3(0, 0, batch * dim * 2);
+    double load_query = dev.cyclesToSeconds(timer.lap());
+
+    g.cpyImm16(vrBias, 0x8000);
+
+    std::vector<Vr> accsAll;
+    accsAll.reserve(batch);
+    for (size_t q2 = 0; q2 < batch; ++q2)
+        accsAll.push_back(acc(q2));
+    std::vector<std::vector<Hit>> candidates(batch);
+    double topk_cycles = 0.0;
+
+    // ---- coarse centroid pass --------------------------------------
+    // The centroid table (K x dim int16, ~46 KiB at K = 64) stages
+    // through L3/L4 and streams as dim K-wide planes: one mini
+    // supertile scoring lists instead of chunks, reusing the exact
+    // MAC/bias/extract machinery of the main loop.
+    for (size_t q2 = 0; q2 < batch; ++q2)
+        g.cpyImm16(acc(q2), 0);
+    timedLoop(core, dim, [&](size_t d) {
+        core.chargeRaw(ingestCycles(t, true));
+        if (fnl) {
+            auto &slot = core.l1().slot(vmStage.idx);
+            dev.l4().read(cent_addr + d * l * 2, slot.data(),
+                          l * 2);
+        }
+        g.load16(vrEmb, vmStage);
+        uint16_t imms[8];
+        for (size_t q2 = 0; q2 < batch; ++q2)
+            imms[q2] = static_cast<uint16_t>(queries[q2][d]);
+        g.macImmS16(vrEmb, vrQ, vrT, accsAll.data(), imms, batch);
+    });
+    core.chargeRaw(ingestCycles(t, true));
+    if (fnl) {
+        auto &slot = core.l1().slot(vmAdmit.idx);
+        dev.l4().read(cval_addr, slot.data(), l * 2);
+    }
+    g.load16(vrAdmit, vmAdmit);
+    {
+        double before = core.stats().cycles();
+        for (size_t q2 = 0; q2 < batch; ++q2) {
+            g.xor16(acc(q2), acc(q2), vrBias);
+            g.cpyImm16Nmsk(acc(q2), 0x0000, vrAdmit);
+            std::vector<uint32_t> dev_probes;
+            for (size_t p = 0; p < nprobe; ++p) {
+                auto mx = g.maxIndexU16(acc(q2));
+                core.rspSet(acc(q2).idx, fnl ? mx.index : 0, 0);
+                if (fnl && mx.index < K && mx.value != 0)
+                    dev_probes.push_back(
+                        static_cast<uint32_t>(mx.index));
+            }
+            if (fnl)
+                cisram_assert(
+                    dev_probes == probes[q2],
+                    "device coarse pass diverged from golden "
+                    "probe selection");
+        }
+        core.chargeRaw(mergeCyclesPerVr);
+        topk_cycles += core.stats().cycles() - before;
+    }
+
+    // ---- probe-restricted streaming --------------------------------
+    size_t gst = 0;
+    for (uint32_t list : lists) {
+        const auto &qset = byList[list];
+        size_t lsz = cl.listSize(list);
+        std::vector<Vr> accs;
+        accs.reserve(qset.size());
+        for (size_t q2 : qset)
+            accs.push_back(acc(q2));
+        for (size_t st = 0; st < divCeil(lsz, l); ++st, ++gst) {
+            for (size_t q2 : qset)
+                g.cpyImm16(acc(q2), 0);
+            timedLoop(core, dim, [&](size_t d) {
+                core.chargeRaw(ingestCycles(t, true));
+                if (fnl) {
+                    auto &slot = core.l1().slot(vmStage.idx);
+                    dev.l4().read(
+                        emb_addr + (gst * dim + d) * l * 2,
+                        slot.data(), l * 2);
+                }
+                g.load16(vrEmb, vmStage);
+                uint16_t imms[8];
+                for (size_t i = 0; i < qset.size(); ++i)
+                    imms[i] = static_cast<uint16_t>(
+                        queries[qset[i]][d]);
+                g.macImmS16(vrEmb, vrQ, vrT, accs.data(), imms,
+                            qset.size());
+            });
+            core.chargeRaw(ingestCycles(t, true));
+            if (fnl) {
+                auto &slot = core.l1().slot(vmAdmit.idx);
+                dev.l4().read(adm_addr + gst * l * 2, slot.data(),
+                              l * 2);
+            }
+            g.load16(vrAdmit, vmAdmit);
+
+            double before = core.stats().cycles();
+            size_t valid = fnl ? std::min(l, lsz - st * l) : l;
+            for (size_t q2 : qset) {
+                g.xor16(acc(q2), acc(q2), vrBias);
+                g.cpyImm16Nmsk(acc(q2), 0x0000, vrAdmit);
+                auto part =
+                    extractTopK(g, core, acc(q2), topK, valid);
+                for (auto &h : part)
+                    h.id = order[offsets[list] + st * l + h.id];
+                candidates[q2].insert(candidates[q2].end(),
+                                      part.begin(), part.end());
+            }
+            topk_cycles += core.stats().cycles() - before;
+        }
+    }
+    double calc_total = timer.lap();
+    core.chargeRaw(returnTopkCycles * static_cast<double>(batch));
+    double return_total = dev.cyclesToSeconds(timer.lap());
+    double calc_s = dev.cyclesToSeconds(calc_total - topk_cycles);
+
+    double overlap_hidden = 0.0;
+    if (opts.overlapStream)
+        overlap_hidden = overlapHiddenSeconds(
+            dev, t, load_emb, calc_s, total_supertiles);
+
+    double b = static_cast<double>(batch);
+    for (size_t q2 = 0; q2 < batch; ++q2) {
+        auto &r = results[q2];
+        r.stages.loadEmbedding = load_emb / b;
+        r.stages.loadQuery = load_query / b;
+        r.stages.calcDistance = calc_s / b;
+        r.stages.topkAggregation =
+            dev.cyclesToSeconds(topk_cycles) / b;
+        r.stages.returnTopk = return_total / b;
+        r.stages.overlapHidden = overlap_hidden / b;
+        r.computeSeconds = r.stages.calcDistance;
+        r.dramBytes = shared_dram / b;
+        r.cacheBytes = 2.0 * shared_dram / b;
+        if (fnl)
+            r.hits = mergeHits(std::move(candidates[q2]), topK);
+        publishTopkIds(r, q2);
+    }
+    if (fnl) {
+        dev.allocator().free(cent_addr);
+        dev.allocator().free(cval_addr);
+        dev.allocator().free(emb_addr);
+        dev.allocator().free(adm_addr);
+    }
     Status ecc = hbm.takeFaultStatus();
     if (!ecc.ok())
         for (auto &r : results)
@@ -523,8 +880,8 @@ RagRetriever::retrieveSpatial(const std::vector<int16_t> &query,
                     break;
                 for (size_t d = 0; d < corpus_.dim; ++d)
                     tile[c * pad + d] = static_cast<uint16_t>(
-                        baseline::embeddingValue(
-                            corpus_.firstChunk + chunk, d,
+                        baseline::embeddingValueFor(
+                            corpus_, corpus_.firstChunk + chunk, d,
                             corpus_seed));
             }
             dev.l4().write(emb_addr + tl * l * 2, tile.data(),
@@ -683,9 +1040,9 @@ RagRetriever::retrieveTemporal(const std::vector<int16_t> &query,
                 size_t valid = std::min(l, chunks - st * l);
                 for (size_t j = 0; j < valid; ++j)
                     plane[j] = static_cast<uint16_t>(
-                        baseline::embeddingValue(
-                            corpus_.firstChunk + st * l + j, d,
-                            corpus_seed));
+                        baseline::embeddingValueFor(
+                            corpus_, corpus_.firstChunk + st * l + j,
+                            d, corpus_seed));
                 dev.l4().write(emb_addr + (st * dim + d) * l * 2,
                                plane.data(), l * 2);
             }

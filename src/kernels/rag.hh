@@ -37,6 +37,7 @@
 
 #include "apusim/apu.hh"
 #include "baseline/faisslite.hh"
+#include "baseline/ivf.hh"
 #include "baseline/workloads.hh"
 #include "dramsim/dram_sim.hh"
 
@@ -45,6 +46,45 @@ namespace cisram::kernels {
 enum class RagVariant { NoOpt, Opt1, Opt2, Opt3, AllOpts };
 
 const char *ragVariantName(RagVariant v);
+
+/**
+ * Per-query index parameters, routed with the query through
+ * admission, batching, sharding, and replay. Queries only share a
+ * device batch when their params are identical (the batch former
+ * enforces this), so one RagSearchParams describes a whole batch.
+ */
+struct RagSearchParams
+{
+    /**
+     * Inverted lists to probe. 0 = exhaustive scan (no coarse
+     * quantization). Values >= the clustering's list count probe
+     * every list, which scans the same chunk set as the exhaustive
+     * path and must bit-compare with it (the nprobe=K identity
+     * invariant; gated by tests).
+     */
+    size_t nprobe = 0;
+
+    /**
+     * Metadata predicate: bitmask of admitted chunk labels
+     * (baseline::chunkLabel); kFilterAll = unfiltered. On-device the
+     * predicate plane is ANDed into the match mask — one masked
+     * select per score VR, nearly free next to the dim-long MAC
+     * loop. The CPU golden applies the identical predicate.
+     */
+    uint16_t filterMask = baseline::kFilterAll;
+
+    bool
+    operator==(const RagSearchParams &o) const
+    {
+        return nprobe == o.nprobe && filterMask == o.filterMask;
+    }
+
+    bool
+    operator!=(const RagSearchParams &o) const
+    {
+        return !(*this == o);
+    }
+};
 
 /** Options for retrieveBatch. */
 struct RagBatchOptions
@@ -60,6 +100,18 @@ struct RagBatchOptions
      * timing ledger changes.
      */
     bool overlapStream = false;
+
+    /** Index parameters shared by every query in the batch. */
+    RagSearchParams search;
+
+    /**
+     * Coarse quantizer backing search.nprobe > 0. Host-built once
+     * per corpus (baseline::IvfClustering::build) and resident
+     * across batches; its centroid table stages into L3/L4 for the
+     * device's coarse pass. Null forces the exhaustive path
+     * regardless of nprobe.
+     */
+    const baseline::IvfClustering *ivf = nullptr;
 };
 
 /** Table 8 stage latencies, in seconds. */
@@ -189,6 +241,17 @@ class RagRetriever
     RagRunResult retrieveTemporal(const std::vector<int16_t> &query,
                                   bool coalesce, bool bf_query,
                                   uint64_t corpus_seed);
+
+    /**
+     * Probe-restricted batch: coarse centroid pass on-device, then
+     * stream only the probed inverted lists (each list as its own
+     * ragged supertile run). Called by retrieveBatch when opts
+     * carry a clustering and nprobe > 0.
+     */
+    std::vector<RagRunResult>
+    retrieveIvfBatch(const std::vector<std::vector<int16_t>> &queries,
+                     uint64_t corpus_seed,
+                     const RagBatchOptions &opts);
 
     /** Stage res.hits' ids into the device id buffer (slot 0..7). */
     void publishTopkIds(RagRunResult &res, size_t slot);

@@ -112,14 +112,22 @@ BatchFormer::batchReady() const
 std::vector<PendingQuery>
 BatchFormer::takeBatch()
 {
+    // A device batch shares one coarse pass and one filter plane,
+    // so only the maximal FIFO prefix with the *front* query's
+    // search params ships together. Never reorder around a param
+    // boundary: FIFO fairness beats batch fullness.
     size_t n = std::min(queue_.size(), policy_.maxBatch);
+    size_t take = 0;
+    while (take < n &&
+           queue_[take].query.search == queue_.front().query.search)
+        ++take;
     std::vector<PendingQuery> out;
-    out.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
+    out.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
         out.push_back(std::move(queue_.front().query));
         queue_.pop_front();
     }
-    if (n > 0)
+    if (take > 0)
         ++batches_;
     return out;
 }
@@ -147,20 +155,38 @@ DeviceServer::DeviceServer(apu::ApuDevice &dev, RagCorpusSpec spec,
     host_.setDeviceHint(cfg.deviceIndex);
     hbm_.setScrubConfig(cfg.scrub);
     hbm_.setDeviceIndex(cfg.deviceIndex);
+    if (cfg_.ivf.enabled) {
+        // Host state: trained once per shard, survives core resets
+        // (only the device-side centroid staging is re-paid, inside
+        // retrieveIvfBatch).
+        clustering_ = std::make_unique<baseline::IvfClustering>(
+            baseline::IvfClustering::build(spec_, corpusSeed_,
+                                           cfg_.ivf.build));
+        if (golden_)
+            goldenIvf_ = std::make_unique<baseline::IndexIvfI16>(
+                *golden_, *clustering_, spec_, corpusSeed_);
+    }
 }
 
 Status
-DeviceServer::enqueue(uint64_t id, std::vector<int16_t> embedding)
+DeviceServer::enqueue(uint64_t id, std::vector<int16_t> embedding,
+                      RagSearchParams search)
 {
-    return enqueueAt(id, std::move(embedding), busySeconds_);
+    return enqueueAt(id, std::move(embedding), busySeconds_,
+                     search);
 }
 
 Status
 DeviceServer::enqueueAt(uint64_t id, std::vector<int16_t> embedding,
-                        double admit_seconds)
+                        double admit_seconds,
+                        RagSearchParams search)
 {
     cisram_assert(embedding.size() == spec_.dim,
                   "query dim mismatch");
+    cisram_assert(search.nprobe == 0 || cfg_.ivf.enabled,
+                  "query #", id, " requests nprobe=", search.nprobe,
+                  " but the server has no IVF clustering "
+                  "(ServerConfig::ivf.enabled)");
     auto &reg = metrics::Registry::get();
 
     if (cfg_.health.enabled &&
@@ -225,10 +251,11 @@ DeviceServer::enqueueAt(uint64_t id, std::vector<int16_t> embedding,
         }
     }
 
-    journal_.admit(id, embedding, admit_seconds);
+    journal_.admit(id, QueryPayload{embedding, search},
+                   admit_seconds);
     flight_.recordAdmit(id, admit_seconds);
     former_.admit(PendingQuery{id, std::move(embedding),
-                               admit_seconds});
+                               admit_seconds, search});
     return Status::okStatus();
 }
 
@@ -238,7 +265,7 @@ DeviceServer::advanceClock(double t)
     busySeconds_ = std::max(busySeconds_, t);
 }
 
-std::vector<recovery::JournalEntry<std::vector<int16_t>>>
+std::vector<recovery::JournalEntry<QueryPayload>>
 DeviceServer::evacuate()
 {
     auto handed = journal_.handOffPending();
@@ -311,17 +338,22 @@ DeviceServer::drain()
         auto pend = journal_.pending();
         former_ = BatchFormer(cfg_.batch);
         for (const auto *e : pend)
-            former_.admit(
-                PendingQuery{e->id, e->payload, e->admitSeconds});
+            former_.admit(PendingQuery{e->id, e->payload.embedding,
+                                       e->admitSeconds,
+                                       e->payload.search});
     }
 }
 
 ServeOutcome
-DeviceServer::serve(const std::vector<int16_t> &query)
+DeviceServer::serve(const std::vector<int16_t> &query,
+                    RagSearchParams search)
 {
     cisram_assert(query.size() == spec_.dim, "query dim mismatch");
+    cisram_assert(search.nprobe == 0 || cfg_.ivf.enabled,
+                  "serve() requests nprobe=", search.nprobe,
+                  " but the server has no IVF clustering");
     std::vector<PendingQuery> one;
-    one.push_back(PendingQuery{0, query, busySeconds_});
+    one.push_back(PendingQuery{0, query, busySeconds_, search});
     return serveBatch(std::move(one), false, false)[0];
 }
 
@@ -366,8 +398,9 @@ DeviceServer::performReset()
                               cfg_.breakerCooldown);
     former_ = BatchFormer(cfg_.batch);
     for (const auto *e : pend)
-        former_.admit(PendingQuery{e->id, e->payload,
-                                   e->admitSeconds});
+        former_.admit(PendingQuery{e->id, e->payload.embedding,
+                                   e->admitSeconds,
+                                   e->payload.search});
     replayed_ += pend.size();
     ++resets_;
     if (flight_.enabled()) {
@@ -403,6 +436,10 @@ DeviceServer::serveBatch(std::vector<PendingQuery> batch,
 {
     size_t b = batch.size();
     cisram_assert(b >= 1, "serveBatch needs at least one query");
+    for (size_t q = 1; q < b; ++q)
+        cisram_assert(batch[q].search == batch[0].search,
+                      "serveBatch: mixed search params in one batch "
+                      "(the batch former must split on them)");
     std::vector<ServeOutcome> outs(b);
     double start = busySeconds_;
     auto &reg = metrics::Registry::get();
@@ -591,7 +628,8 @@ DeviceServer::serveBatch(std::vector<PendingQuery> batch,
         // The CPU serves the batch's queries one after another.
         for (size_t q = 0; q < b; ++q) {
             double tF = start + elapsed;
-            cpuFallback(batch[q].embedding, outs[q]);
+            cpuFallback(batch[q].embedding, batch[q].search,
+                        outs[q]);
             elapsed += outs[q].retrievalSeconds;
             if (record)
                 flight_.span(outs[q].id, obs::Stage::CpuFallback, 0,
@@ -649,12 +687,16 @@ DeviceServer::tryDeviceBatch(const std::vector<PendingQuery> &batch,
     for (size_t q = 0; q < b; ++q)
         queries[q] = batch[q].embedding;
 
+    RagBatchOptions opts;
+    opts.overlapStream = cfg_.overlapStream;
+    opts.search = batch[0].search;
+    opts.ivf = clustering_.get();
+
     std::vector<RagRunResult> rs;
     st = host_.runTaskTimeoutOn(
         core_, cfg_.retry.deadlineSeconds, [&](apu::ApuCore &) {
-            rs = retriever_->retrieveBatch(
-                queries, corpusSeed_,
-                RagBatchOptions{cfg_.overlapStream});
+            rs = retriever_->retrieveBatch(queries, corpusSeed_,
+                                           opts);
             return 0;
         });
     if (!st.ok())
@@ -665,16 +707,23 @@ DeviceServer::tryDeviceBatch(const std::vector<PendingQuery> &batch,
         if (!r.status.ok())
             return r.status;
 
-    // Read the staged ids back (fixed-size in timing mode).
+    // Read the staged ids back: the exact staged count in
+    // functional mode (0 is a real answer — an empty metadata
+    // filter yields no survivors, and reading topK anyway would
+    // surface stale buffer contents as ids), fixed-size in timing
+    // mode (no functional results exist to count).
+    bool functional = dev_.core(core_).functional();
     for (size_t q = 0; q < b; ++q) {
-        size_t n =
-            rs[q].topkIdsCount ? rs[q].topkIdsCount : cfg_.topK;
+        size_t n = functional ? rs[q].topkIdsCount : cfg_.topK;
         outs[q].ids.assign(n, 0);
-        st = host_.tryMemCpyFromDev(
-            outs[q].ids.data(), gdl::MemHandle{rs[q].topkIdsAddr},
-            n * sizeof(uint32_t));
-        if (!st.ok())
-            return st;
+        if (n > 0) {
+            st = host_.tryMemCpyFromDev(
+                outs[q].ids.data(),
+                gdl::MemHandle{rs[q].topkIdsAddr},
+                n * sizeof(uint32_t));
+            if (!st.ok())
+                return st;
+        }
         outs[q].run = rs[q];
     }
     return Status::okStatus();
@@ -682,18 +731,46 @@ DeviceServer::tryDeviceBatch(const std::vector<PendingQuery> &batch,
 
 void
 DeviceServer::cpuFallback(const std::vector<int16_t> &query,
+                          const RagSearchParams &search,
                           ServeOutcome &out)
 {
     metrics::Registry::get().counter("fault.fallbacks").inc();
     if (golden_) {
-        auto hits = golden_->search(query.data(), cfg_.topK);
+        // Same params, same clustering as the device path, so the
+        // fallback's functional answer bit-compares with the device
+        // answer the query would otherwise have gotten.
+        std::vector<baseline::Hit> hits;
+        if (search.nprobe > 0 && goldenIvf_)
+            hits = goldenIvf_->search(query.data(), cfg_.topK,
+                                      search.nprobe,
+                                      search.filterMask);
+        else if (search.filterMask != baseline::kFilterAll)
+            hits = baseline::searchFilteredFlat(
+                *golden_, spec_, corpusSeed_, query.data(),
+                cfg_.topK, search.filterMask);
+        else
+            hits = golden_->search(query.data(), cfg_.topK);
         out.ids.clear();
         for (const auto &h : hits)
             out.ids.push_back(static_cast<uint32_t>(h.id));
         out.run.hits = std::move(hits);
     }
-    out.retrievalSeconds =
-        xeon_.ennsRetrievalMs(spec_.embeddingBytes()) * 1e-3;
+    // Xeon cost scales with the bytes actually scanned: a probe-
+    // restricted query reads only its lists' share of the shard.
+    double bytes =
+        static_cast<double>(spec_.embeddingBytes());
+    if (search.nprobe > 0 && clustering_) {
+        uint64_t probed = 0;
+        auto probes = clustering_->selectProbes(query.data(),
+                                                search.nprobe);
+        for (uint32_t list : probes)
+            probed += clustering_->listSize(list);
+        bytes = bytes *
+            (static_cast<double>(probed) /
+             static_cast<double>(
+                 std::max<size_t>(1, clustering_->numChunks())));
+    }
+    out.retrievalSeconds = xeon_.ennsRetrievalMs(bytes) * 1e-3;
     out.ok = true;
     out.fromDevice = false;
 }

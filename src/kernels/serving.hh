@@ -153,6 +153,26 @@ struct PendingQuery
      * it. Queue wait = service start time - this.
      */
     double admitSeconds = 0;
+
+    /**
+     * Per-query index parameters (nprobe, metadata filter). One
+     * retrieveBatch call shares a single RagSearchParams, so the
+     * batch former only coalesces queries whose params are equal.
+     */
+    RagSearchParams search;
+};
+
+/**
+ * Journal payload for one admitted query: everything a replay (core
+ * reset) or a failover hand-off needs to re-serve it identically —
+ * the embedding *and* its index params. A replayed filtered IVF
+ * query must probe the same lists under the same predicate, or the
+ * replay is not bit-identical to the un-faulted run.
+ */
+struct QueryPayload
+{
+    std::vector<int16_t> embedding;
+    RagSearchParams search;
 };
 
 /** Deterministic batch-formation policy (no wall clock). */
@@ -190,8 +210,13 @@ class BatchFormer
     bool batchReady() const;
 
     /**
-     * Pop the next batch (up to `maxBatch` queries, FIFO order).
-     * Also used to flush the tail: callable regardless of
+     * Pop the next batch: the maximal FIFO prefix (up to `maxBatch`
+     * queries) whose search params all equal the front query's — a
+     * device batch runs one coarse pass and one filter plane, so
+     * mixed-params queries cannot share it. FIFO order is never
+     * reordered around a param boundary (no starvation, no
+     * priority inversion); a mixed queue just ships more, smaller
+     * batches. Also used to flush the tail: callable regardless of
      * batchReady(); returns an empty vector when nothing is pending.
      */
     std::vector<PendingQuery> takeBatch();
@@ -313,6 +338,21 @@ struct ServerConfig
      * forces the remaining parked queries through the CPU fallback.
      */
     unsigned maxResets = 2;
+
+    /**
+     * IVF-lite serving (DESIGN.md section 11). When enabled the
+     * server trains a coarse quantizer over its corpus shard at
+     * construction (host-side; it survives core resets — the
+     * clustering is host state, only the centroid staging is
+     * re-paid) and honours per-query `nprobe`/`filterMask` params.
+     * Disabled (default): params with nprobe > 0 are a
+     * configuration error.
+     */
+    struct IvfServingConfig
+    {
+        bool enabled = false;
+        baseline::IvfBuildConfig build;
+    } ivf;
 };
 
 /**
@@ -347,9 +387,11 @@ class DeviceServer
      * full, predicted delay over budget) or the core is Quarantined
      * — the caller re-routes or reports, but the query is never
      * silently dropped. With the default (disabled) health and
-     * admission policies every call returns OK.
+     * admission policies every call returns OK. `search` carries the
+     * query's index params (nprobe > 0 requires cfg.ivf.enabled).
      */
-    Status enqueue(uint64_t id, std::vector<int16_t> embedding);
+    Status enqueue(uint64_t id, std::vector<int16_t> embedding,
+                   RagSearchParams search = {});
 
     /**
      * Admit with an explicit admission timestamp instead of this
@@ -361,7 +403,8 @@ class DeviceServer
      * clock is behind the originating device's.
      */
     Status enqueueAt(uint64_t id, std::vector<int16_t> embedding,
-                     double admit_seconds);
+                     double admit_seconds,
+                     RagSearchParams search = {});
 
     /**
      * Ratchet this core's busy clock forward to `t` (no-op if it is
@@ -374,14 +417,14 @@ class DeviceServer
 
     /**
      * Evacuate every admitted-but-unserved query for replay
-     * elsewhere: pending journal entries (id, embedding, original
-     * admitSeconds) are handed off in admission order, the batch
-     * queue is cleared, and each evacuation is recorded as a
-     * non-silent shed (metrics + flight ledger). The caller owns
-     * re-admission under a fresh namespaced id.
+     * elsewhere: pending journal entries (id, payload = embedding +
+     * search params, original admitSeconds) are handed off in
+     * admission order, the batch queue is cleared, and each
+     * evacuation is recorded as a non-silent shed (metrics + flight
+     * ledger). The caller owns re-admission under a fresh
+     * namespaced id.
      */
-    std::vector<recovery::JournalEntry<std::vector<int16_t>>>
-    evacuate();
+    std::vector<recovery::JournalEntry<QueryPayload>> evacuate();
 
     /**
      * Quarantine this core now (fleet kill switch / chaos tooling):
@@ -404,7 +447,8 @@ class DeviceServer
     std::vector<ServeOutcome> drain();
 
     /** Synchronous single-query serve (bypasses the queue). */
-    ServeOutcome serve(const std::vector<int16_t> &query);
+    ServeOutcome serve(const std::vector<int16_t> &query,
+                       RagSearchParams search = {});
 
     /**
      * Cumulative simulated seconds this core has spent serving
@@ -419,6 +463,12 @@ class DeviceServer
     gdl::GdlContext &host() { return host_; }
     const dram::DramSystem &hbm() const { return hbm_; }
     const ServerConfig &config() const { return cfg_; }
+
+    /** This shard's coarse quantizer (null unless cfg.ivf.enabled). */
+    const baseline::IvfClustering *clustering() const
+    {
+        return clustering_.get();
+    }
 
     /** This core's health watchdog (ladder state, transitions). */
     const recovery::HealthMonitor &health() const { return health_; }
@@ -483,8 +533,15 @@ class DeviceServer
     Status tryDeviceBatch(const std::vector<PendingQuery> &batch,
                           std::vector<ServeOutcome> &outs);
 
-    /** Exact CPU retrieval at Xeon latency; always succeeds. */
+    /**
+     * Exact CPU retrieval at Xeon latency; always succeeds. Honours
+     * the query's search params: IVF params go through the IVF
+     * golden (same clustering the device probes, so functional
+     * answers bit-compare), a bare filter through the filtered flat
+     * scan.
+     */
     void cpuFallback(const std::vector<int16_t> &query,
+                     const RagSearchParams &search,
                      ServeOutcome &out);
 
     apu::ApuDevice &dev_;
@@ -506,9 +563,16 @@ class DeviceServer
     gdl::GdlContext host_;
     std::optional<gdl::DeviceBuffer> qbuf_; ///< maxBatch query stage
 
+    // Host-side IVF state (cfg.ivf.enabled): the coarse quantizer
+    // for this shard and, when a golden index exists, its IVF twin.
+    // Both survive core resets — a reset loses the device footprint,
+    // not the host's clustering.
+    std::unique_ptr<baseline::IvfClustering> clustering_;
+    std::unique_ptr<baseline::IndexIvfI16> goldenIvf_;
+
     BatchFormer former_;
     recovery::HealthMonitor health_;
-    recovery::ReplayJournal<std::vector<int16_t>> journal_;
+    recovery::ReplayJournal<QueryPayload> journal_;
     obs::FlightRecorder flight_;
     double busySeconds_ = 0;
     double batchSecondsEwma_ = 0; ///< admission-delay predictor
