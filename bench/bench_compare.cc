@@ -11,6 +11,9 @@
  *   --threshold PCT   Regression gate, percent (default 10).
  *   --min-count N     Skip histogram percentiles below N samples
  *                     (default 2).
+ *   --only PREFIX     Compare only keys/series starting with PREFIX
+ *                     (e.g. `--only sat.` gates one phase of a
+ *                     multi-phase bench).
  *   --all             Print unchanged rows too.
  *
  * Directory mode diffs every BENCH_*.json present in both
@@ -52,7 +55,7 @@ usage()
     std::fprintf(
         stderr,
         "usage: bench_compare [--threshold PCT] [--min-count N] "
-        "[--all] BASE CURRENT\n"
+        "[--only PREFIX] [--all] BASE CURRENT\n"
         "       bench_compare --degrade PCT IN.json OUT.json\n"
         "BASE/CURRENT are BENCH_*.json files or directories of "
         "them.\n");
@@ -86,6 +89,34 @@ numericFlagValue(const char *flag, int argc, char **argv, int &i,
                      flag, text);
         return false;
     }
+    return true;
+}
+
+/**
+ * Consume `flag`'s string value from argv[i + 1]. Same contract as
+ * numericFlagValue: a missing value or a following flag fails
+ * loudly, naming the flag — `--only --all` must not silently treat
+ * "--all" as a key prefix that matches nothing.
+ */
+bool
+stringFlagValue(const char *flag, int argc, char **argv, int &i,
+                std::string &out)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(
+            stderr,
+            "bench_compare: %s requires a key-prefix value\n", flag);
+        return false;
+    }
+    const char *text = argv[++i];
+    if (text[0] == '-') {
+        std::fprintf(stderr,
+                     "bench_compare: %s requires a key-prefix "
+                     "value, got '%s'\n",
+                     flag, text);
+        return false;
+    }
+    out = text;
     return true;
 }
 
@@ -266,6 +297,17 @@ main(int argc, char **argv)
                 return usage();
             }
             degrade = v;
+        } else if (arg == "--only") {
+            std::string v;
+            if (!stringFlagValue("--only", argc, argv, i, v))
+                return usage();
+            if (v.empty()) {
+                std::fprintf(stderr, "bench_compare: --only "
+                                     "requires a non-empty "
+                                     "prefix\n");
+                return usage();
+            }
+            opt.onlyPrefix = v;
         } else if (arg == "--all") {
             show_all = true;
         } else if (!arg.empty() && arg[0] == '-') {

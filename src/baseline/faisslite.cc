@@ -176,4 +176,34 @@ IndexFlatI16::search(const int16_t *query, size_t k,
     return mergeHitHeaps(parts, k);
 }
 
+std::vector<Hit>
+searchEpochFlat(const RagCorpusSpec &spec, uint64_t corpus_seed,
+                const int16_t *query, size_t k, uint16_t filter_mask)
+{
+    if (spec.epochView) {
+        cisram_assert(spec.numChunks ==
+                          spec.epochView->baseChunks +
+                              spec.epochView->inserted.size(),
+                      "epoch view / spec chunk count mismatch");
+    }
+    std::vector<Hit> heap;
+    heap.reserve(k + 1);
+    std::vector<int16_t> row(spec.dim);
+    for (size_t local = 0; local < spec.numChunks; ++local) {
+        if (!spec.chunkLive(local))
+            continue;
+        uint64_t chunk = spec.globalChunk(local);
+        if (filter_mask != kFilterAll &&
+            !passesFilter(filter_mask, chunkLabel(chunk, corpus_seed)))
+            continue;
+        genEmbeddingRow(spec, chunk, corpus_seed, row.data());
+        int64_t s = 0;
+        for (size_t d = 0; d < spec.dim; ++d)
+            s += static_cast<int32_t>(query[d]) * row[d];
+        hitHeapPush(heap, k, {static_cast<float>(s), local});
+    }
+    hitFinalize(heap);
+    return heap;
+}
+
 } // namespace cisram::baseline

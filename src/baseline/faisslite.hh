@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "baseline/workloads.hh"
+
 namespace cisram::baseline {
 
 /** One search hit. */
@@ -122,6 +124,21 @@ class IndexFlatI16
     size_t count = 0;
     std::vector<int16_t> data;
 };
+
+/**
+ * Exact top-k over a (possibly epoch-overlaid) hash-generated corpus
+ * slice, regenerating each row on the fly instead of materializing
+ * the index. This is the golden twin of the device's epoch-aware
+ * retrieval: tombstoned chunks are skipped, inserted chunks scanned
+ * at their overlay positions, and ids returned spec-LOCAL (matching
+ * searchFilteredFlat; local == global when firstChunk is 0 and no
+ * view is armed). Scores are int32 inner products reported as float,
+ * tie rule hitWorseThan — so hits bit-compare against the APU path.
+ */
+std::vector<Hit> searchEpochFlat(const RagCorpusSpec &spec,
+                                 uint64_t corpus_seed,
+                                 const int16_t *query, size_t k,
+                                 uint16_t filter_mask = kFilterAll);
 
 } // namespace cisram::baseline
 

@@ -19,9 +19,39 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 namespace cisram::baseline {
+
+/**
+ * One immutable snapshot of a live (mutating) corpus.
+ *
+ * The corpus is append-only at the id level: the base corpus owns
+ * global ids [0, baseChunks) and every insert mints a fresh global id
+ * above everything allocated before it (ids are never reused), so an
+ * embedding row keyed by global id means the same vector in every
+ * epoch that can see it. Deletes are tombstones — the chunk keeps its
+ * staged position and is masked out of the admit plane at query time,
+ * never compacted. That keeps local positions stable across an epoch
+ * bump, which is what makes journal replay after a mid-mutation reset
+ * bit-identical: a replayed query re-executes against exactly the
+ * epoch view it admitted under.
+ *
+ * A spec's local positions map to global ids as
+ *   local <  baseChunks : firstChunk + local
+ *   local >= baseChunks : inserted[local - baseChunks]
+ * with `inserted` sorted ascending, so local order agrees with global
+ * order and the shared tie rule (score desc, id asc) ranks identically
+ * in either id space.
+ */
+struct CorpusEpochView
+{
+    uint64_t epoch = 0;       ///< 0 is the unmutated base corpus
+    uint64_t baseChunks = 0;  ///< chunks staged before any mutation
+    std::vector<uint64_t> inserted;        ///< ascending global ids
+    std::unordered_set<uint64_t> deleted;  ///< tombstoned global ids
+};
 
 /** One evaluated corpus configuration. */
 struct RagCorpusSpec
@@ -56,6 +86,34 @@ struct RagCorpusSpec
      * recall-vs-scan trade-off to measure.
      */
     size_t topics = 0;
+
+    /**
+     * Epoch overlay for a live corpus (null = static corpus, the
+     * common case). When set, numChunks must equal
+     * epochView->baseChunks + epochView->inserted.size() for this
+     * spec's slice, and retrieval masks tombstoned chunks via the
+     * admit plane. Non-owning: whoever arms the view (the mutation
+     * plan / router) keeps it alive for the spec's lifetime.
+     */
+    const CorpusEpochView *epochView = nullptr;
+
+    /** Global chunk id of local position `local` under the view. */
+    uint64_t
+    globalChunk(uint64_t local) const
+    {
+        if (!epochView || local < epochView->baseChunks)
+            return firstChunk + local;
+        return epochView->inserted[local - epochView->baseChunks];
+    }
+
+    /** False iff the chunk at `local` is tombstoned in this epoch. */
+    bool
+    chunkLive(uint64_t local) const
+    {
+        if (!epochView || epochView->deleted.empty())
+            return true;
+        return !epochView->deleted.count(globalChunk(local));
+    }
 
     double
     embeddingBytes() const

@@ -224,13 +224,22 @@ Router::dispatchShard(QueryState &qs, unsigned shard,
         cisram_assert(ss != nullptr, "fleet: placement says shard ",
                       shard, " lives on device ", d,
                       " but no server is staged there");
+        // Snapshot consistency: a sub-query only ever lands on a
+        // replica serving exactly the epoch it admitted under. The
+        // fleet-wide drain barrier in applyMutation makes this an
+        // invariant; a violation is a router bug, not load.
+        cisram_assert(ss->server->corpusEpoch() == qs.epoch,
+                      "fleet: query #", qs.id, " admitted at epoch ",
+                      qs.epoch, " but shard ", shard, " on device ",
+                      d, " serves epoch ",
+                      ss->server->corpusEpoch());
 
         double arrival =
             std::max(admit_seconds, not_before) + *tr;
         ss->server->advanceClock(arrival);
         Status est = ss->server->enqueueAt(
             subQueryId(d, shard, qs.id), qs.query, arrival,
-            qs.search);
+            qs.search, qs.cls);
         if (!est.ok()) {
             // The send was spent but the replica shed it; hedge to
             // the next replica.
@@ -242,6 +251,11 @@ Router::dispatchShard(QueryState &qs, unsigned shard,
         }
 
         routerBreakers_[d].recordSuccess();
+        reg.counter("fleet.scatter.subqueries",
+                    {{"tenant", qs.cls.tenant},
+                     {"slo_class",
+                      std::to_string(qs.cls.sloClass)}})
+            .inc();
         sub.device = d;
         sub.arrivalSeconds = arrival;
         sub.sendSeconds = *tr;
@@ -256,7 +270,8 @@ Router::dispatchShard(QueryState &qs, unsigned shard,
 Status
 Router::admit(uint64_t id, std::vector<int16_t> query,
               double arrival_seconds,
-              kernels::RagSearchParams search)
+              kernels::RagSearchParams search,
+              kernels::AdmitClass cls)
 {
     cisram_assert(query.size() == corpus_.dim,
                   "fleet: query dim mismatch");
@@ -267,9 +282,34 @@ Router::admit(uint64_t id, std::vector<int16_t> query,
                   search.nprobe,
                   " but the fleet's servers have no IVF clustering");
 
-    ledger_.admit(id, kernels::QueryPayload{query, search},
+    // Per-tenant quota, checked before the ledger ever sees the
+    // query: a quota shed is never journaled, so exactly-once
+    // accounting stays clean (only admitted queries owe outcomes).
+    for (const FleetConfig::TenantQuota &q : cfg_.quotas) {
+        if (q.tenant != cls.tenant || q.maxInFlight == 0)
+            continue;
+        uint64_t inflight = tenantInFlight(cls.tenant);
+        if (inflight >= q.maxInFlight) {
+            metrics::Registry::get()
+                .counter("recovery.shed",
+                         {{"site", "router"},
+                          {"reason", "quota"},
+                          {"tenant", cls.tenant},
+                          {"slo_class",
+                           std::to_string(cls.sloClass)}})
+                .inc();
+            flight_.recordShed(id, arrival_seconds, "quota");
+            return Status::resourceExhausted(detail::concat(
+                "fleet: tenant '", cls.tenant, "' is at its ",
+                q.maxInFlight, "-query in-flight quota, query #",
+                id, " shed"));
+        }
+    }
+
+    ledger_.admit(id, kernels::QueryPayload{query, search, cls},
                   arrival_seconds);
     flight_.recordAdmit(id, arrival_seconds);
+    ++tenantInFlight_[cls.tenant];
 
     queryIndex_[id] = queries_.size();
     queries_.push_back({});
@@ -277,6 +317,8 @@ Router::admit(uint64_t id, std::vector<int16_t> query,
     qs.id = id;
     qs.query = std::move(query);
     qs.search = search;
+    qs.cls = std::move(cls);
+    qs.epoch = epoch_;
     qs.admitSeconds = arrival_seconds;
     qs.subs.resize(shards_);
     qs.remaining = shards_;
@@ -361,8 +403,11 @@ Router::collect(unsigned device,
         if (cfg_.functional) {
             ShardServer *ss = replicaOn(device, shard);
             sub.hits = std::move(out.run.hits);
+            // Globalize through the epoch view: a base chunk maps
+            // to firstChunk + local (exactly the old offset), an
+            // inserted chunk to its minted global id.
             for (baseline::Hit &h : sub.hits)
-                h.id += ss->range.firstChunk;
+                h.id = ss->spec.globalChunk(h.id);
         }
     }
 }
@@ -383,6 +428,8 @@ Router::finishQuery(QueryState &qs)
     FleetOutcome out;
     out.id = qs.id;
     out.admitSeconds = qs.admitSeconds;
+    out.cls = qs.cls;
+    out.epoch = qs.epoch;
 
     double gather = 0;
     double extra = 0;
@@ -453,11 +500,27 @@ Router::finishQuery(QueryState &qs)
     fc.servedSeconds = latency;
     flight_.complete(qs.id, fc);
 
-    metrics::Registry::get()
-        .histogram("fleet.served_seconds")
+    auto &reg = metrics::Registry::get();
+    reg.histogram("fleet.served_seconds").observe(latency);
+    // Per-class rollup alongside the unlabeled fleet series (which
+    // older baselines gate on): the SLO story needs latency broken
+    // out by who bought which class.
+    reg.histogram("fleet.class_served_seconds",
+                  {{"tenant", qs.cls.tenant},
+                   {"slo_class", std::to_string(qs.cls.sloClass)}})
         .observe(latency);
+    // Merge work is modeled as shards x topK candidate inserts —
+    // count exactly what the merge charge above is billed for.
+    reg.counter("fleet.merge.candidates",
+                {{"tenant", qs.cls.tenant},
+                 {"slo_class", std::to_string(qs.cls.sloClass)}})
+        .inc(static_cast<double>(shards_) *
+             static_cast<double>(cfg_.topK));
 
     ledger_.complete(qs.id);
+    auto tf = tenantInFlight_.find(qs.cls.tenant);
+    if (tf != tenantInFlight_.end() && tf->second > 0)
+        --tf->second;
     qs.finished = true;
     qs.query.clear();
     qs.query.shrink_to_fit();
@@ -474,6 +537,82 @@ Router::pump()
             collect(d, ss.server->pump());
     }
     return reapFinished();
+}
+
+std::vector<FleetOutcome>
+Router::pumpUntil(double now)
+{
+    for (unsigned d = 0; d < devices(); ++d) {
+        if (fleet_[d].killed)
+            continue;
+        for (ShardServer &ss : fleet_[d].servers)
+            collect(d, ss.server->pumpUntil(now));
+    }
+    return reapFinished();
+}
+
+uint64_t
+Router::tenantInFlight(const std::string &tenant) const
+{
+    auto it = tenantInFlight_.find(tenant);
+    return it == tenantInFlight_.end() ? 0 : it->second;
+}
+
+std::vector<FleetOutcome>
+Router::applyMutation(uint64_t new_epoch,
+                      const std::vector<ShardEpochUpdate> &updates)
+{
+    cisram_assert(new_epoch == epoch_ + 1,
+                  "fleet: corpus epochs advance one at a time (at ",
+                  epoch_, ", asked for ", new_epoch, ")");
+
+    // Epoch barrier: a query's answer bit-compares against the
+    // snapshot it was admitted under, so every in-flight query
+    // finishes against the old corpus before any shard flips.
+    std::vector<FleetOutcome> served = drain();
+
+    for (const ShardEpochUpdate &u : updates) {
+        cisram_assert(u.shard < shards_,
+                      "fleet: mutation names shard ", u.shard,
+                      " but the fleet has ", shards_);
+        cisram_assert(u.view && u.view->epoch == new_epoch,
+                      "fleet: shard ", u.shard,
+                      " update carries the wrong epoch view");
+        for (unsigned d : placement_[u.shard]) {
+            // Killed devices were severed and evacuated; they can
+            // never serve again, so they stay at their stale epoch
+            // forever. Wedged-but-alive replicas still take the
+            // update: the drain above emptied them, and resetLink
+            // may bring them back into rotation later.
+            if (fleet_[d].killed)
+                continue;
+            ShardServer *ss = replicaOn(d, u.shard);
+            cisram_assert(ss, "fleet: placement lists device ", d,
+                          " for shard ", u.shard,
+                          " but no replica lives there");
+
+            baseline::RagCorpusSpec nspec = ss->spec;
+            nspec.numChunks = u.numChunks;
+            nspec.corpusBytes = ss->spec.corpusBytes *
+                (static_cast<double>(u.numChunks) /
+                 static_cast<double>(ss->spec.numChunks));
+            nspec.epochView = u.view.get();
+
+            // Flip the server before retiring the old view: its
+            // internal drain/re-stage must still be able to read
+            // the epoch the server currently serves.
+            std::vector<kernels::ServeOutcome> late =
+                ss->server->applyMutation(nspec, new_epoch,
+                                          u.deltaBytes);
+            cisram_assert(late.empty(),
+                          "fleet: shard ", u.shard, " on device ",
+                          d, " served past the fleet drain");
+            ss->spec = nspec;
+            ss->view = u.view;
+        }
+    }
+    epoch_ = new_epoch;
+    return served;
 }
 
 std::vector<FleetOutcome>

@@ -47,6 +47,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "apusim/apu.hh"
@@ -104,6 +106,20 @@ struct FleetConfig
 
     /** Router flight-recorder enablement. */
     obs::FlightConfig flight;
+
+    /**
+     * Per-tenant in-flight admission quota at the router: a tenant
+     * at its cap has further admissions shed loudly
+     * (ResourceExhausted, reason="quota") *before* they are
+     * journaled, so one tenant's burst cannot starve the fleet.
+     * Tenants without an entry are unlimited.
+     */
+    struct TenantQuota
+    {
+        std::string tenant;
+        uint64_t maxInFlight = 0;
+    };
+    std::vector<TenantQuota> quotas;
 };
 
 /**
@@ -138,6 +154,16 @@ struct FleetOutcome
 
     unsigned failovers = 0;    ///< shard re-routes this query took
     bool allFromDevice = true; ///< no shard needed the CPU fallback
+
+    /** Tenant + SLO class the query admitted under. */
+    kernels::AdmitClass cls;
+
+    /**
+     * Corpus epoch the query admitted under — the snapshot its
+     * answer is consistent with, and the golden it bit-compares
+     * against.
+     */
+    uint64_t epoch = 0;
 };
 
 /**
@@ -169,10 +195,56 @@ class Router
      */
     Status admit(uint64_t id, std::vector<int16_t> query,
                  double arrival_seconds = 0.0,
-                 kernels::RagSearchParams search = {});
+                 kernels::RagSearchParams search = {},
+                 kernels::AdmitClass cls = {});
 
     /** Serve ready batches fleet-wide; merged outcomes, id order. */
     std::vector<FleetOutcome> pump();
+
+    /**
+     * pump() for open-loop traffic: also closes out batches whose
+     * oldest admission has aged past the servers'
+     * BatchPolicy::maxLingerSeconds as of observed arrival clock
+     * `now` (see DeviceServer::pumpUntil).
+     */
+    std::vector<FleetOutcome> pumpUntil(double now);
+
+    /**
+     * One shard's next corpus epoch, produced by the mutation plan
+     * (load/mutation.hh): the shard's new overlay view (shared so
+     * the router can keep it alive for its servers' lifetime), the
+     * shard-local chunk count under that view, and the incremental
+     * re-stage bytes each replica pays.
+     */
+    struct ShardEpochUpdate
+    {
+        unsigned shard = 0;
+        std::shared_ptr<const baseline::CorpusEpochView> view;
+        uint64_t numChunks = 0;
+        uint64_t deltaBytes = 0;
+    };
+
+    /**
+     * Advance the fleet to corpus epoch `new_epoch` (must be the
+     * current epoch + 1). The epoch barrier is a fleet-wide drain()
+     * — every query admitted under the old epoch merges against the
+     * old snapshot first; those outcomes are returned. Then every
+     * *live* replica of each updated shard applies its epoch-tagged
+     * incremental re-stage (DeviceServer::applyMutation). A killed
+     * device stays at its stale epoch forever: it can never serve
+     * again (dispatch skips dead devices), so no query observes a
+     * mixed snapshot. Queries admitted after this call are pinned
+     * to `new_epoch`.
+     */
+    std::vector<FleetOutcome>
+    applyMutation(uint64_t new_epoch,
+                  const std::vector<ShardEpochUpdate> &updates);
+
+    /** Corpus epoch new admissions are pinned to. */
+    uint64_t corpusEpoch() const { return epoch_; }
+
+    /** A tenant's queries currently in flight (quota accounting). */
+    uint64_t tenantInFlight(const std::string &tenant) const;
 
     /**
      * Serve everything outstanding: drains every live device
@@ -264,6 +336,13 @@ class Router
         baseline::RagCorpusSpec spec;
         std::unique_ptr<baseline::IndexFlatI16> golden;
         std::unique_ptr<kernels::DeviceServer> server;
+
+        /**
+         * The epoch overlay this replica's spec points at. Shared
+         * with the mutation plan; must outlive the server (the
+         * retriever holds the spec by value, view by pointer).
+         */
+        std::shared_ptr<const baseline::CorpusEpochView> view;
     };
 
     /** One simulated device and the shard replicas it hosts. */
@@ -296,6 +375,8 @@ class Router
         uint64_t id = 0;
         std::vector<int16_t> query;
         kernels::RagSearchParams search;
+        kernels::AdmitClass cls;
+        uint64_t epoch = 0; ///< corpus epoch pinned at admission
         double admitSeconds = 0;
         std::vector<SubState> subs;
         size_t remaining = 0;
@@ -346,6 +427,8 @@ class Router
     std::unordered_map<uint64_t, size_t> queryIndex_;
     uint64_t failovers_ = 0;
     uint64_t evacuated_ = 0;
+    uint64_t epoch_ = 0; ///< epoch new admissions pin to
+    std::unordered_map<std::string, uint64_t> tenantInFlight_;
 };
 
 } // namespace cisram::fleet

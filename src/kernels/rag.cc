@@ -222,6 +222,8 @@ RagRetriever::retrieve(const std::vector<int16_t> &query,
                        RagVariant variant, uint64_t corpus_seed)
 {
     cisram_assert(query.size() == corpus_.dim, "query dim mismatch");
+    cisram_assert(corpus_.epochView == nullptr,
+                  "epoch-overlaid corpora serve via retrieveBatch");
     switch (variant) {
       case RagVariant::NoOpt:
         return retrieveSpatial(query, false, false, corpus_seed);
@@ -242,6 +244,8 @@ RagRetriever::retrieveGf16(const std::vector<int16_t> &query,
                            uint64_t corpus_seed)
 {
     cisram_assert(query.size() == corpus_.dim, "query dim mismatch");
+    cisram_assert(corpus_.epochView == nullptr,
+                  "epoch-overlaid corpora serve via retrieveBatch");
     ApuCore &core = dev.core(coreIdx_);
     Gvml g(core);
     const auto &t = dev.timing();
@@ -373,6 +377,12 @@ RagRetriever::retrieveBatch(
     bool fnl = core.functional();
     uint16_t filter = opts.search.filterMask;
     bool filtered = filter != baseline::kFilterAll;
+    bool mutated = corpus_.epochView != nullptr;
+    if (mutated) {
+        cisram_assert(chunks == corpus_.epochView->baseChunks +
+                                    corpus_.epochView->inserted.size(),
+                      "epoch view / spec chunk count mismatch");
+    }
 
     // Accumulators live in VRs 8..15; working registers below.
     auto acc = [](size_t q2) {
@@ -383,8 +393,11 @@ RagRetriever::retrieveBatch(
     // The predicate bitmask plane (one u16 mark per chunk) streams
     // alongside the corpus when a filter is armed: 1/dim of the
     // embedding bytes — the "nearly free" part of filtered search.
+    // An epoch-overlaid corpus streams a tombstone plane of the same
+    // shape, so masking deletes costs the same near-nothing.
     double shared_dram = static_cast<double>(chunks) *
-        (static_cast<double>(dim) + (filtered ? 1.0 : 0.0)) * 2.0;
+        (static_cast<double>(dim) + (filtered ? 1.0 : 0.0) +
+         (mutated ? 1.0 : 0.0)) * 2.0;
 
     // One pass over the corpus serves the whole batch.
     dram::DramSystem &mem = hbm;
@@ -406,23 +419,26 @@ RagRetriever::retrieveBatch(
                 for (size_t j = 0; j < valid; ++j)
                     plane[j] = static_cast<uint16_t>(
                         baseline::embeddingValueFor(
-                            corpus_, corpus_.firstChunk + st * l + j,
+                            corpus_, corpus_.globalChunk(st * l + j),
                             d, corpus_seed));
                 dev.l4().write(emb_addr + (st * dim + d) * l * 2,
                                plane.data(), l * 2);
             }
-            // Admit marks: lane validity AND the metadata predicate.
-            // Padding lanes are knocked out here so a ragged tail
-            // can never outrank real (possibly negative) scores
-            // with its biased-zero dot products.
+            // Admit marks: lane validity AND the metadata predicate
+            // AND epoch liveness (tombstoned chunks keep their staged
+            // position but never match). Padding lanes are knocked
+            // out here so a ragged tail can never outrank real
+            // (possibly negative) scores with its biased-zero dot
+            // products.
             std::fill(plane.begin(), plane.end(), 0);
             for (size_t j = 0; j < valid; ++j) {
-                uint64_t chunk = corpus_.firstChunk + st * l + j;
+                uint64_t chunk = corpus_.globalChunk(st * l + j);
                 plane[j] =
-                    (!filtered ||
-                     baseline::passesFilter(
-                         filter,
-                         baseline::chunkLabel(chunk, corpus_seed)))
+                    (corpus_.chunkLive(st * l + j) &&
+                     (!filtered ||
+                      baseline::passesFilter(
+                          filter,
+                          baseline::chunkLabel(chunk, corpus_seed))))
                     ? 1
                     : 0;
             }
@@ -564,6 +580,9 @@ RagRetriever::retrieveIvfBatch(
     bool fnl = core.functional();
 
     cisram_assert(cl.dim() == dim, "clustering dim mismatch");
+    cisram_assert(corpus_.epochView == nullptr,
+                  "IVF probing over an epoch-overlaid corpus is not "
+                  "supported");
     cisram_assert(cl.numChunks() == corpus_.numChunks,
                   "clustering built for a different corpus");
     cisram_assert(K <= l, "centroid table exceeds one VR");

@@ -109,6 +109,28 @@ BatchFormer::batchReady() const
         policy_.maxLingerAdmissions;
 }
 
+bool
+BatchFormer::batchReadyAt(double now) const
+{
+    if (batchReady())
+        return true;
+    // Time-based close-out: admission-count linger never fires for
+    // the tail of a sparse trace (the later admissions simply never
+    // arrive), so the oldest pending query also ships once the
+    // observed arrival clock has moved maxLingerSeconds past it.
+    return policy_.maxLingerSeconds > 0 && !queue_.empty() &&
+        now - queue_.front().query.admitSeconds >=
+            policy_.maxLingerSeconds;
+}
+
+double
+BatchFormer::frontAdmitSeconds() const
+{
+    cisram_assert(!queue_.empty(),
+                  "frontAdmitSeconds on an empty queue");
+    return queue_.front().query.admitSeconds;
+}
+
 std::vector<PendingQuery>
 BatchFormer::takeBatch()
 {
@@ -170,16 +192,16 @@ DeviceServer::DeviceServer(apu::ApuDevice &dev, RagCorpusSpec spec,
 
 Status
 DeviceServer::enqueue(uint64_t id, std::vector<int16_t> embedding,
-                      RagSearchParams search)
+                      RagSearchParams search, AdmitClass cls)
 {
     return enqueueAt(id, std::move(embedding), busySeconds_,
-                     search);
+                     search, std::move(cls));
 }
 
 Status
 DeviceServer::enqueueAt(uint64_t id, std::vector<int16_t> embedding,
                         double admit_seconds,
-                        RagSearchParams search)
+                        RagSearchParams search, AdmitClass cls)
 {
     cisram_assert(embedding.size() == spec_.dim,
                   "query dim mismatch");
@@ -188,6 +210,14 @@ DeviceServer::enqueueAt(uint64_t id, std::vector<int16_t> embedding,
                   " but the server has no IVF clustering "
                   "(ServerConfig::ivf.enabled)");
     auto &reg = metrics::Registry::get();
+    auto shed_labels = [&](const char *reason) {
+        return metrics::Labels{
+            {"device", std::to_string(cfg_.deviceIndex)},
+            {"core", std::to_string(core_)},
+            {"reason", reason},
+            {"tenant", cls.tenant},
+            {"slo_class", std::to_string(cls.sloClass)}};
+    };
 
     if (cfg_.health.enabled &&
         health_.state() == recovery::CoreState::Quarantined) {
@@ -196,11 +226,7 @@ DeviceServer::enqueueAt(uint64_t id, std::vector<int16_t> embedding,
             // admit — the core comes back Healthy.
             performReset();
         } else {
-            reg.counter("recovery.shed",
-                        {{"device",
-                          std::to_string(cfg_.deviceIndex)},
-                         {"core", std::to_string(core_)},
-                         {"reason", "quarantine"}})
+            reg.counter("recovery.shed", shed_labels("quarantine"))
                 .inc();
             flight_.recordShed(id, busySeconds_, "quarantine");
             return Status::resourceExhausted(detail::concat(
@@ -209,18 +235,30 @@ DeviceServer::enqueueAt(uint64_t id, std::vector<int16_t> embedding,
         }
     }
 
+    // Per-class cap scaling (AdmissionPolicy::sloClasses): class c
+    // keeps (C-c)/C of each budget, so under overload the lowest
+    // class hits its tighter caps — and sheds — first.
+    unsigned n_cls = cfg_.admission.sloClasses;
+    unsigned c = n_cls > 1
+        ? std::min(cls.sloClass, n_cls - 1)
+        : 0;
+    double cls_share = n_cls > 1
+        ? static_cast<double>(n_cls - c) / n_cls
+        : 1.0;
+    size_t depth_cap = static_cast<size_t>(
+        static_cast<double>(cfg_.admission.maxQueueDepth) *
+        cls_share);
+    double delay_cap =
+        cfg_.admission.maxQueueDelaySeconds * cls_share;
+
     if (cfg_.admission.maxQueueDepth > 0 &&
-        former_.depth() >= cfg_.admission.maxQueueDepth) {
-        reg.counter("recovery.shed",
-                    {{"device", std::to_string(cfg_.deviceIndex)},
-                     {"core", std::to_string(core_)},
-                     {"reason", "depth"}})
-            .inc();
+        former_.depth() >= depth_cap) {
+        reg.counter("recovery.shed", shed_labels("depth")).inc();
         flight_.recordShed(id, busySeconds_, "depth");
         return Status::resourceExhausted(detail::concat(
             "core ", core_, " admission queue full: ",
-            former_.depth(), " pending at the ",
-            cfg_.admission.maxQueueDepth, "-query cap, query #", id,
+            former_.depth(), " pending at the ", depth_cap,
+            "-query cap (class ", cls.sloClass, "), query #", id,
             " shed"));
     }
     if (cfg_.admission.maxQueueDelaySeconds > 0 &&
@@ -235,27 +273,24 @@ DeviceServer::enqueueAt(uint64_t id, std::vector<int16_t> embedding,
         double batches_ahead = static_cast<double>(
             divCeil(former_.depth(), cfg_.batch.maxBatch));
         double predicted = batches_ahead * batchSecondsEwma_;
-        if (predicted > cfg_.admission.maxQueueDelaySeconds) {
-            reg.counter("recovery.shed",
-                        {{"device",
-                          std::to_string(cfg_.deviceIndex)},
-                         {"core", std::to_string(core_)},
-                         {"reason", "deadline"}})
+        if (predicted > delay_cap) {
+            reg.counter("recovery.shed", shed_labels("deadline"))
                 .inc();
             flight_.recordShed(id, busySeconds_, "deadline");
             return Status::resourceExhausted(detail::concat(
                 "core ", core_, " predicted queue delay ",
                 predicted * 1e3, " ms exceeds the ",
-                cfg_.admission.maxQueueDelaySeconds * 1e3,
-                " ms admission budget, query #", id, " shed"));
+                delay_cap * 1e3, " ms admission budget (class ",
+                cls.sloClass, "), query #", id, " shed"));
         }
     }
 
-    journal_.admit(id, QueryPayload{embedding, search},
+    journal_.admit(id, QueryPayload{embedding, search, cls},
                    admit_seconds);
     flight_.recordAdmit(id, admit_seconds);
     former_.admit(PendingQuery{id, std::move(embedding),
-                               admit_seconds, search});
+                               admit_seconds, search,
+                               std::move(cls)});
     return Status::okStatus();
 }
 
@@ -340,8 +375,92 @@ DeviceServer::drain()
         for (const auto *e : pend)
             former_.admit(PendingQuery{e->id, e->payload.embedding,
                                        e->admitSeconds,
-                                       e->payload.search});
+                                       e->payload.search,
+                                       e->payload.cls});
     }
+}
+
+std::vector<ServeOutcome>
+DeviceServer::pumpUntil(double now)
+{
+    std::vector<ServeOutcome> served;
+    while (former_.batchReadyAt(now)) {
+        if (!former_.batchReady()) {
+            // Time-based close-out: service starts at the close-out
+            // instant, never earlier — otherwise served latency
+            // would depend on how often the driver polls.
+            advanceClock(std::min(
+                now, former_.frontAdmitSeconds() +
+                         cfg_.batch.maxLingerSeconds));
+        }
+        auto outs = serveBatch(former_.takeBatch(), true, true);
+        served.insert(served.end(),
+                      std::make_move_iterator(outs.begin()),
+                      std::make_move_iterator(outs.end()));
+    }
+    return served;
+}
+
+std::vector<ServeOutcome>
+DeviceServer::applyMutation(const RagCorpusSpec &epoch_spec,
+                            uint64_t new_epoch, uint64_t delta_bytes)
+{
+    cisram_assert(!cfg_.ivf.enabled,
+                  "corpus mutation is not supported with IVF "
+                  "serving (the clustering would need a rebuild)");
+    cisram_assert(new_epoch == epoch_ + 1, "epoch must advance by 1 "
+                  "(have ", epoch_, ", asked for ", new_epoch, ")");
+    cisram_assert(epoch_spec.dim == spec_.dim,
+                  "mutation cannot change embedding dim");
+    cisram_assert(epoch_spec.epochView != nullptr &&
+                      epoch_spec.epochView->epoch == new_epoch,
+                  "epoch spec must carry the new epoch's view");
+
+    // Epoch barrier: everything admitted under the old epoch is
+    // served against the old snapshot first — snapshot consistency
+    // is per-admission, never per-service-time.
+    std::vector<ServeOutcome> served = drain();
+
+    // Incremental re-stage, in the reset choreography's teardown /
+    // rebuild order so the DramAllocator hands identical addresses
+    // back and post-mutation batches replay bit-identically.
+    qbuf_.reset();
+    retriever_.reset();
+    spec_ = epoch_spec;
+    if (delta_bytes > 0) {
+        // Charge the delta transfer (inserted rows + refreshed
+        // tombstone plane) over PCIe through a bounce buffer. The
+        // staged content itself is hash-generated on demand, so a
+        // CRC-exhausted transfer costs time but cannot corrupt the
+        // corpus; bounded retries, then proceed.
+        gdl::HostStats before = host_.stats();
+        gdl::DeviceBuffer stage(host_, delta_bytes);
+        std::vector<uint8_t> zeros(delta_bytes, 0);
+        for (unsigned a = 0; a < 3; ++a) {
+            Status st = host_.tryMemCpyToDev(
+                stage.handle(), zeros.data(), delta_bytes);
+            if (st.ok())
+                break;
+        }
+        busySeconds_ +=
+            host_.stats().pcieSeconds - before.pcieSeconds;
+    }
+    hbm_.clearLatents(); // freshly re-encoded delta
+    retriever_ = std::make_unique<RagRetriever>(dev_, hbm_, spec_,
+                                                cfg_.topK, core_);
+    qbuf_.emplace(host_, cfg_.batch.maxBatch * spec_.dim * 2);
+    epoch_ = new_epoch;
+    metrics::Registry::get()
+        .counter("mutation.epochs_applied",
+                 {{"device", std::to_string(cfg_.deviceIndex)},
+                  {"core", std::to_string(core_)}})
+        .inc();
+    metrics::Registry::get()
+        .counter("mutation.restaged_bytes",
+                 {{"device", std::to_string(cfg_.deviceIndex)},
+                  {"core", std::to_string(core_)}})
+        .inc(static_cast<double>(delta_bytes));
+    return served;
 }
 
 ServeOutcome
@@ -400,7 +519,8 @@ DeviceServer::performReset()
     for (const auto *e : pend)
         former_.admit(PendingQuery{e->id, e->payload.embedding,
                                    e->admitSeconds,
-                                   e->payload.search});
+                                   e->payload.search,
+                                   e->payload.cls});
     replayed_ += pend.size();
     ++resets_;
     if (flight_.enabled()) {
@@ -464,6 +584,7 @@ DeviceServer::serveBatch(std::vector<PendingQuery> batch,
     for (size_t q = 0; q < b; ++q) {
         outs[q].id = batch[q].id;
         outs[q].batchSize = b;
+        outs[q].cls = batch[q].cls;
         outs[q].queueWaitSeconds = start - batch[q].admitSeconds;
         reg.histogram("serving.queue_wait_seconds")
             .observe(outs[q].queueWaitSeconds);
@@ -740,7 +861,15 @@ DeviceServer::cpuFallback(const std::vector<int16_t> &query,
         // fallback's functional answer bit-compares with the device
         // answer the query would otherwise have gotten.
         std::vector<baseline::Hit> hits;
-        if (search.nprobe > 0 && goldenIvf_)
+        if (spec_.epochView)
+            // The static golden index predates the overlay; scan
+            // the epoch view directly (tombstones skipped, inserts
+            // at their overlay positions) so the fallback answers
+            // from exactly this server's staged snapshot.
+            hits = baseline::searchEpochFlat(spec_, corpusSeed_,
+                                             query.data(), cfg_.topK,
+                                             search.filterMask);
+        else if (search.nprobe > 0 && goldenIvf_)
             hits = goldenIvf_->search(query.data(), cfg_.topK,
                                       search.nprobe,
                                       search.filterMask);

@@ -139,6 +139,26 @@ class CircuitBreaker
 // ---------------------------------------------------------------------
 // Batched serving pipeline.
 
+/**
+ * Admission identity of a query: which tenant sent it and which SLO
+ * class it bought. Carried from admission through the journal to the
+ * outcome so shedding, failover replay, and per-class SLO windows all
+ * see the same identity. Class numbering: 0 is the *highest* class;
+ * larger numbers shed first under overload. The defaults ("-", 0)
+ * keep single-tenant callers label-stable.
+ */
+struct AdmitClass
+{
+    std::string tenant = "-";
+    unsigned sloClass = 0;
+
+    bool
+    operator==(const AdmitClass &o) const
+    {
+        return tenant == o.tenant && sloClass == o.sloClass;
+    }
+};
+
 /** One admitted query awaiting batch formation. */
 struct PendingQuery
 {
@@ -160,6 +180,9 @@ struct PendingQuery
      * batch former only coalesces queries whose params are equal.
      */
     RagSearchParams search;
+
+    /** Tenant + SLO class this query admitted under. */
+    AdmitClass cls;
 };
 
 /**
@@ -173,6 +196,13 @@ struct QueryPayload
 {
     std::vector<int16_t> embedding;
     RagSearchParams search;
+
+    /**
+     * Admission identity, preserved across replay/failover so a
+     * replayed query sheds, labels, and windows exactly like the
+     * original admission would have.
+     */
+    AdmitClass cls;
 };
 
 /** Deterministic batch-formation policy (no wall clock). */
@@ -188,6 +218,18 @@ struct BatchPolicy
      * immediately (sequential serving).
      */
     size_t maxLingerAdmissions = 8;
+
+    /**
+     * Close-out bound for open-loop traffic, simulated seconds
+     * (0 = disabled). Admission-count linger alone is unbounded
+     * under a sparse arrival trace: the tail query of a burst waits
+     * forever for batch-mates that never arrive. With this set, a
+     * pending batch also ships once the *observed arrival clock*
+     * (DeviceServer::pumpUntil's `now`) reaches the oldest pending
+     * admission plus this bound. Still deterministic: the clock is
+     * simulated, derived from the arrival trace, never wall time.
+     */
+    double maxLingerSeconds = 0;
 };
 
 /**
@@ -208,6 +250,18 @@ class BatchFormer
      * `maxLingerAdmissions` later admissions.
      */
     bool batchReady() const;
+
+    /**
+     * batchReady() plus the time-based close-out: also true when
+     * `maxLingerSeconds` is set and the oldest pending query has
+     * been waiting since before `now - maxLingerSeconds`. `now` is
+     * the caller's observed simulated clock (the latest arrival the
+     * open-loop driver has revealed), not this core's busy clock.
+     */
+    bool batchReadyAt(double now) const;
+
+    /** Admission timestamp of the oldest pending query. */
+    double frontAdmitSeconds() const;
 
     /**
      * Pop the next batch: the maximal FIFO prefix (up to `maxBatch`
@@ -266,6 +320,9 @@ struct ServeOutcome
     double hostSeconds = 0;      ///< PCIe staging + failed attempts
     std::string lastError;       ///< last device failure, if any
 
+    /** Tenant + SLO class the query admitted under. */
+    AdmitClass cls;
+
     /** End-to-end served latency of this query, simulated seconds. */
     double
     servedSeconds() const
@@ -293,6 +350,16 @@ struct AdmissionPolicy
      * pure function of the admission sequence and served batches.
      */
     double maxQueueDelaySeconds = 0;
+
+    /**
+     * SLO classes sharing this server (0 or 1 = classless, the caps
+     * above apply uniformly). With C > 1 classes, class c (clamped
+     * to C-1) sees the caps scaled by (C-c)/C: class 0 keeps the
+     * full budget, the lowest class gets 1/C of it — so under
+     * overload the lowest class deterministically sheds first and
+     * the highest sheds last, with no reordering and no preemption.
+     */
+    unsigned sloClasses = 0;
 };
 
 /** Per-core serving configuration. */
@@ -389,9 +456,12 @@ class DeviceServer
      * silently dropped. With the default (disabled) health and
      * admission policies every call returns OK. `search` carries the
      * query's index params (nprobe > 0 requires cfg.ivf.enabled).
+     * `cls` is the tenant + SLO class the query admits under; with
+     * AdmissionPolicy::sloClasses set, lower classes see tighter
+     * caps and shed first.
      */
     Status enqueue(uint64_t id, std::vector<int16_t> embedding,
-                   RagSearchParams search = {});
+                   RagSearchParams search = {}, AdmitClass cls = {});
 
     /**
      * Admit with an explicit admission timestamp instead of this
@@ -404,7 +474,8 @@ class DeviceServer
      */
     Status enqueueAt(uint64_t id, std::vector<int16_t> embedding,
                      double admit_seconds,
-                     RagSearchParams search = {});
+                     RagSearchParams search = {},
+                     AdmitClass cls = {});
 
     /**
      * Ratchet this core's busy clock forward to `t` (no-op if it is
@@ -435,6 +506,37 @@ class DeviceServer
 
     /** Serve every currently ready batch; outcomes in query order. */
     std::vector<ServeOutcome> pump();
+
+    /**
+     * pump() for open-loop traffic: also ships batches whose oldest
+     * pending query has aged past BatchPolicy::maxLingerSeconds as
+     * of the observed arrival clock `now`. Service of a lingered
+     * batch cannot start before its close-out instant (the core's
+     * clock is ratcheted there first), so served latency is
+     * independent of how often the driver polls.
+     */
+    std::vector<ServeOutcome> pumpUntil(double now);
+
+    /**
+     * Swap in the next corpus epoch: an epoch-overlaid spec (same
+     * dim, same shard range; numChunks grown by the overlay's
+     * inserts) whose CorpusEpochView the caller keeps alive. The
+     * epoch barrier is a drain(): every query admitted under the
+     * old epoch is served against it first — the returned outcomes
+     * — then the device footprint is torn down and rebuilt in the
+     * reset choreography's allocation order and `delta_bytes` of
+     * incremental re-staging (inserted rows + refreshed tombstone
+     * plane) is charged over PCIe. Queries admitted afterwards
+     * observe exactly the new epoch. Not supported with IVF serving
+     * (the clustering would need a rebuild; retrieveIvfBatch asserts
+     * it never sees an overlay).
+     */
+    std::vector<ServeOutcome>
+    applyMutation(const baseline::RagCorpusSpec &epoch_spec,
+                  uint64_t new_epoch, uint64_t delta_bytes);
+
+    /** Epoch of the corpus snapshot this server currently serves. */
+    uint64_t corpusEpoch() const { return epoch_; }
 
     /**
      * Serve everything still pending, escalating as needed: parked
@@ -578,6 +680,7 @@ class DeviceServer
     double batchSecondsEwma_ = 0; ///< admission-delay predictor
     unsigned resets_ = 0;
     uint64_t replayed_ = 0;
+    uint64_t epoch_ = 0; ///< corpus epoch currently staged
 };
 
 } // namespace cisram::kernels

@@ -1,0 +1,147 @@
+#include "load/arrivals.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace cisram::load {
+
+const char *
+arrivalShapeName(ArrivalShape s)
+{
+    switch (s) {
+    case ArrivalShape::Poisson:
+        return "poisson";
+    case ArrivalShape::Burst:
+        return "burst";
+    case ArrivalShape::Diurnal:
+        return "diurnal";
+    }
+    return "poisson";
+}
+
+double
+arrivalRateAt(const TrafficConfig &cfg, double t)
+{
+    double lam = cfg.ratePerSecond;
+    switch (cfg.shape) {
+    case ArrivalShape::Poisson:
+        return lam;
+    case ArrivalShape::Burst: {
+        double period = cfg.burstPeriodSeconds;
+        double phase = std::fmod(t, period);
+        if (phase < cfg.burstDuty * period)
+            return lam * cfg.burstFactor;
+        // Off-burst rate chosen so the mean over a period stays λ;
+        // clamps to zero (burst-then-silence) once the bursts alone
+        // carry the whole mean.
+        double off = lam *
+            (1.0 - cfg.burstDuty * cfg.burstFactor) /
+            (1.0 - cfg.burstDuty);
+        return std::max(0.0, off);
+    }
+    case ArrivalShape::Diurnal: {
+        // Triangle over the run: (1−amp)·λ at the edges, (1+amp)·λ
+        // at mid-run, mean exactly λ.
+        double x = t / cfg.durationSeconds;
+        double tri = 1.0 - std::fabs(2.0 * x - 1.0); // 0..1..0
+        return lam *
+            (1.0 - cfg.diurnalAmplitude +
+             2.0 * cfg.diurnalAmplitude * tri);
+    }
+    }
+    return lam;
+}
+
+namespace {
+
+double
+peakRateOf(const TrafficConfig &cfg)
+{
+    switch (cfg.shape) {
+    case ArrivalShape::Poisson:
+        return cfg.ratePerSecond;
+    case ArrivalShape::Burst:
+        return cfg.ratePerSecond * cfg.burstFactor;
+    case ArrivalShape::Diurnal:
+        return cfg.ratePerSecond * (1.0 + cfg.diurnalAmplitude);
+    }
+    return cfg.ratePerSecond;
+}
+
+} // namespace
+
+ArrivalTrace
+genArrivalTrace(const TrafficConfig &cfg)
+{
+    cisram_assert(cfg.ratePerSecond > 0,
+                  "load: arrival rate must be positive");
+    cisram_assert(cfg.durationSeconds > 0,
+                  "load: trace duration must be positive");
+    if (cfg.shape == ArrivalShape::Burst) {
+        cisram_assert(cfg.burstFactor >= 1 && cfg.burstDuty > 0 &&
+                          cfg.burstDuty < 1 &&
+                          cfg.burstPeriodSeconds > 0,
+                      "load: malformed burst shape");
+    }
+    if (cfg.shape == ArrivalShape::Diurnal)
+        cisram_assert(cfg.diurnalAmplitude > 0 &&
+                          cfg.diurnalAmplitude < 1,
+                      "load: diurnal amplitude must be in (0, 1)");
+
+    ArrivalTrace trace;
+    trace.cfg = cfg;
+    if (trace.cfg.tenants.empty())
+        trace.cfg.tenants.push_back(TenantSpec{"-", 1.0, 0, 1});
+    double total_weight = 0;
+    for (const TenantSpec &t : trace.cfg.tenants) {
+        cisram_assert(!t.name.empty(), "load: unnamed tenant");
+        cisram_assert(t.weight > 0, "load: tenant '", t.name,
+                      "' needs positive weight");
+        cisram_assert(t.users > 0, "load: tenant '", t.name,
+                      "' needs at least one user");
+        total_weight += t.weight;
+    }
+
+    trace.peakRate = peakRateOf(trace.cfg);
+    // Slot width 1/(8·peak): acceptance probability ≤ 1/8 per slot,
+    // where the Bernoulli grid's deviation from a true Poisson
+    // process is negligible next to the service-time noise it
+    // drives.
+    double dt = 1.0 / (8.0 * trace.peakRate);
+    uint64_t slots = static_cast<uint64_t>(
+        cfg.durationSeconds / dt);
+
+    Rng rng(cfg.seed ^ 0x6f70656e6c6f6f70ull); // "openloop"
+    uint64_t id = 0;
+    for (uint64_t i = 0; i < slots; ++i) {
+        double t = (static_cast<double>(i) + 0.5) * dt;
+        double p = arrivalRateAt(trace.cfg, t) * dt;
+        if (rng.nextDouble() >= p)
+            continue;
+
+        Arrival a;
+        a.seconds = t;
+        a.id = ++id;
+        // Fleet journal ids pack the query id into the low 32 bits.
+        cisram_assert(a.id < (1ull << 32),
+                      "load: trace exceeds 2^32 arrivals");
+        double w = rng.nextDouble() * total_weight;
+        unsigned tenant = 0;
+        for (; tenant + 1 < trace.cfg.tenants.size(); ++tenant) {
+            w -= trace.cfg.tenants[tenant].weight;
+            if (w < 0)
+                break;
+        }
+        a.tenant = tenant;
+        a.sloClass = trace.cfg.tenants[tenant].sloClass;
+        a.user = rng.nextBelow(trace.cfg.tenants[tenant].users);
+        a.querySeed = rng.next();
+        trace.arrivals.push_back(std::move(a));
+    }
+    return trace;
+}
+
+} // namespace cisram::load

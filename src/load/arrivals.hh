@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic open-loop arrival traces.
+ *
+ * A closed-loop harness (admit, drain, repeat) measures service
+ * time; it can never see queueing collapse because offered load
+ * falls whenever the system slows down. The paper's saturation
+ * story needs *open-loop* traffic: arrivals timestamped by an
+ * external clock that does not care whether the fleet is keeping
+ * up. This module generates those timestamps.
+ *
+ * Everything is seeded and simulated-clock-only. Arrivals come off
+ * a Bernoulli grid: time is cut into slots of width 1 / (8 ·
+ * peakRate) and each slot independently admits at most one arrival
+ * with probability rate(t) · dt — a discretized Poisson process
+ * that needs no logarithms or trigonometry from libm, so the trace
+ * (and every timing metric derived from it, which the bench gates
+ * against checked-in baselines) is bit-identical on every machine.
+ *
+ * Shapes:
+ *  - Poisson: constant rate.
+ *  - Burst: rate · burstFactor for the first burstDuty fraction of
+ *    every burstPeriodSeconds, rescaled off-burst so the mean rate
+ *    stays `ratePerSecond` (with burstFactor · burstDuty ≥ 1 the
+ *    off-burst rate clamps to zero: burst-then-silence).
+ *  - Diurnal: triangular wave over the run — rate ramps linearly
+ *    from (1 − amp) · λ up to (1 + amp) · λ at mid-run and back,
+ *    mean λ. (A triangle, not a sine: piecewise-linear arithmetic
+ *    is exactly reproducible; libm's sin need not be.)
+ *
+ * Each arrival is also assigned a tenant (weighted draw), a
+ * simulated user within that tenant, the tenant's SLO class, and a
+ * fresh query seed — enough to regenerate the exact query vector
+ * later for golden comparison without storing it.
+ */
+
+#ifndef CISRAM_LOAD_ARRIVALS_HH
+#define CISRAM_LOAD_ARRIVALS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cisram::load {
+
+enum class ArrivalShape
+{
+    Poisson,
+    Burst,
+    Diurnal,
+};
+
+const char *arrivalShapeName(ArrivalShape s);
+
+/** One tenant population sharing an SLO class. */
+struct TenantSpec
+{
+    std::string name;
+    double weight = 1.0;   ///< share of arrivals (relative)
+    unsigned sloClass = 0; ///< 0 = highest; larger sheds first
+    uint64_t users = 1;    ///< simulated users behind this tenant
+};
+
+struct TrafficConfig
+{
+    ArrivalShape shape = ArrivalShape::Poisson;
+    double ratePerSecond = 100.0; ///< mean arrival rate λ
+    double durationSeconds = 1.0;
+    uint64_t seed = 1;
+
+    /** Empty ⇒ one anonymous tenant "-", class 0, one user. */
+    std::vector<TenantSpec> tenants;
+
+    /** Burst shape knobs (see file comment). */
+    double burstFactor = 4.0;
+    double burstDuty = 0.25;
+    double burstPeriodSeconds = 0.25;
+
+    /** Diurnal amplitude in (0, 1): swing around the mean. */
+    double diurnalAmplitude = 0.5;
+};
+
+/** One open-loop arrival. Ids are 1-based and dense. */
+struct Arrival
+{
+    double seconds = 0;
+    uint64_t id = 0;
+    unsigned tenant = 0;   ///< index into trace cfg.tenants
+    unsigned sloClass = 0;
+    uint64_t user = 0;     ///< user index within the tenant
+    uint64_t querySeed = 0;
+};
+
+struct ArrivalTrace
+{
+    TrafficConfig cfg; ///< with tenants defaulted if none given
+    std::vector<Arrival> arrivals; ///< ascending in seconds
+    double peakRate = 0; ///< max of rate(t) over the run
+
+    const std::string &tenantName(const Arrival &a) const
+    {
+        return cfg.tenants[a.tenant].name;
+    }
+};
+
+/** Instantaneous target rate at time `t` (exposed for tests). */
+double arrivalRateAt(const TrafficConfig &cfg, double t);
+
+/**
+ * Generate the full trace. Deterministic in `cfg` alone: same
+ * config ⇒ bit-identical timestamps, tenants, users, and query
+ * seeds, on any machine and thread count.
+ */
+ArrivalTrace genArrivalTrace(const TrafficConfig &cfg);
+
+} // namespace cisram::load
+
+#endif // CISRAM_LOAD_ARRIVALS_HH

@@ -1,0 +1,168 @@
+#include "load/mutation.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "fleet/placement.hh"
+
+namespace cisram::load {
+
+namespace {
+
+unsigned
+owningShard(uint64_t global, uint64_t base_chunks, unsigned shards)
+{
+    if (global >= base_chunks)
+        return static_cast<unsigned>(global % shards);
+    for (unsigned s = 0; s < shards; ++s) {
+        fleet::ShardRange r =
+            fleet::shardChunkRange(base_chunks, shards, s);
+        if (global >= r.firstChunk &&
+            global < r.firstChunk + r.numChunks)
+            return s;
+    }
+    cisram_panic("load: base chunk ", global,
+                 " owned by no shard");
+}
+
+} // namespace
+
+MutationPlan::MutationPlan(const baseline::RagCorpusSpec &base,
+                           unsigned shards, MutationConfig cfg)
+    : cfg_(cfg), shards_(shards)
+{
+    cisram_assert(base.epochView == nullptr,
+                  "load: mutation plans start from a static corpus");
+    cisram_assert(base.firstChunk == 0,
+                  "load: mutation plans cover the whole corpus");
+    cisram_assert(shards_ > 0, "load: need at least one shard");
+    cisram_assert(cfg_.batches > 0, "load: empty mutation plan");
+    cisram_assert(cfg_.deletesPerBatch * cfg_.batches <
+                      base.numChunks,
+                  "load: plan would tombstone the entire corpus");
+
+    // Epoch 0: the base corpus, no overlay.
+    views_.push_back(nullptr);
+    specs_.push_back(base);
+    liveCounts_.push_back(base.numChunks);
+
+    Rng rng(cfg_.seed ^ 0x6d75746174655f31ull); // "mutate_1"
+    std::vector<uint64_t> live(base.numChunks);
+    for (uint64_t i = 0; i < base.numChunks; ++i)
+        live[i] = i;
+    uint64_t next_global = base.numChunks;
+
+    std::vector<uint64_t> cum_inserted;
+    std::unordered_set<uint64_t> cum_deleted;
+    std::vector<std::vector<uint64_t>> shard_inserted(shards_);
+
+    for (unsigned b = 1; b <= cfg_.batches; ++b) {
+        MutationBatch batch;
+        batch.epoch = b;
+        batch.atSeconds = cfg_.startSeconds +
+            static_cast<double>(b - 1) * cfg_.intervalSeconds;
+
+        // Deletes draw from chunks live before this batch's own
+        // inserts, by seeded swap-erase — distinct by construction.
+        for (uint64_t d = 0; d < cfg_.deletesPerBatch; ++d) {
+            uint64_t idx = rng.nextBelow(live.size());
+            batch.deletes.push_back(live[idx]);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+        std::sort(batch.deletes.begin(), batch.deletes.end());
+
+        for (uint64_t i = 0; i < cfg_.insertsPerBatch; ++i) {
+            batch.inserts.push_back(next_global);
+            live.push_back(next_global);
+            ++next_global;
+        }
+
+        cum_inserted.insert(cum_inserted.end(),
+                            batch.inserts.begin(),
+                            batch.inserts.end());
+        for (uint64_t d : batch.deletes)
+            cum_deleted.insert(d);
+
+        auto view = std::make_shared<baseline::CorpusEpochView>();
+        view->epoch = b;
+        view->baseChunks = base.numChunks;
+        view->inserted = cum_inserted;
+        view->deleted = cum_deleted;
+        views_.push_back(view);
+
+        baseline::RagCorpusSpec spec = base;
+        spec.numChunks = base.numChunks + cum_inserted.size();
+        spec.corpusBytes = base.corpusBytes *
+            (static_cast<double>(spec.numChunks) /
+             static_cast<double>(base.numChunks));
+        spec.epochView = views_.back().get();
+        specs_.push_back(spec);
+        liveCounts_.push_back(live.size());
+
+        // Per-shard slices of the same epoch. Every shard advances
+        // every epoch (servers insist on epoch steps of one), an
+        // untouched shard just carries zero delta bytes.
+        std::vector<uint64_t> delta(shards_, 0);
+        std::vector<
+            std::shared_ptr<const baseline::CorpusEpochView>>
+            sviews;
+        for (uint64_t g : batch.inserts) {
+            unsigned s = owningShard(g, base.numChunks, shards_);
+            shard_inserted[s].push_back(g);
+            delta[s] += base.dim * sizeof(int16_t);
+        }
+        for (unsigned s = 0; s < shards_; ++s) {
+            auto sv =
+                std::make_shared<baseline::CorpusEpochView>();
+            sv->epoch = b;
+            sv->baseChunks =
+                fleet::shardChunkRange(base.numChunks, shards_, s)
+                    .numChunks;
+            sv->inserted = shard_inserted[s];
+            for (uint64_t d : cum_deleted)
+                if (owningShard(d, base.numChunks, shards_) == s)
+                    sv->deleted.insert(d);
+            sviews.push_back(std::move(sv));
+        }
+        shardViews_.push_back(std::move(sviews));
+        shardDeltaBytes_.push_back(std::move(delta));
+        batches_.push_back(std::move(batch));
+    }
+}
+
+const baseline::RagCorpusSpec &
+MutationPlan::specAt(uint64_t epoch) const
+{
+    cisram_assert(epoch < specs_.size(), "load: epoch ", epoch,
+                  " past the plan's ", epochs(), " batches");
+    return specs_[epoch];
+}
+
+std::vector<fleet::Router::ShardEpochUpdate>
+MutationPlan::shardUpdates(uint64_t epoch) const
+{
+    cisram_assert(epoch >= 1 && epoch <= epochs(),
+                  "load: no shard updates for epoch ", epoch);
+    std::vector<fleet::Router::ShardEpochUpdate> out;
+    for (unsigned s = 0; s < shards_; ++s) {
+        fleet::Router::ShardEpochUpdate u;
+        u.shard = s;
+        u.view = shardViews_[epoch - 1][s];
+        u.numChunks = u.view->baseChunks + u.view->inserted.size();
+        u.deltaBytes = shardDeltaBytes_[epoch - 1][s];
+        out.push_back(std::move(u));
+    }
+    return out;
+}
+
+uint64_t
+MutationPlan::liveChunksAt(uint64_t epoch) const
+{
+    cisram_assert(epoch < liveCounts_.size(), "load: epoch ",
+                  epoch, " past the plan's ", epochs(), " batches");
+    return liveCounts_[epoch];
+}
+
+} // namespace cisram::load

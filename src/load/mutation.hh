@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic live-corpus mutation plans.
+ *
+ * A MutationPlan scripts the corpus's life over an open-loop run: a
+ * fixed schedule of insert/delete batches, each advancing the
+ * corpus one epoch. The plan owns every epoch's overlay
+ * (baseline::CorpusEpochView) — whole-corpus views for golden
+ * comparison and per-shard views for the fleet — and keeps them
+ * alive for as long as any spec points at them.
+ *
+ * Identity rules (the whole snapshot-consistency story rests on
+ * them):
+ *  - Inserts are fresh global chunk ids appended past everything
+ *    ever allocated. The corpus is pure-hash, so an id *is* the
+ *    data; nothing is stored.
+ *  - Deletes are tombstones. A deleted chunk's position survives in
+ *    every later epoch (masked by the admit plane at retrieval), so
+ *    chunk positions are stable across epochs and a journal replay
+ *    under any epoch is bit-identical.
+ *  - A batch deletes only chunks live *before* its own inserts, and
+ *    draws them by seeded swap-erase from the live set — the plan
+ *    is a pure function of (base spec, shard count, config).
+ *
+ * Sharding: an inserted id g lives on shard g mod S; a base id on
+ * the contiguous range shard that owns it (fleet::shardChunkRange).
+ * Per-shard views carry only their own inserts/deletes, so the
+ * union over shards of any epoch's per-shard view partitions the
+ * whole-corpus view exactly (pinned in test_load).
+ */
+
+#ifndef CISRAM_LOAD_MUTATION_HH
+#define CISRAM_LOAD_MUTATION_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baseline/workloads.hh"
+#include "fleet/fleet.hh"
+
+namespace cisram::load {
+
+struct MutationConfig
+{
+    unsigned batches = 3;
+    double startSeconds = 0.25;    ///< first batch's apply time
+    double intervalSeconds = 0.25; ///< spacing between batches
+    uint64_t insertsPerBatch = 96;
+    uint64_t deletesPerBatch = 48;
+    uint64_t seed = 1;
+};
+
+/** One scheduled mutation batch (epoch `epoch` begins here). */
+struct MutationBatch
+{
+    uint64_t epoch = 0; ///< 1-based; epoch 0 is the base corpus
+    double atSeconds = 0;
+    std::vector<uint64_t> inserts; ///< fresh global ids, ascending
+    std::vector<uint64_t> deletes; ///< global ids tombstoned here
+};
+
+class MutationPlan
+{
+  public:
+    /**
+     * Script `cfg.batches` batches against `base` for a fleet of
+     * `shards` shards. `base.epochView` must be null (the plan
+     * defines the overlays) and `base.firstChunk` 0 (whole corpus).
+     */
+    MutationPlan(const baseline::RagCorpusSpec &base,
+                 unsigned shards, MutationConfig cfg);
+
+    const MutationConfig &config() const { return cfg_; }
+    const std::vector<MutationBatch> &batches() const
+    {
+        return batches_;
+    }
+
+    /** Highest epoch the plan reaches (== batches().size()). */
+    uint64_t epochs() const { return batches_.size(); }
+
+    /**
+     * Whole-corpus spec at `epoch` (0 = the unmodified base). For
+     * epoch ≥ 1 its epochView points at a view this plan owns —
+     * valid for the plan's lifetime. This is the spec per-epoch
+     * goldens (faisslite::searchEpochFlat) run against.
+     */
+    const baseline::RagCorpusSpec &specAt(uint64_t epoch) const;
+
+    /**
+     * The fleet hand-off for advancing to `epoch` (≥ 1): one update
+     * per shard — every shard advances every epoch (servers insist
+     * on epoch steps of one); an untouched shard carries zero delta
+     * bytes. Feed straight to fleet::Router::applyMutation.
+     */
+    std::vector<fleet::Router::ShardEpochUpdate>
+    shardUpdates(uint64_t epoch) const;
+
+    /** Live (non-tombstoned) chunks at `epoch`. */
+    uint64_t liveChunksAt(uint64_t epoch) const;
+
+  private:
+    MutationConfig cfg_;
+    unsigned shards_;
+    std::vector<MutationBatch> batches_;
+
+    /** Index e: epoch e's state; index 0 is the base (null view). */
+    std::vector<std::shared_ptr<const baseline::CorpusEpochView>>
+        views_;
+    std::vector<baseline::RagCorpusSpec> specs_;
+    std::vector<uint64_t> liveCounts_;
+
+    /** [epoch − 1][shard] views + re-stage bytes for the fleet. */
+    std::vector<std::vector<
+        std::shared_ptr<const baseline::CorpusEpochView>>>
+        shardViews_;
+    std::vector<std::vector<uint64_t>> shardDeltaBytes_;
+};
+
+} // namespace cisram::load
+
+#endif // CISRAM_LOAD_MUTATION_HH

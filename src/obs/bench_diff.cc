@@ -89,6 +89,15 @@ classifyDelta(BenchDelta &d, double thresholdPct)
         d.improvement = true;
 }
 
+bool
+matchesPrefix(const std::string &key,
+              const BenchDiffOptions &opt)
+{
+    return opt.onlyPrefix.empty() ||
+           key.compare(0, opt.onlyPrefix.size(), opt.onlyPrefix) ==
+               0;
+}
+
 } // namespace
 
 const char *
@@ -154,7 +163,7 @@ diffBenchReports(const json::Value &base, const json::Value &current,
     const json::Value *cs = findSection(current, "scalars");
     if (bs && bs->isObject()) {
         for (const auto &[key, bval] : bs->asObject()) {
-            if (!bval.isNumber())
+            if (!bval.isNumber() || !matchesPrefix(key, opt))
                 continue;
             BenchDelta d;
             d.key = key;
@@ -177,7 +186,7 @@ diffBenchReports(const json::Value &base, const json::Value &current,
     }
     if (cs && cs->isObject()) {
         for (const auto &[key, cval] : cs->asObject()) {
-            if (!cval.isNumber())
+            if (!cval.isNumber() || !matchesPrefix(key, opt))
                 continue;
             if (bs && bs->isObject() && bs->asObject().contains(key))
                 continue;
@@ -197,6 +206,8 @@ diffBenchReports(const json::Value &base, const json::Value &current,
         findSection(current, "metrics", "histograms");
     if (bh && bh->isObject() && ch && ch->isObject()) {
         for (const auto &[series, bsum] : bh->asObject()) {
+            if (!matchesPrefix(series, opt))
+                continue;
             const json::Value *csum = ch->asObject().find(series);
             if (!csum || !csum->isObject() || !bsum.isObject())
                 continue;

@@ -74,6 +74,14 @@ struct BenchDiffOptions
     double thresholdPct = 10.0;
     /** Skip histogram percentiles with fewer samples than this. */
     uint64_t minHistogramCount = 2;
+    /**
+     * When non-empty, only scalar keys and histogram series whose
+     * name starts with this prefix are compared; everything else is
+     * dropped from the diff entirely (not even reported as
+     * only-base/only-current). Lets a multi-phase bench gate one
+     * phase at a time, e.g. `--only sat.` for the saturation sweep.
+     */
+    std::string onlyPrefix;
 };
 
 struct BenchDiffResult

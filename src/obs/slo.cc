@@ -98,6 +98,13 @@ SloMonitor::flush()
             closeWindow(st, /*partial=*/true);
 }
 
+void
+SloMonitor::flushAll()
+{
+    for (auto &[name, st] : classes_)
+        closeWindow(st, /*partial=*/true);
+}
+
 uint64_t
 SloMonitor::observed(const std::string &cls) const
 {

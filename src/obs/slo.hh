@@ -89,6 +89,17 @@ class SloMonitor
      */
     void flush();
 
+    /**
+     * Close a window for EVERY configured class, even ones that saw
+     * no traffic since the last close. Use at epoch boundaries: the
+     * window sequence then tiles the run 1:1 with epochs, and a
+     * silent class still gets its verdict on record. A zero-query
+     * window has violation fraction 0, burn rate 0, and is never
+     * breached — no traffic spends no error budget — and its
+     * quantiles are all 0. Windows closed this way are `partial`.
+     */
+    void flushAll();
+
     /** All closed windows, in close order. */
     const std::vector<SloWindow> &windows() const
     {

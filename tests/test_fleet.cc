@@ -578,3 +578,134 @@ TEST(Router, MergedDeviceLatencyEqualsPerDeviceRollup)
     EXPECT_EQ(merged.count(), pooled_count);
     EXPECT_DOUBLE_EQ(merged.sum(), pooled_sum);
 }
+
+// ---- tenant quotas, class shedding, and labeled fleet metrics -----------
+
+TEST(Router, TenantQuotaShedsLoudlyAndReleasesOnCompletion)
+{
+#if defined(__SANITIZE_THREAD__)
+    GTEST_SKIP() << "functional corpus pass too slow under TSan";
+#endif
+    FleetFixture fx;
+    FleetConfig cfg = fx.config(2, 1);
+    cfg.quotas.push_back(FleetConfig::TenantQuota{"acme", 2});
+    Router router(fx.corpus, fx.seed, cfg);
+
+    auto &shed = metrics::Registry::get().counter(
+        "recovery.shed", {{"site", "router"},
+                          {"reason", "quota"},
+                          {"tenant", "acme"},
+                          {"slo_class", "1"}});
+    double shed_before = shed.value();
+
+    kernels::AdmitClass acme{"acme", 1};
+    ASSERT_TRUE(router.admit(1, fx.query(0), 0.0, {}, acme).ok());
+    ASSERT_TRUE(router.admit(2, fx.query(1), 0.0, {}, acme).ok());
+    EXPECT_EQ(router.tenantInFlight("acme"), 2u);
+
+    // Third in-flight query trips the cap: a loud pre-journal shed
+    // (never ledgered, so it owes no outcome), labeled by tenant
+    // and class.
+    Status st = router.admit(3, fx.query(2), 0.0, {}, acme);
+    EXPECT_EQ(st.code(), StatusCode::ResourceExhausted);
+    EXPECT_EQ(shed.value() - shed_before, 1.0);
+
+    // Other tenants are untouched by acme's quota.
+    ASSERT_TRUE(router
+                    .admit(4, fx.query(3), 0.0, {},
+                           kernels::AdmitClass{"other", 0})
+                    .ok());
+
+    // Completion releases the slots: the quota is in-FLIGHT, not
+    // cumulative, so admission after a drain succeeds.
+    auto outs = router.drain();
+    EXPECT_EQ(outs.size(), 3u);
+    EXPECT_EQ(router.tenantInFlight("acme"), 0u);
+    EXPECT_TRUE(router.admit(5, fx.query(4), 0.0, {}, acme).ok());
+    (void)router.drain();
+}
+
+TEST(Router, LowestClassShedsFirstUnderOverload)
+{
+#if defined(__SANITIZE_THREAD__)
+    GTEST_SKIP() << "functional corpus pass too slow under TSan";
+#endif
+    // With sloClasses=2 and a 2-deep admission queue, class 1 keeps
+    // only half the depth budget: it sheds at depth 1 while class 0
+    // still admits at that depth — the lowest class goes first.
+    FleetFixture fx;
+    FleetConfig cfg = fx.config(1, 1);
+    cfg.server.admission.maxQueueDepth = 2;
+    cfg.server.admission.sloClasses = 2;
+    // A shed sub-query counts as a router-breaker failure (it hedges
+    // to the next replica); widen the breaker so this test sees the
+    // class caps, not the breaker tripping on the shed burst.
+    cfg.server.breakerThreshold = 64;
+    Router router(fx.corpus, fx.seed, cfg);
+
+    auto &shed_low = metrics::Registry::get().counter(
+        "recovery.shed", {{"device", "0"},
+                          {"core", "0"},
+                          {"reason", "depth"},
+                          {"tenant", "t"},
+                          {"slo_class", "1"}});
+    double low_before = shed_low.value();
+
+    kernels::AdmitClass low{"t", 1};
+    kernels::AdmitClass high{"t", 0};
+    ASSERT_TRUE(router.admit(1, fx.query(0), 0.0, {}, low).ok());
+    // Depth 1 on every shard server: class 1's halved cap is full,
+    // class 0's is not.
+    EXPECT_FALSE(router.admit(2, fx.query(1), 0.0, {}, low).ok());
+    EXPECT_GE(shed_low.value() - low_before, 1.0);
+    ASSERT_TRUE(router.admit(3, fx.query(2), 0.0, {}, high).ok());
+    // Depth 2: now even class 0 is at its full cap.
+    EXPECT_FALSE(router.admit(4, fx.query(3), 0.0, {}, high).ok());
+    (void)router.drain();
+}
+
+TEST(Router, ScatterMergeAndClassMetricsCarryTenantLabels)
+{
+#if defined(__SANITIZE_THREAD__)
+    GTEST_SKIP() << "functional corpus pass too slow under TSan";
+#endif
+    FleetFixture fx;
+    Router router(fx.corpus, fx.seed, fx.config(2, 1));
+
+    auto &reg = metrics::Registry::get();
+    metrics::Labels cls_labels{{"tenant", "acme"},
+                               {"slo_class", "1"}};
+    auto &scatter =
+        reg.counter("fleet.scatter.subqueries", cls_labels);
+    auto &merge =
+        reg.counter("fleet.merge.candidates", cls_labels);
+    auto &served =
+        reg.histogram("fleet.class_served_seconds", cls_labels);
+    auto &unlabeled = reg.histogram("fleet.served_seconds", {});
+    double scatter_before = scatter.value();
+    double merge_before = merge.value();
+    uint64_t served_before = served.count();
+    uint64_t unlabeled_before = unlabeled.count();
+
+    ASSERT_TRUE(router
+                    .admit(1, fx.query(0), 0.0, {},
+                           kernels::AdmitClass{"acme", 1})
+                    .ok());
+    auto outs = router.drain();
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_TRUE(outs[0].ok);
+    EXPECT_EQ(outs[0].cls.tenant, "acme");
+    EXPECT_EQ(outs[0].cls.sloClass, 1u);
+
+    // One sub-query per shard scattered; the merge models
+    // shards * topK candidate inserts (what the merge time charge
+    // bills); one per-class latency observation — all under the
+    // query's own {tenant, slo_class} labels, while the unlabeled
+    // fleet series keeps its old meaning.
+    EXPECT_EQ(scatter.value() - scatter_before,
+              static_cast<double>(router.shards()));
+    EXPECT_EQ(merge.value() - merge_before,
+              static_cast<double>(router.shards()) * 5.0);
+    EXPECT_EQ(served.count() - served_before, 1u);
+    EXPECT_EQ(unlabeled.count() - unlabeled_before, 1u);
+}

@@ -584,6 +584,67 @@ TEST(SloMonitor, FlushClosesPartialWindowsOnce)
     EXPECT_EQ(slo.windows().size(), 2u);
 }
 
+TEST(SloMonitor, ZeroQueryWindowIsDefinedAndHarmless)
+{
+    // Epoch boundaries close a window for EVERY class, including one
+    // that saw no traffic. The contract for a zero-query window:
+    // violation fraction 0, burn rate 0, never breached, quantiles 0
+    // (an empty histogram's quantile is 0 by pin), marked partial.
+    SloPolicy policy;
+    policy.windowQueries = 8;
+    policy.classes.push_back(SloClass{"busy", 0.1, 0.9});
+    policy.classes.push_back(SloClass{"silent", 0.1, 0.9});
+    obs::SloMonitor slo(policy);
+    slo.observe("busy", 0.05);
+    slo.flushAll();
+    ASSERT_EQ(slo.windows().size(), 2u); // map order: busy, silent
+    const SloWindow &quiet = slo.windows()[1];
+    EXPECT_EQ(quiet.cls, "silent");
+    EXPECT_EQ(quiet.queries, 0u);
+    EXPECT_EQ(quiet.violations, 0u);
+    EXPECT_DOUBLE_EQ(quiet.violationFraction, 0.0);
+    EXPECT_DOUBLE_EQ(quiet.burnRate, 0.0);
+    EXPECT_FALSE(quiet.breached);
+    EXPECT_TRUE(quiet.partial);
+    EXPECT_DOUBLE_EQ(quiet.p50, 0.0);
+    EXPECT_DOUBLE_EQ(quiet.p99, 0.0);
+    EXPECT_DOUBLE_EQ(quiet.max, 0.0);
+    EXPECT_EQ(slo.breachedWindows(), 0u);
+}
+
+TEST(SloMonitor, FlushAllTilesWindowsOneToOneWithEpochs)
+{
+    // flushAll() at every epoch boundary gives every class the same
+    // number of windows — the SLO curve tiles the run 1:1 with
+    // epochs regardless of which classes saw traffic when. Plain
+    // flush() still skips the empty windows.
+    SloPolicy policy;
+    policy.windowQueries = 8;
+    policy.classes.push_back(SloClass{"a", 0.1, 0.9});
+    policy.classes.push_back(SloClass{"b", 0.1, 0.9});
+    obs::SloMonitor slo(policy);
+
+    slo.observe("a", 0.05); // epoch 0: only a sees traffic
+    slo.flushAll();
+    slo.observe("b", 0.05); // epoch 1: only b sees traffic
+    slo.flushAll();
+    ASSERT_EQ(slo.windows().size(), 4u);
+    size_t a_windows = 0, b_windows = 0;
+    for (const SloWindow &w : slo.windows()) {
+        EXPECT_TRUE(w.partial);
+        (w.cls == "a" ? a_windows : b_windows) += 1;
+    }
+    EXPECT_EQ(a_windows, 2u);
+    EXPECT_EQ(b_windows, 2u);
+
+    // Final flush(): both windows are empty, nothing new closes.
+    slo.flush();
+    EXPECT_EQ(slo.windows().size(), 4u);
+    // But another flushAll() does emit two more empty windows.
+    slo.flushAll();
+    EXPECT_EQ(slo.windows().size(), 6u);
+}
+
 TEST(SloMonitor, ToJsonSummarizes)
 {
     SloPolicy policy;

@@ -466,7 +466,11 @@ TEST(ServingRecovery, QuarantineShedsWithResourceExhausted)
 
     auto &shed = metrics::Registry::get().counter(
         "recovery.shed",
-        {{"device", "0"}, {"core", "0"}, {"reason", "quarantine"}});
+        {{"device", "0"},
+         {"core", "0"},
+         {"reason", "quarantine"},
+         {"tenant", "-"},
+         {"slo_class", "0"}});
     double shed_before = shed.value();
 
     // The first batch wedges the core mid-retry and parks.

@@ -197,6 +197,41 @@ TEST(BatchFormerDeathTest, RejectsOversizedPolicy)
     EXPECT_DEATH(BatchFormer f(BatchPolicy{9, 1}), "maxBatch");
 }
 
+TEST(BatchFormer, TimeCloseOutShipsDepthOneAtTheBound)
+{
+    // Open-loop close-out: a lone query under a sparse trace has no
+    // batch-mates coming, so it ships once the observed arrival
+    // clock reaches its admission plus maxLingerSeconds — inclusive
+    // at the bound, never before.
+    BatchFormer f(BatchPolicy{8, 100, 0.5});
+    f.admit(PendingQuery{1, std::vector<int16_t>(4, 0), 1.0});
+    EXPECT_FALSE(f.batchReady());
+    EXPECT_FALSE(f.batchReadyAt(1.0));
+    EXPECT_FALSE(f.batchReadyAt(1.499));
+    EXPECT_TRUE(f.batchReadyAt(1.5));
+    EXPECT_EQ(f.frontAdmitSeconds(), 1.0);
+    EXPECT_EQ(f.takeBatch().size(), 1u);
+    // An empty queue never closes out, whatever the clock says.
+    EXPECT_FALSE(f.batchReadyAt(100.0));
+}
+
+TEST(BatchFormer, ExactlyMaxLingerAdmissionsStillShipsByCount)
+{
+    // The admission-count rule is independent of the time close-out:
+    // with an absurd time bound, exactly maxLingerAdmissions later
+    // admissions ship the oldest query; one fewer does not.
+    BatchFormer f(BatchPolicy{8, 3, 1e9});
+    f.admit(pq(0));
+    f.admit(pq(1));
+    f.admit(pq(2));
+    EXPECT_FALSE(f.batchReady());
+    EXPECT_FALSE(f.batchReadyAt(0.0));
+    f.admit(pq(3)); // exactly the third admission after query 0
+    EXPECT_TRUE(f.batchReady());
+    EXPECT_TRUE(f.batchReadyAt(0.0)); // no clock involved
+    EXPECT_EQ(f.takeBatch().size(), 4u);
+}
+
 // ---- Batched retrieval: functional equivalence -------------------------
 
 TEST(ServingBatch, EveryBatchSizeMatchesSingleRetrieval)
@@ -427,6 +462,69 @@ TEST(DeviceServerTest, PipelineServesCorrectAnswers)
     EXPECT_GT(outs[4].queueWaitSeconds, 0.0);
     EXPECT_GE(outs[4].servedSeconds(), outs[4].queueWaitSeconds);
     EXPECT_GT(server.busySeconds(), 0.0);
+}
+
+// ---- Open-loop close-out at the device server --------------------------
+
+TEST(ServingBatch, DepthOneClosesOutAtExactlyTheLingerBound)
+{
+    const auto &spec = ragCorpora()[0];
+    apu::ApuDevice dev;
+    dev.core(0).setMode(apu::ExecMode::TimingOnly);
+    ServerConfig cfg;
+    cfg.batch = BatchPolicy{8, 100, 0.5};
+    DeviceServer server(dev, spec, 0, nullptr, 1, cfg);
+
+    ASSERT_TRUE(
+        server.enqueueAt(1, genQuery(spec.dim, 1), 1.0).ok());
+    // Neither depth nor admission count is anywhere near shipping,
+    // and the arrival clock has not reached the close-out instant.
+    EXPECT_TRUE(server.pump().empty());
+    EXPECT_TRUE(server.pumpUntil(1.499).empty());
+    // Poll PAST the bound: service still starts at the close-out
+    // instant (admit + linger = 1.5), not at the polling instant,
+    // so the query waited exactly the linger bound.
+    auto outs = server.pumpUntil(1.6);
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_TRUE(outs[0].ok);
+    EXPECT_EQ(outs[0].batchSize, 1u);
+    EXPECT_DOUBLE_EQ(outs[0].queueWaitSeconds, 0.5);
+}
+
+TEST(ServingBatch, BurstThenSilenceShipsFullThenCloseOutTail)
+{
+    const auto &spec = ragCorpora()[0];
+    apu::ApuDevice dev;
+    dev.core(0).setMode(apu::ExecMode::TimingOnly);
+    ServerConfig cfg;
+    cfg.batch = BatchPolicy{4, 100, 0.25};
+    DeviceServer server(dev, spec, 0, nullptr, 1, cfg);
+
+    // Six arrivals in a tight burst (1/64 s apart — exact binary
+    // times so the close-out comparison has no rounding slop), then
+    // silence: the open-loop trace never fills a second batch.
+    for (uint64_t q = 0; q < 6; ++q)
+        ASSERT_TRUE(server
+                        .enqueueAt(q + 1, genQuery(spec.dim, q),
+                                   q * 0.015625)
+                        .ok());
+    // The burst depth-ships one full batch immediately...
+    auto first = server.pumpUntil(6 * 0.015625);
+    ASSERT_EQ(first.size(), 4u);
+    for (size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].id, i + 1);
+        EXPECT_EQ(first[i].batchSize, 4u);
+    }
+    // ...and the 2-query tail lingers: its oldest admit is at
+    // 4/64 s, so close-out is at 4/64 + 0.25 and not a tick before.
+    EXPECT_TRUE(server.pumpUntil(4 * 0.015625 + 0.249).empty());
+    auto tail = server.pumpUntil(4 * 0.015625 + 0.25);
+    ASSERT_EQ(tail.size(), 2u);
+    EXPECT_EQ(tail[0].id, 5u);
+    EXPECT_EQ(tail[1].id, 6u);
+    EXPECT_EQ(tail[0].batchSize, 2u);
+    // Exactly-once: every burst query served, none twice.
+    EXPECT_TRUE(server.pumpUntil(1e9).empty());
 }
 
 // ---- Latency accounting under injected faults --------------------------
